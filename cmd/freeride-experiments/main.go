@@ -1,0 +1,166 @@
+// Command freeride-experiments regenerates the paper's tables and figures
+// on the simulated testbed and prints them as text.
+//
+// Example:
+//
+//	freeride-experiments -run all -epochs 16
+//	freeride-experiments -run table2,fig9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"freeride/internal/experiments"
+	"freeride/internal/sidetask"
+)
+
+type runner struct {
+	name string
+	desc string
+	fn   func(experiments.Options) (string, error)
+}
+
+var runners = []runner{
+	{"table1", "side-task throughput across platforms", func(o experiments.Options) (string, error) {
+		r, err := experiments.RunTable1(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"table2", "time increase and cost savings per method", func(o experiments.Options) (string, error) {
+		r, err := experiments.RunTable2(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig1", "epoch timeline, SM occupancy and per-stage memory", func(o experiments.Options) (string, error) {
+		r, err := experiments.RunFigure1(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig2", "bubble shapes and rates across model sizes", func(o experiments.Options) (string, error) {
+		r, err := experiments.RunFigure2(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig7ab", "sensitivity to side-task batch size", func(o experiments.Options) (string, error) {
+		r, err := experiments.RunFigure7BatchSize(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig7cd", "sensitivity to main model size", func(o experiments.Options) (string, error) {
+		r, err := experiments.RunFigure7ModelSize(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig7ef", "sensitivity to micro-batch count", func(o experiments.Options) (string, error) {
+		r, err := experiments.RunFigure7MicroBatch(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig8", "GPU resource limit demonstrations", func(o experiments.Options) (string, error) {
+		r, err := experiments.RunFigure8(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig9", "bubble time breakdown", func(o experiments.Options) (string, error) {
+		r, err := experiments.RunFigure9(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"ablations", "grace period / RPC latency / safety margin sweeps", func(o experiments.Options) (string, error) {
+		var b strings.Builder
+		for _, f := range []func(experiments.Options) (*experiments.AblationResult, error){
+			experiments.RunAblationGrace,
+			experiments.RunAblationRPCLatency,
+			experiments.RunAblationSafetyMargin,
+			experiments.RunAblationMultiTask,
+			experiments.RunAblationInterleaved,
+		} {
+			r, err := f(o)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(r.Render())
+			b.WriteByte('\n')
+		}
+		return b.String(), nil
+	}},
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "freeride-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("freeride-experiments", flag.ContinueOnError)
+	which := fs.String("run", "all", "comma-separated experiment ids, or 'all' (ids: table1,table2,fig1,fig2,fig7ab,fig7cd,fig7ef,fig8,fig9,ablations)")
+	epochs := fs.Int("epochs", 16, "training epochs per run (paper: 128)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	realWork := fs.Bool("realwork", false, "run real side-task computation during sweeps (slower)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-9s %s\n", r.name, r.desc)
+		}
+		return nil
+	}
+	opts := experiments.Options{Epochs: *epochs, Seed: *seed, WorkScale: sidetask.WorkNone}
+	if *realWork {
+		opts.WorkScale = sidetask.WorkSmall
+	}
+
+	want := map[string]bool{}
+	if *which == "all" {
+		for _, r := range runners {
+			want[r.name] = true
+		}
+	} else {
+		for _, name := range strings.Split(*which, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	ran := 0
+	for _, r := range runners {
+		if !want[r.name] {
+			continue
+		}
+		start := time.Now()
+		out, err := r.fn(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Printf("===== %s — %s (%.1fs) =====\n%s\n", r.name, r.desc, time.Since(start).Seconds(), out)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched %q (use -list)", *which)
+	}
+	return nil
+}

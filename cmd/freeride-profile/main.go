@@ -1,0 +1,94 @@
+// Command freeride-profile runs FreeRide's two offline profilers (paper
+// §4.3): the bubble profiler, which measures each stage's bubble shapes for
+// a model/schedule combination, and the automated side-task profiler, which
+// measures a task's GPU memory footprint and per-step duration.
+//
+// Example:
+//
+//	freeride-profile -bubbles -model 3.6b -microbatches 4
+//	freeride-profile -task resnet18 -mode iterative
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"freeride"
+	"freeride/internal/model"
+	"freeride/internal/profiler"
+	"freeride/internal/sidetask"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "freeride-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("freeride-profile", flag.ContinueOnError)
+	bubbles := fs.Bool("bubbles", false, "profile pipeline bubbles")
+	llmName := fs.String("model", "3.6b", "main model for bubble profiling")
+	mbs := fs.Int("microbatches", 4, "micro-batches for bubble profiling")
+	taskName := fs.String("task", "", "side task to profile (resnet18, pagerank, ...)")
+	mode := fs.String("mode", "iterative", "side-task interface: iterative|imperative")
+	seed := fs.Int64("seed", 1, "profiling seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*bubbles && *taskName == "" {
+		return fmt.Errorf("nothing to do: pass -bubbles and/or -task NAME")
+	}
+
+	if *bubbles {
+		llm, err := model.LLMByName(*llmName)
+		if err != nil {
+			return err
+		}
+		cfg := freeride.DefaultConfig()
+		cfg.LLM = llm
+		cfg.MicroBatches = *mbs
+		sess, err := freeride.NewSession(cfg)
+		if err != nil {
+			return err
+		}
+		prof := sess.Profile
+		fmt.Printf("bubble profile: %s, %d stages, %d micro-batches\n", llm.Name, cfg.Stages, *mbs)
+		fmt.Printf("epoch span %.2fs, bubble rate %.1f%%\n\n", prof.EpochSpan.Seconds(), 100*prof.BubbleRate())
+		for _, sp := range prof.Stages {
+			fmt.Printf("stage %d: available memory %.1f GB, bubble time %.2fs/epoch\n",
+				sp.Stage, float64(sp.MemAvailable)/float64(model.GiB), sp.BubbleTime.Seconds())
+			for _, tpl := range sp.Templates {
+				fmt.Printf("  type-%s at +%.2fs for %.2fs\n", tpl.Type, tpl.Offset.Seconds(), tpl.Duration.Seconds())
+			}
+		}
+		fmt.Println()
+	}
+
+	if *taskName != "" {
+		profile, err := model.TaskByName(*taskName)
+		if err != nil {
+			return err
+		}
+		m := sidetask.ModeIterative
+		if *mode == "imperative" {
+			m = sidetask.ModeImperative
+		}
+		res, err := profiler.Profile(profiler.BuiltinFactory(profile, m, sidetask.WorkSmall), profiler.Options{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("side-task profile: %s (%s interface)\n", profile.Name, m)
+		fmt.Printf("  gpu_memory_requirement: %.2f GB\n", float64(res.MemBytes)/float64(model.GiB))
+		if res.StepTime > 0 {
+			fmt.Printf("  per_step_duration:      %.4fs (over %d steps)\n", res.StepTime.Seconds(), res.Steps)
+		} else {
+			fmt.Printf("  per_step_duration:      n/a (imperative tasks are not step-wise)\n")
+		}
+		fmt.Printf("  create_time:            %.2fs\n", res.CreateTime.Seconds())
+		fmt.Printf("  init_time:              %.2fs\n", res.InitTime.Seconds())
+	}
+	return nil
+}

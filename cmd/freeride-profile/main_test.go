@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestProfileBubbles(t *testing.T) {
+	if err := run([]string{"-bubbles", "-model", "3.6b"}); err != nil {
+		t.Fatalf("bubbles: %v", err)
+	}
+}
+
+func TestProfileTask(t *testing.T) {
+	if err := run([]string{"-task", "pagerank"}); err != nil {
+		t.Fatalf("task: %v", err)
+	}
+}
+
+func TestProfileImperativeTask(t *testing.T) {
+	if err := run([]string{"-task", "image", "-mode", "imperative"}); err != nil {
+		t.Fatalf("imperative: %v", err)
+	}
+}
+
+func TestProfileNothingErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no-op invocation accepted")
+	}
+}
+
+func TestProfileUnknownTask(t *testing.T) {
+	if err := run([]string{"-task", "nope"}); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}

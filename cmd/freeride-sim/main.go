@@ -1,0 +1,126 @@
+// Command freeride-sim runs one co-location experiment on the simulated
+// testbed and prints the paper's metrics: training time increase I and
+// dollar cost savings S.
+//
+// Example:
+//
+//	freeride-sim -method iterative -tasks resnet18 -model 3.6b -epochs 32
+//	freeride-sim -method mps -tasks graphsgd
+//	freeride-sim -method iterative -tasks pagerank,resnet18,image,vgg19 -mixed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"freeride"
+	"freeride/internal/model"
+	"freeride/internal/sidetask"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "freeride-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("freeride-sim", flag.ContinueOnError)
+	method := fs.String("method", "iterative", "co-location method: iterative|imperative|mps|naive")
+	tasks := fs.String("tasks", "resnet18", "comma-separated side tasks: resnet18,resnet50,vgg19,pagerank,graphsgd,image")
+	llmName := fs.String("model", "3.6b", "main model: 1.2b|3.6b|6b")
+	epochs := fs.Int("epochs", 32, "training epochs")
+	mbs := fs.Int("microbatches", 4, "micro-batches per epoch")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	mixed := fs.Bool("mixed", false, "place one instance per task (mixed workload) instead of one per eligible worker")
+	realWork := fs.Bool("realwork", true, "run real side-task computation (PageRank, SGD-MF, NN training, image ops)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := freeride.DefaultConfig()
+	cfg.Epochs = *epochs
+	cfg.MicroBatches = *mbs
+	cfg.Seed = *seed
+	if !*realWork {
+		cfg.WorkScale = sidetask.WorkNone
+	}
+	llm, err := model.LLMByName(*llmName)
+	if err != nil {
+		return err
+	}
+	cfg.LLM = llm
+	switch *method {
+	case "iterative":
+		cfg.Method = freeride.MethodIterative
+	case "imperative":
+		cfg.Method = freeride.MethodImperative
+	case "mps":
+		cfg.Method = freeride.MethodMPS
+	case "naive":
+		cfg.Method = freeride.MethodNaive
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+
+	fmt.Printf("measuring baseline (no side tasks)...\n")
+	tNo, err := freeride.BaselineTrainTime(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("T_noSideTask = %.2fs (%d epochs of %s)\n\n", tNo.Seconds(), cfg.Epochs, llm.Name)
+
+	sess, err := freeride.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	names := strings.Split(*tasks, ",")
+	for i, name := range names {
+		profile, err := model.TaskByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		if *mixed {
+			stage := i % cfg.Stages
+			if err := sess.Submit(profile, stage); err != nil {
+				return fmt.Errorf("submit %s: %w", profile.Name, err)
+			}
+			fmt.Printf("submitted %-10s (1 instance)\n", profile.Name)
+		} else {
+			n, err := sess.SubmitEverywhere(profile)
+			if err != nil {
+				return fmt.Errorf("submit %s: %w", profile.Name, err)
+			}
+			fmt.Printf("submitted %-10s on %d workers (stages %v)\n",
+				profile.Name, n, sess.EligibleStages(profile))
+		}
+	}
+
+	fmt.Printf("\nrunning co-located training (%s)...\n", cfg.Method)
+	res, err := sess.Run()
+	if err != nil {
+		return err
+	}
+	rep := res.CostReport(tNo)
+
+	fmt.Printf("\n== results ==\n")
+	fmt.Printf("T_withSideTasks    = %.2fs\n", rep.TWith.Seconds())
+	fmt.Printf("time increase I    = %.2f%%\n", 100*rep.I)
+	fmt.Printf("training cost      = $%.4f (baseline $%.4f)\n", rep.CWith, rep.CNo)
+	fmt.Printf("side-task value    = $%.4f (Server-II replacement cost)\n", rep.CSideTasks)
+	fmt.Printf("cost savings S     = %.2f%%\n", 100*rep.S)
+	fmt.Printf("side-task steps    = %d\n", res.TotalSteps())
+	for _, tw := range res.Tasks {
+		fmt.Printf("  %-14s worker %d: %6d steps, %8.2fs GPU, %6.2fs host, %6.2fs skipped\n",
+			tw.Name, tw.Worker, tw.Steps, tw.KernelTime.Seconds(), tw.HostTime.Seconds(), tw.InsuffWait.Seconds())
+	}
+	if cfg.Method == freeride.MethodIterative || cfg.Method == freeride.MethodImperative {
+		st := res.ManagerStats
+		fmt.Printf("manager: %d bubbles (%.1fs), %d served, %d expired, %d RPCs\n",
+			st.BubblesAdded, st.BubbleTimeTotal.Seconds(), st.BubblesServed, st.BubblesExpired, st.RPCs)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunIterativeQuick(t *testing.T) {
+	if err := run([]string{"-epochs", "4", "-tasks", "pagerank", "-realwork=false"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunMixedQuick(t *testing.T) {
+	if err := run([]string{"-epochs", "3", "-tasks", "pagerank,resnet18,image,vgg19", "-mixed", "-realwork=false"}); err != nil {
+		t.Fatalf("run mixed: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownMethod(t *testing.T) {
+	if err := run([]string{"-method", "quantum"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestRunRejectsUnknownTask(t *testing.T) {
+	if err := run([]string{"-epochs", "2", "-tasks", "bitcoin"}); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}
+
+func TestRunRejectsUnknownModel(t *testing.T) {
+	if err := run([]string{"-model", "13b"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

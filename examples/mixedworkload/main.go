@@ -1,0 +1,48 @@
+// The paper's mixed workload (§6.2): four different side tasks — PageRank,
+// ResNet18, Image processing and VGG19 — one per GPU, matching the stage
+// assignment of the paper (stages 0–3 respectively). Algorithm 1's memory
+// filter plus least-loaded placement reproduces that assignment from the
+// submission order alone. Paper result: 10.1% savings at 1.1% overhead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"freeride"
+	"freeride/internal/model"
+)
+
+func main() {
+	cfg := freeride.DefaultConfig()
+	cfg.Epochs = 16
+
+	tNo, err := freeride.BaselineTrainTime(cfg)
+	if err != nil {
+		log.Fatalf("baseline: %v", err)
+	}
+
+	sess, err := freeride.NewSession(cfg)
+	if err != nil {
+		log.Fatalf("session: %v", err)
+	}
+	mix := []model.TaskProfile{model.PageRank, model.ResNet18, model.Image, model.VGG19}
+	for i, task := range mix {
+		if err := sess.Submit(task, i); err != nil {
+			log.Fatalf("submit %s: %v", task.Name, err)
+		}
+	}
+
+	res, err := sess.Run()
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	rep := res.CostReport(tNo)
+
+	fmt.Println("mixed workload placement (Algorithm 1):")
+	for _, tw := range res.Tasks {
+		fmt.Printf("  %-12s -> stage %d (%6d steps)\n", tw.Name, tw.Worker, tw.Steps)
+	}
+	fmt.Printf("\ntime increase I: %.2f%%  (paper: 1.1%%)\n", 100*rep.I)
+	fmt.Printf("cost savings  S: %.2f%%  (paper: 10.1%%)\n", 100*rep.S)
+}

@@ -1,0 +1,728 @@
+// Package freeride is a Go implementation of FreeRide — "FreeRide:
+// Harvesting Bubbles in Pipeline Parallelism" (Middleware '25) — a
+// middleware that serves generic GPU side tasks inside the bubbles of
+// pipeline-parallel LLM training with ~1% training overhead.
+//
+// The package assembles the full system on a deterministic discrete-event
+// simulation of the paper's testbed (see DESIGN.md for the substitution
+// map): a pipeline-parallel trainer whose bubbles emerge from FP/BP
+// dependencies, the side task manager and per-GPU workers (paper Algorithms
+// 1 and 2), the iterative/imperative side-task interfaces, CUDA-MPS-style
+// memory limits, and the MPS / naive co-location baselines.
+//
+// Quick start:
+//
+//	cfg := freeride.DefaultConfig()
+//	cfg.Method = freeride.MethodIterative
+//	sess, err := freeride.NewSession(cfg)
+//	...
+//	sess.SubmitEverywhere(model.ResNet18)
+//	res, err := sess.Run()
+//	fmt.Printf("overhead %.1f%%, savings %.1f%%\n", 100*res.Cost.I, 100*res.Cost.S)
+package freeride
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"freeride/internal/bubble"
+	"freeride/internal/container"
+	"freeride/internal/core"
+	"freeride/internal/cost"
+	"freeride/internal/freerpc"
+	"freeride/internal/model"
+	"freeride/internal/pipeline"
+	"freeride/internal/sidetask"
+	"freeride/internal/simgpu"
+	"freeride/internal/simproc"
+	"freeride/internal/simtime"
+)
+
+// Method selects how side tasks co-locate with pipeline training
+// (paper §6.1.2).
+type Method int
+
+// Co-location methods.
+const (
+	// MethodNone runs pipeline training alone (the T_noSideTask baseline).
+	MethodNone Method = iota + 1
+	// MethodIterative is FreeRide with the iterative interface.
+	MethodIterative
+	// MethodImperative is FreeRide with the imperative interface.
+	MethodImperative
+	// MethodMPS co-locates side tasks directly under CUDA MPS, running
+	// them continuously with no bubble awareness.
+	MethodMPS
+	// MethodNaive co-locates side tasks without MPS (context
+	// time-slicing), also continuously.
+	MethodNaive
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodNone:
+		return "none"
+	case MethodIterative:
+		return "freeride-iterative"
+	case MethodImperative:
+		return "freeride-imperative"
+	case MethodMPS:
+		return "mps"
+	case MethodNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config describes one co-location experiment.
+type Config struct {
+	// LLM is the pipeline-trained model (paper: nanoGPT 1.2B/3.6B/6B).
+	LLM model.LLM
+	// Stages and MicroBatches shape the pipeline (paper: 4 stages,
+	// micro-batches 4/6/8).
+	Stages       int
+	MicroBatches int
+	// Epochs is the number of training epochs (paper: 128).
+	Epochs int
+	// Schedule is the pipeline schedule (default 1F1B as in DeepSpeed).
+	Schedule pipeline.ScheduleKind
+	// VirtualStages > 1 enables interleaved scheduling (virtual pipeline
+	// chunks per GPU) — the bubble-reduction alternative of the paper's
+	// related work, kept here so FreeRide's harvest can be measured on an
+	// already-optimized pipeline.
+	VirtualStages int
+	// Method selects the co-location approach.
+	Method Method
+	// Tick is the manager's Algorithm-2 loop period.
+	Tick time.Duration
+	// Grace is the worker's framework-enforced kill delay.
+	Grace time.Duration
+	// RPCLatency is the one-way latency of the simulated control-plane
+	// links.
+	RPCLatency time.Duration
+	// SafetyMargin shrinks reported bubble durations (reporter-side).
+	SafetyMargin time.Duration
+	// ResidencyTax is the MPS context-multiplexing overhead; negative
+	// disables, zero selects simgpu.DefaultResidencyTax.
+	ResidencyTax float64
+	// WorkScale selects how much real computation side tasks perform.
+	WorkScale sidetask.WorkScale
+	// Seed drives all task-level randomness.
+	Seed int64
+	// RecordOps retains the op timeline for figure rendering.
+	RecordOps bool
+}
+
+// DefaultConfig mirrors the paper's principal setup: nanoGPT-3.6B on a
+// 4-stage pipeline with 4 micro-batches.
+func DefaultConfig() Config {
+	return Config{
+		LLM:          model.NanoGPT3B,
+		Stages:       4,
+		MicroBatches: 4,
+		Epochs:       16,
+		Schedule:     pipeline.Schedule1F1B,
+		Method:       MethodIterative,
+		Tick:         time.Millisecond,
+		Grace:        core.DefaultGrace,
+		RPCLatency:   200 * time.Microsecond,
+		WorkScale:    sidetask.WorkSmall,
+		Seed:         1,
+	}
+}
+
+func (c *Config) normalize() error {
+	if c.LLM.Name == "" {
+		c.LLM = model.NanoGPT3B
+	}
+	if c.Stages <= 0 {
+		c.Stages = 4
+	}
+	if c.MicroBatches <= 0 {
+		c.MicroBatches = 4
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 16
+	}
+	if c.Schedule == 0 {
+		c.Schedule = pipeline.Schedule1F1B
+	}
+	if c.Method == 0 {
+		c.Method = MethodIterative
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Millisecond
+	}
+	if c.Grace <= 0 {
+		c.Grace = core.DefaultGrace
+	}
+	if c.RPCLatency < 0 {
+		return fmt.Errorf("freeride: negative RPC latency")
+	}
+	if c.ResidencyTax == 0 {
+		c.ResidencyTax = simgpu.DefaultResidencyTax
+	}
+	if c.ResidencyTax < 0 {
+		c.ResidencyTax = 0
+	}
+	return nil
+}
+
+// TaskPlacement records where one task instance landed.
+type TaskPlacement struct {
+	Name    string
+	Profile model.TaskProfile
+	Mode    sidetask.Mode
+	Worker  int // stage index
+}
+
+// Session is one assembled simulation.
+type Session struct {
+	cfg Config
+
+	Eng     *simtime.Virtual
+	Procs   *simproc.Runtime
+	Devices []*simgpu.Device
+	Trainer *pipeline.Trainer
+	Manager *core.Manager
+	Workers []*core.Worker
+
+	Profile  *bubble.Profile
+	reporter *bubble.Reporter
+
+	mu                sync.Mutex
+	placements        []TaskPlacement
+	baselineHarnesses []*sidetask.Harness
+	finalCounters     map[string]sidetask.Counters
+	customTasks       map[string]CustomTask
+	nameSeq           int
+	started           bool
+}
+
+// CustomTask builds a user-defined side-task implementation. The
+// constructor runs on the worker that the manager places the task on, once
+// per deployed instance — mirroring the paper's workflow where programmers
+// adapt their own GPU workloads to the iterative interface (Figure 6).
+type CustomTask func(seed int64) sidetask.Iterative
+
+// NewSession assembles devices, the trainer, and (for the FreeRide methods)
+// the offline bubble profile, the manager and the workers.
+func NewSession(cfg Config) (*Session, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	eng := simtime.NewVirtual()
+	procs := simproc.NewRuntime(eng)
+
+	policy := simgpu.PolicyMPS
+	if cfg.Method == MethodNaive {
+		policy = simgpu.PolicyTimeSlice
+	}
+	tax := cfg.ResidencyTax
+	if cfg.Method == MethodNaive || cfg.Method == MethodNone {
+		tax = 0
+	}
+	devices := make([]*simgpu.Device, cfg.Stages)
+	for i := range devices {
+		devices[i] = simgpu.NewDevice(eng, simgpu.DeviceConfig{
+			Name:         fmt.Sprintf("gpu%d", i),
+			MemBytes:     model.ServerI.GPUMemBytes,
+			Policy:       policy,
+			ResidencyTax: tax,
+		})
+	}
+	tr, err := pipeline.New(eng, procs, devices, pipeline.Config{
+		Model:           cfg.LLM,
+		Stages:          cfg.Stages,
+		MicroBatches:    cfg.MicroBatches,
+		Epochs:          cfg.Epochs,
+		Schedule:        cfg.Schedule,
+		VirtualPerStage: cfg.VirtualStages,
+		RecordOps:       cfg.RecordOps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		cfg:     cfg,
+		Eng:     eng,
+		Procs:   procs,
+		Devices: devices,
+		Trainer: tr,
+	}
+
+	if cfg.Method == MethodIterative || cfg.Method == MethodImperative {
+		prof, err := offlineBubbleProfile(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("freeride: bubble profiling: %w", err)
+		}
+		s.Profile = prof
+		if err := s.assembleControlPlane(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// assembleControlPlane wires manager, workers and the bubble reporter over
+// in-memory RPC links.
+func (s *Session) assembleControlPlane() error {
+	cfg := s.cfg
+	s.Manager = core.NewManager(s.Eng, core.ManagerOptions{
+		Tick:     cfg.Tick,
+		MemSlack: 256 << 20,
+	})
+	for i, dev := range s.Devices {
+		ctrs := container.NewRuntime(s.Procs)
+		w := core.NewWorker(s.Eng, dev, ctrs, core.WorkerConfig{
+			Name:    fmt.Sprintf("worker%d", i),
+			Grace:   cfg.Grace,
+			Factory: s.taskFactory,
+		})
+		wmux := freerpc.NewMux()
+		w.RegisterOn(wmux)
+		mgrEnd, wEnd := freerpc.MemPipe(s.Eng, cfg.RPCLatency)
+		mgrPeer := freerpc.NewPeer(s.Eng, mgrEnd, s.Manager.Mux())
+		wPeer := freerpc.NewPeer(s.Eng, wEnd, wmux)
+		w.SetNotify(func(method string, params any) {
+			_ = wPeer.Notify(method, params)
+		})
+		s.Manager.AddWorker(w.Name(), i, s.Profile.Stages[i].MemAvailable, mgrPeer)
+		s.Workers = append(s.Workers, w)
+	}
+
+	// The instrumented trainer reports bubbles to the manager over its own
+	// RPC link (paper step ➎).
+	s.reporter = bubble.NewReporter(s.Profile, cfg.SafetyMargin)
+	pipeEnd, mgrEnd := freerpc.MemPipe(s.Eng, cfg.RPCLatency)
+	pipePeer := freerpc.NewPeer(s.Eng, pipeEnd, nil)
+	freerpc.NewPeer(s.Eng, mgrEnd, s.Manager.Mux())
+	s.reporter.SetSink(func(b bubble.Bubble) {
+		_ = pipePeer.Notify("Manager.AddBubble", bubbleToDTO(b))
+	})
+	s.reporter.Attach(s.Trainer)
+	return nil
+}
+
+// bubbleToDTO mirrors core's wire form (kept here to avoid exporting it).
+func bubbleToDTO(b bubble.Bubble) map[string]any {
+	return map[string]any{
+		"stage":    b.Stage,
+		"type":     int(b.Type),
+		"startNs":  int64(b.Start),
+		"durNs":    int64(b.Duration),
+		"memAvail": b.MemAvailable,
+	}
+}
+
+// taskFactory resolves harnesses on the worker side: custom registrations
+// first (matched by the profile name carried in the spec), then the six
+// built-in tasks.
+func (s *Session) taskFactory(spec core.TaskSpec) (*sidetask.Harness, error) {
+	s.mu.Lock()
+	build, ok := s.customTasks[spec.Profile.Name]
+	s.mu.Unlock()
+	if ok {
+		impl := build(spec.Seed)
+		return sidetask.NewIterativeHarness(spec.Name, spec.Profile, impl, spec.Seed), nil
+	}
+	return core.BuiltinHarnessFactory(spec)
+}
+
+// RegisterCustom registers a user-defined iterative side task under
+// profile.Name. Subsequent Submit/SubmitEverywhere calls with that profile
+// deploy the custom implementation instead of a built-in. The profile's
+// performance characteristics should come from the automated profiler
+// (internal/profiler) — the paper's step ➋.
+func (s *Session) RegisterCustom(profile model.TaskProfile, build CustomTask) error {
+	if profile.Name == "" {
+		return fmt.Errorf("freeride: custom task needs a profile name")
+	}
+	if build == nil {
+		return fmt.Errorf("freeride: custom task %q needs a constructor", profile.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.customTasks == nil {
+		s.customTasks = make(map[string]CustomTask)
+	}
+	if _, dup := s.customTasks[profile.Name]; dup {
+		return fmt.Errorf("freeride: custom task %q already registered", profile.Name)
+	}
+	s.customTasks[profile.Name] = build
+	return nil
+}
+
+// EligibleStages lists the pipeline stages whose bubbles have enough GPU
+// memory for the task.
+func (s *Session) EligibleStages(p model.TaskProfile) []int {
+	var out []int
+	for stage := 0; stage < s.cfg.Stages; stage++ {
+		avail := s.cfg.LLM.StageMemAvailable(model.ServerI.GPUMemBytes, stage, s.cfg.Stages, s.cfg.MicroBatches)
+		if p.MemBytes < avail {
+			out = append(out, stage)
+		}
+	}
+	return out
+}
+
+// Submit places one instance of the task. For the FreeRide methods it goes
+// through the manager (Algorithm 1); for the baselines the instance is
+// pinned to the requested stage.
+func (s *Session) Submit(p model.TaskProfile, stage int) error {
+	mode := sidetask.ModeIterative
+	if s.cfg.Method == MethodImperative {
+		mode = sidetask.ModeImperative
+	}
+	s.mu.Lock()
+	s.nameSeq++
+	name := fmt.Sprintf("%s-%d", p.Name, s.nameSeq)
+	seed := s.cfg.Seed + int64(s.nameSeq)*7919
+	s.mu.Unlock()
+
+	switch s.cfg.Method {
+	case MethodIterative, MethodImperative:
+		spec := core.TaskSpec{
+			Name:      name,
+			Profile:   p,
+			Mode:      mode,
+			WorkScale: s.cfg.WorkScale,
+			Seed:      seed,
+		}
+		placed, err := s.Manager.SubmitAndPlace(spec)
+		if err != nil {
+			return err
+		}
+		widx := -1
+		for i, w := range s.Workers {
+			if w.Name() == placed {
+				widx = i
+			}
+		}
+		s.mu.Lock()
+		s.placements = append(s.placements, TaskPlacement{
+			Name: name, Profile: p, Mode: mode, Worker: widx,
+		})
+		s.mu.Unlock()
+		return nil
+	case MethodMPS, MethodNaive:
+		return s.submitBaseline(name, p, stage, seed)
+	case MethodNone:
+		return fmt.Errorf("freeride: MethodNone accepts no side tasks")
+	default:
+		return fmt.Errorf("freeride: unknown method %v", s.cfg.Method)
+	}
+}
+
+// SubmitEverywhere places one instance of the task on every stage whose
+// available memory fits it (the paper's "we run the same side task in all
+// workers if they have enough GPU memory"). It reports how many instances
+// were placed.
+func (s *Session) SubmitEverywhere(p model.TaskProfile) (int, error) {
+	stages := s.EligibleStages(p)
+	for _, stage := range stages {
+		if err := s.Submit(p, stage); err != nil {
+			return 0, err
+		}
+	}
+	return len(stages), nil
+}
+
+// submitBaseline deploys a continuously running side task on the stage's
+// GPU, bubble-blind: this is the direct-MPS / naive co-location comparison
+// point.
+func (s *Session) submitBaseline(name string, p model.TaskProfile, stage int, seed int64) error {
+	if stage < 0 || stage >= len(s.Devices) {
+		return fmt.Errorf("freeride: stage %d out of range", stage)
+	}
+	h, err := s.taskFactory(core.TaskSpec{
+		Name:      name,
+		Profile:   p,
+		Mode:      sidetask.ModeIterative,
+		WorkScale: s.cfg.WorkScale,
+		Seed:      seed,
+	})
+	if err != nil {
+		return err
+	}
+	ctrs := container.NewRuntime(s.Procs)
+	_, err = ctrs.Run(container.Spec{
+		Name:   name,
+		Device: s.Devices[stage],
+		// Baselines impose no MPS memory limit (naive) / a permissive one.
+	}, h.Run)
+	if err != nil {
+		return err
+	}
+	// Script the lifecycle: init immediately, then run forever.
+	s.Eng.Schedule(0, "baseline-init:"+name, func() {
+		h.Deliver(sidetask.Command{Transition: sidetask.TransitionInit})
+		h.Deliver(sidetask.Command{Transition: sidetask.TransitionStart, BubbleEnd: 1 << 62})
+	})
+	s.mu.Lock()
+	s.placements = append(s.placements, TaskPlacement{
+		Name: name, Profile: p, Mode: sidetask.ModeIterative, Worker: stage,
+	})
+	s.baselineHarnesses = append(s.baselineHarnesses, h)
+	s.mu.Unlock()
+	return nil
+}
+
+// TaskWork describes one task instance's completed work after a run.
+type TaskWork struct {
+	TaskPlacement
+	Steps      uint64
+	KernelTime time.Duration
+	HostTime   time.Duration
+	InsuffWait time.Duration
+	Exited     bool
+	ExitErr    string
+}
+
+// Result is the outcome of Session.Run.
+type Result struct {
+	Config    Config
+	TrainTime time.Duration
+	Tasks     []TaskWork
+	// Cost is filled by CostReport (needs the no-side-task baseline).
+	Cost cost.Report
+	// Manager/Worker stats (FreeRide methods only).
+	ManagerStats core.ManagerStats
+	WorkerStats  []core.WorkerStats
+}
+
+// TotalSteps sums completed steps across task instances.
+func (r *Result) TotalSteps() uint64 {
+	var sum uint64
+	for _, t := range r.Tasks {
+		sum += t.Steps
+	}
+	return sum
+}
+
+// Run starts training (and the manager), drains the simulation until the
+// last epoch finishes, and collects all measurements.
+func (s *Session) Run() (*Result, error) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("freeride: session already ran")
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	// Freeze every task's counters at the instant the final epoch ends:
+	// only work completed during training counts, exactly as in the
+	// paper's measurement window.
+	lastEpoch := s.cfg.Epochs - 1
+	s.Trainer.OnEpochEnd(func(epoch int, ts time.Duration) {
+		if epoch != lastEpoch {
+			return
+		}
+		s.snapshotCounters()
+	})
+
+	if err := s.Trainer.Start(); err != nil {
+		return nil, err
+	}
+	if s.Manager != nil {
+		s.Manager.Start()
+	}
+	// Generous event budget: aborts runaway simulations loudly.
+	const maxEvents = 500_000_000
+	for !s.Trainer.Done().IsSet() {
+		if n := s.Eng.Drain(1_000_000); n == 0 {
+			return nil, fmt.Errorf("freeride: simulation stalled at t=%v", s.Eng.Now())
+		}
+		if s.Eng.Dispatched() > maxEvents {
+			return nil, fmt.Errorf("freeride: event budget exceeded at t=%v", s.Eng.Now())
+		}
+	}
+	if err := s.Trainer.Err(); err != nil {
+		return nil, err
+	}
+	if s.Manager != nil {
+		s.Manager.Stop()
+		s.Manager.StopAll()
+		s.Eng.RunFor(2 * s.cfg.Grace)
+	}
+
+	res := &Result{Config: s.cfg, TrainTime: s.Trainer.TotalTime()}
+	if s.Manager != nil {
+		res.ManagerStats = s.Manager.Stats()
+		for _, w := range s.Workers {
+			res.WorkerStats = append(res.WorkerStats, w.Stats())
+		}
+	}
+	s.mu.Lock()
+	placements := append([]TaskPlacement{}, s.placements...)
+	counters := s.finalCounters
+	s.mu.Unlock()
+	for _, pl := range placements {
+		tw := TaskWork{TaskPlacement: pl}
+		if c, ok := counters[pl.Name]; ok {
+			tw.Steps = c.Steps
+			tw.KernelTime = c.KernelTime
+			tw.HostTime = c.HostTime
+			tw.InsuffWait = c.InsuffWait
+		}
+		res.Tasks = append(res.Tasks, tw)
+	}
+	return res, nil
+}
+
+// snapshotCounters freezes task counters (engine-callback context).
+func (s *Session) snapshotCounters() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finalCounters = make(map[string]sidetask.Counters, len(s.placements))
+	for i, pl := range s.placements {
+		var h *sidetask.Harness
+		switch s.cfg.Method {
+		case MethodIterative, MethodImperative:
+			if pl.Worker >= 0 {
+				h, _ = s.Workers[pl.Worker].Harness(pl.Name)
+			}
+		default:
+			if i < len(s.baselineHarnesses) {
+				h = s.baselineHarnesses[i]
+			}
+		}
+		if h != nil {
+			s.finalCounters[pl.Name] = h.Counters()
+		}
+	}
+}
+
+// CostReport evaluates the paper's I and S metrics against a baseline
+// training time measured with MethodNone.
+func (r *Result) CostReport(tNoSideTask time.Duration) cost.Report {
+	var work []cost.SideTaskWork
+	for _, t := range r.Tasks {
+		work = append(work, cost.SideTaskWork{
+			Name:                t.Name,
+			Steps:               t.Steps,
+			DedicatedThroughput: t.Profile.ThroughputOn(model.ServerII),
+		})
+	}
+	rep := cost.Compute(model.ServerI, model.ServerII, tNoSideTask, r.TrainTime, work)
+	r.Cost = rep
+	return rep
+}
+
+// --- offline bubble profile cache ------------------------------------------
+
+type profileKey struct {
+	llm      string
+	stages   int
+	mbs      int
+	schedule pipeline.ScheduleKind
+	virtual  int
+}
+
+var (
+	profMu    sync.Mutex
+	profCache = map[profileKey]*bubble.Profile{}
+)
+
+// offlineBubbleProfile runs a short RecordOps training on a private engine
+// and extracts the per-stage bubble templates — the paper's one-time
+// offline profiling pass (§4.3), memoized per configuration.
+func offlineBubbleProfile(cfg Config) (*bubble.Profile, error) {
+	key := profileKey{cfg.LLM.Name, cfg.Stages, cfg.MicroBatches, cfg.Schedule, cfg.VirtualStages}
+	profMu.Lock()
+	if p, ok := profCache[key]; ok {
+		profMu.Unlock()
+		return p, nil
+	}
+	profMu.Unlock()
+
+	eng := simtime.NewVirtual()
+	procs := simproc.NewRuntime(eng)
+	devices := make([]*simgpu.Device, cfg.Stages)
+	for i := range devices {
+		devices[i] = simgpu.NewDevice(eng, simgpu.DeviceConfig{
+			Name:     fmt.Sprintf("prof-gpu%d", i),
+			MemBytes: model.ServerI.GPUMemBytes,
+		})
+	}
+	tr, err := pipeline.New(eng, procs, devices, pipeline.Config{
+		Model:           cfg.LLM,
+		Stages:          cfg.Stages,
+		MicroBatches:    cfg.MicroBatches,
+		Epochs:          2,
+		Schedule:        cfg.Schedule,
+		VirtualPerStage: cfg.VirtualStages,
+		RecordOps:       true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.Start(); err != nil {
+		return nil, err
+	}
+	eng.Drain(50_000_000)
+	if !tr.Done().IsSet() {
+		return nil, fmt.Errorf("freeride: profiling run did not finish")
+	}
+	var prof *bubble.Profile
+	if cfg.VirtualStages > 1 {
+		// Interleaved chunks share a device, so op-gap analysis per chunk
+		// cannot see the device's true idle time; profile from the
+		// occupancy traces instead (the paper's actual mechanism).
+		prof, err = bubble.ProfileFromTraces(tr, 1, 0)
+	} else {
+		prof, err = bubble.ProfileTrainer(tr, 1, 0)
+	}
+	if err != nil {
+		return nil, err
+	}
+	profMu.Lock()
+	profCache[key] = prof
+	profMu.Unlock()
+	return prof, nil
+}
+
+// BaselineTrainTime runs (and memoizes) the no-side-task training for a
+// config, returning T_noSideTask.
+func BaselineTrainTime(cfg Config) (time.Duration, error) {
+	cfg.Method = MethodNone
+	cfg.RecordOps = false
+	key := baselineKey{cfg.LLM.Name, cfg.Stages, cfg.MicroBatches, cfg.Epochs, cfg.Schedule, cfg.VirtualStages}
+	baseMu.Lock()
+	if d, ok := baseCache[key]; ok {
+		baseMu.Unlock()
+		return d, nil
+	}
+	baseMu.Unlock()
+
+	sess, err := NewSession(cfg)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sess.Run()
+	if err != nil {
+		return 0, err
+	}
+	baseMu.Lock()
+	baseCache[key] = res.TrainTime
+	baseMu.Unlock()
+	return res.TrainTime, nil
+}
+
+type baselineKey struct {
+	llm      string
+	stages   int
+	mbs      int
+	epochs   int
+	schedule pipeline.ScheduleKind
+	virtual  int
+}
+
+var (
+	baseMu    sync.Mutex
+	baseCache = map[baselineKey]time.Duration{}
+)

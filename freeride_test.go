@@ -1,0 +1,355 @@
+package freeride_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"freeride"
+	"freeride/internal/model"
+	"freeride/internal/sidetask"
+)
+
+func fastCfg(method freeride.Method) freeride.Config {
+	cfg := freeride.DefaultConfig()
+	cfg.Epochs = 6
+	cfg.Method = method
+	cfg.WorkScale = sidetask.WorkNone
+	return cfg
+}
+
+func TestBaselineTrainTimeMatchesAnalyticSpan(t *testing.T) {
+	cfg := fastCfg(freeride.MethodNone)
+	tNo, err := freeride.BaselineTrainTime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := time.Duration(cfg.Epochs) * model.NanoGPT3B.EpochSpan(4, 4)
+	// Communication latency adds a little per epoch.
+	if tNo < analytic || tNo > analytic+time.Duration(cfg.Epochs)*100*time.Millisecond {
+		t.Fatalf("T_no = %v, want slightly above %v", tNo, analytic)
+	}
+}
+
+func TestSessionIterativeEndToEnd(t *testing.T) {
+	cfg := fastCfg(freeride.MethodIterative)
+	sess, err := freeride.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := sess.SubmitEverywhere(model.ResNet18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("placed on %d workers, want 4", n)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSteps() == 0 {
+		t.Fatal("no side-task steps completed")
+	}
+	tNo, err := freeride.BaselineTrainTime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.CostReport(tNo)
+	if rep.I < 0 || rep.I > 0.03 {
+		t.Fatalf("I = %.4f, want ~0.01", rep.I)
+	}
+	if rep.S <= 0 {
+		t.Fatalf("S = %.4f, want positive", rep.S)
+	}
+	// Every eligible worker contributed.
+	for _, tw := range res.Tasks {
+		if tw.Steps == 0 {
+			t.Errorf("task %s on worker %d ran no steps", tw.Name, tw.Worker)
+		}
+	}
+	// Manager served bubbles.
+	if res.ManagerStats.BubblesServed == 0 {
+		t.Fatal("manager served no bubbles")
+	}
+}
+
+func TestSessionDeterministicAcrossRuns(t *testing.T) {
+	run := func() (time.Duration, uint64) {
+		cfg := fastCfg(freeride.MethodIterative)
+		sess, err := freeride.NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.SubmitEverywhere(model.PageRank); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TrainTime, res.TotalSteps()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 || s1 != s2 {
+		t.Fatalf("non-deterministic: (%v,%d) vs (%v,%d)", t1, s1, t2, s2)
+	}
+}
+
+func TestSessionSeedChangesOutcome(t *testing.T) {
+	run := func(seed int64) uint64 {
+		cfg := fastCfg(freeride.MethodIterative)
+		cfg.Seed = seed
+		sess, err := freeride.NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.SubmitEverywhere(model.ResNet18); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalSteps()
+	}
+	if run(1) == run(99) {
+		t.Log("same step count across seeds (possible but unlikely); jitter may be inert")
+	}
+}
+
+func TestEligibleStagesMatchMemoryLayout(t *testing.T) {
+	cfg := fastCfg(freeride.MethodIterative)
+	sess, err := freeride.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		task model.TaskProfile
+		want int
+	}{
+		{model.ResNet18, 4},
+		{model.PageRank, 4},
+		{model.ResNet50, 3},
+		{model.GraphSGD, 3},
+		{model.VGG19, 2},
+		{model.Image, 2},
+	}
+	for _, tc := range tests {
+		if got := len(sess.EligibleStages(tc.task)); got != tc.want {
+			t.Errorf("%s eligible stages = %d, want %d", tc.task.Name, got, tc.want)
+		}
+	}
+}
+
+func TestSessionRejectsDoubleRun(t *testing.T) {
+	cfg := fastCfg(freeride.MethodNone)
+	sess, err := freeride.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestMethodNoneRejectsTasks(t *testing.T) {
+	sess, err := freeride.NewSession(fastCfg(freeride.MethodNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(model.ResNet18, 0); err == nil {
+		t.Fatal("MethodNone accepted a side task")
+	}
+}
+
+func TestGPipeScheduleSession(t *testing.T) {
+	cfg := fastCfg(freeride.MethodIterative)
+	cfg.Schedule = 2 // pipeline.ScheduleGPipe
+	sess, err := freeride.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.SubmitEverywhere(model.ResNet18); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GPipe has more bubble time than 1F1B: more steps should fit.
+	if res.TotalSteps() == 0 {
+		t.Fatal("no steps under GPipe")
+	}
+}
+
+func TestOverheadOrderingAcrossMethods(t *testing.T) {
+	// The paper's central comparison: I(iterative) <= I(imperative) <<
+	// I(MPS-for-SGD) and naive in between; savings positive only for
+	// FreeRide.
+	measure := func(m freeride.Method, task model.TaskProfile) (float64, float64) {
+		cfg := fastCfg(m)
+		sess, err := freeride.NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.SubmitEverywhere(task); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tNo, _ := freeride.BaselineTrainTime(cfg)
+		rep := res.CostReport(tNo)
+		return rep.I, rep.S
+	}
+	iterI, iterS := measure(freeride.MethodIterative, model.GraphSGD)
+	impI, _ := measure(freeride.MethodImperative, model.GraphSGD)
+	mpsI, mpsS := measure(freeride.MethodMPS, model.GraphSGD)
+	naiveI, _ := measure(freeride.MethodNaive, model.GraphSGD)
+	if !(iterI < impI && impI < naiveI && naiveI < mpsI) {
+		t.Fatalf("overhead ordering broken: iter %.3f imp %.3f naive %.3f mps %.3f",
+			iterI, impI, naiveI, mpsI)
+	}
+	if iterS <= 0 || mpsS >= 0 {
+		t.Fatalf("savings signs wrong: iter %.3f mps %.3f", iterS, mpsS)
+	}
+}
+
+func TestSubmitRejectedWhenNoMemoryFits(t *testing.T) {
+	cfg := fastCfg(freeride.MethodIterative)
+	sess, err := freeride.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := model.VGG19
+	huge.Name = "vgg19-huge"
+	huge.MemBytes = 40 * model.GiB
+	err = sess.Submit(huge, 0)
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("Submit = %v, want rejection", err)
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	for m, want := range map[freeride.Method]string{
+		freeride.MethodNone:       "none",
+		freeride.MethodIterative:  "freeride-iterative",
+		freeride.MethodImperative: "freeride-imperative",
+		freeride.MethodMPS:        "mps",
+		freeride.MethodNaive:      "naive",
+	} {
+		if m.String() != want {
+			t.Errorf("Method(%d).String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestWorkScaleSmallRunsRealAlgorithms(t *testing.T) {
+	cfg := fastCfg(freeride.MethodIterative)
+	cfg.Epochs = 3
+	cfg.WorkScale = sidetask.WorkSmall
+	sess, err := freeride.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.SubmitEverywhere(model.PageRank); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSteps() == 0 {
+		t.Fatal("no steps with real work enabled")
+	}
+}
+
+func TestErrorsAreErrorsNotPanics(t *testing.T) {
+	// Invalid config surfaces as error.
+	cfg := freeride.DefaultConfig()
+	cfg.RPCLatency = -1
+	if _, err := freeride.NewSession(cfg); err == nil {
+		t.Fatal("negative RPC latency accepted")
+	}
+	var sentinel error = errors.New("x")
+	_ = sentinel
+}
+
+// countingTask is a minimal custom iterative task for the RegisterCustom API.
+type countingTask struct{ hits *int }
+
+func (c *countingTask) CreateSideTask(ctx *sidetask.Ctx) error { return nil }
+func (c *countingTask) InitSideTask(ctx *sidetask.Ctx) error {
+	return ctx.GPU.AllocMem(ctx.Profile.MemBytes)
+}
+func (c *countingTask) StopSideTask(ctx *sidetask.Ctx) error { return nil }
+func (c *countingTask) RunNextStep(ctx *sidetask.Ctx) error {
+	*c.hits++
+	return ctx.ExecStepKernel()
+}
+
+func TestRegisterCustomTaskEndToEnd(t *testing.T) {
+	cfg := fastCfg(freeride.MethodIterative)
+	sess, err := freeride.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := model.TaskProfile{
+		Name:          "custom-counter",
+		StepTime:      10 * time.Millisecond,
+		MemBytes:      model.GiB,
+		Demand:        0.4,
+		Weight:        0.2,
+		HostOverhead:  time.Millisecond,
+		CreateTime:    50 * time.Millisecond,
+		InitTime:      20 * time.Millisecond,
+		SpeedServerII: 0.5,
+		SpeedCPU:      0.05,
+	}
+	hits := 0
+	if err := sess.RegisterCustom(profile, func(seed int64) sidetask.Iterative {
+		return &countingTask{hits: &hits}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RegisterCustom(profile, func(int64) sidetask.Iterative { return nil }); err == nil {
+		t.Fatal("duplicate custom registration accepted")
+	}
+	n, err := sess.SubmitEverywhere(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("custom task placed on %d workers, want 4", n)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSteps() == 0 || hits == 0 {
+		t.Fatalf("custom task did not run: steps=%d hits=%d", res.TotalSteps(), hits)
+	}
+	if uint64(hits) < res.TotalSteps() {
+		t.Fatalf("hits %d < counted steps %d", hits, res.TotalSteps())
+	}
+}
+
+func TestRegisterCustomValidation(t *testing.T) {
+	sess, err := freeride.NewSession(fastCfg(freeride.MethodIterative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RegisterCustom(model.TaskProfile{}, func(int64) sidetask.Iterative { return nil }); err == nil {
+		t.Fatal("empty profile name accepted")
+	}
+	if err := sess.RegisterCustom(model.TaskProfile{Name: "x"}, nil); err == nil {
+		t.Fatal("nil constructor accepted")
+	}
+}

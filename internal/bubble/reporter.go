@@ -1,0 +1,70 @@
+package bubble
+
+import (
+	"sync"
+	"time"
+
+	"freeride/internal/pipeline"
+)
+
+// Reporter is the runtime half of the instrumentation: at every epoch start
+// it stamps the profiled templates into concrete Bubbles and delivers them
+// to a sink (the side task manager, over RPC in the full system). This
+// matches the paper's design where DeepSpeed is instrumented to report the
+// start timestamp and duration of each bubble (§3.2, §4.6).
+type Reporter struct {
+	profile *Profile
+	// safety shrinks every reported duration: the manager then pauses side
+	// tasks slightly before the training op really needs the GPU.
+	safety time.Duration
+
+	mu   sync.Mutex
+	sink func(Bubble)
+}
+
+// NewReporter builds a reporter from an offline profile. The safety margin
+// is subtracted from each bubble's duration (clamped at zero).
+func NewReporter(profile *Profile, safety time.Duration) *Reporter {
+	return &Reporter{profile: profile, safety: safety}
+}
+
+// SetSink installs the bubble consumer (engine-callback context).
+func (r *Reporter) SetSink(sink func(Bubble)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink = sink
+}
+
+// Attach hooks the reporter to a trainer's epoch-start instrumentation
+// point.
+func (r *Reporter) Attach(tr *pipeline.Trainer) {
+	tr.OnEpochStart(func(epoch int, ts time.Duration) {
+		r.EmitEpoch(ts)
+	})
+}
+
+// EmitEpoch stamps and delivers all profiled bubbles for an epoch starting
+// at ts.
+func (r *Reporter) EmitEpoch(ts time.Duration) {
+	r.mu.Lock()
+	sink := r.sink
+	r.mu.Unlock()
+	if sink == nil {
+		return
+	}
+	for _, sp := range r.profile.Stages {
+		for _, tpl := range sp.Templates {
+			d := tpl.Duration - r.safety
+			if d <= 0 {
+				continue
+			}
+			sink(Bubble{
+				Stage:        tpl.Stage,
+				Type:         tpl.Type,
+				Start:        ts + tpl.Offset,
+				Duration:     d,
+				MemAvailable: sp.MemAvailable,
+			})
+		}
+	}
+}

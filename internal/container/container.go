@@ -1,0 +1,193 @@
+// Package container is the Docker substitute: it runs side-task processes in
+// named containers that bundle a simulated process with its GPU context and
+// an MPS memory limit, and it guarantees the isolation property FreeRide
+// relies on (paper §4.6, §8): when the containerized process dies — normally,
+// by SIGKILL from the framework-enforced limit, or by an OOM from the MPS
+// memory cap — its GPU context is destroyed with it, aborting in-flight
+// kernels and releasing all device memory, while every other tenant of the
+// GPU is untouched.
+package container
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"freeride/internal/simgpu"
+	"freeride/internal/simproc"
+)
+
+// Errors returned by the runtime.
+var (
+	ErrNotFound  = errors.New("container: not found")
+	ErrDuplicate = errors.New("container: duplicate name")
+)
+
+// Spec describes a container to run.
+type Spec struct {
+	// Name must be unique within the runtime.
+	Name string
+	// Device is the GPU the container gets access to; nil for CPU-only.
+	Device *simgpu.Device
+	// GPUMemLimit is the MPS memory cap for the container's GPU client;
+	// 0 means unlimited.
+	GPUMemLimit int64
+	// GPUWeight optionally overrides the client scheduling weight.
+	GPUWeight float64
+}
+
+// Body is the containerized program. It receives the process handle and the
+// container's GPU client (nil when Spec.Device was nil).
+type Body func(p *simproc.Process, gpu *simgpu.Client) error
+
+// Container is one running (or finished) container.
+type Container struct {
+	name string
+	proc *simproc.Process
+	gpu  *simgpu.Client
+
+	mu        sync.Mutex
+	startedAt time.Duration
+	exitedAt  time.Duration
+	exited    bool
+	exitErr   error
+}
+
+// Runtime creates and tracks containers over one process runtime.
+type Runtime struct {
+	procs *simproc.Runtime
+
+	mu         sync.Mutex
+	containers map[string]*Container
+}
+
+// NewRuntime returns a container runtime.
+func NewRuntime(procs *simproc.Runtime) *Runtime {
+	return &Runtime{procs: procs, containers: make(map[string]*Container)}
+}
+
+// Run creates and starts a container. The body begins executing at the
+// current engine time.
+func (rt *Runtime) Run(spec Spec, body Body) (*Container, error) {
+	if spec.Name == "" {
+		return nil, errors.New("container: empty name")
+	}
+	rt.mu.Lock()
+	if _, dup := rt.containers[spec.Name]; dup {
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrDuplicate, spec.Name)
+	}
+	// Reserve the name before spawning so concurrent Runs cannot collide.
+	c := &Container{name: spec.Name}
+	rt.containers[spec.Name] = c
+	rt.mu.Unlock()
+
+	var gpu *simgpu.Client
+	if spec.Device != nil {
+		var err error
+		gpu, err = spec.Device.NewClient(simgpu.ClientConfig{
+			Name:          "ctr/" + spec.Name,
+			MemLimitBytes: spec.GPUMemLimit,
+			Weight:        spec.GPUWeight,
+		})
+		if err != nil {
+			rt.mu.Lock()
+			delete(rt.containers, spec.Name)
+			rt.mu.Unlock()
+			return nil, fmt.Errorf("container %s: gpu client: %w", spec.Name, err)
+		}
+	}
+	c.gpu = gpu
+	c.startedAt = rt.procs.Engine().Now()
+	c.proc = rt.procs.Spawn("ctr/"+spec.Name, func(p *simproc.Process) error {
+		return body(p, gpu)
+	})
+	c.proc.OnExit(func(err error) {
+		// The process is gone: its CUDA context dies with it, aborting any
+		// in-flight kernels and releasing device memory.
+		if gpu != nil {
+			gpu.Destroy()
+		}
+		c.mu.Lock()
+		c.exited = true
+		c.exitErr = err
+		c.exitedAt = rt.procs.Engine().Now()
+		c.mu.Unlock()
+	})
+	return c, nil
+}
+
+// Get looks up a container by name.
+func (rt *Runtime) Get(name string) (*Container, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	c, ok := rt.containers[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return c, nil
+}
+
+// List returns all containers, running and exited.
+func (rt *Runtime) List() []*Container {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]*Container, 0, len(rt.containers))
+	for _, c := range rt.containers {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Remove deletes an exited container's record. Removing a live container
+// fails; kill it first.
+func (rt *Runtime) Remove(name string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	c, ok := rt.containers[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if c.Alive() {
+		return fmt.Errorf("container: %s is running", name)
+	}
+	delete(rt.containers, name)
+	return nil
+}
+
+// Name reports the container name.
+func (c *Container) Name() string { return c.name }
+
+// Process returns the containerized process.
+func (c *Container) Process() *simproc.Process { return c.proc }
+
+// GPU returns the container's GPU client (nil for CPU-only containers).
+// After exit the client is destroyed.
+func (c *Container) GPU() *simgpu.Client { return c.gpu }
+
+// Alive reports whether the containerized process is still live.
+func (c *Container) Alive() bool { return c.proc.Alive() }
+
+// ExitInfo reports termination state: exited=false means still running.
+func (c *Container) ExitInfo() (exited bool, err error, at time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.exited, c.exitErr, c.exitedAt
+}
+
+// StartedAt reports the engine time the container started.
+func (c *Container) StartedAt() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.startedAt
+}
+
+// Stop delivers SIGTSTP to the containerized process.
+func (c *Container) Stop() { c.proc.Signal(simproc.SigStop) }
+
+// Cont delivers SIGCONT.
+func (c *Container) Cont() { c.proc.Signal(simproc.SigCont) }
+
+// Kill delivers SIGKILL. The GPU context teardown happens via the exit hook.
+func (c *Container) Kill() { c.proc.Signal(simproc.SigKill) }

@@ -1,0 +1,104 @@
+// Package core is FreeRide's control plane — the paper's primary
+// contribution: the side task manager implementing the placement algorithm
+// (Alg. 1) and the bubble-serving loop (Alg. 2), and the per-GPU side task
+// workers that own task containers and enforce the GPU resource limits
+// (§4.4–4.6). Manager and workers communicate exclusively through freerpc,
+// so the same code runs in-process over the in-memory transport (simulation)
+// and across machines over TCP (freeride-managerd / freeride-workerd).
+package core
+
+import (
+	"time"
+
+	"freeride/internal/bubble"
+	"freeride/internal/model"
+	"freeride/internal/sidetask"
+)
+
+// TaskSpec is the wire-serializable description of a side task submission:
+// the task identity plus the performance characteristics produced by the
+// automated profiler (paper step ➌: "submit side task and perf.
+// characteristics to side task manager").
+type TaskSpec struct {
+	// Name is the unique task instance name.
+	Name string `json:"name"`
+	// Profile carries the profiled characteristics (memory requirement,
+	// per-step duration) and the workload identity.
+	Profile model.TaskProfile `json:"profile"`
+	// Mode selects iterative or imperative (1 or 2).
+	Mode sidetask.Mode `json:"mode"`
+	// WorkScale selects how much real computation the built-in tasks do.
+	WorkScale sidetask.WorkScale `json:"workScale"`
+	// Seed makes the task deterministic.
+	Seed int64 `json:"seed"`
+}
+
+// createArgs asks a worker to create the task process (SUBMITTED→CREATED).
+type createArgs struct {
+	Spec TaskSpec `json:"spec"`
+	// MemLimitBytes is the MPS memory cap the worker must impose.
+	MemLimitBytes int64 `json:"memLimitBytes"`
+}
+
+// taskRef names a task on a worker.
+type taskRef struct {
+	Name string `json:"name"`
+}
+
+// startArgs initiates StartSideTask with the bubble deadline ("it also
+// sends the end time of this bubble to the side task", §4.5).
+type startArgs struct {
+	Name        string `json:"name"`
+	BubbleEndNs int64  `json:"bubbleEndNs"`
+}
+
+// taskStatus is the worker's report on one task.
+type taskStatus struct {
+	Name    string `json:"name"`
+	State   int    `json:"state"`
+	Exited  bool   `json:"exited"`
+	ExitErr string `json:"exitErr,omitempty"`
+	Started bool   `json:"started,omitempty"`
+
+	Steps        uint64 `json:"steps"`
+	KernelTimeNs int64  `json:"kernelTimeNs"`
+	HostTimeNs   int64  `json:"hostTimeNs"`
+	InsuffNs     int64  `json:"insuffNs"`
+}
+
+// workerInfo describes a worker to the manager.
+type workerInfo struct {
+	Name     string `json:"name"`
+	GPUMem   int64  `json:"gpuMem"`
+	NumTasks int    `json:"numTasks"`
+}
+
+// bubbleDTO is the wire form of a bubble report from the instrumented
+// trainer.
+type bubbleDTO struct {
+	Stage    int   `json:"stage"`
+	Type     int   `json:"type"`
+	StartNs  int64 `json:"startNs"`
+	DurNs    int64 `json:"durNs"`
+	MemAvail int64 `json:"memAvail"`
+}
+
+func toDTO(b bubble.Bubble) bubbleDTO {
+	return bubbleDTO{
+		Stage:    b.Stage,
+		Type:     int(b.Type),
+		StartNs:  int64(b.Start),
+		DurNs:    int64(b.Duration),
+		MemAvail: b.MemAvailable,
+	}
+}
+
+func fromDTO(d bubbleDTO) bubble.Bubble {
+	return bubble.Bubble{
+		Stage:        d.Stage,
+		Type:         bubble.Type(d.Type),
+		Start:        time.Duration(d.StartNs),
+		Duration:     time.Duration(d.DurNs),
+		MemAvailable: d.MemAvail,
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"freeride/internal/bubble"
+	"freeride/internal/model"
+	"freeride/internal/sidetask"
+)
+
+func TestWorkerDisconnectRetiresItsTasks(t *testing.T) {
+	r := newRig(t, 2, []int64{22 * model.GiB, 22 * model.GiB}, WorkerConfig{})
+	if err := r.mgr.Submit(spec("t0", model.PageRank, sidetask.ModeIterative)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.Submit(spec("t1", model.PageRank, sidetask.ModeIterative)); err != nil {
+		t.Fatal(err)
+	}
+	r.mgr.Start()
+	r.eng.RunFor(6 * time.Second)
+
+	// Sever worker0's link.
+	r.eng.Schedule(0, "sever", func() {
+		r.mgr.workerPeer(t, 0).Close()
+	})
+	r.eng.RunFor(time.Second)
+
+	// The task on worker0 is retired; the one on worker1 still serves.
+	views := r.mgr.Tasks()
+	var lost, alive int
+	for _, tv := range views {
+		if tv.Exited && tv.ExitErr == "worker lost" {
+			lost++
+		} else if !tv.Exited {
+			alive++
+		}
+	}
+	if lost != 1 || alive != 1 {
+		t.Fatalf("lost=%d alive=%d, want 1/1 (%+v)", lost, alive, views)
+	}
+
+	// Bubbles on the dead worker are ignored; the live worker still runs.
+	base := r.eng.Now()
+	r.mgr.AddBubble(bubble.Bubble{Stage: 0, Start: base, Duration: 300 * time.Millisecond})
+	r.mgr.AddBubble(bubble.Bubble{Stage: 1, Start: base, Duration: 300 * time.Millisecond})
+	r.eng.RunFor(time.Second)
+	var liveSteps uint64
+	for _, w := range r.workers {
+		for _, name := range []string{"t0", "t1"} {
+			if h, ok := w.Harness(name); ok && h.State() != sidetask.StateStopped {
+				liveSteps += h.Counters().Steps
+			}
+		}
+	}
+	if liveSteps == 0 {
+		t.Fatal("surviving worker served no steps after the other died")
+	}
+
+	// New submissions skip the dead worker.
+	placed, err := r.mgr.SubmitAndPlace(spec("t2", model.PageRank, sidetask.ModeIterative))
+	if err != nil {
+		t.Fatalf("Submit after worker loss: %v", err)
+	}
+	if placed != "worker1" {
+		t.Fatalf("placed on %s, want worker1 (worker0 dead)", placed)
+	}
+}
+
+// workerPeer digs out the manager-side peer of worker i (test helper).
+func (m *Manager) workerPeer(t *testing.T, i int) interface{ Close() } {
+	t.Helper()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.workers[i].peer
+}
+
+func TestImperativeHogKilledByGPUBusyCheck(t *testing.T) {
+	// An imperative task whose in-flight kernel far outlives the grace
+	// period is killed by the GPU-busy check even though SIGTSTP
+	// suspended its process.
+	factory := func(s TaskSpec) (*sidetask.Harness, error) {
+		p := s.Profile
+		p.StepTime = 20 * time.Second // one giant kernel per step
+		p.StepJitter = 0
+		p.CreateTime = 100 * time.Millisecond
+		p.InitTime = 50 * time.Millisecond
+		return sidetask.NewImperativeHarness(s.Name, p, hugeKernelTask{}, s.Seed), nil
+	}
+	r := newRig(t, 1, []int64{22 * model.GiB},
+		WorkerConfig{Grace: 200 * time.Millisecond, Factory: factory})
+	if err := r.mgr.Submit(spec("hog", model.GraphSGD, sidetask.ModeImperative)); err != nil {
+		t.Fatal(err)
+	}
+	r.mgr.Start()
+	r.eng.RunFor(time.Second)
+	base := r.eng.Now()
+	r.mgr.AddBubble(bubble.Bubble{Stage: 0, Start: base, Duration: 400 * time.Millisecond})
+	r.eng.RunFor(3 * time.Second)
+	if got := r.workers[0].Stats().GraceKills; got != 1 {
+		t.Fatalf("GraceKills = %d, want 1", got)
+	}
+	if r.devices[0].MemUsed() != 0 {
+		t.Fatalf("device mem = %d after kill", r.devices[0].MemUsed())
+	}
+}
+
+type hugeKernelTask struct{}
+
+func (hugeKernelTask) CreateSideTask(*sidetask.Ctx) error { return nil }
+func (hugeKernelTask) InitSideTask(ctx *sidetask.Ctx) error {
+	return ctx.GPU.AllocMem(model.GiB)
+}
+func (hugeKernelTask) RunGpuWorkload(ctx *sidetask.Ctx) error {
+	for {
+		if err := ctx.ExecStepKernel(); err != nil {
+			return err
+		}
+	}
+}
+
+func TestStopAllWindsDownCleanly(t *testing.T) {
+	r := newRig(t, 2, []int64{22 * model.GiB, 22 * model.GiB}, WorkerConfig{})
+	for _, n := range []string{"a", "b"} {
+		if err := r.mgr.Submit(spec(n, model.PageRank, sidetask.ModeIterative)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.mgr.Start()
+	r.eng.RunFor(6 * time.Second)
+	r.eng.Schedule(0, "stopall", func() {
+		r.mgr.Stop()
+		r.mgr.StopAll()
+	})
+	r.eng.RunFor(2 * time.Second)
+	for _, w := range r.workers {
+		for _, n := range []string{"a", "b"} {
+			if h, ok := w.Harness(n); ok {
+				if h.State() != sidetask.StateStopped {
+					t.Fatalf("task %s state %v after StopAll, want STOPPED", n, h.State())
+				}
+			}
+		}
+		if r.devices[0].MemUsed() != 0 {
+			t.Fatalf("device mem %d after StopAll", r.devices[0].MemUsed())
+		}
+	}
+}
+
+func TestInitHangKilledByInitTimeout(t *testing.T) {
+	factory := func(s TaskSpec) (*sidetask.Harness, error) {
+		p := s.Profile
+		p.CreateTime = 50 * time.Millisecond
+		p.InitTime = 10 * time.Millisecond // claimed; actual hangs forever
+		return sidetask.NewIterativeHarness(s.Name, p, hangingInitTask{}, s.Seed), nil
+	}
+	r := newRig(t, 1, []int64{22 * model.GiB},
+		WorkerConfig{Grace: 100 * time.Millisecond, Factory: factory})
+	if err := r.mgr.Submit(spec("hang", model.ResNet18, sidetask.ModeIterative)); err != nil {
+		t.Fatal(err)
+	}
+	r.mgr.Start()
+	r.eng.RunFor(5 * time.Second)
+	if got := r.workers[0].Stats().InitKills; got != 1 {
+		t.Fatalf("InitKills = %d, want 1", got)
+	}
+}
+
+type hangingInitTask struct{}
+
+func (hangingInitTask) CreateSideTask(*sidetask.Ctx) error { return nil }
+func (hangingInitTask) InitSideTask(ctx *sidetask.Ctx) error {
+	ctx.Proc.Sleep(time.Hour) // never completes
+	return nil
+}
+func (hangingInitTask) StopSideTask(*sidetask.Ctx) error { return nil }
+func (hangingInitTask) RunNextStep(*sidetask.Ctx) error  { return nil }
+
+func TestDuplicateSubmitRejected(t *testing.T) {
+	r := newRig(t, 1, []int64{22 * model.GiB}, WorkerConfig{})
+	if err := r.mgr.Submit(spec("dup", model.PageRank, sidetask.ModeIterative)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.Submit(spec("dup", model.PageRank, sidetask.ModeIterative)); err == nil {
+		t.Fatal("duplicate task name accepted")
+	}
+	r.eng.RunFor(time.Second)
+}

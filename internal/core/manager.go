@@ -1,0 +1,534 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"freeride/internal/bubble"
+	"freeride/internal/freerpc"
+	"freeride/internal/sidetask"
+	"freeride/internal/simtime"
+)
+
+// ErrRejected is returned when no worker has enough GPU memory for a task
+// (paper Alg. 1 line 13, RejectSideTask).
+var ErrRejected = errors.New("core: side task rejected: no worker with enough GPU memory")
+
+// ManagerOptions tune the side task manager.
+type ManagerOptions struct {
+	// Tick is the Alg. 2 loop period.
+	Tick time.Duration
+	// RPCTimeout bounds every manager→worker call.
+	RPCTimeout time.Duration
+	// MemSlack is added to a task's profiled memory requirement when
+	// setting its MPS limit (allocator headroom).
+	MemSlack int64
+	// MaxQueuePerWorker caps placement per worker (0 = unlimited). The
+	// paper's experiments run one task per worker; the cap enables the
+	// §8 "co-locating multiple side tasks" extension when raised.
+	MaxQueuePerWorker int
+}
+
+func (o *ManagerOptions) normalize() {
+	if o.Tick <= 0 {
+		o.Tick = time.Millisecond
+	}
+	if o.RPCTimeout <= 0 {
+		o.RPCTimeout = time.Second
+	}
+}
+
+// TaskView is a snapshot of one task's manager-side record.
+type TaskView struct {
+	Spec        TaskSpec
+	Worker      string
+	State       sidetask.State
+	SubmittedAt time.Duration
+	Exited      bool
+	ExitErr     string
+}
+
+// ManagerStats aggregates control-plane counters for the evaluation.
+type ManagerStats struct {
+	Submitted      uint64
+	Rejected       uint64
+	BubblesAdded   uint64
+	BubblesExpired uint64
+	BubblesServed  uint64
+	RPCs           uint64
+	// BubbleTimeTotal is the summed duration of all reported bubbles.
+	BubbleTimeTotal time.Duration
+	// BubbleTimeServed is bubble time during which the worker's current
+	// task was started.
+	BubbleTimeServed time.Duration
+}
+
+// taskRecord is the manager-side task state (cache of the worker's truth).
+type taskRecord struct {
+	spec        TaskSpec
+	workerIdx   int
+	state       sidetask.State
+	submittedAt time.Duration
+	exited      bool
+	exitErr     string
+	initSent    bool
+	// startedForBubble dedupes starts within one bubble.
+	startedForBubble *bubble.Bubble
+	// servedFrom is when the current bubble's start succeeded.
+	servedFrom time.Duration
+	serving    bool
+}
+
+// workerMeta mirrors the paper's per-worker fields: GPUMem, TaskQueue,
+// CurrentTask, CurrentBubble (§4.4).
+type workerMeta struct {
+	name    string
+	peer    *freerpc.Peer
+	gpuMem  int64
+	stage   int
+	queue   []*taskRecord
+	current *taskRecord
+	bubble  *bubble.Bubble
+	pending []bubble.Bubble
+	alive   bool
+}
+
+func (w *workerMeta) numTasks() int {
+	n := len(w.queue)
+	if w.current != nil {
+		n++
+	}
+	return n
+}
+
+// Manager is the side task manager (paper §3.2, §4.4): it places newly
+// submitted tasks on workers (Alg. 1) and serves side tasks during bubbles
+// (Alg. 2).
+type Manager struct {
+	eng  simtime.Engine
+	opts ManagerOptions
+	mux  *freerpc.Mux
+
+	mu      sync.Mutex
+	workers []*workerMeta
+	tasks   map[string]*taskRecord
+	stats   ManagerStats
+	ticker  *simtime.Timer
+	running bool
+}
+
+// NewManager builds a manager. Its RPC methods (bubble reports, task
+// submission) are served on Mux().
+func NewManager(eng simtime.Engine, opts ManagerOptions) *Manager {
+	opts.normalize()
+	m := &Manager{
+		eng:   eng,
+		opts:  opts,
+		mux:   freerpc.NewMux(),
+		tasks: make(map[string]*taskRecord),
+	}
+	freerpc.HandleFunc(m.mux, "Manager.AddBubble", func(d bubbleDTO) (any, error) {
+		m.AddBubble(fromDTO(d))
+		return nil, nil
+	})
+	freerpc.HandleFunc(m.mux, "Manager.Submit", func(spec TaskSpec) (any, error) {
+		if err := m.Submit(spec); err != nil {
+			return nil, err
+		}
+		return map[string]string{"status": "accepted"}, nil
+	})
+	freerpc.HandleFunc(m.mux, "Manager.TaskExited", func(st taskStatus) (any, error) {
+		m.onTaskExited(st)
+		return nil, nil
+	})
+	freerpc.HandleFunc(m.mux, "Manager.TaskState", func(st taskStatus) (any, error) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if rec, ok := m.tasks[st.Name]; ok && !rec.exited {
+			rec.state = sidetask.State(st.State)
+		}
+		return nil, nil
+	})
+	return m
+}
+
+// Mux returns the manager's RPC dispatch table (for attaching peers).
+func (m *Manager) Mux() *freerpc.Mux { return m.mux }
+
+// AddWorker registers a worker reachable through peer, serving the GPU of
+// the given pipeline stage with the given side-task-available memory. If
+// the connection drops, the worker is marked dead: its queued and current
+// tasks are recorded as stopped, future placements skip it, and Algorithm 2
+// no longer serves its bubbles — training itself is never affected (the
+// control plane is off the training path).
+func (m *Manager) AddWorker(name string, stage int, gpuMem int64, peer *freerpc.Peer) {
+	w := &workerMeta{
+		name: name, peer: peer, gpuMem: gpuMem, stage: stage, alive: true,
+	}
+	m.mu.Lock()
+	m.workers = append(m.workers, w)
+	m.mu.Unlock()
+	peer.Conn().OnClose(func() { m.workerLost(w) })
+}
+
+// workerLost marks a disconnected worker dead and retires its tasks.
+func (m *Manager) workerLost(w *workerMeta) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !w.alive {
+		return
+	}
+	w.alive = false
+	retire := func(rec *taskRecord) {
+		if rec == nil || rec.exited {
+			return
+		}
+		rec.exited = true
+		rec.exitErr = "worker lost"
+		rec.state = sidetask.StateStopped
+	}
+	retire(w.current)
+	for _, rec := range w.queue {
+		retire(rec)
+	}
+	w.current = nil
+	w.queue = nil
+	w.bubble = nil
+	w.pending = nil
+}
+
+// WorkerCount reports the number of registered workers.
+func (m *Manager) WorkerCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.workers)
+}
+
+// Stats snapshots the manager counters.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Tasks snapshots all task records.
+func (m *Manager) Tasks() []TaskView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]TaskView, 0, len(m.tasks))
+	for _, r := range m.tasks {
+		out = append(out, TaskView{
+			Spec:        r.spec,
+			Worker:      m.workers[r.workerIdx].name,
+			State:       r.state,
+			SubmittedAt: r.submittedAt,
+			Exited:      r.exited,
+			ExitErr:     r.exitErr,
+		})
+	}
+	return out
+}
+
+// Submit places a new side task (paper Algorithm 1): among workers with
+// enough available GPU memory, pick the one with the fewest tasks; reject
+// if none qualifies.
+func (m *Manager) Submit(spec TaskSpec) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.tasks[spec.Name]; dup {
+		return fmt.Errorf("core: duplicate task name %q", spec.Name)
+	}
+	m.stats.Submitted++
+
+	minTasks := int(^uint(0) >> 1)
+	selected := -1
+	for i, w := range m.workers {
+		if !w.alive || w.gpuMem <= spec.Profile.MemBytes {
+			continue
+		}
+		if m.opts.MaxQueuePerWorker > 0 && w.numTasks() >= m.opts.MaxQueuePerWorker {
+			continue
+		}
+		if n := w.numTasks(); n < minTasks {
+			minTasks = n
+			selected = i
+		}
+	}
+	if selected < 0 {
+		m.stats.Rejected++
+		return ErrRejected
+	}
+
+	rec := &taskRecord{
+		spec:        spec,
+		workerIdx:   selected,
+		state:       sidetask.StateSubmitted,
+		submittedAt: m.eng.Now(),
+	}
+	m.tasks[spec.Name] = rec
+	w := m.workers[selected]
+	w.queue = append(w.queue, rec)
+
+	// SUBMITTED→CREATED happens on the worker.
+	m.stats.RPCs++
+	w.peer.Go("Worker.Create", createArgs{
+		Spec:          spec,
+		MemLimitBytes: spec.Profile.MemBytes + m.opts.MemSlack,
+	}, m.opts.RPCTimeout, func(raw json.RawMessage, err error) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if err != nil {
+			rec.exited = true
+			rec.exitErr = err.Error()
+			rec.state = sidetask.StateStopped
+			return
+		}
+		if rec.state == sidetask.StateSubmitted {
+			rec.state = sidetask.StateCreated
+		}
+	})
+	return nil
+}
+
+// SubmitAndPlace is Submit plus the chosen worker's name, for logs/tests.
+func (m *Manager) SubmitAndPlace(spec TaskSpec) (string, error) {
+	if err := m.Submit(spec); err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.workers[m.tasks[spec.Name].workerIdx].name, nil
+}
+
+// AddBubble queues a bubble report for the worker serving its stage
+// (step ➎: "add bubbles from pipeline training system to side task
+// manager").
+func (m *Manager) AddBubble(b bubble.Bubble) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.BubblesAdded++
+	m.stats.BubbleTimeTotal += b.Duration
+	for _, w := range m.workers {
+		if w.stage == b.Stage {
+			w.pending = append(w.pending, b)
+			return
+		}
+	}
+	// No worker for this stage: the bubble goes unharvested.
+}
+
+// Start begins the Algorithm-2 loop.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	if m.running {
+		m.mu.Unlock()
+		return
+	}
+	m.running = true
+	m.mu.Unlock()
+	m.scheduleTick()
+}
+
+// Stop halts the loop (tasks keep their current state).
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running = false
+	if m.ticker != nil {
+		m.ticker.Cancel()
+		m.ticker = nil
+	}
+}
+
+func (m *Manager) scheduleTick() {
+	m.mu.Lock()
+	if !m.running {
+		m.mu.Unlock()
+		return
+	}
+	m.ticker = m.eng.Schedule(m.opts.Tick, "manager-tick", func() {
+		m.tick()
+		m.scheduleTick()
+	})
+	m.mu.Unlock()
+}
+
+// tick is one pass of paper Algorithm 2 over all workers.
+func (m *Manager) tick() {
+	now := m.eng.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	for _, w := range m.workers {
+		if !w.alive {
+			continue
+		}
+		// Lines 4–8: current bubble ended → pause the current task.
+		if w.bubble != nil && now >= w.bubble.End() {
+			if w.current != nil && w.current.serving {
+				m.accountServedLocked(w.current, w.bubble)
+				m.pauseLocked(w, w.current)
+			}
+			w.bubble = nil
+		}
+		// Lines 9–10: adopt a newly begun bubble.
+		if w.bubble == nil {
+			w.bubble = m.nextBubbleLocked(w, now)
+		}
+		// Lines 11–15: pick the next task if idle.
+		if w.current == nil {
+			if len(w.queue) == 0 {
+				continue
+			}
+			w.current = w.queue[0]
+			w.queue = w.queue[1:]
+		}
+		cur := w.current
+		if cur.exited {
+			w.current = nil
+			continue
+		}
+		// Lines 16–17: initialize a created task.
+		if cur.state == sidetask.StateCreated && !cur.initSent {
+			m.initLocked(w, cur)
+			continue
+		}
+		// Lines 18–19: start a paused task into the current bubble.
+		if w.bubble != nil && cur.state == sidetask.StatePaused && cur.startedForBubble != w.bubble {
+			m.startLocked(w, cur, w.bubble)
+		}
+	}
+}
+
+// nextBubbleLocked pops the first pending bubble that has begun and not
+// ended, dropping expired ones.
+func (m *Manager) nextBubbleLocked(w *workerMeta, now time.Duration) *bubble.Bubble {
+	for len(w.pending) > 0 {
+		b := w.pending[0]
+		if now >= b.End() {
+			w.pending = w.pending[1:]
+			m.stats.BubblesExpired++
+			continue
+		}
+		if b.Start <= now {
+			w.pending = w.pending[1:]
+			cp := b
+			return &cp
+		}
+		return nil // front bubble is in the future
+	}
+	return nil
+}
+
+func (m *Manager) initLocked(w *workerMeta, rec *taskRecord) {
+	rec.initSent = true
+	m.stats.RPCs++
+	// Completion (the PAUSED transition) is pushed back asynchronously via
+	// Manager.TaskState; nothing to poll.
+	w.peer.Go("Worker.Init", taskRef{Name: rec.spec.Name}, m.opts.RPCTimeout, nil)
+}
+
+func (m *Manager) applyStatusLocked(rec *taskRecord, st taskStatus) {
+	if st.Exited {
+		rec.exited = true
+		rec.exitErr = st.ExitErr
+		rec.state = sidetask.StateStopped
+		return
+	}
+	rec.state = sidetask.State(st.State)
+}
+
+func (m *Manager) startLocked(w *workerMeta, rec *taskRecord, b *bubble.Bubble) {
+	rec.startedForBubble = b
+	m.stats.RPCs++
+	w.peer.Go("Worker.Start", startArgs{
+		Name:        rec.spec.Name,
+		BubbleEndNs: int64(b.End()),
+	}, m.opts.RPCTimeout, func(raw json.RawMessage, err error) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if err != nil {
+			return
+		}
+		var st taskStatus
+		if jerr := json.Unmarshal(raw, &st); jerr != nil {
+			return
+		}
+		if st.Started {
+			rec.state = sidetask.StateRunning
+			rec.serving = true
+			rec.servedFrom = m.eng.Now()
+			m.stats.BubblesServed++
+			return
+		}
+		m.applyStatusLocked(rec, st)
+	})
+}
+
+func (m *Manager) pauseLocked(w *workerMeta, rec *taskRecord) {
+	rec.serving = false
+	rec.state = sidetask.StatePaused // optimistic; grace kill corrects it
+	m.stats.RPCs++
+	w.peer.Go("Worker.Pause", taskRef{Name: rec.spec.Name}, m.opts.RPCTimeout,
+		func(raw json.RawMessage, err error) {
+			if err != nil {
+				return
+			}
+			var st taskStatus
+			if jerr := json.Unmarshal(raw, &st); jerr != nil {
+				return
+			}
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			if st.Exited {
+				m.applyStatusLocked(rec, st)
+			}
+		})
+}
+
+func (m *Manager) accountServedLocked(rec *taskRecord, b *bubble.Bubble) {
+	if !rec.serving {
+		return
+	}
+	served := b.End() - rec.servedFrom
+	if served > b.Duration {
+		served = b.Duration
+	}
+	if served > 0 {
+		m.stats.BubbleTimeServed += served
+	}
+}
+
+// onTaskExited handles the worker's exit notification.
+func (m *Manager) onTaskExited(st taskStatus) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.tasks[st.Name]
+	if !ok {
+		return
+	}
+	rec.exited = true
+	rec.exitErr = st.ExitErr
+	rec.state = sidetask.StateStopped
+	w := m.workers[rec.workerIdx]
+	if w.current == rec {
+		w.current = nil
+	}
+}
+
+// StopAll asks every worker to stop its tasks (end of run).
+func (m *Manager) StopAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rec := range m.tasks {
+		if rec.exited {
+			continue
+		}
+		w := m.workers[rec.workerIdx]
+		m.stats.RPCs++
+		w.peer.Go("Worker.Stop", taskRef{Name: rec.spec.Name}, m.opts.RPCTimeout, nil)
+	}
+}

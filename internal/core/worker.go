@@ -1,0 +1,404 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"freeride/internal/container"
+	"freeride/internal/freerpc"
+	"freeride/internal/sidetask"
+	"freeride/internal/simgpu"
+	"freeride/internal/simtime"
+)
+
+// DefaultGrace is the framework-enforced mechanism's grace period: after a
+// pause (or init) is initiated, the worker waits this long before checking
+// that the task actually yielded the GPU, and SIGKILLs it otherwise
+// (paper §4.5).
+const DefaultGrace = 500 * time.Millisecond
+
+// HarnessFactory builds a task harness from a wire spec. The default
+// resolves the built-in tasks; custom deployments register their own.
+type HarnessFactory func(spec TaskSpec) (*sidetask.Harness, error)
+
+// BuiltinHarnessFactory resolves the six built-in side tasks.
+func BuiltinHarnessFactory(spec TaskSpec) (*sidetask.Harness, error) {
+	return sidetask.NewBuiltin(spec.Profile, spec.Mode, spec.WorkScale, spec.Seed)
+}
+
+// WorkerConfig configures one side task worker (one per GPU, paper §3.2).
+type WorkerConfig struct {
+	Name string
+	// Grace is the framework-enforced kill delay; DefaultGrace if zero.
+	Grace time.Duration
+	// InitTimeout bounds InitSideTask before the framework-enforced kill;
+	// defaults to 3×profile.InitTime + Grace.
+	InitTimeout time.Duration
+	// Factory builds harnesses; BuiltinHarnessFactory if nil.
+	Factory HarnessFactory
+	// DisableEnforcement turns off the framework-enforced kill checks
+	// (grace-period and init-hang). Used by the Figure-8 "without limit"
+	// scenarios and the enforcement ablation.
+	DisableEnforcement bool
+}
+
+// WorkerStats counts worker-side events for the evaluation.
+type WorkerStats struct {
+	Created     uint64
+	Inits       uint64
+	Starts      uint64
+	Pauses      uint64
+	Stops       uint64
+	GraceKills  uint64
+	InitKills   uint64
+	TaskExits   uint64
+	TaskErrExit uint64
+}
+
+// workerTask is one deployed side task.
+type workerTask struct {
+	spec    TaskSpec
+	harness *sidetask.Harness
+	cont    *container.Container
+	grace   *simtime.Timer
+}
+
+// Worker owns the side tasks of one GPU: it creates their containers on top
+// of the MPS memory limits, relays the manager's state transitions, and
+// enforces the execution-time limits.
+type Worker struct {
+	eng    simtime.Engine
+	cfg    WorkerConfig
+	device *simgpu.Device
+	ctrs   *container.Runtime
+
+	mu       sync.Mutex
+	tasks    map[string]*workerTask
+	stats    WorkerStats
+	notifyFn func(method string, params any) // manager notification channel
+}
+
+// NewWorker builds a worker for one device.
+func NewWorker(eng simtime.Engine, device *simgpu.Device, ctrs *container.Runtime, cfg WorkerConfig) *Worker {
+	if cfg.Grace <= 0 {
+		cfg.Grace = DefaultGrace
+	}
+	if cfg.Factory == nil {
+		cfg.Factory = BuiltinHarnessFactory
+	}
+	if cfg.Name == "" {
+		cfg.Name = "worker-" + device.Name()
+	}
+	return &Worker{
+		eng:    eng,
+		cfg:    cfg,
+		device: device,
+		ctrs:   ctrs,
+		tasks:  make(map[string]*workerTask),
+	}
+}
+
+// Name reports the worker name.
+func (w *Worker) Name() string { return w.cfg.Name }
+
+// Device returns the worker's GPU.
+func (w *Worker) Device() *simgpu.Device { return w.device }
+
+// Stats snapshots the worker counters.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Harness exposes a deployed task's harness for measurement (simulation
+// only; the live daemons report over RPC instead).
+func (w *Worker) Harness(name string) (*sidetask.Harness, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t, ok := w.tasks[name]
+	if !ok {
+		return nil, false
+	}
+	return t.harness, true
+}
+
+// RegisterOn installs the worker's RPC methods on a mux.
+func (w *Worker) RegisterOn(mux *freerpc.Mux) {
+	freerpc.HandleFunc(mux, "Worker.Create", w.handleCreate)
+	freerpc.HandleFunc(mux, "Worker.Init", w.handleInit)
+	freerpc.HandleFunc(mux, "Worker.Start", w.handleStart)
+	freerpc.HandleFunc(mux, "Worker.Pause", w.handlePause)
+	freerpc.HandleFunc(mux, "Worker.Stop", w.handleStop)
+	freerpc.HandleFunc(mux, "Worker.Query", w.handleQuery)
+	mux.Handle("Worker.Info", func(json.RawMessage) (any, error) {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return workerInfo{Name: w.cfg.Name, GPUMem: w.device.MemFree(), NumTasks: len(w.tasks)}, nil
+	})
+}
+
+// SetNotify installs the channel for worker→manager notifications (task
+// exits). The function must be safe to call from engine context.
+func (w *Worker) SetNotify(fn func(method string, params any)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.notifyFn = fn
+}
+
+func (w *Worker) notify(method string, params any) {
+	w.mu.Lock()
+	fn := w.notifyFn
+	w.mu.Unlock()
+	if fn != nil {
+		fn(method, params)
+	}
+}
+
+// handleCreate implements SUBMITTED→CREATED: build the harness, wrap it in
+// a container with the MPS memory limit, start the process.
+func (w *Worker) handleCreate(args createArgs) (any, error) {
+	harness, err := w.cfg.Factory(args.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("worker %s: factory: %w", w.cfg.Name, err)
+	}
+	w.mu.Lock()
+	if _, dup := w.tasks[args.Spec.Name]; dup {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("worker %s: duplicate task %q", w.cfg.Name, args.Spec.Name)
+	}
+	w.mu.Unlock()
+
+	cont, err := w.ctrs.Run(container.Spec{
+		Name:        w.cfg.Name + "/" + args.Spec.Name,
+		Device:      w.device,
+		GPUMemLimit: args.MemLimitBytes,
+		GPUWeight:   0, // kernels carry their own weight
+	}, harness.Run)
+	if err != nil {
+		return nil, fmt.Errorf("worker %s: container: %w", w.cfg.Name, err)
+	}
+	t := &workerTask{spec: args.Spec, harness: harness, cont: cont}
+	w.mu.Lock()
+	w.tasks[args.Spec.Name] = t
+	w.stats.Created++
+	w.mu.Unlock()
+
+	// Push every state change to the manager so its cache never goes
+	// stale (the paper's manager likewise learns transitions through its
+	// RPC layer).
+	harness.SetStateListener(func(s sidetask.State) {
+		w.notify("Manager.TaskState", taskStatus{Name: args.Spec.Name, State: int(s)})
+	})
+
+	cont.Process().OnExit(func(err error) {
+		w.mu.Lock()
+		w.stats.TaskExits++
+		if err != nil {
+			w.stats.TaskErrExit++
+		}
+		w.mu.Unlock()
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		w.notify("Manager.TaskExited", taskStatus{Name: args.Spec.Name, Exited: true, ExitErr: msg})
+	})
+	return taskStatus{Name: args.Spec.Name, State: int(harness.State())}, nil
+}
+
+func (w *Worker) lookup(name string) (*workerTask, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t, ok := w.tasks[name]
+	if !ok {
+		return nil, fmt.Errorf("worker %s: unknown task %q", w.cfg.Name, name)
+	}
+	return t, nil
+}
+
+// handleInit initiates CREATED→PAUSED and arms the init-hang protection.
+func (w *Worker) handleInit(ref taskRef) (any, error) {
+	t, err := w.lookup(ref.Name)
+	if err != nil {
+		return nil, err
+	}
+	switch t.harness.State() {
+	case sidetask.StateSubmitted, sidetask.StateCreated:
+		// Queue-tolerant: an Init arriving while CreateSideTask is still
+		// loading is processed right after it finishes.
+	default:
+		return w.status(t), nil
+	}
+	t.harness.Deliver(sidetask.Command{Transition: sidetask.TransitionInit})
+	w.mu.Lock()
+	w.stats.Inits++
+	w.mu.Unlock()
+
+	if w.cfg.DisableEnforcement {
+		return w.status(t), nil
+	}
+	timeout := w.cfg.InitTimeout
+	if timeout <= 0 {
+		// The init command may be queued behind a still-running
+		// CreateSideTask, so the hang budget covers both phases.
+		timeout = t.spec.Profile.CreateTime + 3*t.spec.Profile.InitTime + w.cfg.Grace
+	}
+	w.eng.Schedule(timeout, "init-check:"+ref.Name, func() {
+		if t.harness.State() == sidetask.StateCreated && t.cont.Alive() {
+			w.mu.Lock()
+			w.stats.InitKills++
+			w.mu.Unlock()
+			t.cont.Kill()
+		}
+	})
+	return w.status(t), nil
+}
+
+// handleStart initiates PAUSED→RUNNING with the bubble deadline; a start
+// for a RUNNING task extends its deadline. It cancels any pending grace
+// check (the task is wanted again).
+func (w *Worker) handleStart(args startArgs) (any, error) {
+	t, err := w.lookup(args.Name)
+	if err != nil {
+		return nil, err
+	}
+	if t.grace != nil {
+		t.grace.Cancel()
+		t.grace = nil
+	}
+	st := t.harness.State()
+	switch st {
+	case sidetask.StatePaused, sidetask.StateRunning:
+		if t.harness.Mode() == sidetask.ModeImperative {
+			// Imperative resume is SIGCONT (paper §4.2); once
+			// RunGpuWorkload is in flight, the harness never reads its
+			// inbox again, so only the first start is delivered as a
+			// command.
+			if t.cont.Process().Stopped() {
+				t.cont.Cont()
+			}
+			if st == sidetask.StatePaused {
+				t.harness.Deliver(sidetask.Command{
+					Transition: sidetask.TransitionStart,
+					BubbleEnd:  time.Duration(args.BubbleEndNs),
+				})
+			}
+		} else {
+			t.harness.Deliver(sidetask.Command{
+				Transition: sidetask.TransitionStart,
+				BubbleEnd:  time.Duration(args.BubbleEndNs),
+			})
+		}
+		w.mu.Lock()
+		w.stats.Starts++
+		w.mu.Unlock()
+		s := w.status(t)
+		s.Started = true
+		return s, nil
+	default:
+		return w.status(t), nil
+	}
+}
+
+// handlePause initiates RUNNING→PAUSED and arms the framework-enforced
+// check: after the grace period the task must have acknowledged the pause
+// and the GPU must be free of its kernels, or it is SIGKILLed (paper §4.5,
+// Figure 8a).
+func (w *Worker) handlePause(ref taskRef) (any, error) {
+	t, err := w.lookup(ref.Name)
+	if err != nil {
+		return nil, err
+	}
+	if t.harness.State() != sidetask.StateRunning {
+		return w.status(t), nil
+	}
+	if t.harness.Mode() == sidetask.ModeImperative {
+		// Transparent suspension; in-flight kernels keep running (the
+		// asynchronous-kernel overhead of §5).
+		t.cont.Stop()
+	} else {
+		t.harness.Deliver(sidetask.Command{Transition: sidetask.TransitionPause})
+	}
+	w.mu.Lock()
+	w.stats.Pauses++
+	w.mu.Unlock()
+
+	if w.cfg.DisableEnforcement {
+		return w.status(t), nil
+	}
+	gpu := t.cont.GPU()
+	t.grace = w.eng.Schedule(w.cfg.Grace, "grace-check:"+ref.Name, func() {
+		if !t.cont.Alive() {
+			return
+		}
+		misbehaving := false
+		if t.harness.Mode() == sidetask.ModeImperative {
+			// Suspended processes are fine; a busy GPU means a kernel is
+			// still hogging SMs long past the bubble.
+			misbehaving = gpu != nil && gpu.Busy()
+		} else {
+			misbehaving = t.harness.State() == sidetask.StateRunning ||
+				(gpu != nil && gpu.Busy())
+		}
+		if misbehaving {
+			w.mu.Lock()
+			w.stats.GraceKills++
+			w.mu.Unlock()
+			t.cont.Kill()
+		}
+	})
+	return w.status(t), nil
+}
+
+// handleStop initiates →STOPPED and kills the container if the task does
+// not wind down within the grace period.
+func (w *Worker) handleStop(ref taskRef) (any, error) {
+	t, err := w.lookup(ref.Name)
+	if err != nil {
+		return nil, err
+	}
+	if t.harness.Mode() == sidetask.ModeImperative && t.cont.Process().Stopped() {
+		t.cont.Cont() // let it observe the stop... or die trying
+	}
+	t.harness.Deliver(sidetask.Command{Transition: sidetask.TransitionStop})
+	w.mu.Lock()
+	w.stats.Stops++
+	w.mu.Unlock()
+	w.eng.Schedule(w.cfg.Grace, "stop-check:"+ref.Name, func() {
+		if t.cont.Alive() {
+			t.cont.Kill()
+		}
+	})
+	return w.status(t), nil
+}
+
+// handleQuery reports a task's state and counters.
+func (w *Worker) handleQuery(ref taskRef) (any, error) {
+	t, err := w.lookup(ref.Name)
+	if err != nil {
+		return nil, err
+	}
+	return w.status(t), nil
+}
+
+func (w *Worker) status(t *workerTask) taskStatus {
+	c := t.harness.Counters()
+	exited, exitErr, _ := t.cont.ExitInfo()
+	msg := ""
+	if exitErr != nil {
+		msg = exitErr.Error()
+	}
+	return taskStatus{
+		Name:         t.spec.Name,
+		State:        int(t.harness.State()),
+		Exited:       exited,
+		ExitErr:      msg,
+		Steps:        c.Steps,
+		KernelTimeNs: int64(c.KernelTime),
+		HostTimeNs:   int64(c.HostTime),
+		InsuffNs:     int64(c.InsuffWait),
+	}
+}

@@ -1,0 +1,95 @@
+// Package cost implements the paper's evaluation metrics (§6.1.5): the
+// time increase I of pipeline training caused by co-located side tasks, and
+// the dollar cost savings S of harvesting bubbles instead of renting
+// dedicated lower-tier GPUs for the same side-task work.
+package cost
+
+import (
+	"fmt"
+	"time"
+
+	"freeride/internal/model"
+)
+
+// TimeIncrease is I = (T_with − T_no) / T_no.
+func TimeIncrease(tNo, tWith time.Duration) float64 {
+	if tNo <= 0 {
+		return 0
+	}
+	return float64(tWith-tNo) / float64(tNo)
+}
+
+// DollarCost is price/hour × duration.
+func DollarCost(pricePerHour float64, d time.Duration) float64 {
+	return pricePerHour * d.Hours()
+}
+
+// SideTaskWork is the work one side task completed while co-located, plus
+// the throughput of the same task on the dedicated comparison platform.
+type SideTaskWork struct {
+	// Name identifies the task (for reports).
+	Name string
+	// Steps completed on Server-I during the co-located run
+	// (W_sideTask,Server-I in the paper's formula).
+	Steps uint64
+	// DedicatedThroughput is steps/second of the same task running alone
+	// on the dedicated platform (Th_sideTask,Server-II). Zero means the
+	// task cannot run there (OOM) and its replacement cost is undefined.
+	DedicatedThroughput float64
+}
+
+// DedicatedTime is how long the dedicated platform would need for the same
+// work: W / Th.
+func (w SideTaskWork) DedicatedTime() (time.Duration, error) {
+	if w.DedicatedThroughput <= 0 {
+		return 0, fmt.Errorf("cost: task %s has no dedicated-platform throughput (OOM?)", w.Name)
+	}
+	secs := float64(w.Steps) / w.DedicatedThroughput
+	return time.Duration(secs * float64(time.Second)), nil
+}
+
+// Report is the full cost accounting of one co-located run.
+type Report struct {
+	TNo   time.Duration // training time without side tasks
+	TWith time.Duration // training time with side tasks
+
+	// I is the time increase (overhead).
+	I float64
+	// CNo / CWith are the training costs without/with side tasks.
+	CNo, CWith float64
+	// CSideTasks is the replacement cost of the side-task work on the
+	// dedicated platform.
+	CSideTasks float64
+	// S is the cost savings.
+	S float64
+	// SkippedTasks lists tasks excluded from CSideTasks because the
+	// dedicated platform cannot run them (paper's "OOM" cells).
+	SkippedTasks []string
+}
+
+// Compute evaluates the paper's formulas:
+//
+//	I = (T_with − T_no) / T_no
+//	C_sideTasks = Σ P_II × W_task / Th_task,II
+//	S = (C_sideTasks − (C_with − C_no)) / C_no
+func Compute(trainPlatform, dedicatedPlatform model.Platform, tNo, tWith time.Duration, work []SideTaskWork) Report {
+	r := Report{
+		TNo:   tNo,
+		TWith: tWith,
+		I:     TimeIncrease(tNo, tWith),
+		CNo:   DollarCost(trainPlatform.PricePerHour, tNo),
+		CWith: DollarCost(trainPlatform.PricePerHour, tWith),
+	}
+	for _, w := range work {
+		d, err := w.DedicatedTime()
+		if err != nil {
+			r.SkippedTasks = append(r.SkippedTasks, w.Name)
+			continue
+		}
+		r.CSideTasks += DollarCost(dedicatedPlatform.PricePerHour, d)
+	}
+	if r.CNo > 0 {
+		r.S = (r.CSideTasks - (r.CWith - r.CNo)) / r.CNo
+	}
+	return r
+}

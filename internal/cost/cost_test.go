@@ -1,0 +1,109 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"freeride/internal/model"
+)
+
+func TestTimeIncrease(t *testing.T) {
+	if got := TimeIncrease(100*time.Second, 101*time.Second); math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("I = %v, want 0.01", got)
+	}
+	if got := TimeIncrease(0, time.Second); got != 0 {
+		t.Fatalf("I with zero baseline = %v, want 0", got)
+	}
+	if got := TimeIncrease(100*time.Second, 99*time.Second); got >= 0 {
+		t.Fatalf("negative overhead not preserved: %v", got)
+	}
+}
+
+func TestDollarCost(t *testing.T) {
+	if got := DollarCost(3.96, time.Hour); math.Abs(got-3.96) > 1e-12 {
+		t.Fatalf("cost = %v, want 3.96", got)
+	}
+	if got := DollarCost(3.96, 30*time.Minute); math.Abs(got-1.98) > 1e-12 {
+		t.Fatalf("half-hour cost = %v, want 1.98", got)
+	}
+}
+
+func TestComputePaperBallpark(t *testing.T) {
+	// A FreeRide-like run: 563 s baseline, +0.9% overhead, ResNet18-style
+	// work harvested. The savings must land in the paper's single-digit
+	// percent band.
+	tNo := 563 * time.Second
+	tWith := time.Duration(float64(tNo) * 1.009)
+	work := []SideTaskWork{{
+		Name:  "resnet18",
+		Steps: 28000,
+		// Dedicated Server-II throughput ≈ 16.4 steps/s.
+		DedicatedThroughput: 16.4,
+	}}
+	r := Compute(model.ServerI, model.ServerII, tNo, tWith, work)
+	if r.I < 0.008 || r.I > 0.010 {
+		t.Fatalf("I = %v, want ~0.009", r.I)
+	}
+	if r.S < 0.03 || r.S > 0.20 {
+		t.Fatalf("S = %v, want single-digit-%% savings band", r.S)
+	}
+	if len(r.SkippedTasks) != 0 {
+		t.Fatalf("SkippedTasks = %v", r.SkippedTasks)
+	}
+}
+
+func TestComputeSkipsOOMTasks(t *testing.T) {
+	r := Compute(model.ServerI, model.ServerII, time.Hour, time.Hour,
+		[]SideTaskWork{{Name: "vgg19-b128", Steps: 100, DedicatedThroughput: 0}})
+	if len(r.SkippedTasks) != 1 || r.SkippedTasks[0] != "vgg19-b128" {
+		t.Fatalf("SkippedTasks = %v", r.SkippedTasks)
+	}
+	if r.CSideTasks != 0 {
+		t.Fatalf("CSideTasks = %v, want 0", r.CSideTasks)
+	}
+}
+
+func TestComputeNegativeSavingsForHighOverhead(t *testing.T) {
+	// MPS-baseline-like: 48% overhead dwarfs the side-task value.
+	tNo := 563 * time.Second
+	tWith := time.Duration(float64(tNo) * 1.487)
+	work := []SideTaskWork{{Name: "resnet18", Steps: 40000, DedicatedThroughput: 16.4}}
+	r := Compute(model.ServerI, model.ServerII, tNo, tWith, work)
+	if r.S >= 0 {
+		t.Fatalf("S = %v, want negative (cost increase)", r.S)
+	}
+}
+
+// Property: S increases with completed work and decreases with overhead.
+func TestSavingsMonotonicity(t *testing.T) {
+	f := func(stepsRaw uint16, overheadRaw uint8) bool {
+		steps := uint64(stepsRaw) + 1
+		overhead := 1 + float64(overheadRaw%50)/100
+		tNo := 500 * time.Second
+		tWith := time.Duration(float64(tNo) * overhead)
+		base := Compute(model.ServerI, model.ServerII, tNo, tWith,
+			[]SideTaskWork{{Name: "x", Steps: steps, DedicatedThroughput: 10}})
+		moreWork := Compute(model.ServerI, model.ServerII, tNo, tWith,
+			[]SideTaskWork{{Name: "x", Steps: steps * 2, DedicatedThroughput: 10}})
+		moreOverhead := Compute(model.ServerI, model.ServerII, tNo,
+			tWith+10*time.Second,
+			[]SideTaskWork{{Name: "x", Steps: steps, DedicatedThroughput: 10}})
+		return moreWork.S > base.S && moreOverhead.S < base.S
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDedicatedTime(t *testing.T) {
+	w := SideTaskWork{Name: "x", Steps: 100, DedicatedThroughput: 10}
+	d, err := w.DedicatedTime()
+	if err != nil || d != 10*time.Second {
+		t.Fatalf("DedicatedTime = %v/%v, want 10s", d, err)
+	}
+	if _, err := (SideTaskWork{Name: "y"}).DedicatedTime(); err == nil {
+		t.Fatal("zero throughput accepted")
+	}
+}

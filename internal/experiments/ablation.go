@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"freeride"
+	"freeride/internal/model"
+)
+
+// AblationRow is one configuration of a design-choice sweep.
+type AblationRow struct {
+	Label string
+	I     float64
+	S     float64
+	Steps uint64
+	Kills uint64
+}
+
+// AblationResult is one sweep.
+type AblationResult struct {
+	Name string
+	Rows []AblationRow
+}
+
+// Render prints the sweep.
+func (r *AblationResult) Render() string {
+	t := &Table{
+		Title:  "Ablation — " + r.Name,
+		Header: []string{"config", "I", "S", "steps", "kills"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Label, pct(row.I), pct(row.S), fmt.Sprintf("%d", row.Steps), fmt.Sprintf("%d", row.Kills))
+	}
+	return t.Render()
+}
+
+func runAblationPoint(cfg freeride.Config, task model.TaskProfile) (AblationRow, error) {
+	res, err := runOne(cfg, []model.TaskProfile{task})
+	if err != nil {
+		return AblationRow{}, err
+	}
+	var kills uint64
+	for _, ws := range res.WorkerStats {
+		kills += ws.GraceKills + ws.InitKills
+	}
+	return AblationRow{
+		I:     res.Cost.I,
+		S:     res.Cost.S,
+		Steps: res.TotalSteps(),
+		Kills: kills,
+	}, nil
+}
+
+// RunAblationGrace sweeps the framework-enforced grace period. Well-behaved
+// iterative tasks should be insensitive to it (the program-directed limit
+// does the work); only a pathologically short grace kills legitimate tasks.
+func RunAblationGrace(opts Options) (*AblationResult, error) {
+	opts.normalize()
+	out := &AblationResult{Name: "grace period (graphsgd iterative)"}
+	for _, grace := range []time.Duration{
+		20 * time.Millisecond, 100 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second,
+	} {
+		cfg := opts.baseConfig()
+		cfg.Method = freeride.MethodIterative
+		cfg.Grace = grace
+		row, err := runAblationPoint(cfg, model.GraphSGD)
+		if err != nil {
+			return nil, fmt.Errorf("ablation grace %v: %w", grace, err)
+		}
+		row.Label = fmt.Sprintf("grace=%v", grace)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RunAblationRPCLatency sweeps control-plane latency: higher latency delays
+// starts/pauses and erodes harvested steps, but must never corrupt training.
+func RunAblationRPCLatency(opts Options) (*AblationResult, error) {
+	opts.normalize()
+	out := &AblationResult{Name: "RPC latency (resnet18 iterative)"}
+	for _, lat := range []time.Duration{
+		0, 200 * time.Microsecond, 2 * time.Millisecond, 20 * time.Millisecond,
+	} {
+		cfg := opts.baseConfig()
+		cfg.Method = freeride.MethodIterative
+		cfg.RPCLatency = lat
+		row, err := runAblationPoint(cfg, model.ResNet18)
+		if err != nil {
+			return nil, fmt.Errorf("ablation rpc %v: %w", lat, err)
+		}
+		row.Label = fmt.Sprintf("rpc=%v", lat)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RunAblationSafetyMargin sweeps the reporter's bubble safety margin:
+// larger margins trade harvested steps (lower S) for extra protection
+// against overruns (lower I).
+func RunAblationSafetyMargin(opts Options) (*AblationResult, error) {
+	opts.normalize()
+	out := &AblationResult{Name: "bubble safety margin (resnet18 iterative)"}
+	for _, margin := range []time.Duration{
+		0, 10 * time.Millisecond, 50 * time.Millisecond, 200 * time.Millisecond,
+	} {
+		cfg := opts.baseConfig()
+		cfg.Method = freeride.MethodIterative
+		cfg.SafetyMargin = margin
+		row, err := runAblationPoint(cfg, model.ResNet18)
+		if err != nil {
+			return nil, fmt.Errorf("ablation margin %v: %w", margin, err)
+		}
+		row.Label = fmt.Sprintf("margin=%v", margin)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RunAblationMultiTask exercises the §8 extension: multiple side tasks
+// queued per worker, served sequentially as predecessors finish or die.
+func RunAblationMultiTask(opts Options) (*AblationResult, error) {
+	opts.normalize()
+	out := &AblationResult{Name: "multiple tasks per worker (pagerank + resnet18)"}
+	cfg := opts.baseConfig()
+	cfg.Method = freeride.MethodIterative
+	tNo, err := freeride.BaselineTrainTime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := freeride.NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Two tasks per worker: Algorithm 1 balances 8 instances over 4
+	// workers.
+	for i := 0; i < 4; i++ {
+		if err := sess.Submit(model.PageRank, i); err != nil {
+			return nil, err
+		}
+		if err := sess.Submit(model.ResNet18, i); err != nil {
+			return nil, err
+		}
+	}
+	res, err := sess.Run()
+	if err != nil {
+		return nil, err
+	}
+	rep := res.CostReport(tNo)
+	out.Rows = append(out.Rows, AblationRow{
+		Label: "2-per-worker",
+		I:     rep.I,
+		S:     rep.S,
+		Steps: res.TotalSteps(),
+	})
+	return out, nil
+}
+
+// RunAblationInterleaved measures FreeRide's harvest when the pipeline
+// already uses interleaved (virtual-stage) scheduling — the bubble-
+// *reduction* alternative from the paper's related work. Interleaving
+// shrinks the bubbles FreeRide feeds on, so the harvest (S) should drop
+// while the overhead stays ~1%: the two approaches compose but compete for
+// the same idle time.
+func RunAblationInterleaved(opts Options) (*AblationResult, error) {
+	opts.normalize()
+	out := &AblationResult{Name: "interleaved pipeline (resnet18 iterative)"}
+	for _, virtual := range []int{1, 2} {
+		cfg := opts.baseConfig()
+		cfg.Method = freeride.MethodIterative
+		cfg.VirtualStages = virtual
+		row, err := runAblationPoint(cfg, model.ResNet18)
+		if err != nil {
+			return nil, fmt.Errorf("ablation interleaved V=%d: %w", virtual, err)
+		}
+		row.Label = fmt.Sprintf("virtual=%d", virtual)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the table as CSV so downstream users can regenerate the
+// paper's plots with their own tooling.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV renders each result as machine-readable rows.
+
+// WriteCSV emits Table-1 rows.
+func (r *Table1Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"task", "bubbles_steps_per_s", "server_ii_steps_per_s", "server_cpu_steps_per_s", "ratio_vs_ii", "ratio_vs_cpu"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Task,
+			fmtF(row.Bubbles), fmtF(row.ServerII), fmtF(row.ServerCPU),
+			fmtF(row.RatioII()), fmtF(row.RatioCPU()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits Table-2 rows.
+func (r *Table2Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"task", "method", "time_increase", "cost_savings", "steps", "t_no_s", "t_with_s"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Task, row.Method.String(),
+			fmtF(row.I), fmtF(row.S),
+			strconv.FormatUint(row.Steps, 10),
+			fmtF(row.TNo.Seconds()), fmtF(row.TWith.Seconds()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits one row per sensitivity point.
+func (r *Figure7Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"task", "x", "time_increase", "cost_savings", "oom"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{row.Task, row.X, fmtF(row.I), fmtF(row.S), strconv.FormatBool(row.OOM)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits one row per breakdown bar.
+func (r *Figure9Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"task", "running", "runtime", "insufficient", "oom", "total_bubble_s"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Task,
+			fmtF(row.Running), fmtF(row.Runtime), fmtF(row.Insufficient), fmtF(row.OOM),
+			fmtF(row.TotalBubble.Seconds()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the bubble scatter and statistics (two sections).
+func (r *Figure2Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"section", "model", "microbatches", "stage", "type", "duration_s", "mem_avail_bytes", "epoch_s", "bubble_s", "bubble_rate"}); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		rec := []string{"point", p.Model, "4", strconv.Itoa(p.Stage), p.Type.String(),
+			fmtF(p.Duration.Seconds()), strconv.FormatInt(p.MemAvail, 10), "", "", ""}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Stats {
+		rec := []string{"stat", s.Model, strconv.Itoa(s.MicroBatch), "", "", "", "",
+			fmtF(s.EpochTime.Seconds()), fmtF(s.BubbleTime.Seconds()), fmtF(s.BubbleRate)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(f float64) string { return fmt.Sprintf("%.6g", f) }

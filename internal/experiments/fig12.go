@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"freeride"
+	"freeride/internal/bubble"
+	"freeride/internal/model"
+	"freeride/internal/pipeline"
+	"freeride/internal/simgpu"
+	"freeride/internal/simproc"
+	"freeride/internal/simtime"
+	"freeride/internal/trace"
+)
+
+// Figure1Result reproduces paper Figure 1: one training epoch's per-stage
+// op timeline with SM occupancy (a) and per-stage memory utilization (b).
+type Figure1Result struct {
+	EpochStart time.Duration
+	EpochEnd   time.Duration
+	// Ops per stage within the epoch.
+	Ops [][]pipeline.OpSpan
+	// Occupancy traces per stage (training client).
+	Occ []*trace.Series
+	// MemUsed / MemTotal per stage.
+	MemUsed  []int64
+	MemTotal []int64
+	// Bubbles recovered from the traces, per stage.
+	Bubbles []trace.IntervalSet
+}
+
+// RunFigure1 trains two epochs of the 3.6B model and extracts the second.
+func RunFigure1(opts Options) (*Figure1Result, error) {
+	opts.normalize()
+	eng := simtime.NewVirtual()
+	procs := simproc.NewRuntime(eng)
+	devices := make([]*simgpu.Device, 4)
+	for i := range devices {
+		devices[i] = simgpu.NewDevice(eng, simgpu.DeviceConfig{
+			Name:     fmt.Sprintf("gpu%d", i),
+			MemBytes: model.ServerI.GPUMemBytes,
+		})
+	}
+	tr, err := pipeline.New(eng, procs, devices, pipeline.Config{
+		Model: model.NanoGPT3B, Stages: 4, MicroBatches: 4, Epochs: 2, RecordOps: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.Start(); err != nil {
+		return nil, err
+	}
+	eng.Drain(10_000_000)
+	if !tr.Done().IsSet() {
+		return nil, fmt.Errorf("fig1: training incomplete")
+	}
+	starts, ends := tr.EpochTimes()
+	out := &Figure1Result{EpochStart: starts[1], EpochEnd: ends[1]}
+	for s := 0; s < 4; s++ {
+		var ops []pipeline.OpSpan
+		for _, op := range tr.OpLog(s) {
+			if op.Start >= starts[1] && op.End <= ends[1] {
+				ops = append(ops, op)
+			}
+		}
+		out.Ops = append(out.Ops, ops)
+		occ := tr.Client(s).OccTrace()
+		out.Occ = append(out.Occ, occ)
+		out.MemUsed = append(out.MemUsed, model.NanoGPT3B.StageMemUsed(s, 4, 4))
+		out.MemTotal = append(out.MemTotal, model.ServerI.GPUMemBytes)
+		out.Bubbles = append(out.Bubbles, occ.Below(0.05, starts[1], ends[1]))
+	}
+	return out, nil
+}
+
+// Render draws an ASCII version of Figure 1: per-stage op lanes with
+// shaded bubbles, then the memory bar chart.
+func (r *Figure1Result) Render() string {
+	var b strings.Builder
+	span := r.EpochEnd - r.EpochStart
+	const cols = 96
+	fmt.Fprintf(&b, "Figure 1(a): pipeline ops and bubbles over one epoch (%.2fs, '.'=bubble)\n", span.Seconds())
+	for s := len(r.Ops) - 1; s >= 0; s-- {
+		lane := make([]byte, cols)
+		for i := range lane {
+			lane[i] = '.'
+		}
+		for _, op := range r.Ops[s] {
+			c := byte('F')
+			switch op.Op.Kind {
+			case pipeline.OpBackward:
+				c = 'B'
+			case pipeline.OpOptimize:
+				c = 'O'
+			}
+			from := int(float64(op.Start-r.EpochStart) / float64(span) * cols)
+			to := int(float64(op.End-r.EpochStart) / float64(span) * cols)
+			for i := from; i < to && i < cols; i++ {
+				if i >= 0 {
+					lane[i] = c
+				}
+			}
+		}
+		bubbleTime := r.Bubbles[s].Total()
+		fmt.Fprintf(&b, "stage %d |%s| bubbles %.2fs (%.1f%%)\n",
+			s, lane, bubbleTime.Seconds(), 100*float64(bubbleTime)/float64(span))
+	}
+	fmt.Fprintf(&b, "\nFigure 1(b): GPU memory utilization per stage ('#'=training, '-'=unutilized)\n")
+	for s := range r.MemUsed {
+		frac := float64(r.MemUsed[s]) / float64(r.MemTotal[s])
+		used := int(frac * 48)
+		fmt.Fprintf(&b, "stage %d |%s%s| %4.1f / %.0f GB\n",
+			s, strings.Repeat("#", used), strings.Repeat("-", 48-used),
+			float64(r.MemUsed[s])/float64(model.GiB), float64(r.MemTotal[s])/float64(model.GiB))
+	}
+	return b.String()
+}
+
+// Figure2Point is one bubble in the Figure 2(a) scatter.
+type Figure2Point struct {
+	Model    string
+	Duration time.Duration
+	MemAvail int64
+	Type     bubble.Type
+	Stage    int
+}
+
+// Figure2Stat is one bar group of Figure 2(b).
+type Figure2Stat struct {
+	Model      string
+	MicroBatch int
+	EpochTime  time.Duration
+	BubbleTime time.Duration // mean per-stage bubble time per epoch
+	BubbleRate float64
+}
+
+// Figure2Result reproduces paper Figure 2: bubble shape distribution and
+// duration/bubble-rate statistics across model sizes (plus the micro-batch-8
+// data point of §2.2.2).
+type Figure2Result struct {
+	Points []Figure2Point
+	Stats  []Figure2Stat
+}
+
+// RunFigure2 profiles bubbles for 1.2B/3.6B/6B at 4 micro-batches and for
+// 3.6B at 8 micro-batches.
+func RunFigure2(opts Options) (*Figure2Result, error) {
+	opts.normalize()
+	out := &Figure2Result{}
+	configs := []struct {
+		llm model.LLM
+		mbs int
+	}{
+		{model.NanoGPT1B, 4},
+		{model.NanoGPT3B, 4},
+		{model.NanoGPT6B, 4},
+		{model.NanoGPT3B, 8},
+	}
+	for _, c := range configs {
+		prof, err := profileFor(c.llm, c.mbs)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %s/mb%d: %w", c.llm.Name, c.mbs, err)
+		}
+		if c.mbs == 4 {
+			for _, sp := range prof.Stages {
+				for _, tpl := range sp.Templates {
+					out.Points = append(out.Points, Figure2Point{
+						Model:    c.llm.Name,
+						Duration: tpl.Duration,
+						MemAvail: sp.MemAvailable,
+						Type:     tpl.Type,
+						Stage:    tpl.Stage,
+					})
+				}
+			}
+		}
+		meanBubble := prof.TotalBubbleTime() / time.Duration(len(prof.Stages))
+		out.Stats = append(out.Stats, Figure2Stat{
+			Model:      c.llm.Name,
+			MicroBatch: c.mbs,
+			EpochTime:  prof.EpochSpan,
+			BubbleTime: meanBubble,
+			BubbleRate: prof.BubbleRate(),
+		})
+	}
+	return out, nil
+}
+
+// profileFor runs the offline bubble profiler for one configuration.
+func profileFor(llm model.LLM, mbs int) (*bubble.Profile, error) {
+	cfg := freeride.DefaultConfig()
+	cfg.LLM = llm
+	cfg.MicroBatches = mbs
+	cfg.Epochs = 2
+	sess, err := freeride.NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Profile, nil
+}
+
+// Render prints the distribution summary and the statistics bars.
+func (r *Figure2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2(a): bubble shapes under different model sizes\n")
+	t := &Table{Header: []string{"model", "stage", "type", "duration", "avail mem (GB)"}}
+	for _, p := range r.Points {
+		t.AddRow(p.Model, fmt.Sprintf("%d", p.Stage), p.Type.String(),
+			fmt.Sprintf("%.2fs", p.Duration.Seconds()),
+			fmt.Sprintf("%.1f", float64(p.MemAvail)/float64(model.GiB)))
+	}
+	b.WriteString(t.Render())
+	fmt.Fprintf(&b, "\nFigure 2(b): durations and bubble rates\n")
+	t2 := &Table{Header: []string{"model", "micro-batches", "epoch time", "bubble time", "bubble rate"}}
+	for _, s := range r.Stats {
+		t2.AddRow(s.Model, fmt.Sprintf("%d", s.MicroBatch), secs(s.EpochTime),
+			secs(s.BubbleTime), pct(s.BubbleRate))
+	}
+	b.WriteString(t2.Render())
+	return b.String()
+}

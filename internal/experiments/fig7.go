@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"freeride"
+	"freeride/internal/model"
+)
+
+// Figure7Row is one bar of a Figure 7 panel.
+type Figure7Row struct {
+	Task string
+	// X is the swept parameter (batch size, model params-B, micro-batches).
+	X string
+	I float64
+	S float64
+	// OOM marks configurations whose dedicated Server-II comparison cannot
+	// run (paper's "OOM" annotation: S undefined).
+	OOM bool
+}
+
+// Figure7Result holds one sensitivity panel pair (time increase + savings).
+type Figure7Result struct {
+	Panel string
+	Rows  []Figure7Row
+}
+
+// RunFigure7BatchSize reproduces Figure 7(a,b): FreeRide-iterative with
+// model-training side tasks at batch sizes 16..128.
+func RunFigure7BatchSize(opts Options) (*Figure7Result, error) {
+	opts.normalize()
+	out := &Figure7Result{Panel: "fig7ab: batch size sensitivity"}
+	batches := []int{16, 32, 64, 96, 128}
+	for _, base := range []model.TaskProfile{model.ResNet18, model.ResNet50, model.VGG19} {
+		for _, bs := range batches {
+			task := base.WithBatch(bs)
+			cfg := opts.baseConfig()
+			cfg.Method = freeride.MethodIterative
+			res, err := runOne(cfg, []model.TaskProfile{task})
+			if err != nil {
+				return nil, fmt.Errorf("fig7ab %s: %w", task.Name, err)
+			}
+			_, fits := task.StepTimeOn(model.ServerII)
+			out.Rows = append(out.Rows, Figure7Row{
+				Task: base.Name,
+				X:    fmt.Sprintf("b%d", bs),
+				I:    res.Cost.I,
+				S:    res.Cost.S,
+				OOM:  !fits,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RunFigure7ModelSize reproduces Figure 7(c,d): all six side tasks against
+// 1.2B/3.6B/6B main models.
+func RunFigure7ModelSize(opts Options) (*Figure7Result, error) {
+	opts.normalize()
+	out := &Figure7Result{Panel: "fig7cd: model size sensitivity"}
+	for _, task := range evalTasks {
+		for _, llm := range model.LLMPresets {
+			cfg := opts.baseConfig()
+			cfg.Method = freeride.MethodIterative
+			cfg.LLM = llm
+			res, err := runOne(cfg, []model.TaskProfile{task})
+			if err != nil {
+				return nil, fmt.Errorf("fig7cd %s/%s: %w", task.Name, llm.Name, err)
+			}
+			out.Rows = append(out.Rows, Figure7Row{
+				Task: task.Name,
+				X:    fmt.Sprintf("%.1fB", llm.ParamsB),
+				I:    res.Cost.I,
+				S:    res.Cost.S,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RunFigure7MicroBatch reproduces Figure 7(e,f): micro-batch counts 4/6/8.
+func RunFigure7MicroBatch(opts Options) (*Figure7Result, error) {
+	opts.normalize()
+	out := &Figure7Result{Panel: "fig7ef: micro-batch count sensitivity"}
+	for _, task := range evalTasks {
+		for _, mbs := range []int{4, 6, 8} {
+			cfg := opts.baseConfig()
+			cfg.Method = freeride.MethodIterative
+			cfg.MicroBatches = mbs
+			res, err := runOne(cfg, []model.TaskProfile{task})
+			if err != nil {
+				return nil, fmt.Errorf("fig7ef %s/mb%d: %w", task.Name, mbs, err)
+			}
+			out.Rows = append(out.Rows, Figure7Row{
+				Task: task.Name,
+				X:    fmt.Sprintf("mb%d", mbs),
+				I:    res.Cost.I,
+				S:    res.Cost.S,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render prints the panel.
+func (r *Figure7Result) Render() string {
+	t := &Table{
+		Title:  "Figure 7 panel — " + r.Panel,
+		Header: []string{"task", "x", "time increase I", "cost savings S"},
+	}
+	for _, row := range r.Rows {
+		s := pct(row.S)
+		if row.OOM {
+			s = "OOM"
+		}
+		t.AddRow(row.Task, row.X, pct(row.I), s)
+	}
+	return t.Render()
+}

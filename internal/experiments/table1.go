@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"freeride"
+	"freeride/internal/model"
+)
+
+// Table1Row compares one side task's throughput on bubbles vs the dedicated
+// platforms (paper Table 1, iterations per second).
+type Table1Row struct {
+	Task string
+	// Bubbles is aggregate steps/s harvested via the iterative interface
+	// across all eligible workers.
+	Bubbles float64
+	// ServerII and ServerCPU are dedicated-platform throughputs.
+	ServerII  float64
+	ServerCPU float64
+	// Workers is how many stages served the task.
+	Workers int
+}
+
+// RatioII reports Bubbles/ServerII (paper: 1.06–2.82×).
+func (r Table1Row) RatioII() float64 {
+	if r.ServerII == 0 {
+		return 0
+	}
+	return r.Bubbles / r.ServerII
+}
+
+// RatioCPU reports Bubbles/ServerCPU (paper: 7–59.9×).
+func (r Table1Row) RatioCPU() float64 {
+	if r.ServerCPU == 0 {
+		return 0
+	}
+	return r.Bubbles / r.ServerCPU
+}
+
+// Table1Result reproduces paper Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// RunTable1 measures every side task's bubble throughput under the
+// iterative interface and compares with Server-II / Server-CPU.
+func RunTable1(opts Options) (*Table1Result, error) {
+	opts.normalize()
+	out := &Table1Result{}
+	for _, task := range evalTasks {
+		cfg := opts.baseConfig()
+		cfg.Method = freeride.MethodIterative
+		res, err := runOne(cfg, []model.TaskProfile{task})
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", task.Name, err)
+		}
+		workers := 0
+		for _, tw := range res.Tasks {
+			if tw.Steps > 0 {
+				workers++
+			}
+		}
+		out.Rows = append(out.Rows, Table1Row{
+			Task:      task.Name,
+			Bubbles:   float64(res.TotalSteps()) / res.TrainTime.Seconds(),
+			ServerII:  task.ThroughputOn(model.ServerII),
+			ServerCPU: task.ThroughputOn(model.ServerCPU),
+			Workers:   workers,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the table in the paper's layout plus the derived ratios.
+func (r *Table1Result) Render() string {
+	t := &Table{
+		Title:  "Table 1: side task throughput (steps/s) on different platforms",
+		Header: []string{"Side task", "Iterative(bubbles)", "Server-II", "Server-CPU", "x vs II", "x vs CPU"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Task,
+			fmt.Sprintf("%.2f", row.Bubbles),
+			fmt.Sprintf("%.2f", row.ServerII),
+			fmt.Sprintf("%.2f", row.ServerCPU),
+			fmt.Sprintf("%.2f", row.RatioII()),
+			fmt.Sprintf("%.1f", row.RatioCPU()),
+		)
+	}
+	return t.Render()
+}

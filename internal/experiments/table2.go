@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"freeride"
+	"freeride/internal/model"
+)
+
+// Table2Row is one cell pair of paper Table 2.
+type Table2Row struct {
+	Task   string
+	Method freeride.Method
+	I      float64 // time increase
+	S      float64 // cost savings
+	Steps  uint64
+	TNo    time.Duration
+	TWith  time.Duration
+}
+
+// Table2Result reproduces paper Table 2: time increase I and cost savings S
+// of DeepSpeed training with side tasks under FreeRide (iterative and
+// imperative), direct MPS, and naive co-location — for the six side tasks
+// and the mixed workload.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2Methods are the four co-location approaches compared.
+var Table2Methods = []freeride.Method{
+	freeride.MethodIterative,
+	freeride.MethodImperative,
+	freeride.MethodMPS,
+	freeride.MethodNaive,
+}
+
+// RunTable2 executes all method × workload combinations (6 tasks + mixed).
+func RunTable2(opts Options) (*Table2Result, error) {
+	opts.normalize()
+	out := &Table2Result{}
+	for _, method := range Table2Methods {
+		for _, task := range evalTasks {
+			cfg := opts.baseConfig()
+			cfg.Method = method
+			res, err := runOne(cfg, []model.TaskProfile{task})
+			if err != nil {
+				return nil, fmt.Errorf("table2 %v/%s: %w", method, task.Name, err)
+			}
+			out.Rows = append(out.Rows, Table2Row{
+				Task:   task.Name,
+				Method: method,
+				I:      res.Cost.I,
+				S:      res.Cost.S,
+				Steps:  res.TotalSteps(),
+				TNo:    res.Cost.TNo,
+				TWith:  res.Cost.TWith,
+			})
+		}
+		cfg := opts.baseConfig()
+		cfg.Method = method
+		res, err := runMixed(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %v/mixed: %w", method, err)
+		}
+		out.Rows = append(out.Rows, Table2Row{
+			Task:   "mixed",
+			Method: method,
+			I:      res.Cost.I,
+			S:      res.Cost.S,
+			Steps:  res.TotalSteps(),
+			TNo:    res.Cost.TNo,
+			TWith:  res.Cost.TWith,
+		})
+	}
+	return out, nil
+}
+
+// Row finds a cell pair by task and method.
+func (r *Table2Result) Row(task string, method freeride.Method) (Table2Row, bool) {
+	for _, row := range r.Rows {
+		if row.Task == task && row.Method == method {
+			return row, true
+		}
+	}
+	return Table2Row{}, false
+}
+
+// Averages reports mean I and S per method (the paper's headline "7.8%
+// average cost savings with 1.1% overhead" aggregates the iterative rows).
+func (r *Table2Result) Averages(method freeride.Method) (meanI, meanS float64) {
+	n := 0
+	for _, row := range r.Rows {
+		if row.Method != method || row.Task == "mixed" {
+			continue
+		}
+		meanI += row.I
+		meanS += row.S
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return meanI / float64(n), meanS / float64(n)
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table2Result) Render() string {
+	t := &Table{
+		Title: "Table 2: time increase I and cost savings S of running DeepSpeed with side tasks",
+		Header: []string{"Side task",
+			"Iterative I", "S", "Imperative I", "S", "MPS I", "S", "Naive I", "S"},
+	}
+	tasks := append([]string{}, taskNames(evalTasks)...)
+	tasks = append(tasks, "mixed")
+	for _, task := range tasks {
+		cells := []string{task}
+		for _, m := range Table2Methods {
+			row, ok := r.Row(task, m)
+			if !ok {
+				cells = append(cells, "-", "-")
+				continue
+			}
+			cells = append(cells, pct(row.I), pct(row.S))
+		}
+		t.AddRow(cells...)
+	}
+	iter, iterS := r.Averages(freeride.MethodIterative)
+	return t.Render() + fmt.Sprintf("average (iterative, excl. mixed): I=%s S=%s\n", pct(iter), pct(iterS))
+}
+
+func taskNames(ps []model.TaskProfile) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+package freerpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"freeride/internal/simproc"
+	"freeride/internal/simtime"
+)
+
+// Handler serves one RPC method. Handlers run in engine-callback context and
+// must not block; long work should be scheduled or handed to a process.
+type Handler func(params json.RawMessage) (any, error)
+
+// Mux is a method dispatch table shared by any number of peers (the worker
+// registers its methods once and serves every manager connection with them).
+type Mux struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewMux returns an empty dispatch table.
+func NewMux() *Mux {
+	return &Mux{handlers: make(map[string]Handler)}
+}
+
+// Handle registers h for method, replacing any previous registration.
+func (m *Mux) Handle(method string, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[method] = h
+}
+
+// HandleFunc registers a typed handler: params are unmarshalled into a fresh
+// P before invoking fn.
+func HandleFunc[P any](m *Mux, method string, fn func(params P) (any, error)) {
+	m.Handle(method, func(raw json.RawMessage) (any, error) {
+		var p P
+		if len(raw) > 0 {
+			if err := json.Unmarshal(raw, &p); err != nil {
+				return nil, fmt.Errorf("freerpc: bad params for %s: %w", method, err)
+			}
+		}
+		return fn(p)
+	})
+}
+
+func (m *Mux) lookup(method string) (Handler, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	h, ok := m.handlers[method]
+	return h, ok
+}
+
+// envelope is the wire message: requests carry Method, responses don't.
+type envelope struct {
+	ID     uint64          `json:"id,omitempty"`
+	Method string          `json:"method,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// RemoteError is a failure reported by the remote handler.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("freerpc: remote %s: %s", e.Method, e.Msg)
+}
+
+// Peer is one endpoint of an RPC connection: it can both serve methods (via
+// its Mux) and issue calls.
+type Peer struct {
+	eng  simtime.Engine
+	conn Conn
+	mux  *Mux
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*pendingCall
+	closed  bool
+}
+
+type pendingCall struct {
+	method string
+	done   func(result json.RawMessage, err error)
+	timer  *simtime.Timer
+}
+
+// NewPeer wraps conn. mux may be nil for call-only endpoints.
+func NewPeer(eng simtime.Engine, conn Conn, mux *Mux) *Peer {
+	p := &Peer{eng: eng, conn: conn, mux: mux, pending: make(map[uint64]*pendingCall)}
+	conn.SetRecvHandler(p.onFrame)
+	conn.OnClose(p.failAll)
+	return p
+}
+
+// Conn returns the underlying transport.
+func (p *Peer) Conn() Conn { return p.conn }
+
+// Close tears down the connection; pending calls fail with ErrClosed.
+func (p *Peer) Close() { _ = p.conn.Close() }
+
+func (p *Peer) onFrame(frame []byte) {
+	var env envelope
+	if err := json.Unmarshal(frame, &env); err != nil {
+		return // malformed frame: drop
+	}
+	if env.Method != "" {
+		p.serveRequest(&env)
+		return
+	}
+	p.mu.Lock()
+	call, ok := p.pending[env.ID]
+	if ok {
+		delete(p.pending, env.ID)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return // response to a timed-out or unknown call
+	}
+	if call.timer != nil {
+		call.timer.Cancel()
+	}
+	if env.Error != "" {
+		call.done(nil, &RemoteError{Method: call.method, Msg: env.Error})
+		return
+	}
+	call.done(env.Result, nil)
+}
+
+func (p *Peer) serveRequest(env *envelope) {
+	var resp envelope
+	resp.ID = env.ID
+	if p.mux == nil {
+		resp.Error = "no handler table"
+	} else if h, ok := p.mux.lookup(env.Method); !ok {
+		resp.Error = fmt.Sprintf("unknown method %q", env.Method)
+	} else {
+		result, err := h(env.Params)
+		if err != nil {
+			resp.Error = err.Error()
+		} else if result != nil {
+			raw, merr := json.Marshal(result)
+			if merr != nil {
+				resp.Error = fmt.Sprintf("marshal result: %v", merr)
+			} else {
+				resp.Result = raw
+			}
+		}
+	}
+	if env.ID == 0 {
+		return // notification: no response
+	}
+	frame, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	_ = p.conn.Send(frame)
+}
+
+// failAll fails every pending call with ErrClosed.
+func (p *Peer) failAll() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	pending := p.pending
+	p.pending = make(map[uint64]*pendingCall)
+	p.mu.Unlock()
+	for _, c := range pending {
+		if c.timer != nil {
+			c.timer.Cancel()
+		}
+		c.done(nil, ErrClosed)
+	}
+}
+
+// Go issues an asynchronous call; done fires in engine-callback context with
+// the raw result. A zero timeout means no deadline.
+func (p *Peer) Go(method string, params any, timeout time.Duration, done func(result json.RawMessage, err error)) {
+	if done == nil {
+		done = func(json.RawMessage, error) {}
+	}
+	var raw json.RawMessage
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			done(nil, fmt.Errorf("freerpc: marshal params: %w", err))
+			return
+		}
+		raw = b
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		done(nil, ErrClosed)
+		return
+	}
+	p.nextID++
+	id := p.nextID
+	call := &pendingCall{method: method, done: done}
+	p.pending[id] = call
+	p.mu.Unlock()
+
+	if timeout > 0 {
+		call.timer = p.eng.Schedule(timeout, "rpc-timeout:"+method, func() {
+			p.mu.Lock()
+			_, still := p.pending[id]
+			if still {
+				delete(p.pending, id)
+			}
+			p.mu.Unlock()
+			if still {
+				done(nil, fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout))
+			}
+		})
+	}
+
+	frame, err := json.Marshal(envelope{ID: id, Method: method, Params: raw})
+	if err == nil {
+		err = p.conn.Send(frame)
+	}
+	if err != nil {
+		p.mu.Lock()
+		_, still := p.pending[id]
+		if still {
+			delete(p.pending, id)
+		}
+		p.mu.Unlock()
+		if still {
+			if call.timer != nil {
+				call.timer.Cancel()
+			}
+			done(nil, err)
+		}
+	}
+}
+
+// Notify sends a one-way message (no response, no delivery guarantee beyond
+// the transport's).
+func (p *Peer) Notify(method string, params any) error {
+	var raw json.RawMessage
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("freerpc: marshal params: %w", err)
+		}
+		raw = b
+	}
+	frame, err := json.Marshal(envelope{Method: method, Params: raw})
+	if err != nil {
+		return err
+	}
+	return p.conn.Send(frame)
+}
+
+// Call issues a blocking call from process context, unmarshalling the reply
+// into result (which may be nil). A zero timeout means no deadline.
+func (p *Peer) Call(proc *simproc.Process, method string, params, result any, timeout time.Duration) error {
+	type outcome struct {
+		raw json.RawMessage
+		err error
+	}
+	got := proc.WaitEvent("rpc:"+method, func(wake func(any)) {
+		p.Go(method, params, timeout, func(raw json.RawMessage, err error) {
+			wake(outcome{raw: raw, err: err})
+		})
+	})
+	oc, ok := got.(outcome)
+	if !ok {
+		return fmt.Errorf("freerpc: unexpected wake payload %T", got)
+	}
+	if oc.err != nil {
+		return oc.err
+	}
+	if result != nil && len(oc.raw) > 0 {
+		if err := json.Unmarshal(oc.raw, result); err != nil {
+			return fmt.Errorf("freerpc: unmarshal result of %s: %w", method, err)
+		}
+	}
+	return nil
+}
+
+// Serve accepts connections from ln and wires each to a new Peer over mux.
+// It returns when the listener fails (e.g. is closed). Each accepted peer
+// is reported through onPeer (may be nil).
+func Serve(eng simtime.Engine, ln net.Listener, mux *Mux, onPeer func(*Peer)) error {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		peer := NewPeer(eng, NewNetConn(eng, nc), mux)
+		if onPeer != nil {
+			onPeer(peer)
+		}
+	}
+}
+
+// Dial connects to a live RPC server over TCP.
+func Dial(eng simtime.Engine, network, addr string, mux *Mux) (*Peer, error) {
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("freerpc: dial %s: %w", addr, err)
+	}
+	return NewPeer(eng, NewNetConn(eng, nc), mux), nil
+}

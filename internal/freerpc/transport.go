@@ -1,0 +1,236 @@
+// Package freerpc is FreeRide's RPC layer — the stdlib substitute for the
+// paper's gRPC (§4.6). Communication among the pipeline training system,
+// the side task manager, and the side task workers uses JSON-framed
+// request/response messages over a Conn, which is either
+//
+//   - an in-memory pipe whose delivery is scheduled on the simulation engine
+//     with a configurable one-way latency (deterministic experiments), or
+//   - a real net.Conn carrying newline-delimited JSON (the live
+//     freeride-managerd / freeride-workerd daemons).
+//
+// The RPC latency is part of what the paper measures as "FreeRide runtime"
+// in its bubble-time breakdown (Fig. 9), so the in-memory transport models
+// it explicitly instead of being free.
+package freerpc
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"freeride/internal/simtime"
+)
+
+// Errors returned by the transport and peers.
+var (
+	ErrClosed  = errors.New("freerpc: connection closed")
+	ErrTimeout = errors.New("freerpc: call timed out")
+)
+
+// Conn is a bidirectional frame transport. Recv handlers are always invoked
+// from engine-callback context.
+type Conn interface {
+	// Send transmits one frame asynchronously.
+	Send(frame []byte) error
+	// SetRecvHandler installs the frame receiver. Must be set before the
+	// first frame arrives; calls are serialized by the engine.
+	SetRecvHandler(fn func(frame []byte))
+	// Close tears the connection down; the peer's handler receives no
+	// further frames and its OnClose fires.
+	Close() error
+	// OnClose registers a callback fired once when the connection closes
+	// (locally or remotely), from engine-callback context.
+	OnClose(fn func())
+}
+
+// memConn is one end of an in-memory pipe.
+type memConn struct {
+	eng     simtime.Engine
+	latency time.Duration
+
+	mu      sync.Mutex
+	peer    *memConn
+	recv    func([]byte)
+	closed  bool
+	onClose []func()
+}
+
+var _ Conn = (*memConn)(nil)
+
+// MemPipe returns a connected pair of in-memory Conns with the given one-way
+// delivery latency.
+func MemPipe(eng simtime.Engine, latency time.Duration) (Conn, Conn) {
+	a := &memConn{eng: eng, latency: latency}
+	b := &memConn{eng: eng, latency: latency}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (c *memConn) Send(frame []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	peer := c.peer
+	c.mu.Unlock()
+
+	// Copy: the sender may reuse the buffer.
+	buf := make([]byte, len(frame))
+	copy(buf, frame)
+	c.eng.Schedule(c.latency, "rpc-deliver", func() {
+		peer.mu.Lock()
+		closed, recv := peer.closed, peer.recv
+		peer.mu.Unlock()
+		if closed || recv == nil {
+			return
+		}
+		recv(buf)
+	})
+	return nil
+}
+
+func (c *memConn) SetRecvHandler(fn func([]byte)) {
+	c.mu.Lock()
+	c.recv = fn
+	c.mu.Unlock()
+}
+
+func (c *memConn) OnClose(fn func()) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		fn()
+		return
+	}
+	c.onClose = append(c.onClose, fn)
+	c.mu.Unlock()
+}
+
+func (c *memConn) Close() error {
+	c.closeLocal()
+	// Propagate to the peer after one latency (FIN in flight).
+	peer := c.peer
+	c.eng.Schedule(c.latency, "rpc-close", peer.closeLocal)
+	return nil
+}
+
+func (c *memConn) closeLocal() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	hooks := c.onClose
+	c.onClose = nil
+	c.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+}
+
+// netConn adapts a real net.Conn to the Conn interface with
+// newline-delimited frames. Incoming frames are re-dispatched through the
+// engine so handlers keep the single-threaded callback guarantee.
+type netConn struct {
+	eng simtime.Engine
+	nc  net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	recv    func([]byte)
+	closed  bool
+	onClose []func()
+	started bool
+}
+
+var _ Conn = (*netConn)(nil)
+
+// NewNetConn wraps nc. The read loop starts at the first SetRecvHandler.
+func NewNetConn(eng simtime.Engine, nc net.Conn) Conn {
+	return &netConn{eng: eng, nc: nc}
+}
+
+func (c *netConn) Send(frame []byte) error {
+	if bytes.IndexByte(frame, '\n') >= 0 {
+		return errors.New("freerpc: frame contains newline")
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if _, err := c.nc.Write(append(frame, '\n')); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (c *netConn) SetRecvHandler(fn func([]byte)) {
+	c.mu.Lock()
+	c.recv = fn
+	start := !c.started
+	c.started = true
+	c.mu.Unlock()
+	if start {
+		go c.readLoop()
+	}
+}
+
+func (c *netConn) readLoop() {
+	scanner := bufio.NewScanner(c.nc)
+	scanner.Buffer(make([]byte, 64<<10), 16<<20)
+	for scanner.Scan() {
+		line := make([]byte, len(scanner.Bytes()))
+		copy(line, scanner.Bytes())
+		c.eng.Schedule(0, "rpc-recv", func() {
+			c.mu.Lock()
+			recv, closed := c.recv, c.closed
+			c.mu.Unlock()
+			if !closed && recv != nil {
+				recv(line)
+			}
+		})
+	}
+	c.eng.Schedule(0, "rpc-eof", func() { c.closeLocal() })
+}
+
+func (c *netConn) OnClose(fn func()) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		fn()
+		return
+	}
+	c.onClose = append(c.onClose, fn)
+	c.mu.Unlock()
+}
+
+func (c *netConn) Close() error {
+	c.closeLocal()
+	return nil
+}
+
+func (c *netConn) closeLocal() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	hooks := c.onClose
+	c.onClose = nil
+	c.mu.Unlock()
+	_ = c.nc.Close()
+	for _, h := range hooks {
+		h()
+	}
+}

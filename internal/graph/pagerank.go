@@ -1,0 +1,79 @@
+package graph
+
+import "math"
+
+// PageRank is an incremental power-iteration PageRank solver whose Step
+// method matches the side-task iterative interface: one call is one
+// iteration over the graph (the paper's PR side task runs "the graph
+// algorithm over the input graph for one step" per iteration, §6.2).
+type PageRank struct {
+	g       *CSR
+	damping float64
+	ranks   []float64
+	next    []float64
+	iters   int
+	delta   float64
+}
+
+// NewPageRank initializes uniform ranks.
+func NewPageRank(g *CSR, damping float64) *PageRank {
+	if damping <= 0 || damping >= 1 {
+		damping = 0.85
+	}
+	n := g.NumNodes()
+	pr := &PageRank{
+		g:       g,
+		damping: damping,
+		ranks:   make([]float64, n),
+		next:    make([]float64, n),
+		delta:   math.Inf(1),
+	}
+	for i := range pr.ranks {
+		pr.ranks[i] = 1.0 / float64(n)
+	}
+	return pr
+}
+
+// Step performs one push-style power iteration and returns the L1 delta.
+func (pr *PageRank) Step() float64 {
+	n := pr.g.NumNodes()
+	base := (1 - pr.damping) / float64(n)
+	for i := range pr.next {
+		pr.next[i] = base
+	}
+	var dangling float64
+	for u := 0; u < n; u++ {
+		deg := pr.g.OutDegree(u)
+		if deg == 0 {
+			dangling += pr.ranks[u]
+			continue
+		}
+		share := pr.damping * pr.ranks[u] / float64(deg)
+		for _, v := range pr.g.Neighbors(u) {
+			pr.next[v] += share
+		}
+	}
+	// Dangling mass is spread uniformly, keeping the distribution stochastic.
+	spread := pr.damping * dangling / float64(n)
+	var delta float64
+	for i := range pr.next {
+		pr.next[i] += spread
+		delta += math.Abs(pr.next[i] - pr.ranks[i])
+	}
+	pr.ranks, pr.next = pr.next, pr.ranks
+	pr.iters++
+	pr.delta = delta
+	return delta
+}
+
+// Ranks returns the current rank vector (shared storage; copy to keep).
+func (pr *PageRank) Ranks() []float64 { return pr.ranks }
+
+// Iterations reports completed steps.
+func (pr *PageRank) Iterations() int { return pr.iters }
+
+// Delta reports the last iteration's L1 change.
+func (pr *PageRank) Delta() float64 { return pr.delta }
+
+// Converged reports whether the last delta fell below eps.
+func (pr *PageRank) Converged(eps float64) bool { return pr.delta < eps }

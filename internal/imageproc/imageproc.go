@@ -1,0 +1,170 @@
+// Package imageproc is the image-processing substrate for the paper's
+// nvJPEG-derived side task (§6.1.4): each step resizes one image with
+// bilinear interpolation and alpha-blends a watermark onto it, on real
+// pixel data generated deterministically (the stand-in for Nvidia's sample
+// inputs). The simulated GPU is charged the kernel cost by the side-task
+// layer; the pixel math here keeps the code path real.
+package imageproc
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"math/rand"
+)
+
+// Synthetic renders a deterministic RGBA test image with smooth gradients
+// and seeded noise, so resizing has real structure to interpolate.
+func Synthetic(w, h int, seed int64) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	rng := rand.New(rand.NewSource(seed))
+	noise := uint8(rng.Intn(32))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r := uint8((x * 255) / max(1, w-1))
+			g := uint8((y * 255) / max(1, h-1))
+			b := uint8(((x + y) * 255) / max(1, w+h-2))
+			img.SetRGBA(x, y, color.RGBA{R: r + noise, G: g, B: b, A: 255})
+		}
+	}
+	return img
+}
+
+// Resize scales src to (w, h) with bilinear interpolation.
+func Resize(src *image.RGBA, w, h int) (*image.RGBA, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("imageproc: invalid target %dx%d", w, h)
+	}
+	sb := src.Bounds()
+	sw, sh := sb.Dx(), sb.Dy()
+	if sw == 0 || sh == 0 {
+		return nil, fmt.Errorf("imageproc: empty source")
+	}
+	dst := image.NewRGBA(image.Rect(0, 0, w, h))
+	xRatio := float64(sw-1) / float64(max(1, w-1))
+	yRatio := float64(sh-1) / float64(max(1, h-1))
+	for y := 0; y < h; y++ {
+		sy := float64(y) * yRatio
+		y0 := int(sy)
+		y1 := min(y0+1, sh-1)
+		fy := sy - float64(y0)
+		for x := 0; x < w; x++ {
+			sx := float64(x) * xRatio
+			x0 := int(sx)
+			x1 := min(x0+1, sw-1)
+			fx := sx - float64(x0)
+
+			c00 := src.RGBAAt(sb.Min.X+x0, sb.Min.Y+y0)
+			c10 := src.RGBAAt(sb.Min.X+x1, sb.Min.Y+y0)
+			c01 := src.RGBAAt(sb.Min.X+x0, sb.Min.Y+y1)
+			c11 := src.RGBAAt(sb.Min.X+x1, sb.Min.Y+y1)
+
+			lerp2 := func(a, b, c, d uint8) uint8 {
+				top := float64(a)*(1-fx) + float64(b)*fx
+				bot := float64(c)*(1-fx) + float64(d)*fx
+				return uint8(top*(1-fy) + bot*fy + 0.5)
+			}
+			dst.SetRGBA(x, y, color.RGBA{
+				R: lerp2(c00.R, c10.R, c01.R, c11.R),
+				G: lerp2(c00.G, c10.G, c01.G, c11.G),
+				B: lerp2(c00.B, c10.B, c01.B, c11.B),
+				A: lerp2(c00.A, c10.A, c01.A, c11.A),
+			})
+		}
+	}
+	return dst, nil
+}
+
+// Watermark alpha-blends mark onto dst at (ox, oy), clipping to bounds.
+// opacity is in [0,1].
+func Watermark(dst *image.RGBA, mark *image.RGBA, ox, oy int, opacity float64) {
+	if opacity < 0 {
+		opacity = 0
+	}
+	if opacity > 1 {
+		opacity = 1
+	}
+	db := dst.Bounds()
+	mb := mark.Bounds()
+	for my := 0; my < mb.Dy(); my++ {
+		dy := oy + my
+		if dy < db.Min.Y || dy >= db.Max.Y {
+			continue
+		}
+		for mx := 0; mx < mb.Dx(); mx++ {
+			dx := ox + mx
+			if dx < db.Min.X || dx >= db.Max.X {
+				continue
+			}
+			m := mark.RGBAAt(mb.Min.X+mx, mb.Min.Y+my)
+			alpha := opacity * float64(m.A) / 255.0
+			if alpha == 0 {
+				continue
+			}
+			d := dst.RGBAAt(dx, dy)
+			blend := func(dc, mc uint8) uint8 {
+				return uint8(float64(dc)*(1-alpha) + float64(mc)*alpha + 0.5)
+			}
+			dst.SetRGBA(dx, dy, color.RGBA{
+				R: blend(d.R, m.R),
+				G: blend(d.G, m.G),
+				B: blend(d.B, m.B),
+				A: 255,
+			})
+		}
+	}
+}
+
+// Pipeline is the step-wise side-task workload: one Step() resizes the next
+// synthetic image and stamps the watermark, mirroring Nvidia's
+// resize-and-watermark sample [41].
+type Pipeline struct {
+	srcW, srcH int
+	dstW, dstH int
+	mark       *image.RGBA
+	seed       int64
+	processed  int
+	lastOut    *image.RGBA
+}
+
+// NewPipeline builds the workload. The watermark is a small translucent
+// badge rendered once.
+func NewPipeline(srcW, srcH, dstW, dstH int, seed int64) *Pipeline {
+	mark := image.NewRGBA(image.Rect(0, 0, 32, 16))
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 32; x++ {
+			mark.SetRGBA(x, y, color.RGBA{R: 255, G: 255, B: 255, A: 128})
+		}
+	}
+	return &Pipeline{srcW: srcW, srcH: srcH, dstW: dstW, dstH: dstH, mark: mark, seed: seed}
+}
+
+// Step processes one image and returns it.
+func (p *Pipeline) Step() (*image.RGBA, error) {
+	src := Synthetic(p.srcW, p.srcH, p.seed+int64(p.processed))
+	out, err := Resize(src, p.dstW, p.dstH)
+	if err != nil {
+		return nil, err
+	}
+	Watermark(out, p.mark, p.dstW-40, p.dstH-24, 0.6)
+	p.processed++
+	p.lastOut = out
+	return out, nil
+}
+
+// Processed reports the number of images completed.
+func (p *Pipeline) Processed() int { return p.processed }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+package imageproc
+
+import (
+	"image"
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(64, 48, 7)
+	b := Synthetic(64, 48, 7)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("same seed produced different images")
+		}
+	}
+	c := Synthetic(64, 48, 8)
+	same := true
+	for i := range a.Pix {
+		if a.Pix[i] != c.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+func TestResizeDimensions(t *testing.T) {
+	src := Synthetic(100, 80, 1)
+	dst, err := Resize(src, 37, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Bounds().Dx() != 37 || dst.Bounds().Dy() != 53 {
+		t.Fatalf("resized to %v", dst.Bounds())
+	}
+}
+
+func TestResizeIdentityPreservesCorners(t *testing.T) {
+	src := Synthetic(32, 32, 3)
+	dst, err := Resize(src, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range []image.Point{{0, 0}, {31, 0}, {0, 31}, {31, 31}} {
+		if src.RGBAAt(pt.X, pt.Y) != dst.RGBAAt(pt.X, pt.Y) {
+			t.Fatalf("corner %v changed: %v -> %v", pt, src.RGBAAt(pt.X, pt.Y), dst.RGBAAt(pt.X, pt.Y))
+		}
+	}
+}
+
+func TestResizeRejectsBadTargets(t *testing.T) {
+	src := Synthetic(8, 8, 1)
+	if _, err := Resize(src, 0, 10); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := Resize(src, 10, -1); err == nil {
+		t.Fatal("negative height accepted")
+	}
+}
+
+// Property: downscaled pixel values stay within the [min, max] envelope of
+// the source (bilinear interpolation cannot extrapolate).
+func TestResizeInterpolationEnvelope(t *testing.T) {
+	f := func(seed int64, wRaw, hRaw uint8) bool {
+		w := int(wRaw%40) + 8
+		h := int(hRaw%40) + 8
+		src := Synthetic(64, 64, seed)
+		var lo, hi uint8 = 255, 0
+		for i := 0; i < len(src.Pix); i += 4 { // red channel
+			if src.Pix[i] < lo {
+				lo = src.Pix[i]
+			}
+			if src.Pix[i] > hi {
+				hi = src.Pix[i]
+			}
+		}
+		dst, err := Resize(src, w, h)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < len(dst.Pix); i += 4 {
+			if dst.Pix[i] < lo || dst.Pix[i] > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatermarkChangesOnlyBadgeRegion(t *testing.T) {
+	img := Synthetic(64, 64, 2)
+	ref := Synthetic(64, 64, 2)
+	mark := Synthetic(8, 8, 9)
+	Watermark(img, mark, 10, 20, 0.5)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			inBadge := x >= 10 && x < 18 && y >= 20 && y < 28
+			same := img.RGBAAt(x, y) == ref.RGBAAt(x, y)
+			if inBadge && same {
+				// (possible if blend result equals original; only fail if
+				// the whole badge is untouched — checked below)
+				continue
+			}
+			if !inBadge && !same {
+				t.Fatalf("pixel (%d,%d) outside badge changed", x, y)
+			}
+		}
+	}
+	changed := false
+	for y := 20; y < 28 && !changed; y++ {
+		for x := 10; x < 18; x++ {
+			if img.RGBAAt(x, y) != ref.RGBAAt(x, y) {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("watermark had no effect")
+	}
+}
+
+func TestWatermarkClipsAtEdges(t *testing.T) {
+	img := Synthetic(16, 16, 1)
+	mark := Synthetic(8, 8, 2)
+	// Must not panic when overlapping the border or fully outside.
+	Watermark(img, mark, 12, 12, 1.0)
+	Watermark(img, mark, -4, -4, 1.0)
+	Watermark(img, mark, 100, 100, 1.0)
+}
+
+func TestWatermarkZeroOpacityNoop(t *testing.T) {
+	img := Synthetic(16, 16, 1)
+	ref := Synthetic(16, 16, 1)
+	mark := Synthetic(8, 8, 2)
+	Watermark(img, mark, 4, 4, 0)
+	for i := range img.Pix {
+		if img.Pix[i] != ref.Pix[i] {
+			t.Fatal("zero-opacity watermark changed pixels")
+		}
+	}
+}
+
+func TestPipelineSteps(t *testing.T) {
+	p := NewPipeline(128, 96, 64, 48, 5)
+	for i := 1; i <= 3; i++ {
+		out, err := p.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Bounds().Dx() != 64 || out.Bounds().Dy() != 48 {
+			t.Fatalf("step %d output %v", i, out.Bounds())
+		}
+		if p.Processed() != i {
+			t.Fatalf("Processed = %d, want %d", p.Processed(), i)
+		}
+	}
+}
+
+func BenchmarkResize(b *testing.B) {
+	src := Synthetic(256, 256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Resize(src, 128, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package model holds the calibrated cost models the simulation runs on:
+// the GPT-style LLMs whose pipeline-parallel training produces the bubbles
+// (paper §2.2, §6.1.3), the six side-task workloads (paper §6.1.4), and the
+// server platforms with their prices (paper §6.1.1).
+//
+// Calibration sources, all from the paper:
+//   - 3.6B / 4 stages / 4 micro-batches: FP ≈ 0.22 s per micro-batch,
+//     BP ≈ 2×FP, bubble durations 0.22–1.04 s, bubble rate ≈ 42%.
+//   - Bubble rate falls 42.4% → 40.4% from 1.2B → 6B (Fig. 2b) because the
+//     per-epoch optimizer step grows with model size while bubble time
+//     shrinks with the (memory-capped) micro-batch compute time.
+//   - Micro-batch count 8 drops the bubble rate to ≈26.2%.
+//   - Per-stage memory decreases with stage index — available-to-side-task
+//     memory spans <3 GB (stage 0) to >20 GB (stage 3) (Fig. 1b).
+//   - ResNet18 batch-64: 30.4 ms/step, 2.63 GB (§2.3).
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// GiB is one gibibyte in bytes.
+const GiB = int64(1) << 30
+
+// LLM describes one pipeline-trained language model (the main workload).
+type LLM struct {
+	// Name identifies the preset, e.g. "nanogpt-3.6b".
+	Name string
+	// ParamsB is the parameter count in billions.
+	ParamsB float64
+	// FPPerMB is the per-stage forward time for one micro-batch on the
+	// reference GPU (micro-batch size is already maximized for memory, as
+	// in the paper's methodology).
+	FPPerMB time.Duration
+	// BPPerMB is the per-stage backward time for one micro-batch
+	// (typically ≈ 2×FPPerMB [74]).
+	BPPerMB time.Duration
+	// OptStep is the per-epoch optimizer step executed by every stage
+	// after its last backward; it grows with the per-stage parameter
+	// count and does not produce bubbles.
+	OptStep time.Duration
+	// WeightMemPerStage is weights+gradients+optimizer state per stage
+	// (≈16 bytes/param with fp16 weights and fp32 Adam state).
+	WeightMemPerStage int64
+	// ActMemPerMB is the activation footprint of one in-flight
+	// micro-batch.
+	ActMemPerMB int64
+	// BaseMem is the framework + CUDA context overhead per GPU.
+	BaseMem int64
+	// CommLatency is the stage-to-stage activation transfer time.
+	CommLatency time.Duration
+}
+
+// Presets matching the paper's nanoGPT configurations. Smaller models train
+// with larger (memory-maximized) micro-batches, so their per-micro-batch
+// compute is *longer* — this is why the paper's epoch time falls as the
+// model grows (Fig. 2b).
+var (
+	NanoGPT1B = LLM{
+		Name:              "nanogpt-1.2b",
+		ParamsB:           1.2,
+		FPPerMB:           250 * time.Millisecond,
+		BPPerMB:           500 * time.Millisecond,
+		OptStep:           60 * time.Millisecond,
+		WeightMemPerStage: gib(4.8),
+		ActMemPerMB:       gib(9.3),
+		BaseMem:           5 * GiB,
+		CommLatency:       2 * time.Millisecond,
+	}
+	NanoGPT3B = LLM{
+		Name:              "nanogpt-3.6b",
+		ParamsB:           3.6,
+		FPPerMB:           220 * time.Millisecond,
+		BPPerMB:           440 * time.Millisecond,
+		OptStep:           110 * time.Millisecond,
+		WeightMemPerStage: gib(14.4),
+		ActMemPerMB:       gib(6.4),
+		BaseMem:           5 * GiB,
+		CommLatency:       2 * time.Millisecond,
+	}
+	NanoGPT6B = LLM{
+		Name:              "nanogpt-6b",
+		ParamsB:           6.0,
+		FPPerMB:           190 * time.Millisecond,
+		BPPerMB:           380 * time.Millisecond,
+		OptStep:           250 * time.Millisecond,
+		WeightMemPerStage: 24 * GiB,
+		ActMemPerMB:       gib(4.5),
+		BaseMem:           5 * GiB,
+		CommLatency:       2 * time.Millisecond,
+	}
+)
+
+// LLMPresets lists the available model presets.
+var LLMPresets = []LLM{NanoGPT1B, NanoGPT3B, NanoGPT6B}
+
+// LLMByName resolves a preset by name or parameter count shorthand
+// ("1.2", "3.6", "6").
+func LLMByName(name string) (LLM, error) {
+	for _, m := range LLMPresets {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	switch name {
+	case "1.2", "1.2b", "1.2B":
+		return NanoGPT1B, nil
+	case "3.6", "3.6b", "3.6B":
+		return NanoGPT3B, nil
+	case "6", "6b", "6B":
+		return NanoGPT6B, nil
+	}
+	return LLM{}, fmt.Errorf("model: unknown LLM preset %q", name)
+}
+
+// StageMemUsed reports the training memory footprint of the given stage in
+// an S-stage, M-micro-batch 1F1B pipeline. Earlier stages keep more
+// in-flight activations (min(M, S-s)), which is why available memory grows
+// with the stage index (paper Fig. 1b).
+func (m LLM) StageMemUsed(stage, stages, microBatches int) int64 {
+	inflight := stages - stage
+	if microBatches < inflight {
+		inflight = microBatches
+	}
+	if inflight < 1 {
+		inflight = 1
+	}
+	return m.BaseMem + m.WeightMemPerStage + int64(inflight)*m.ActMemPerMB
+}
+
+// StageMemAvailable reports device memory left for side tasks on the given
+// stage's GPU.
+func (m LLM) StageMemAvailable(deviceMem int64, stage, stages, microBatches int) int64 {
+	avail := deviceMem - m.StageMemUsed(stage, stages, microBatches)
+	if avail < 0 {
+		return 0
+	}
+	return avail
+}
+
+// EpochSpan estimates the 1F1B epoch makespan: warmup forwards cascade down
+// the pipeline, M micro-batches stream through, cooldown backwards cascade
+// back, then the optimizer step runs everywhere.
+func (m LLM) EpochSpan(stages, microBatches int) time.Duration {
+	s := time.Duration(stages - 1)
+	return s*m.FPPerMB + time.Duration(microBatches)*(m.FPPerMB+m.BPPerMB) +
+		s*m.BPPerMB + m.OptStep
+}
+
+// BubbleRateEstimate predicts the per-stage bubble fraction of an epoch.
+func (m LLM) BubbleRateEstimate(stages, microBatches int) float64 {
+	span := m.EpochSpan(stages, microBatches)
+	busy := time.Duration(microBatches)*(m.FPPerMB+m.BPPerMB) + m.OptStep
+	return float64(span-busy) / float64(span)
+}
+
+// gib converts a fractional GiB count to bytes at runtime (fractional GiB
+// literals are not representable as integer constants).
+func gib(f float64) int64 { return int64(f * float64(GiB)) }

@@ -1,0 +1,208 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBubbleRateMatchesPaperShape(t *testing.T) {
+	// Paper Fig. 2b: bubble rate falls slightly from 42.4% (1.2B) to 40.4%
+	// (6B) at 4 stages / 4 micro-batches.
+	r12 := NanoGPT1B.BubbleRateEstimate(4, 4)
+	r36 := NanoGPT3B.BubbleRateEstimate(4, 4)
+	r60 := NanoGPT6B.BubbleRateEstimate(4, 4)
+	if !(r12 > r36 && r36 > r60) {
+		t.Fatalf("bubble rates not decreasing with model size: %v %v %v", r12, r36, r60)
+	}
+	if math.Abs(r12-0.424) > 0.02 {
+		t.Fatalf("1.2B bubble rate = %v, want ~0.424", r12)
+	}
+	if math.Abs(r60-0.404) > 0.02 {
+		t.Fatalf("6B bubble rate = %v, want ~0.404", r60)
+	}
+}
+
+func TestBubbleRateDropsWithMicroBatches(t *testing.T) {
+	// Paper §2.2.2: micro-batch count 8 gives ~26.2%.
+	r8 := NanoGPT3B.BubbleRateEstimate(4, 8)
+	if math.Abs(r8-0.262) > 0.02 {
+		t.Fatalf("micro-batch-8 bubble rate = %v, want ~0.262", r8)
+	}
+}
+
+func TestEpochTimeDecreasesWithModelSize(t *testing.T) {
+	// Paper Fig. 2b: per-epoch time decreases as models grow (memory-capped
+	// micro-batches shrink).
+	e12 := NanoGPT1B.EpochSpan(4, 4)
+	e36 := NanoGPT3B.EpochSpan(4, 4)
+	e60 := NanoGPT6B.EpochSpan(4, 4)
+	if !(e12 > e36 && e36 > e60) {
+		t.Fatalf("epoch spans not decreasing: %v %v %v", e12, e36, e60)
+	}
+}
+
+func TestStageMemoryDecreasesWithStage(t *testing.T) {
+	// Paper Fig. 1b: stage 0 uses the most memory.
+	prev := int64(math.MaxInt64)
+	for s := 0; s < 4; s++ {
+		used := NanoGPT3B.StageMemUsed(s, 4, 4)
+		if used >= prev {
+			t.Fatalf("stage %d memory %d not < previous %d", s, used, prev)
+		}
+		prev = used
+	}
+}
+
+func TestStageMemAvailableRange(t *testing.T) {
+	// Paper §2.2.1: available memory spans <3 GB to >20 GB for 3.6B.
+	avail0 := NanoGPT3B.StageMemAvailable(48*GiB, 0, 4, 4)
+	avail3 := NanoGPT3B.StageMemAvailable(48*GiB, 3, 4, 4)
+	if avail0 > 3*GiB+GiB/10 {
+		t.Fatalf("stage 0 available = %.2f GiB, want ≈<3 GiB", float64(avail0)/float64(GiB))
+	}
+	if avail3 < 20*GiB {
+		t.Fatalf("stage 3 available = %.2f GiB, want >20 GiB", float64(avail3)/float64(GiB))
+	}
+}
+
+func TestAvailableMemoryShrinksWithModelSize(t *testing.T) {
+	// Paper Fig. 2a: larger models leave less bubble memory (late stages).
+	a12 := NanoGPT1B.StageMemAvailable(48*GiB, 3, 4, 4)
+	a36 := NanoGPT3B.StageMemAvailable(48*GiB, 3, 4, 4)
+	a60 := NanoGPT6B.StageMemAvailable(48*GiB, 3, 4, 4)
+	if !(a12 > a36 && a36 > a60) {
+		t.Fatalf("stage-3 available not decreasing: %d %d %d", a12, a36, a60)
+	}
+}
+
+func TestMicroBatchCountDoesNotChangeStageMemory(t *testing.T) {
+	// 1F1B caps in-flight activations at min(M, S-s): going from M=4 to
+	// M=8 must not change stage-0 memory (S=4).
+	m4 := NanoGPT3B.StageMemUsed(0, 4, 4)
+	m8 := NanoGPT3B.StageMemUsed(0, 4, 8)
+	if m4 != m8 {
+		t.Fatalf("stage-0 memory changed with micro-batch count: %d vs %d", m4, m8)
+	}
+}
+
+func TestLLMByName(t *testing.T) {
+	for _, name := range []string{"nanogpt-3.6b", "3.6", "3.6b", "3.6B"} {
+		m, err := LLMByName(name)
+		if err != nil || m.ParamsB != 3.6 {
+			t.Fatalf("LLMByName(%q) = %v/%v", name, m.Name, err)
+		}
+	}
+	if _, err := LLMByName("gpt5"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestTaskByName(t *testing.T) {
+	for _, p := range TaskProfiles {
+		got, err := TaskByName(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Fatalf("TaskByName(%q) failed: %v", p.Name, err)
+		}
+	}
+	if _, err := TaskByName("bitcoin-miner"); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}
+
+func TestTaskMemoryVsStageAvailability(t *testing.T) {
+	// The paper's Fig. 9 placement outcomes: ResNet18 and PageRank fit all
+	// stages; ResNet50 and Graph SGD miss stage 0; VGG19 and Image miss
+	// stages 0 and 1.
+	avail := make([]int64, 4)
+	for s := range avail {
+		avail[s] = NanoGPT3B.StageMemAvailable(48*GiB, s, 4, 4)
+	}
+	fits := func(task TaskProfile, stage int) bool { return task.MemBytes <= avail[stage] }
+	tests := []struct {
+		task      TaskProfile
+		wantStage []bool
+	}{
+		{ResNet18, []bool{true, true, true, true}},
+		{PageRank, []bool{true, true, true, true}},
+		{ResNet50, []bool{false, true, true, true}},
+		{GraphSGD, []bool{false, true, true, true}},
+		{VGG19, []bool{false, false, true, true}},
+		{Image, []bool{false, false, true, true}},
+	}
+	for _, tc := range tests {
+		for s, want := range tc.wantStage {
+			if got := fits(tc.task, s); got != want {
+				t.Errorf("%s fits stage %d = %v, want %v (task %.2f GiB, avail %.2f GiB)",
+					tc.task.Name, s, got, want,
+					float64(tc.task.MemBytes)/float64(GiB), float64(avail[s])/float64(GiB))
+			}
+		}
+	}
+}
+
+func TestWithBatchScaling(t *testing.T) {
+	b64 := ResNet18.WithBatch(64)
+	if b64.StepTime != ResNet18.StepTime {
+		t.Fatalf("default batch rescaled: %v vs %v", b64.StepTime, ResNet18.StepTime)
+	}
+	b128 := ResNet18.WithBatch(128)
+	if b128.StepTime <= ResNet18.StepTime {
+		t.Fatal("batch 128 step not longer than batch 64")
+	}
+	if b128.MemBytes <= ResNet18.MemBytes {
+		t.Fatal("batch 128 memory not larger than batch 64")
+	}
+	b16 := ResNet18.WithBatch(16)
+	if b16.StepTime >= ResNet18.StepTime || b16.MemBytes >= ResNet18.MemBytes {
+		t.Fatal("batch 16 not smaller than batch 64")
+	}
+	// Consistency: the batch-64 reconstruction matches the headline profile
+	// within rounding.
+	recon := ResNet18.StepTimeFixed + 64*ResNet18.StepTimePerSmp
+	if d := recon - ResNet18.StepTime; d > time.Millisecond || d < -time.Millisecond {
+		t.Fatalf("batch model inconsistent with StepTime: %v vs %v", recon, ResNet18.StepTime)
+	}
+}
+
+func TestWithBatchNoopForNonScalable(t *testing.T) {
+	p := PageRank.WithBatch(128)
+	if p.Name != PageRank.Name || p.StepTime != PageRank.StepTime {
+		t.Fatal("non-scalable task was rescaled")
+	}
+}
+
+func TestVGGOOMOnServerIIAtLargeBatch(t *testing.T) {
+	// Paper Fig. 7b marks OOM for large batches on Server-II (10 GB).
+	if _, ok := VGG19.WithBatch(64).StepTimeOn(ServerII); !ok {
+		t.Fatal("VGG19 batch 64 should fit Server-II")
+	}
+	if _, ok := VGG19.WithBatch(96).StepTimeOn(ServerII); ok {
+		t.Fatal("VGG19 batch 96 should OOM on Server-II")
+	}
+	if _, ok := VGG19.WithBatch(128).StepTimeOn(ServerII); ok {
+		t.Fatal("VGG19 batch 128 should OOM on Server-II")
+	}
+}
+
+func TestThroughputOrdering(t *testing.T) {
+	// Server-I > Server-II > CPU for every task (Table 1's platform order).
+	for _, task := range TaskProfiles {
+		thI := task.ThroughputOn(ServerI)
+		thII := task.ThroughputOn(ServerII)
+		thCPU := task.ThroughputOn(ServerCPU)
+		if !(thI > thII && thII > thCPU && thCPU > 0) {
+			t.Errorf("%s throughput ordering violated: I=%v II=%v CPU=%v",
+				task.Name, thI, thII, thCPU)
+		}
+	}
+}
+
+func TestEpochSpanComponents(t *testing.T) {
+	// EpochSpan = (S-1)(FP+BP) + M(FP+BP) + Opt for the calibrated models.
+	m := NanoGPT3B
+	want := 3*(m.FPPerMB+m.BPPerMB) + 4*(m.FPPerMB+m.BPPerMB) + m.OptStep
+	if got := m.EpochSpan(4, 4); got != want {
+		t.Fatalf("EpochSpan = %v, want %v", got, want)
+	}
+}

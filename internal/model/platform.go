@@ -1,0 +1,58 @@
+package model
+
+import "time"
+
+// Platform describes one of the paper's three servers (§6.1.1).
+type Platform struct {
+	Name string
+	// GPUs is the device count (0 for the CPU server).
+	GPUs int
+	// GPUMemBytes is per-device memory.
+	GPUMemBytes int64
+	// PricePerHour is the rental price in dollars (June 2024 quotes).
+	PricePerHour float64
+}
+
+// The paper's evaluation platforms.
+var (
+	// ServerI is the training server: 4× RTX 6000 Ada, 48 GB each.
+	ServerI = Platform{Name: "server-i", GPUs: 4, GPUMemBytes: 48 * GiB, PricePerHour: 3.96}
+	// ServerII is the dedicated lower-tier GPU: RTX 3080, 10 GB.
+	ServerII = Platform{Name: "server-ii", GPUs: 1, GPUMemBytes: 10 * GiB, PricePerHour: 0.18}
+	// ServerCPU is the 8-core Xeon instance used for the CPU comparison.
+	ServerCPU = Platform{Name: "server-cpu", GPUs: 0, PricePerHour: 0.08}
+)
+
+// StepTimeOn reports the task's solo per-step duration on a platform,
+// using the per-task relative speed factors. ok is false when the task does
+// not fit the platform (GPU memory), mirroring the paper's "OOM" cells in
+// Figure 7(b).
+func (t TaskProfile) StepTimeOn(p Platform) (d time.Duration, ok bool) {
+	switch p.Name {
+	case ServerI.Name:
+		return t.StepTime, t.MemBytes <= p.GPUMemBytes
+	case ServerII.Name:
+		if t.SpeedServerII <= 0 {
+			return 0, false
+		}
+		return time.Duration(float64(t.StepTime) / t.SpeedServerII), t.MemBytes <= p.GPUMemBytes
+	case ServerCPU.Name:
+		if t.SpeedCPU <= 0 {
+			return 0, false
+		}
+		// CPU runs are not GPU-memory constrained.
+		return time.Duration(float64(t.StepTime) / t.SpeedCPU), true
+	default:
+		return t.StepTime, true
+	}
+}
+
+// ThroughputOn reports steps/second of the task running dedicated on p, or
+// 0 when it does not fit (the paper's Table 1 columns).
+func (t TaskProfile) ThroughputOn(p Platform) float64 {
+	d, ok := t.StepTimeOn(p)
+	if !ok || d <= 0 {
+		return 0
+	}
+	return 1.0 / d.Seconds()
+}

@@ -1,0 +1,201 @@
+// Package nn is a small, real neural-network training substrate: dense
+// layers, ReLU, softmax cross-entropy, SGD and Adam, over float64 matrices.
+//
+// The paper's model-training side tasks (ResNet18/50, VGG19) run real
+// PyTorch training; reproducing cuDNN is out of scope here, so the
+// side-task layer pairs the *calibrated GPU cost* of those CNNs (see
+// internal/model) with *real* gradient-descent steps from this package on a
+// proportional MLP. The step-wise structure — load batch, forward, loss,
+// backward, optimizer update — is the part FreeRide's iterative interface
+// depends on, and it is fully real.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set writes the element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// MatMul computes a @ b.
+func MatMul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("nn: matmul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns mᵀ.
+func Transpose(m *Matrix) *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Dense is a fully connected layer with bias.
+type Dense struct {
+	W *Matrix // in x out
+	B []float64
+
+	// cached for backward
+	lastIn *Matrix
+
+	GradW *Matrix
+	GradB []float64
+}
+
+// NewDense initializes with He-uniform weights from the seeded rng.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		W:     NewMatrix(in, out),
+		B:     make([]float64, out),
+		GradW: NewMatrix(in, out),
+		GradB: make([]float64, out),
+	}
+	limit := math.Sqrt(6.0 / float64(in))
+	for i := range d.W.Data {
+		d.W.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return d
+}
+
+// Forward computes x@W + b.
+func (d *Dense) Forward(x *Matrix) (*Matrix, error) {
+	out, err := MatMul(x, d.W)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < out.Rows; i++ {
+		for j := 0; j < out.Cols; j++ {
+			out.Data[i*out.Cols+j] += d.B[j]
+		}
+	}
+	d.lastIn = x
+	return out, nil
+}
+
+// Backward accumulates parameter gradients and returns dL/dx.
+func (d *Dense) Backward(gradOut *Matrix) (*Matrix, error) {
+	xt := Transpose(d.lastIn)
+	gw, err := MatMul(xt, gradOut)
+	if err != nil {
+		return nil, err
+	}
+	copy(d.GradW.Data, gw.Data)
+	for j := 0; j < gradOut.Cols; j++ {
+		var sum float64
+		for i := 0; i < gradOut.Rows; i++ {
+			sum += gradOut.At(i, j)
+		}
+		d.GradB[j] = sum
+	}
+	wt := Transpose(d.W)
+	return MatMul(gradOut, wt)
+}
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward clamps negatives to zero.
+func (r *ReLU) Forward(x *Matrix) *Matrix {
+	out := NewMatrix(x.Rows, x.Cols)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward gates gradients by the forward mask.
+func (r *ReLU) Backward(gradOut *Matrix) *Matrix {
+	out := NewMatrix(gradOut.Rows, gradOut.Cols)
+	for i, v := range gradOut.Data {
+		if r.mask[i] {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes the mean loss and the logits gradient for
+// integer class labels.
+func SoftmaxCrossEntropy(logits *Matrix, labels []int) (loss float64, grad *Matrix, err error) {
+	if len(labels) != logits.Rows {
+		return 0, nil, fmt.Errorf("nn: %d labels for %d rows", len(labels), logits.Rows)
+	}
+	grad = NewMatrix(logits.Rows, logits.Cols)
+	n := float64(logits.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Data[i*logits.Cols : (i+1)*logits.Cols]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		probs := grad.Data[i*logits.Cols : (i+1)*logits.Cols]
+		for j, v := range row {
+			e := math.Exp(v - maxV)
+			probs[j] = e
+			sum += e
+		}
+		label := labels[i]
+		if label < 0 || label >= logits.Cols {
+			return 0, nil, fmt.Errorf("nn: label %d out of range [0,%d)", label, logits.Cols)
+		}
+		for j := range probs {
+			probs[j] /= sum
+		}
+		loss += -math.Log(math.Max(probs[label], 1e-12))
+		probs[label] -= 1
+		for j := range probs {
+			probs[j] /= n
+		}
+	}
+	return loss / n, grad, nil
+}

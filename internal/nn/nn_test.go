@@ -1,0 +1,224 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := &Matrix{Rows: 3, Cols: 2, Data: []float64{7, 8, 9, 10, 11, 12}}
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulShapeMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := MatMul(a, b); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(rows, cols uint8, seed int64) bool {
+		r := int(rows%6) + 1
+		c := int(cols%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrix(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		back := Transpose(Transpose(m))
+		for i := range m.Data {
+			if back.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return back.Rows == r && back.Cols == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	// Uniform logits over 4 classes: loss = ln(4).
+	logits := NewMatrix(1, 4)
+	loss, grad, err := SoftmaxCrossEntropy(logits, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-math.Log(4)) > 1e-12 {
+		t.Fatalf("loss = %v, want ln(4)", loss)
+	}
+	// Gradient: softmax - onehot = 0.25 everywhere except -0.75 at label.
+	for j := 0; j < 4; j++ {
+		want := 0.25
+		if j == 2 {
+			want = -0.75
+		}
+		if math.Abs(grad.At(0, j)-want) > 1e-12 {
+			t.Fatalf("grad[%d] = %v, want %v", j, grad.At(0, j), want)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyBadLabel(t *testing.T) {
+	logits := NewMatrix(1, 3)
+	if _, _, err := SoftmaxCrossEntropy(logits, []int{7}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, _, err := SoftmaxCrossEntropy(logits, []int{0, 1}); err == nil {
+		t.Fatal("label-count mismatch accepted")
+	}
+}
+
+// Numerical gradient check: the analytic dL/dW of a Dense layer matches
+// finite differences.
+func TestDenseGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	layer := NewDense(5, 3, rng)
+	x := NewMatrix(4, 5)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	labels := []int{0, 1, 2, 1}
+
+	lossAt := func() float64 {
+		out, err := layer.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss, _, err := SoftmaxCrossEntropy(out, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss
+	}
+
+	// Analytic gradients.
+	out, _ := layer.Forward(x)
+	_, grad, _ := SoftmaxCrossEntropy(out, labels)
+	if _, err := layer.Backward(grad); err != nil {
+		t.Fatal(err)
+	}
+
+	const eps = 1e-6
+	for _, idx := range []int{0, 3, 7, 14} {
+		orig := layer.W.Data[idx]
+		layer.W.Data[idx] = orig + eps
+		up := lossAt()
+		layer.W.Data[idx] = orig - eps
+		down := lossAt()
+		layer.W.Data[idx] = orig
+		numeric := (up - down) / (2 * eps)
+		analytic := layer.GradW.Data[idx]
+		if math.Abs(numeric-analytic) > 1e-5*(1+math.Abs(numeric)) {
+			t.Fatalf("grad W[%d]: analytic %v vs numeric %v", idx, analytic, numeric)
+		}
+	}
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := &ReLU{}
+	x := &Matrix{Rows: 1, Cols: 4, Data: []float64{-1, 2, 0, 3}}
+	out := r.Forward(x)
+	want := []float64{0, 2, 0, 3}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("ReLU fwd = %v", out.Data)
+		}
+	}
+	g := &Matrix{Rows: 1, Cols: 4, Data: []float64{5, 5, 5, 5}}
+	back := r.Backward(g)
+	wantG := []float64{0, 5, 0, 5}
+	for i := range wantG {
+		if back.Data[i] != wantG[i] {
+			t.Fatalf("ReLU bwd = %v", back.Data)
+		}
+	}
+}
+
+func TestTrainerLossDecreases(t *testing.T) {
+	tr, err := NewTrainer([]int{16, 32, 4}, 512, 32, 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := tr.TrainStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 60; i++ {
+		last, err = tr.TrainStep()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first*0.5 {
+		t.Fatalf("loss did not halve: first=%.4f last=%.4f", first, last)
+	}
+	if tr.Steps() != 61 {
+		t.Fatalf("Steps = %d, want 61", tr.Steps())
+	}
+}
+
+func TestSGDMomentumMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	layer := NewDense(2, 2, rng)
+	for i := range layer.GradW.Data {
+		layer.GradW.Data[i] = 1.0
+	}
+	opt := NewSGD(0.1, 0.9)
+	before := layer.W.Data[0]
+	opt.Update(layer)
+	step1 := before - layer.W.Data[0]
+	opt.Update(layer)
+	step2 := (before - step1) - layer.W.Data[0]
+	if step2 <= step1 {
+		t.Fatalf("momentum did not accelerate: step1=%v step2=%v", step1, step2)
+	}
+}
+
+func TestMLPValidation(t *testing.T) {
+	if _, err := NewMLP([]int{5}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("single-dim MLP accepted")
+	}
+}
+
+func TestDatasetBatchShape(t *testing.T) {
+	d := SyntheticDataset(100, 8, 3, 1)
+	x, y := d.Batch(16)
+	if x.Rows != 16 || x.Cols != 8 || len(y) != 16 {
+		t.Fatalf("batch shape %dx%d/%d", x.Rows, x.Cols, len(y))
+	}
+	for _, label := range y {
+		if label < 0 || label >= 3 {
+			t.Fatalf("label %d out of range", label)
+		}
+	}
+}
+
+func BenchmarkTrainStep(b *testing.B) {
+	tr, err := NewTrainer([]int{32, 64, 8}, 1024, 32, 0.005, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.TrainStep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

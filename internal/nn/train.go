@@ -1,0 +1,253 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Optimizer updates a Dense layer from its accumulated gradients.
+type Optimizer interface {
+	Update(layer *Dense)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity map[*Dense]*sgdState
+}
+
+type sgdState struct {
+	vW []float64
+	vB []float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Dense]*sgdState)}
+}
+
+// Update applies one SGD step.
+func (s *SGD) Update(layer *Dense) {
+	st, ok := s.velocity[layer]
+	if !ok {
+		st = &sgdState{vW: make([]float64, len(layer.W.Data)), vB: make([]float64, len(layer.B))}
+		s.velocity[layer] = st
+	}
+	for i := range layer.W.Data {
+		st.vW[i] = s.Momentum*st.vW[i] - s.LR*layer.GradW.Data[i]
+		layer.W.Data[i] += st.vW[i]
+	}
+	for i := range layer.B {
+		st.vB[i] = s.Momentum*st.vB[i] - s.LR*layer.GradB[i]
+		layer.B[i] += st.vB[i]
+	}
+}
+
+// Adam is the Adam optimizer (the paper's side-task example uses Adam).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t     int
+	state map[*Dense]*adamState
+}
+
+type adamState struct {
+	mW, vW []float64
+	mB, vB []float64
+}
+
+// NewAdam returns an Adam optimizer with standard defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, state: make(map[*Dense]*adamState)}
+}
+
+// Update applies one Adam step. Callers must invoke it once per layer per
+// optimization step; the bias-correction timestep advances per layer-set
+// pass (call Tick once per step).
+func (a *Adam) Update(layer *Dense) {
+	st, ok := a.state[layer]
+	if !ok {
+		st = &adamState{
+			mW: make([]float64, len(layer.W.Data)), vW: make([]float64, len(layer.W.Data)),
+			mB: make([]float64, len(layer.B)), vB: make([]float64, len(layer.B)),
+		}
+		a.state[layer] = st
+	}
+	t := float64(a.t)
+	if t < 1 {
+		t = 1
+	}
+	c1 := 1 - math.Pow(a.Beta1, t)
+	c2 := 1 - math.Pow(a.Beta2, t)
+	for i := range layer.W.Data {
+		g := layer.GradW.Data[i]
+		st.mW[i] = a.Beta1*st.mW[i] + (1-a.Beta1)*g
+		st.vW[i] = a.Beta2*st.vW[i] + (1-a.Beta2)*g*g
+		layer.W.Data[i] -= a.LR * (st.mW[i] / c1) / (math.Sqrt(st.vW[i]/c2) + a.Eps)
+	}
+	for i := range layer.B {
+		g := layer.GradB[i]
+		st.mB[i] = a.Beta1*st.mB[i] + (1-a.Beta1)*g
+		st.vB[i] = a.Beta2*st.vB[i] + (1-a.Beta2)*g*g
+		layer.B[i] -= a.LR * (st.mB[i] / c1) / (math.Sqrt(st.vB[i]/c2) + a.Eps)
+	}
+}
+
+// Tick advances Adam's bias-correction timestep; call once per train step.
+func (a *Adam) Tick() { a.t++ }
+
+// MLP is a multi-layer perceptron classifier.
+type MLP struct {
+	layers []*Dense
+	relus  []*ReLU
+}
+
+// NewMLP builds layers sized dims[0] -> dims[1] -> ... -> dims[n-1].
+func NewMLP(dims []int, rng *rand.Rand) (*MLP, error) {
+	if len(dims) < 2 {
+		return nil, fmt.Errorf("nn: MLP needs at least 2 dims, got %v", dims)
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(dims); i++ {
+		m.layers = append(m.layers, NewDense(dims[i], dims[i+1], rng))
+		if i+2 < len(dims) {
+			m.relus = append(m.relus, &ReLU{})
+		}
+	}
+	return m, nil
+}
+
+// Forward computes logits.
+func (m *MLP) Forward(x *Matrix) (*Matrix, error) {
+	h := x
+	var err error
+	for i, l := range m.layers {
+		h, err = l.Forward(h)
+		if err != nil {
+			return nil, err
+		}
+		if i < len(m.relus) {
+			h = m.relus[i].Forward(h)
+		}
+	}
+	return h, nil
+}
+
+// Backward propagates the logits gradient through all layers.
+func (m *MLP) Backward(grad *Matrix) error {
+	g := grad
+	var err error
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		if i < len(m.relus) {
+			g = m.relus[i].Backward(g)
+		}
+		g, err = m.layers[i].Backward(g)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Layers exposes the trainable layers for the optimizer.
+func (m *MLP) Layers() []*Dense { return m.layers }
+
+// Dataset is a synthetic classification problem with planted linear
+// structure plus noise, standing in for the image datasets of the paper's
+// training side tasks.
+type Dataset struct {
+	X       *Matrix
+	Y       []int
+	classes int
+	rng     *rand.Rand
+}
+
+// SyntheticDataset generates n samples of dim features in k classes.
+func SyntheticDataset(n, dim, k int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	proto := NewMatrix(k, dim)
+	for i := range proto.Data {
+		proto.Data[i] = rng.NormFloat64()
+	}
+	x := NewMatrix(n, dim)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(k)
+		y[i] = c
+		for j := 0; j < dim; j++ {
+			x.Set(i, j, proto.At(c, j)+0.3*rng.NormFloat64())
+		}
+	}
+	return &Dataset{X: x, Y: y, classes: k, rng: rng}
+}
+
+// Batch samples a batch with replacement.
+func (d *Dataset) Batch(size int) (*Matrix, []int) {
+	x := NewMatrix(size, d.X.Cols)
+	y := make([]int, size)
+	for i := 0; i < size; i++ {
+		idx := d.rng.Intn(d.X.Rows)
+		copy(x.Data[i*x.Cols:(i+1)*x.Cols], d.X.Data[idx*d.X.Cols:(idx+1)*d.X.Cols])
+		y[i] = d.Y[idx]
+	}
+	return x, y
+}
+
+// Trainer bundles model, data and optimizer into the step-wise workload the
+// iterative interface wraps: one TrainStep = one batch forward + backward +
+// update (exactly the loop in the paper's Figure 6).
+type Trainer struct {
+	model *MLP
+	data  *Dataset
+	opt   *Adam
+	batch int
+	steps int
+	loss  float64
+}
+
+// NewTrainer assembles a training side-task workload.
+func NewTrainer(dims []int, dataN, batch int, lr float64, seed int64) (*Trainer, error) {
+	rng := rand.New(rand.NewSource(seed))
+	m, err := NewMLP(dims, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Trainer{
+		model: m,
+		data:  SyntheticDataset(dataN, dims[0], dims[len(dims)-1], seed+1),
+		opt:   NewAdam(lr),
+		batch: batch,
+	}, nil
+}
+
+// TrainStep runs one optimization step and returns the batch loss.
+func (t *Trainer) TrainStep() (float64, error) {
+	x, y := t.data.Batch(t.batch)
+	logits, err := t.model.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	loss, grad, err := SoftmaxCrossEntropy(logits, y)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.model.Backward(grad); err != nil {
+		return 0, err
+	}
+	t.opt.Tick()
+	for _, l := range t.model.Layers() {
+		t.opt.Update(l)
+	}
+	t.steps++
+	t.loss = loss
+	return loss, nil
+}
+
+// Steps reports completed train steps.
+func (t *Trainer) Steps() int { return t.steps }
+
+// Loss reports the last batch loss.
+func (t *Trainer) Loss() float64 { return t.loss }

@@ -1,0 +1,350 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"freeride/internal/model"
+	"freeride/internal/simgpu"
+	"freeride/internal/simproc"
+	"freeride/internal/simtime"
+)
+
+// Config describes one pipeline training job.
+type Config struct {
+	Model        model.LLM
+	Stages       int
+	MicroBatches int
+	Epochs       int
+	Schedule     ScheduleKind
+	// VirtualPerStage > 1 enables interleaved scheduling (Megatron-style
+	// virtual pipeline stages, the bubble-*reduction* approach of the
+	// paper's related work [29,34]): the model is split into
+	// Stages×VirtualPerStage chunks, chunk v running on device v mod
+	// Stages. Chunks sharing a device contend for its (serial) kernel
+	// stream, producing a greedy interleaved schedule whose Type-A bubbles
+	// shrink by roughly 1/V. Default 1 (plain 1F1B/GPipe).
+	VirtualPerStage int
+	// RecordOps enables the per-stage op timeline (Figure 1a).
+	RecordOps bool
+}
+
+func (c *Config) normalize() error {
+	if c.Stages < 1 {
+		return fmt.Errorf("pipeline: stages %d < 1", c.Stages)
+	}
+	if c.MicroBatches < 1 {
+		return fmt.Errorf("pipeline: micro-batches %d < 1", c.MicroBatches)
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("pipeline: epochs %d < 1", c.Epochs)
+	}
+	if c.Schedule == 0 {
+		c.Schedule = Schedule1F1B
+	}
+	if c.VirtualPerStage <= 0 {
+		c.VirtualPerStage = 1
+	}
+	return nil
+}
+
+// numVirtual is the total virtual stage count.
+func (c Config) numVirtual() int { return c.Stages * c.VirtualPerStage }
+
+// OpSpan records one executed op for the Figure-1 timeline.
+type OpSpan struct {
+	Op    Op
+	Start time.Duration
+	End   time.Duration
+}
+
+// Trainer is one pipeline-parallel training run across a set of GPUs.
+// All per-epoch dependency latches are pre-allocated at Start, so stages can
+// never observe a half-installed epoch.
+type Trainer struct {
+	cfg     Config
+	eng     simtime.Engine
+	procs   *simproc.Runtime
+	devices []*simgpu.Device
+
+	// Immutable after Start:
+	clients  []*simgpu.Client
+	goEpochs []*simproc.Latch     // goEpochs[e] releases epoch e
+	fpDone   [][][]*simproc.Latch // [epoch][stage][mb]
+	bpDone   [][][]*simproc.Latch
+
+	mu           sync.Mutex
+	epochStart   []time.Duration
+	epochEnd     []time.Duration
+	opLog        [][]OpSpan // per stage
+	onEpochStart []func(epoch int, t time.Duration)
+	onEpochEnd   []func(epoch int, t time.Duration)
+	arrived      int
+	started      bool
+	failed       error
+
+	done *simproc.Latch
+}
+
+// New builds a trainer over one device per stage.
+func New(eng simtime.Engine, procs *simproc.Runtime, devices []*simgpu.Device, cfg Config) (*Trainer, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if len(devices) != cfg.Stages {
+		return nil, fmt.Errorf("pipeline: %d devices for %d stages", len(devices), cfg.Stages)
+	}
+	t := &Trainer{
+		cfg:     cfg,
+		eng:     eng,
+		procs:   procs,
+		devices: devices,
+		opLog:   make([][]OpSpan, cfg.Stages),
+		done:    simproc.NewLatch(),
+	}
+	return t, nil
+}
+
+// OnEpochStart registers a hook invoked (in engine context) when each epoch
+// begins. This is one of the three instrumentation points of paper §4.6.
+func (t *Trainer) OnEpochStart(fn func(epoch int, ts time.Duration)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onEpochStart = append(t.onEpochStart, fn)
+}
+
+// OnEpochEnd registers a hook invoked when each epoch's barrier completes.
+func (t *Trainer) OnEpochEnd(fn func(epoch int, ts time.Duration)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onEpochEnd = append(t.onEpochEnd, fn)
+}
+
+// Done returns a latch set when all epochs have finished.
+func (t *Trainer) Done() *simproc.Latch { return t.done }
+
+// Client returns the training GPU client of a stage (valid after Start).
+func (t *Trainer) Client(stage int) *simgpu.Client { return t.clients[stage] }
+
+// Device returns the GPU device of a stage.
+func (t *Trainer) Device(stage int) *simgpu.Device { return t.devices[stage] }
+
+// Config returns the training configuration.
+func (t *Trainer) Config() Config { return t.cfg }
+
+// EpochTimes returns per-epoch (start, end) pairs recorded so far.
+func (t *Trainer) EpochTimes() (starts, ends []time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	starts = append([]time.Duration(nil), t.epochStart...)
+	ends = append([]time.Duration(nil), t.epochEnd...)
+	return starts, ends
+}
+
+// OpLog returns the recorded op timeline for a stage (RecordOps only).
+func (t *Trainer) OpLog(stage int) []OpSpan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]OpSpan(nil), t.opLog[stage]...)
+}
+
+// Err reports a training failure (e.g. OOM during setup).
+func (t *Trainer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failed
+}
+
+// TotalTime reports the makespan from first epoch start to last epoch end.
+func (t *Trainer) TotalTime() time.Duration {
+	starts, ends := t.EpochTimes()
+	if len(starts) == 0 || len(ends) == 0 {
+		return 0
+	}
+	return ends[len(ends)-1] - starts[0]
+}
+
+// Start allocates training memory on every stage and spawns the stage
+// processes. It returns immediately; completion is observable via Done.
+func (t *Trainer) Start() error {
+	t.mu.Lock()
+	if t.started {
+		t.mu.Unlock()
+		return fmt.Errorf("pipeline: already started")
+	}
+	t.started = true
+	t.mu.Unlock()
+
+	clients := make([]*simgpu.Client, t.cfg.Stages)
+	for s := 0; s < t.cfg.Stages; s++ {
+		// Weight 2: the training process drives multiple CUDA streams
+		// (compute + collectives), so it exerts about twice the
+		// thread-block pressure of a single-stream side task when sharing
+		// the device. This is what bounds the MPS baseline's damage for
+		// light side tasks (paper Table 2).
+		c, err := t.devices[s].NewClient(simgpu.ClientConfig{
+			Name:   fmt.Sprintf("train-s%d", s),
+			Weight: 2,
+		})
+		if err != nil {
+			return fmt.Errorf("pipeline: stage %d client: %w", s, err)
+		}
+		need := t.cfg.Model.StageMemUsed(s, t.cfg.Stages, t.cfg.MicroBatches)
+		if err := c.AllocMem(need); err != nil {
+			return fmt.Errorf("pipeline: stage %d memory: %w", s, err)
+		}
+		clients[s] = c
+	}
+	t.clients = clients
+
+	nv := t.cfg.numVirtual()
+	t.goEpochs = make([]*simproc.Latch, t.cfg.Epochs)
+	t.fpDone = make([][][]*simproc.Latch, t.cfg.Epochs)
+	t.bpDone = make([][][]*simproc.Latch, t.cfg.Epochs)
+	for e := 0; e < t.cfg.Epochs; e++ {
+		t.goEpochs[e] = simproc.NewLatch()
+		t.fpDone[e] = newLatchGrid(nv, t.cfg.MicroBatches)
+		t.bpDone[e] = newLatchGrid(nv, t.cfg.MicroBatches)
+	}
+
+	for v := 0; v < nv; v++ {
+		v := v
+		t.procs.Spawn(fmt.Sprintf("pipe-v%d", v), func(p *simproc.Process) error {
+			return t.runStage(p, v)
+		})
+	}
+	t.beginEpoch(0)
+	return nil
+}
+
+// beginEpoch records the epoch start, fires the instrumentation hooks and
+// releases the stages. Runs in engine-callback or caller context.
+func (t *Trainer) beginEpoch(epoch int) {
+	now := t.eng.Now()
+	t.mu.Lock()
+	t.arrived = 0
+	t.epochStart = append(t.epochStart, now)
+	hooks := append([]func(epoch int, ts time.Duration){}, t.onEpochStart...)
+	t.mu.Unlock()
+
+	for _, h := range hooks {
+		h(epoch, now)
+	}
+	t.goEpochs[epoch].Set()
+}
+
+// stageArrived is called by each stage at its epoch barrier; the last
+// arrival closes the epoch and opens the next (or finishes training).
+func (t *Trainer) stageArrived(epoch int) {
+	t.mu.Lock()
+	t.arrived++
+	if t.arrived < t.cfg.numVirtual() {
+		t.mu.Unlock()
+		return
+	}
+	now := t.eng.Now()
+	t.epochEnd = append(t.epochEnd, now)
+	hooks := append([]func(epoch int, ts time.Duration){}, t.onEpochEnd...)
+	last := epoch+1 >= t.cfg.Epochs
+	t.mu.Unlock()
+
+	for _, h := range hooks {
+		h(epoch, now)
+	}
+	if last {
+		t.done.Set()
+		return
+	}
+	t.beginEpoch(epoch + 1)
+}
+
+// runStage is the body of one (virtual) stage process: Epochs times through
+// the stage's schedule, blocking on cross-stage dependencies. With
+// VirtualPerStage == 1 the virtual index v IS the physical stage; otherwise
+// chunk v executes on device v mod Stages, its kernels FIFO-interleaving
+// with the device's other chunks.
+func (t *Trainer) runStage(p *simproc.Process, v int) error {
+	nv := t.cfg.numVirtual()
+	ops, err := StageSchedule(t.cfg.Schedule, v, nv, t.cfg.MicroBatches)
+	if err != nil {
+		return err
+	}
+	m := t.cfg.Model
+	chunks := time.Duration(t.cfg.VirtualPerStage)
+	phys := v % t.cfg.Stages
+	client := t.clients[phys]
+	fpDur := m.FPPerMB / chunks
+	bpDur := m.BPPerMB / chunks
+	optDur := m.OptStep / chunks
+
+	for epoch := 0; epoch < t.cfg.Epochs; epoch++ {
+		t.goEpochs[epoch].Wait(p)
+		fpDone, bpDone := t.fpDone[epoch], t.bpDone[epoch]
+
+		for _, op := range ops {
+			switch op.Kind {
+			case OpForward:
+				if v > 0 {
+					fpDone[v-1][op.MB].Wait(p)
+					p.Sleep(m.CommLatency) // activation transfer
+				}
+				if err := t.exec(p, client, phys, op, fpDur); err != nil {
+					return err
+				}
+				fpDone[v][op.MB].Set()
+			case OpBackward:
+				if v < nv-1 {
+					bpDone[v+1][op.MB].Wait(p)
+					p.Sleep(m.CommLatency) // gradient transfer
+				}
+				if err := t.exec(p, client, phys, op, bpDur); err != nil {
+					return err
+				}
+				bpDone[v][op.MB].Set()
+			case OpOptimize:
+				if err := t.exec(p, client, phys, op, optDur); err != nil {
+					return err
+				}
+			}
+		}
+		t.stageArrived(epoch)
+	}
+	return nil
+}
+
+// exec runs one op's kernel and logs its span.
+func (t *Trainer) exec(p *simproc.Process, c *simgpu.Client, s int, op Op, d time.Duration) error {
+	start := p.Now()
+	err := c.Exec(p, simgpu.KernelSpec{
+		Name:     fmt.Sprintf("s%d-%v-%d", s, op.Kind, op.MB),
+		Duration: d,
+		Demand:   1.0,
+		Weight:   1.0,
+	})
+	if err != nil {
+		t.mu.Lock()
+		if t.failed == nil {
+			t.failed = fmt.Errorf("pipeline: stage %d %v mb %d: %w", s, op.Kind, op.MB, err)
+		}
+		t.mu.Unlock()
+		return err
+	}
+	if t.cfg.RecordOps {
+		t.mu.Lock()
+		t.opLog[s] = append(t.opLog[s], OpSpan{Op: op, Start: start, End: p.Now()})
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+func newLatchGrid(stages, mbs int) [][]*simproc.Latch {
+	grid := make([][]*simproc.Latch, stages)
+	for s := range grid {
+		grid[s] = make([]*simproc.Latch, mbs)
+		for m := range grid[s] {
+			grid[s][m] = simproc.NewLatch()
+		}
+	}
+	return grid
+}

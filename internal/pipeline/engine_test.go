@@ -1,0 +1,523 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"freeride/internal/model"
+	"freeride/internal/simgpu"
+	"freeride/internal/simproc"
+	"freeride/internal/simtime"
+)
+
+type rig struct {
+	eng     *simtime.Virtual
+	procs   *simproc.Runtime
+	devices []*simgpu.Device
+	trainer *Trainer
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	eng := simtime.NewVirtual()
+	procs := simproc.NewRuntime(eng)
+	devices := make([]*simgpu.Device, cfg.Stages)
+	for i := range devices {
+		devices[i] = simgpu.NewDevice(eng, simgpu.DeviceConfig{Name: "gpu" + string(rune('0'+i))})
+	}
+	tr, err := New(eng, procs, devices, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return &rig{eng: eng, procs: procs, devices: devices, trainer: tr}
+}
+
+func (r *rig) run(t *testing.T) {
+	t.Helper()
+	if err := r.trainer.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	r.eng.Drain(20_000_000)
+	if !r.trainer.Done().IsSet() {
+		t.Fatal("training did not complete")
+	}
+	if err := r.trainer.Err(); err != nil {
+		t.Fatalf("training failed: %v", err)
+	}
+}
+
+func TestScheduleGeneration1F1B(t *testing.T) {
+	// Stage 3 of 4 (last): warmup 1 → FP0 BP0 FP1 BP1 ... OPT.
+	ops, err := StageSchedule(Schedule1F1B, 3, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{
+		{OpForward, 0}, {OpBackward, 0}, {OpForward, 1}, {OpBackward, 1},
+		{OpForward, 2}, {OpBackward, 2}, {OpForward, 3}, {OpBackward, 3},
+		{OpOptimize, 0},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops[%d] = %v, want %v (full %v)", i, ops[i], want[i], ops)
+		}
+	}
+	// Stage 0 of 4: all 4 warmup forwards first.
+	ops0, _ := StageSchedule(Schedule1F1B, 0, 4, 4)
+	for i := 0; i < 4; i++ {
+		if ops0[i].Kind != OpForward {
+			t.Fatalf("stage0 op %d = %v, want forward", i, ops0[i])
+		}
+	}
+}
+
+// Property: every schedule contains each FP and BP exactly once, FP(m)
+// precedes BP(m), and micro-batch order within a kind is ascending.
+func TestSchedulePropertyComplete(t *testing.T) {
+	f := func(stageRaw, stagesRaw, mbRaw uint8, gpipe bool) bool {
+		stages := int(stagesRaw%8) + 1
+		stage := int(stageRaw) % stages
+		mbs := int(mbRaw%12) + 1
+		kind := Schedule1F1B
+		if gpipe {
+			kind = ScheduleGPipe
+		}
+		ops, err := StageSchedule(kind, stage, stages, mbs)
+		if err != nil {
+			return false
+		}
+		fpAt := make(map[int]int)
+		bpAt := make(map[int]int)
+		lastFP, lastBP := -1, -1
+		for i, op := range ops {
+			switch op.Kind {
+			case OpForward:
+				if _, dup := fpAt[op.MB]; dup || op.MB <= lastFP {
+					return false
+				}
+				fpAt[op.MB] = i
+				lastFP = op.MB
+			case OpBackward:
+				if _, dup := bpAt[op.MB]; dup || op.MB <= lastBP {
+					return false
+				}
+				bpAt[op.MB] = i
+				lastBP = op.MB
+			}
+		}
+		if len(fpAt) != mbs || len(bpAt) != mbs {
+			return false
+		}
+		for m := 0; m < mbs; m++ {
+			if fpAt[m] >= bpAt[m] {
+				return false
+			}
+		}
+		return ops[len(ops)-1].Kind == OpOptimize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleRejectsBadArgs(t *testing.T) {
+	if _, err := StageSchedule(Schedule1F1B, 4, 4, 4); err == nil {
+		t.Fatal("out-of-range stage accepted")
+	}
+	if _, err := StageSchedule(Schedule1F1B, 0, 4, 0); err == nil {
+		t.Fatal("zero micro-batches accepted")
+	}
+	if _, err := StageSchedule(ScheduleKind(99), 0, 4, 4); err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+}
+
+func TestTrainingCompletesWithExpectedSpan(t *testing.T) {
+	cfg := Config{Model: model.NanoGPT3B, Stages: 4, MicroBatches: 4, Epochs: 3}
+	r := newRig(t, cfg)
+	r.run(t)
+	starts, ends := r.trainer.EpochTimes()
+	if len(starts) != 3 || len(ends) != 3 {
+		t.Fatalf("epochs recorded = %d/%d, want 3/3", len(starts), len(ends))
+	}
+	// Analytic span plus a little comm latency.
+	analytic := model.NanoGPT3B.EpochSpan(4, 4)
+	got := ends[0] - starts[0]
+	if got < analytic || got > analytic+100*time.Millisecond {
+		t.Fatalf("epoch span = %v, want within [%v, %v+100ms]", got, analytic, analytic)
+	}
+}
+
+func TestEpochsAreRepetitive(t *testing.T) {
+	// Paper §2.2: "epochs are repetitive and stable".
+	cfg := Config{Model: model.NanoGPT3B, Stages: 4, MicroBatches: 4, Epochs: 5}
+	r := newRig(t, cfg)
+	r.run(t)
+	starts, ends := r.trainer.EpochTimes()
+	first := ends[0] - starts[0]
+	for e := 1; e < 5; e++ {
+		span := ends[e] - starts[e]
+		if span != first {
+			t.Fatalf("epoch %d span %v != epoch 0 span %v", e, span, first)
+		}
+	}
+}
+
+func TestBubbleRateMatchesPaper(t *testing.T) {
+	// The emergent per-stage idle fraction must land near the paper's 42%
+	// for 3.6B / 4 stages / 4 micro-batches.
+	cfg := Config{Model: model.NanoGPT3B, Stages: 4, MicroBatches: 4, Epochs: 2}
+	r := newRig(t, cfg)
+	r.run(t)
+	starts, ends := r.trainer.EpochTimes()
+	span := ends[1] - starts[1]
+	for s := 0; s < 4; s++ {
+		busy := r.devices[s].Occupancy().Integrate(starts[1], ends[1])
+		rate := 1 - busy/span.Seconds()
+		if math.Abs(rate-0.42) > 0.03 {
+			t.Errorf("stage %d bubble rate = %.3f, want ~0.42", s, rate)
+		}
+	}
+}
+
+func TestMicroBatch8DropsBubbleRate(t *testing.T) {
+	cfg := Config{Model: model.NanoGPT3B, Stages: 4, MicroBatches: 8, Epochs: 2}
+	r := newRig(t, cfg)
+	r.run(t)
+	starts, ends := r.trainer.EpochTimes()
+	span := ends[1] - starts[1]
+	busy := r.devices[0].Occupancy().Integrate(starts[1], ends[1])
+	rate := 1 - busy/span.Seconds()
+	if math.Abs(rate-0.262) > 0.03 {
+		t.Fatalf("micro-batch-8 bubble rate = %.3f, want ~0.262", rate)
+	}
+}
+
+func TestGPipeHasLargerBubbles(t *testing.T) {
+	run := func(kind ScheduleKind) float64 {
+		cfg := Config{Model: model.NanoGPT3B, Stages: 4, MicroBatches: 4, Epochs: 1, Schedule: kind}
+		r := newRig(t, cfg)
+		r.run(t)
+		starts, ends := r.trainer.EpochTimes()
+		span := ends[0] - starts[0]
+		busy := r.devices[1].Occupancy().Integrate(starts[0], ends[0])
+		return 1 - busy/span.Seconds()
+	}
+	oneF := run(Schedule1F1B)
+	gp := run(ScheduleGPipe)
+	if gp <= oneF {
+		t.Fatalf("GPipe bubble rate %.3f not larger than 1F1B %.3f", gp, oneF)
+	}
+}
+
+func TestStageMemoryAllocated(t *testing.T) {
+	cfg := Config{Model: model.NanoGPT3B, Stages: 4, MicroBatches: 4, Epochs: 1}
+	r := newRig(t, cfg)
+	if err := r.trainer.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	for s := 0; s < 4; s++ {
+		want := model.NanoGPT3B.StageMemUsed(s, 4, 4)
+		if got := r.devices[s].MemUsed(); got != want {
+			t.Fatalf("stage %d device mem = %d, want %d", s, got, want)
+		}
+	}
+	r.eng.Drain(20_000_000)
+}
+
+func TestOpLogDependencyOrder(t *testing.T) {
+	cfg := Config{Model: model.NanoGPT3B, Stages: 4, MicroBatches: 4, Epochs: 1, RecordOps: true}
+	r := newRig(t, cfg)
+	r.run(t)
+	// Collect spans indexed by (stage, kind, mb).
+	type key struct {
+		s  int
+		k  OpKind
+		mb int
+	}
+	spans := map[key]OpSpan{}
+	for s := 0; s < 4; s++ {
+		for _, span := range r.trainer.OpLog(s) {
+			spans[key{s, span.Op.Kind, span.Op.MB}] = span
+		}
+	}
+	for m := 0; m < 4; m++ {
+		for s := 1; s < 4; s++ {
+			up := spans[key{s - 1, OpForward, m}]
+			down := spans[key{s, OpForward, m}]
+			if down.Start < up.End {
+				t.Errorf("FP(%d,%d) started %v before FP(%d,%d) ended %v", s, m, down.Start, s-1, m, up.End)
+			}
+		}
+		for s := 2; s >= 0; s-- {
+			down := spans[key{s + 1, OpBackward, m}]
+			up := spans[key{s, OpBackward, m}]
+			if up.Start < down.End {
+				t.Errorf("BP(%d,%d) started %v before BP(%d,%d) ended %v", s, m, up.Start, s+1, m, down.End)
+			}
+		}
+		fp := spans[key{2, OpForward, m}]
+		bp := spans[key{2, OpBackward, m}]
+		if bp.Start < fp.End {
+			t.Errorf("BP(2,%d) started before FP(2,%d) ended", m, m)
+		}
+	}
+}
+
+func TestTypeABubbleGrowsWithStage(t *testing.T) {
+	// Paper §2.2.1: start-of-epoch Type-A bubble duration increases from
+	// stage 0 to stage 3 (cascading FP dependency).
+	cfg := Config{Model: model.NanoGPT3B, Stages: 4, MicroBatches: 4, Epochs: 1, RecordOps: true}
+	r := newRig(t, cfg)
+	r.run(t)
+	starts, _ := r.trainer.EpochTimes()
+	prev := time.Duration(-1)
+	for s := 0; s < 4; s++ {
+		log := r.trainer.OpLog(s)
+		lead := log[0].Start - starts[0]
+		if lead <= prev {
+			t.Fatalf("stage %d lead-in bubble %v not > stage %d's %v", s, lead, s-1, prev)
+		}
+		prev = lead
+	}
+}
+
+func TestTrainerValidation(t *testing.T) {
+	eng := simtime.NewVirtual()
+	procs := simproc.NewRuntime(eng)
+	dev := simgpu.NewDevice(eng, simgpu.DeviceConfig{})
+	if _, err := New(eng, procs, []*simgpu.Device{dev}, Config{Stages: 2, MicroBatches: 4, Epochs: 1, Model: model.NanoGPT3B}); err == nil {
+		t.Fatal("device/stage mismatch accepted")
+	}
+	if _, err := New(eng, procs, nil, Config{Stages: 0, MicroBatches: 4, Epochs: 1}); err == nil {
+		t.Fatal("zero stages accepted")
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	cfg := Config{Model: model.NanoGPT3B, Stages: 2, MicroBatches: 2, Epochs: 1}
+	eng := simtime.NewVirtual()
+	procs := simproc.NewRuntime(eng)
+	devices := []*simgpu.Device{
+		simgpu.NewDevice(eng, simgpu.DeviceConfig{Name: "a"}),
+		simgpu.NewDevice(eng, simgpu.DeviceConfig{Name: "b"}),
+	}
+	tr, err := New(eng, procs, devices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err == nil {
+		t.Fatal("second Start accepted")
+	}
+	eng.Drain(1_000_000)
+}
+
+func TestEpochHooksFire(t *testing.T) {
+	cfg := Config{Model: model.NanoGPT3B, Stages: 4, MicroBatches: 4, Epochs: 3}
+	r := newRig(t, cfg)
+	var started, ended []int
+	r.trainer.OnEpochStart(func(e int, ts time.Duration) { started = append(started, e) })
+	r.trainer.OnEpochEnd(func(e int, ts time.Duration) { ended = append(ended, e) })
+	r.run(t)
+	if len(started) != 3 || len(ended) != 3 {
+		t.Fatalf("hooks fired %d/%d times, want 3/3", len(started), len(ended))
+	}
+	for i := 0; i < 3; i++ {
+		if started[i] != i || ended[i] != i {
+			t.Fatalf("hook order: started=%v ended=%v", started, ended)
+		}
+	}
+}
+
+func BenchmarkEpoch(b *testing.B) {
+	eng := simtime.NewVirtual()
+	procs := simproc.NewRuntime(eng)
+	devices := make([]*simgpu.Device, 4)
+	for i := range devices {
+		devices[i] = simgpu.NewDevice(eng, simgpu.DeviceConfig{Name: "g" + string(rune('0'+i))})
+	}
+	tr, err := New(eng, procs, devices, Config{Model: model.NanoGPT3B, Stages: 4, MicroBatches: 4, Epochs: b.N})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := tr.Start(); err != nil {
+		b.Fatal(err)
+	}
+	eng.Drain(0)
+}
+
+func TestTwoStagePipeline(t *testing.T) {
+	cfg := Config{Model: model.NanoGPT3B, Stages: 2, MicroBatches: 4, Epochs: 2}
+	eng := simtime.NewVirtual()
+	procs := simproc.NewRuntime(eng)
+	devices := []*simgpu.Device{
+		simgpu.NewDevice(eng, simgpu.DeviceConfig{Name: "a"}),
+		simgpu.NewDevice(eng, simgpu.DeviceConfig{Name: "b"}),
+	}
+	tr, err := New(eng, procs, devices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Drain(10_000_000)
+	if !tr.Done().IsSet() || tr.Err() != nil {
+		t.Fatalf("2-stage training failed: %v", tr.Err())
+	}
+	// Bubble rate ~ (S-1)/(M+S-1) = 1/5 = 20%.
+	starts, ends := tr.EpochTimes()
+	span := ends[1] - starts[1]
+	busy := devices[0].Occupancy().Integrate(starts[1], ends[1])
+	rate := 1 - busy/span.Seconds()
+	if rate < 0.12 || rate > 0.28 {
+		t.Fatalf("2-stage bubble rate = %.3f, want ~0.20", rate)
+	}
+}
+
+func TestEightStagePipeline(t *testing.T) {
+	cfg := Config{Model: model.NanoGPT3B, Stages: 8, MicroBatches: 4, Epochs: 1}
+	eng := simtime.NewVirtual()
+	procs := simproc.NewRuntime(eng)
+	devices := make([]*simgpu.Device, 8)
+	for i := range devices {
+		devices[i] = simgpu.NewDevice(eng, simgpu.DeviceConfig{Name: "g" + string(rune('0'+i))})
+	}
+	tr, err := New(eng, procs, devices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Drain(20_000_000)
+	if !tr.Done().IsSet() || tr.Err() != nil {
+		t.Fatalf("8-stage training failed: %v", tr.Err())
+	}
+	// Deeper pipelines have a higher bubble rate: (S-1)/(M+S-1) = 7/11.
+	starts, ends := tr.EpochTimes()
+	span := ends[0] - starts[0]
+	busy := devices[0].Occupancy().Integrate(starts[0], ends[0])
+	rate := 1 - busy/span.Seconds()
+	if rate < 0.5 {
+		t.Fatalf("8-stage bubble rate = %.3f, want > 0.5", rate)
+	}
+}
+
+func TestSingleStageNoBubbles(t *testing.T) {
+	cfg := Config{Model: model.NanoGPT3B, Stages: 1, MicroBatches: 4, Epochs: 1}
+	eng := simtime.NewVirtual()
+	procs := simproc.NewRuntime(eng)
+	devices := []*simgpu.Device{simgpu.NewDevice(eng, simgpu.DeviceConfig{Name: "solo"})}
+	tr, err := New(eng, procs, devices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Drain(10_000_000)
+	starts, ends := tr.EpochTimes()
+	span := ends[0] - starts[0]
+	busy := devices[0].Occupancy().Integrate(starts[0], ends[0])
+	rate := 1 - busy/span.Seconds()
+	if rate > 0.01 {
+		t.Fatalf("single-stage bubble rate = %.3f, want ~0 (no pipeline, no bubbles)", rate)
+	}
+}
+
+func TestTrainingFailsCleanlyOnInsufficientMemory(t *testing.T) {
+	// Devices too small for the model: Start reports the OOM.
+	cfg := Config{Model: model.NanoGPT6B, Stages: 2, MicroBatches: 4, Epochs: 1}
+	eng := simtime.NewVirtual()
+	procs := simproc.NewRuntime(eng)
+	devices := []*simgpu.Device{
+		simgpu.NewDevice(eng, simgpu.DeviceConfig{Name: "tiny0", MemBytes: 8 << 30}),
+		simgpu.NewDevice(eng, simgpu.DeviceConfig{Name: "tiny1", MemBytes: 8 << 30}),
+	}
+	tr, err := New(eng, procs, devices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err == nil {
+		t.Fatal("Start succeeded on 8GB devices for a 6B model")
+	}
+}
+
+func TestInterleavedScheduleReducesBubbles(t *testing.T) {
+	// Megatron-style virtual stages (the bubble-reduction approach of the
+	// paper's related work): with V chunks per GPU, the per-stage bubble
+	// rate should drop well below plain 1F1B's ~42% — roughly toward
+	// (S-1)/(V·M + S-1).
+	run := func(virtual int) float64 {
+		cfg := Config{
+			Model: model.NanoGPT3B, Stages: 4, MicroBatches: 4,
+			Epochs: 2, VirtualPerStage: virtual,
+		}
+		r := newRig(t, cfg)
+		r.run(t)
+		starts, ends := r.trainer.EpochTimes()
+		span := ends[1] - starts[1]
+		busy := r.devices[1].Occupancy().Integrate(starts[1], ends[1])
+		return 1 - busy/span.Seconds()
+	}
+	plain := run(1)
+	interleaved := run(2)
+	if interleaved >= plain-0.05 {
+		t.Fatalf("interleaving did not reduce bubbles: plain %.3f vs V=2 %.3f", plain, interleaved)
+	}
+	if interleaved < 0.10 || interleaved > 0.40 {
+		t.Fatalf("V=2 bubble rate = %.3f, outside plausible band", interleaved)
+	}
+}
+
+func TestInterleavedSameComputePerDevice(t *testing.T) {
+	// Chunking must conserve total per-device work: the same SM-seconds
+	// flow through each GPU regardless of V.
+	run := func(virtual int) float64 {
+		cfg := Config{
+			Model: model.NanoGPT3B, Stages: 4, MicroBatches: 4,
+			Epochs: 1, VirtualPerStage: virtual,
+		}
+		r := newRig(t, cfg)
+		r.run(t)
+		return r.devices[2].WorkDone()
+	}
+	w1 := run(1)
+	w2 := run(2)
+	diff := w1 - w2
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.01*w1 {
+		t.Fatalf("per-device work differs: V=1 %.3f vs V=2 %.3f", w1, w2)
+	}
+}
+
+func TestInterleavedOpLogDependencies(t *testing.T) {
+	// FP of chunk v must still follow FP of chunk v-1 for each micro-batch
+	// (verified through the virtual latches by completion of training, and
+	// spot-checked on the device logs: ops from both chunks interleave).
+	cfg := Config{
+		Model: model.NanoGPT3B, Stages: 2, MicroBatches: 2,
+		Epochs: 1, VirtualPerStage: 2, RecordOps: true,
+	}
+	r := newRig(t, cfg)
+	r.run(t)
+	// Each device log holds ops from 2 chunks: 2 chunks × (2 FP + 2 BP + OPT).
+	for s := 0; s < 2; s++ {
+		log := r.trainer.OpLog(s)
+		if len(log) != 2*(2+2+1) {
+			t.Fatalf("device %d logged %d ops, want 10", s, len(log))
+		}
+	}
+}

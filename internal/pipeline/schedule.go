@@ -1,0 +1,133 @@
+// Package pipeline implements the pipeline-parallel training engine — the
+// DeepSpeed substitute (paper §6.1.3). Each stage runs as a simulated
+// process bound to one GPU, executing its forward/backward/optimizer ops in
+// schedule order and blocking on inter-stage dependencies. Bubbles are not
+// scripted anywhere: they emerge as device idle time exactly as in the real
+// system, from the dependency structure of the schedule (§2.1).
+package pipeline
+
+import (
+	"fmt"
+)
+
+// ScheduleKind selects the pipeline schedule.
+type ScheduleKind int
+
+// Supported schedules.
+const (
+	// Schedule1F1B is the DeepSpeed/Megatron-style one-forward-one-backward
+	// schedule the paper trains with: min(M, S-s) warmup forwards, a
+	// steady state alternating BP/FP, then cooldown backwards.
+	Schedule1F1B ScheduleKind = iota + 1
+	// ScheduleGPipe runs all forwards then all backwards, maximizing the
+	// mid-epoch bubble; included to show bubble-shape dependence on
+	// scheduling (paper §2.2 discussion).
+	ScheduleGPipe
+)
+
+// String implements fmt.Stringer.
+func (k ScheduleKind) String() string {
+	switch k {
+	case Schedule1F1B:
+		return "1f1b"
+	case ScheduleGPipe:
+		return "gpipe"
+	default:
+		return fmt.Sprintf("ScheduleKind(%d)", int(k))
+	}
+}
+
+// OpKind is the type of one pipeline operation.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpForward OpKind = iota + 1
+	OpBackward
+	OpOptimize
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpForward:
+		return "FP"
+	case OpBackward:
+		return "BP"
+	case OpOptimize:
+		return "OPT"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one scheduled operation at a stage.
+type Op struct {
+	Kind OpKind
+	// MB is the micro-batch index (unused for OpOptimize).
+	MB int
+}
+
+// StageSchedule generates the ordered op list for one stage.
+//
+// For 1F1B at stage s of S with M micro-batches:
+//
+//	warmup w = min(M, S-s) forwards, then alternating BP/FP while
+//	forwards remain, then the remaining backwards, then the optimizer.
+//
+// For GPipe: all M forwards, all M backwards, optimizer.
+func StageSchedule(kind ScheduleKind, stage, stages, microBatches int) ([]Op, error) {
+	if stage < 0 || stage >= stages {
+		return nil, fmt.Errorf("pipeline: stage %d out of range [0,%d)", stage, stages)
+	}
+	if microBatches < 1 {
+		return nil, fmt.Errorf("pipeline: micro-batches %d < 1", microBatches)
+	}
+	var ops []Op
+	switch kind {
+	case ScheduleGPipe:
+		for m := 0; m < microBatches; m++ {
+			ops = append(ops, Op{Kind: OpForward, MB: m})
+		}
+		for m := 0; m < microBatches; m++ {
+			ops = append(ops, Op{Kind: OpBackward, MB: m})
+		}
+	case Schedule1F1B:
+		warmup := stages - stage
+		if warmup > microBatches {
+			warmup = microBatches
+		}
+		for m := 0; m < warmup; m++ {
+			ops = append(ops, Op{Kind: OpForward, MB: m})
+		}
+		nextFP := warmup
+		nextBP := 0
+		for nextFP < microBatches {
+			ops = append(ops, Op{Kind: OpBackward, MB: nextBP})
+			nextBP++
+			ops = append(ops, Op{Kind: OpForward, MB: nextFP})
+			nextFP++
+		}
+		for nextBP < microBatches {
+			ops = append(ops, Op{Kind: OpBackward, MB: nextBP})
+			nextBP++
+		}
+	default:
+		return nil, fmt.Errorf("pipeline: unknown schedule %v", kind)
+	}
+	ops = append(ops, Op{Kind: OpOptimize})
+	return ops, nil
+}
+
+// WarmupForwards reports the number of forwards stage s executes before its
+// first backward — the instrumentation point for Type-B bubbles.
+func WarmupForwards(kind ScheduleKind, stage, stages, microBatches int) int {
+	if kind == ScheduleGPipe {
+		return microBatches
+	}
+	w := stages - stage
+	if w > microBatches {
+		w = microBatches
+	}
+	return w
+}

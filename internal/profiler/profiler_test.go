@@ -1,0 +1,81 @@
+package profiler
+
+import (
+	"testing"
+	"time"
+
+	"freeride/internal/model"
+	"freeride/internal/sidetask"
+)
+
+func TestProfileResNet18(t *testing.T) {
+	res, err := Profile(BuiltinFactory(model.ResNet18, sidetask.ModeIterative, sidetask.WorkNone), Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	if res.MemBytes != model.ResNet18.MemBytes {
+		t.Fatalf("MemBytes = %d, want %d", res.MemBytes, model.ResNet18.MemBytes)
+	}
+	// Mean step ≈ StepTime + HostOverhead (jitter averages out over 30).
+	want := model.ResNet18.StepTime + model.ResNet18.HostOverhead
+	lo := want - want/10
+	hi := want + want/10
+	if res.StepTime < lo || res.StepTime > hi {
+		t.Fatalf("StepTime = %v, want within 10%% of %v", res.StepTime, want)
+	}
+	if res.Steps < 30 {
+		t.Fatalf("Steps = %d, want >= 30", res.Steps)
+	}
+	if res.InitTime < model.ResNet18.InitTime {
+		t.Fatalf("InitTime = %v, want >= %v", res.InitTime, model.ResNet18.InitTime)
+	}
+}
+
+func TestProfileImperativeSkipsStepTime(t *testing.T) {
+	res, err := Profile(BuiltinFactory(model.PageRank, sidetask.ModeImperative, sidetask.WorkNone), Options{Seed: 2})
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	if res.StepTime != 0 || res.Steps != 0 {
+		t.Fatalf("imperative profile measured steps: %v/%d", res.StepTime, res.Steps)
+	}
+	if res.MemBytes != model.PageRank.MemBytes {
+		t.Fatalf("MemBytes = %d, want %d", res.MemBytes, model.PageRank.MemBytes)
+	}
+}
+
+func TestProfileAllBuiltins(t *testing.T) {
+	for _, p := range model.TaskProfiles {
+		res, err := Profile(BuiltinFactory(p, sidetask.ModeIterative, sidetask.WorkNone), Options{Seed: 3, Steps: 10})
+		if err != nil {
+			t.Errorf("Profile(%s): %v", p.Name, err)
+			continue
+		}
+		if res.MemBytes != p.MemBytes {
+			t.Errorf("%s: MemBytes = %d, want %d", p.Name, res.MemBytes, p.MemBytes)
+		}
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	a, err := Profile(BuiltinFactory(model.GraphSGD, sidetask.ModeIterative, sidetask.WorkNone), Options{Seed: 9, Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Profile(BuiltinFactory(model.GraphSGD, sidetask.ModeIterative, sidetask.WorkNone), Options{Seed: 9, Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StepTime != b.StepTime || a.MemBytes != b.MemBytes {
+		t.Fatalf("same seed, different profiles: %+v vs %+v", a, b)
+	}
+}
+
+func TestProfileTimeBound(t *testing.T) {
+	// An absurdly short budget fails cleanly rather than hanging.
+	_, err := Profile(BuiltinFactory(model.VGG19, sidetask.ModeIterative, sidetask.WorkNone),
+		Options{Seed: 1, MaxRunTime: time.Millisecond})
+	if err == nil {
+		t.Fatal("profiling succeeded within 1ms budget")
+	}
+}

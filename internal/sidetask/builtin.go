@@ -1,0 +1,242 @@
+package sidetask
+
+import (
+	"fmt"
+
+	"freeride/internal/graph"
+	"freeride/internal/imageproc"
+	"freeride/internal/model"
+	"freeride/internal/nn"
+)
+
+// WorkScale controls how much *real* host computation the built-in tasks
+// perform per step (the algorithms in internal/{graph,nn,imageproc}).
+// Scale 0 skips real work (pure cost-model simulation, for long parameter
+// sweeps); 1 is the default small-but-real configuration.
+type WorkScale int
+
+// Built-in work scales.
+const (
+	WorkNone  WorkScale = 0
+	WorkSmall WorkScale = 1
+)
+
+// trainTask adapts a real nn.Trainer to the iterative interface with the
+// ResNet/VGG cost profile — the Go translation of the paper's Figure 6.
+type trainTask struct {
+	profile model.TaskProfile
+	scale   WorkScale
+	trainer *nn.Trainer
+}
+
+var _ Iterative = (*trainTask)(nil)
+
+func (t *trainTask) CreateSideTask(ctx *Ctx) error {
+	// "Load the dataset, data loader, loss function and optimizer states
+	// in CPU memory" — the real model and synthetic dataset are built here.
+	if t.scale == WorkNone {
+		return nil
+	}
+	var err error
+	t.trainer, err = nn.NewTrainer([]int{32, 64, 10}, 2048, 32, 0.005, ctx.Rng.Int63())
+	return err
+}
+
+func (t *trainTask) InitSideTask(ctx *Ctx) error {
+	// Move context into GPU memory.
+	return ctx.GPU.AllocMem(t.profile.MemBytes)
+}
+
+func (t *trainTask) RunNextStep(ctx *Ctx) error {
+	ctx.HostWork(t.profile.HostOverhead)
+	if t.trainer != nil {
+		if _, err := t.trainer.TrainStep(); err != nil {
+			return err
+		}
+	}
+	return ctx.ExecStepKernel()
+}
+
+func (t *trainTask) StopSideTask(ctx *Ctx) error {
+	ctx.GPU.FreeMem(t.profile.MemBytes)
+	return nil
+}
+
+// pagerankTask runs real PageRank iterations on a synthetic power-law
+// graph (the Orkut stand-in).
+type pagerankTask struct {
+	profile model.TaskProfile
+	scale   WorkScale
+	pr      *graph.PageRank
+}
+
+var _ Iterative = (*pagerankTask)(nil)
+
+func (t *pagerankTask) CreateSideTask(ctx *Ctx) error {
+	if t.scale == WorkNone {
+		return nil
+	}
+	g := graph.RMAT(graph.RMATConfig{Nodes: 1 << 10, EdgeFactor: 8, Seed: ctx.Rng.Int63()})
+	t.pr = graph.NewPageRank(g, 0.85)
+	return nil
+}
+
+func (t *pagerankTask) InitSideTask(ctx *Ctx) error {
+	return ctx.GPU.AllocMem(t.profile.MemBytes)
+}
+
+func (t *pagerankTask) RunNextStep(ctx *Ctx) error {
+	ctx.HostWork(t.profile.HostOverhead)
+	if t.pr != nil {
+		t.pr.Step()
+	}
+	return ctx.ExecStepKernel()
+}
+
+func (t *pagerankTask) StopSideTask(ctx *Ctx) error {
+	ctx.GPU.FreeMem(t.profile.MemBytes)
+	return nil
+}
+
+// sgdTask runs real SGD matrix factorization passes.
+type sgdTask struct {
+	profile model.TaskProfile
+	scale   WorkScale
+	mf      *graph.SGDMF
+}
+
+var _ Iterative = (*sgdTask)(nil)
+
+func (t *sgdTask) CreateSideTask(ctx *Ctx) error {
+	if t.scale == WorkNone {
+		return nil
+	}
+	seed := ctx.Rng.Int63()
+	ratings := graph.SyntheticRatings(128, 128, 4096, 8, seed)
+	t.mf = graph.NewSGDMF(graph.SGDMFConfig{Users: 128, Items: 128, K: 8, Seed: seed + 1}, ratings)
+	return nil
+}
+
+func (t *sgdTask) InitSideTask(ctx *Ctx) error {
+	return ctx.GPU.AllocMem(t.profile.MemBytes)
+}
+
+func (t *sgdTask) RunNextStep(ctx *Ctx) error {
+	ctx.HostWork(t.profile.HostOverhead)
+	if t.mf != nil {
+		t.mf.Step()
+	}
+	return ctx.ExecStepKernel()
+}
+
+func (t *sgdTask) StopSideTask(ctx *Ctx) error {
+	ctx.GPU.FreeMem(t.profile.MemBytes)
+	return nil
+}
+
+// imageTask resizes and watermarks real synthetic images.
+type imageTask struct {
+	profile model.TaskProfile
+	scale   WorkScale
+	pipe    *imageproc.Pipeline
+}
+
+var _ Iterative = (*imageTask)(nil)
+
+func (t *imageTask) CreateSideTask(ctx *Ctx) error {
+	if t.scale == WorkNone {
+		return nil
+	}
+	t.pipe = imageproc.NewPipeline(96, 64, 48, 32, ctx.Rng.Int63())
+	return nil
+}
+
+func (t *imageTask) InitSideTask(ctx *Ctx) error {
+	return ctx.GPU.AllocMem(t.profile.MemBytes)
+}
+
+func (t *imageTask) RunNextStep(ctx *Ctx) error {
+	ctx.HostWork(t.profile.HostOverhead)
+	if t.pipe != nil {
+		if _, err := t.pipe.Step(); err != nil {
+			return err
+		}
+	}
+	return ctx.ExecStepKernel()
+}
+
+func (t *imageTask) StopSideTask(ctx *Ctx) error {
+	ctx.GPU.FreeMem(t.profile.MemBytes)
+	return nil
+}
+
+// imperativeAdapter wraps any Iterative into the imperative shape: one
+// monolithic loop with no step-wise cooperation — the paper's fallback
+// interface. Pausing relies entirely on SIGTSTP from the worker.
+type imperativeAdapter struct {
+	inner Iterative
+	// maxSteps bounds the workload (0 = run forever until stopped/killed).
+	maxSteps int
+}
+
+var _ Imperative = (*imperativeAdapter)(nil)
+
+func (a *imperativeAdapter) CreateSideTask(ctx *Ctx) error { return a.inner.CreateSideTask(ctx) }
+func (a *imperativeAdapter) InitSideTask(ctx *Ctx) error   { return a.inner.InitSideTask(ctx) }
+
+func (a *imperativeAdapter) RunGpuWorkload(ctx *Ctx) error {
+	for i := 0; a.maxSteps == 0 || i < a.maxSteps; i++ {
+		if err := a.inner.RunNextStep(ctx); err != nil {
+			return err
+		}
+		ctx.h.mu.Lock()
+		ctx.h.counters.Steps++
+		ctx.h.counters.KernelTime += ctx.Profile.StepTime
+		ctx.h.counters.HostTime += ctx.Profile.HostOverhead
+		ctx.h.mu.Unlock()
+	}
+	return nil
+}
+
+// NewBuiltin constructs a harness for one of the paper's six side tasks in
+// the given mode. The profile may be batch-rescaled beforehand.
+func NewBuiltin(profile model.TaskProfile, mode Mode, scale WorkScale, seed int64) (*Harness, error) {
+	var impl Iterative
+	base := profile.Name
+	if profile.BatchScalable {
+		// Batch-suffixed profiles ("resnet18-b96") share the base impl.
+		base, _, _ = cutBatchSuffix(profile.Name)
+	}
+	switch base {
+	case "resnet18", "resnet50", "vgg19":
+		impl = &trainTask{profile: profile, scale: scale}
+	case "pagerank":
+		impl = &pagerankTask{profile: profile, scale: scale}
+	case "graphsgd":
+		impl = &sgdTask{profile: profile, scale: scale}
+	case "image":
+		impl = &imageTask{profile: profile, scale: scale}
+	default:
+		return nil, fmt.Errorf("sidetask: no built-in implementation for %q", profile.Name)
+	}
+	switch mode {
+	case ModeIterative:
+		return NewIterativeHarness(profile.Name, profile, impl, seed), nil
+	case ModeImperative:
+		return NewImperativeHarness(profile.Name, profile, &imperativeAdapter{inner: impl}, seed), nil
+	default:
+		return nil, fmt.Errorf("sidetask: unknown mode %v", mode)
+	}
+}
+
+func cutBatchSuffix(name string) (base string, batch string, found bool) {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '-' {
+			if i+2 <= len(name) && name[i+1] == 'b' {
+				return name[:i], name[i+2:], true
+			}
+			break
+		}
+	}
+	return name, "", false
+}

@@ -1,0 +1,103 @@
+// Package sidetask implements FreeRide's side-task programming framework
+// (paper §3.1, §4.1–4.2, §5): the five-state life-cycle state machine, the
+// iterative interface (step-wise execution with the program-directed time
+// limit) and the imperative interface (transparent pause/resume through
+// SIGTSTP/SIGCONT), plus the six built-in side tasks of the evaluation.
+package sidetask
+
+import "fmt"
+
+// State is a side task's life-cycle state (paper Figure 4a).
+type State int
+
+// The five states of the paper's state machine.
+const (
+	// StateSubmitted: profiled and submitted to the manager; no process.
+	StateSubmitted State = iota + 1
+	// StateCreated: process exists, context loaded in host memory only.
+	StateCreated
+	// StatePaused: context loaded in GPU memory; waiting for a bubble.
+	StatePaused
+	// StateRunning: executing step-wise GPU work inside a bubble.
+	StateRunning
+	// StateStopped: terminated; all resources released.
+	StateStopped
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateSubmitted:
+		return "SUBMITTED"
+	case StateCreated:
+		return "CREATED"
+	case StatePaused:
+		return "PAUSED"
+	case StateRunning:
+		return "RUNNING"
+	case StateStopped:
+		return "STOPPED"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Transition names the six state transitions of Figure 4a.
+type Transition int
+
+// The transitions of the paper's state machine.
+const (
+	TransitionCreate      Transition = iota + 1 // SUBMITTED -> CREATED
+	TransitionInit                              // CREATED -> PAUSED
+	TransitionStart                             // PAUSED -> RUNNING
+	TransitionPause                             // RUNNING -> PAUSED
+	TransitionRunNextStep                       // RUNNING -> RUNNING (self loop)
+	TransitionStop                              // CREATED/PAUSED/RUNNING -> STOPPED
+)
+
+// String implements fmt.Stringer.
+func (t Transition) String() string {
+	switch t {
+	case TransitionCreate:
+		return "CreateSideTask"
+	case TransitionInit:
+		return "InitSideTask"
+	case TransitionStart:
+		return "StartSideTask"
+	case TransitionPause:
+		return "PauseSideTask"
+	case TransitionRunNextStep:
+		return "RunNextStep"
+	case TransitionStop:
+		return "StopSideTask"
+	default:
+		return fmt.Sprintf("Transition(%d)", int(t))
+	}
+}
+
+// legalTransitions encodes Figure 4a's edges.
+var legalTransitions = map[Transition][2]State{
+	TransitionCreate:      {StateSubmitted, StateCreated},
+	TransitionInit:        {StateCreated, StatePaused},
+	TransitionStart:       {StatePaused, StateRunning},
+	TransitionPause:       {StateRunning, StatePaused},
+	TransitionRunNextStep: {StateRunning, StateRunning},
+}
+
+// Next validates a transition from state s and returns the successor state.
+// TransitionStop is legal from CREATED, PAUSED and RUNNING.
+func Next(s State, t Transition) (State, error) {
+	if t == TransitionStop {
+		switch s {
+		case StateCreated, StatePaused, StateRunning:
+			return StateStopped, nil
+		default:
+			return 0, fmt.Errorf("sidetask: illegal %v from %v", t, s)
+		}
+	}
+	edge, ok := legalTransitions[t]
+	if !ok || edge[0] != s {
+		return 0, fmt.Errorf("sidetask: illegal %v from %v", t, s)
+	}
+	return edge[1], nil
+}

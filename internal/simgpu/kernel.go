@@ -1,0 +1,314 @@
+package simgpu
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"freeride/internal/simproc"
+	"freeride/internal/simtime"
+)
+
+// KernelSpec describes one GPU kernel (or fused group of kernels forming one
+// logical step/op).
+type KernelSpec struct {
+	Name string
+	// Duration is the kernel's solo run time on an unshared reference GPU.
+	Duration time.Duration
+	// Demand is the SM fraction the kernel occupies when unconstrained,
+	// in (0, 1]. Defaults to 1.
+	Demand float64
+	// Weight is the kernel's scheduling pressure under PolicyMPS — a proxy
+	// for how many thread blocks it keeps resident. Defaults to Demand.
+	// Compute-saturating kernels (Graph SGD) should set Weight > Demand.
+	Weight float64
+}
+
+func (s *KernelSpec) normalize() {
+	if s.Demand <= 0 || s.Demand > 1 {
+		s.Demand = 1
+	}
+	if s.Weight <= 0 {
+		s.Weight = s.Demand
+	}
+	if s.Duration < 0 {
+		s.Duration = 0
+	}
+}
+
+// kernel is an in-flight kernel.
+type kernel struct {
+	client *Client
+	spec   KernelSpec
+
+	// work remaining in reference SM-seconds; total = Demand * Duration.
+	work float64
+	// alloc is the current SM fraction granted.
+	alloc float64
+	// lastUpdate is the engine time work was last accrued at.
+	lastUpdate time.Duration
+
+	timer      *simtime.Timer
+	onComplete func(error)
+	started    time.Duration
+	startSet   bool
+}
+
+func (k *kernel) cancelTimer() {
+	if k.timer != nil {
+		k.timer.Cancel()
+		k.timer = nil
+	}
+}
+
+// Launch enqueues a kernel on the client's (serial) stream. onComplete fires
+// from engine-callback context when the kernel finishes or is aborted; it
+// may be nil. The returned handle is opaque; launching is asynchronous,
+// matching CUDA semantics — this is exactly why the paper's imperative
+// interface cannot stop in-flight work (§5).
+func (c *Client) Launch(spec KernelSpec, onComplete func(error)) error {
+	spec.normalize()
+	d := c.dev
+	d.mu.Lock()
+	if c.closed {
+		d.mu.Unlock()
+		if onComplete != nil {
+			onComplete(ErrClientClosed)
+		}
+		return ErrClientClosed
+	}
+	k := &kernel{
+		client:     c,
+		spec:       spec,
+		work:       spec.Demand * spec.Duration.Seconds(),
+		onComplete: onComplete,
+	}
+	if c.current == nil {
+		c.current = k
+		k.started = d.eng.Now()
+		k.startSet = true
+		d.rebalanceLocked()
+	} else {
+		c.queue = append(c.queue, k)
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// Exec launches the kernel and parks the process until completion,
+// returning the kernel's completion error. This is the blocking API side
+// tasks and pipeline stages use.
+func (c *Client) Exec(p *simproc.Process, spec KernelSpec) error {
+	res := p.WaitEvent("kernel:"+spec.Name, func(wake func(any)) {
+		if err := c.Launch(spec, func(err error) { wake(err) }); err != nil {
+			// Launch failed synchronously; onComplete already invoked wake.
+			_ = err
+		}
+	})
+	if res == nil {
+		return nil
+	}
+	err, ok := res.(error)
+	if !ok {
+		return fmt.Errorf("simgpu: unexpected completion payload %T", res)
+	}
+	return err
+}
+
+// QueueDepth reports the number of kernels waiting behind the running one.
+func (c *Client) QueueDepth() int {
+	c.dev.mu.Lock()
+	defer c.dev.mu.Unlock()
+	n := len(c.queue)
+	if c.current != nil {
+		n++
+	}
+	return n
+}
+
+// Busy reports whether the client has a kernel in flight.
+func (c *Client) Busy() bool {
+	c.dev.mu.Lock()
+	defer c.dev.mu.Unlock()
+	return c.current != nil
+}
+
+// rebalanceLocked recomputes every running kernel's SM allocation after any
+// change in the running set, accrues progress, updates traces, and
+// reschedules completion events. Caller holds d.mu.
+func (d *Device) rebalanceLocked() {
+	now := d.eng.Now()
+
+	running := make([]*kernel, 0, len(d.clients))
+	for _, c := range d.clients {
+		if c.current != nil {
+			running = append(running, c.current)
+		}
+	}
+
+	// Accrue progress under the old allocations.
+	for _, k := range running {
+		if k.alloc > 0 {
+			k.work -= k.alloc * (now - k.lastUpdate).Seconds()
+			if k.work < 0 {
+				k.work = 0
+			}
+		}
+		k.lastUpdate = now
+		k.cancelTimer()
+	}
+
+	d.assignAllocations(running)
+
+	// MPS context-multiplexing tax: with two or more resident client
+	// contexts, every kernel pays a small scheduling overhead.
+	if d.cfg.ResidencyTax > 0 && d.cfg.Policy == PolicyMPS {
+		resident := 0
+		for _, c := range d.clients {
+			if c.memUsed > 0 || c.current != nil {
+				resident++
+			}
+		}
+		if resident >= 2 {
+			scale := 1 / (1 + d.cfg.ResidencyTax)
+			for _, k := range running {
+				k.alloc *= scale
+			}
+		}
+	}
+
+	var total float64
+	for _, k := range running {
+		total += k.alloc
+		k.client.occTr.Add(now, k.alloc)
+		d.scheduleCompletionLocked(k)
+	}
+	for _, c := range d.clients {
+		if c.current == nil {
+			c.occTr.Add(now, 0)
+		}
+	}
+	d.occ.Add(now, total)
+}
+
+// assignAllocations computes per-kernel SM fractions under the device
+// policy. Rates are in reference-GPU units: a device with Capacity 0.5 can
+// grant at most 0.5 total.
+func (d *Device) assignAllocations(running []*kernel) {
+	switch d.cfg.Policy {
+	case PolicyTimeSlice:
+		// Contexts round-robin on the whole device, with quanta granted in
+		// proportion to client weight (a multi-stream training process
+		// keeps more runnable work queued than a single-stream side task,
+		// so it wins more quanta). Within its quanta a kernel advances at
+		// its demand.
+		var totalW float64
+		for _, k := range running {
+			totalW += clientWeightOf(k)
+		}
+		for _, k := range running {
+			share := clientWeightOf(k) / totalW
+			k.alloc = math.Max(minAlloc, k.spec.Demand*d.cfg.Capacity*share)
+		}
+	default: // PolicyMPS: weighted water-filling capped by demand.
+		type slot struct {
+			k     *kernel
+			w     float64
+			fixed bool
+		}
+		slots := make([]slot, len(running))
+		for i, k := range running {
+			w := k.spec.Weight
+			if k.client.cfg.Weight > 0 {
+				w = k.client.cfg.Weight
+			}
+			slots[i] = slot{k: k, w: w}
+		}
+		remaining := d.cfg.Capacity
+		for {
+			var totalW float64
+			for _, s := range slots {
+				if !s.fixed {
+					totalW += s.w
+				}
+			}
+			if totalW == 0 {
+				break
+			}
+			progressed := false
+			for i := range slots {
+				s := &slots[i]
+				if s.fixed {
+					continue
+				}
+				share := s.w / totalW * remaining
+				demand := s.k.spec.Demand * d.cfg.Capacity
+				if demand <= share {
+					s.k.alloc = math.Max(minAlloc, demand)
+					remaining -= demand
+					s.fixed = true
+					progressed = true
+				}
+			}
+			if !progressed {
+				// No kernel is demand-capped: distribute by weight.
+				for i := range slots {
+					s := &slots[i]
+					if !s.fixed {
+						s.k.alloc = math.Max(minAlloc, s.w/totalW*remaining)
+					}
+				}
+				break
+			}
+		}
+	}
+}
+
+// clientWeightOf reports a kernel's scheduling weight at client
+// granularity (for time-slicing): the client weight if set, else 1.
+func clientWeightOf(k *kernel) float64 {
+	if w := k.client.cfg.Weight; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// scheduleCompletionLocked schedules the kernel's completion under its
+// current rate. Caller holds d.mu.
+func (d *Device) scheduleCompletionLocked(k *kernel) {
+	if k.alloc <= 0 {
+		return
+	}
+	secs := k.work / k.alloc
+	delay := time.Duration(math.Ceil(secs * 1e9))
+	k.timer = d.eng.Schedule(delay, "kernel-done:"+k.spec.Name, func() {
+		d.completeKernel(k)
+	})
+}
+
+// completeKernel retires a finished kernel, promotes the client's next
+// queued kernel, and rebalances.
+func (d *Device) completeKernel(k *kernel) {
+	d.mu.Lock()
+	c := k.client
+	if c.current != k {
+		// Stale completion (aborted); ignore.
+		d.mu.Unlock()
+		return
+	}
+	d.kernels++
+	d.workDone += k.spec.Demand * k.spec.Duration.Seconds()
+	c.current = nil
+	if len(c.queue) > 0 {
+		c.current = c.queue[0]
+		c.queue = c.queue[1:]
+		c.current.started = d.eng.Now()
+		c.current.startSet = true
+	}
+	d.rebalanceLocked()
+	d.mu.Unlock()
+
+	if k.onComplete != nil {
+		k.onComplete(nil)
+	}
+}

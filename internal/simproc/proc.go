@@ -1,0 +1,354 @@
+// Package simproc implements simulated OS processes on top of a
+// simtime.Engine. A Process runs user code on its own goroutine but hands
+// control back to the engine whenever it blocks (sleep, GPU kernel, RPC
+// wait), so that under the virtual engine exactly one piece of code runs at
+// a time and virtual time only advances while every process is parked.
+//
+// Processes support the three signals FreeRide's worker uses (paper §4.2,
+// §4.5): Stop (SIGTSTP) and Cont (SIGCONT) for the imperative interface's
+// transparent pause/resume, and Kill (SIGKILL) for the framework-enforced
+// resource limit. Signal semantics deliberately mirror the CUDA reality the
+// paper describes: stopping a process does not abort work already submitted
+// to the GPU — only the *next* blocking boundary is affected — whereas
+// killing a process destroys it (and its GPU context, via the exit hooks).
+package simproc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"freeride/internal/simtime"
+)
+
+// State describes a process's lifecycle state.
+type State int
+
+// Process lifecycle states.
+const (
+	StateRunning State = iota + 1 // live: executing or parked, schedulable
+	StateStopped                  // live but suspended by Stop (SIGTSTP)
+	StateExited                   // terminated normally or by error
+	StateKilled                   // terminated by Kill
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateStopped:
+		return "stopped"
+	case StateExited:
+		return "exited"
+	case StateKilled:
+		return "killed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// ErrKilled is the exit error of a killed process.
+var ErrKilled = errors.New("simproc: killed")
+
+// killedPanic unwinds a killed process's goroutine; defers still run, but
+// further blocking calls re-panic immediately so cleanup cannot stall.
+type killedPanic struct{ p *Process }
+
+// resumeMsg wakes a parked process.
+type resumeMsg struct {
+	kill bool
+	data any
+}
+
+// Runtime creates and tracks processes on one engine.
+type Runtime struct {
+	eng simtime.Engine
+
+	mu    sync.Mutex
+	procs map[*Process]struct{}
+	seq   int
+}
+
+// NewRuntime returns a process runtime bound to eng.
+func NewRuntime(eng simtime.Engine) *Runtime {
+	return &Runtime{eng: eng, procs: make(map[*Process]struct{})}
+}
+
+// Engine returns the engine the runtime schedules on.
+func (rt *Runtime) Engine() simtime.Engine { return rt.eng }
+
+// Live returns the processes that have not terminated yet.
+func (rt *Runtime) Live() []*Process {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]*Process, 0, len(rt.procs))
+	for p := range rt.procs {
+		if st := p.State(); st == StateRunning || st == StateStopped {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Process is one simulated process. Body code must interact with time only
+// through the process's blocking primitives.
+type Process struct {
+	rt   *Runtime
+	name string
+	id   int
+
+	// handshake channels; see park/resume.
+	resumeCh chan resumeMsg
+	parkedCh chan struct{}
+
+	mu          sync.Mutex
+	state       State
+	exitErr     error
+	parked      bool
+	parkReason  string
+	killed      bool
+	stopped     bool
+	pendingWake *resumeMsg // wake deferred while stopped
+	onExit      []func(err error)
+	// resumeMu serializes resume handshakes from multiple wakers (wall mode).
+	resumeMu sync.Mutex
+}
+
+// Spawn starts fn as a new process. fn begins executing at engine-time
+// Now() (as a scheduled event). The returned Process can be signaled and
+// observed immediately.
+func (rt *Runtime) Spawn(name string, fn func(p *Process) error) *Process {
+	rt.mu.Lock()
+	rt.seq++
+	p := &Process{
+		rt:       rt,
+		name:     fmt.Sprintf("%s#%d", name, rt.seq),
+		id:       rt.seq,
+		resumeCh: make(chan resumeMsg),
+		parkedCh: make(chan struct{}),
+		state:    StateRunning,
+	}
+	rt.procs[p] = struct{}{}
+	rt.mu.Unlock()
+
+	rt.eng.Schedule(0, "spawn:"+p.name, func() {
+		go p.run(fn)
+		<-p.parkedCh // wait until the body parks or exits
+	})
+	return p
+}
+
+// run executes the process body with kill-unwinding and exit bookkeeping.
+func (p *Process) run(fn func(p *Process) error) {
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if kp, ok := r.(killedPanic); ok && kp.p == p {
+					err = ErrKilled
+					return
+				}
+				err = fmt.Errorf("simproc: process %s panicked: %v", p.name, r)
+			}
+		}()
+		err = fn(p)
+	}()
+
+	p.mu.Lock()
+	if errors.Is(err, ErrKilled) {
+		p.state = StateKilled
+	} else {
+		p.state = StateExited
+	}
+	p.exitErr = err
+	hooks := p.onExit
+	p.onExit = nil
+	p.mu.Unlock()
+
+	for _, h := range hooks {
+		h(err)
+	}
+	// Final park signal releases whoever resumed us last, then the channel
+	// closes so any future resume handshakes complete immediately.
+	close(p.parkedCh)
+}
+
+// Name reports the unique process name.
+func (p *Process) Name() string { return p.name }
+
+// ID reports the runtime-unique numeric id (a simulated PID).
+func (p *Process) ID() int { return p.id }
+
+// Runtime returns the owning runtime.
+func (p *Process) Runtime() *Runtime { return p.rt }
+
+// Engine returns the engine the process runs on.
+func (p *Process) Engine() simtime.Engine { return p.rt.eng }
+
+// Now reports the current engine time.
+func (p *Process) Now() time.Duration { return p.rt.eng.Now() }
+
+// State reports the process state.
+func (p *Process) State() State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+// ExitErr reports the body's return value (or ErrKilled) once terminated.
+func (p *Process) ExitErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.exitErr
+}
+
+// Alive reports whether the process has not terminated.
+func (p *Process) Alive() bool {
+	st := p.State()
+	return st == StateRunning || st == StateStopped
+}
+
+// ParkReason reports what the process is blocked on, for debugging.
+func (p *Process) ParkReason() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.parkReason
+}
+
+// OnExit registers a hook called (in process context, after the body
+// returns) when the process terminates. If the process has already
+// terminated the hook runs immediately.
+func (p *Process) OnExit(h func(err error)) {
+	p.mu.Lock()
+	if p.state == StateExited || p.state == StateKilled {
+		err := p.exitErr
+		p.mu.Unlock()
+		h(err)
+		return
+	}
+	p.onExit = append(p.onExit, h)
+	p.mu.Unlock()
+}
+
+// park blocks the process goroutine until a resume arrives. Must only be
+// called from the process's own goroutine. Returns the resume payload.
+func (p *Process) park(reason string) any {
+	p.mu.Lock()
+	if p.killed {
+		p.mu.Unlock()
+		panic(killedPanic{p})
+	}
+	p.parked = true
+	p.parkReason = reason
+	p.mu.Unlock()
+
+	p.parkedCh <- struct{}{} // hand control back to the engine side
+	msg := <-p.resumeCh
+
+	p.mu.Lock()
+	p.parked = false
+	p.parkReason = ""
+	p.mu.Unlock()
+
+	if msg.kill {
+		panic(killedPanic{p})
+	}
+	return msg.data
+}
+
+// resume wakes a parked process and waits until it parks again or exits.
+// Must be called from engine-callback context (never from the process's own
+// goroutine). If the process is stopped, the wake is deferred until Cont —
+// unless it is a kill, which always delivers.
+func (p *Process) resume(msg resumeMsg) {
+	// Early-out for terminated processes BEFORE taking resumeMu: exit hooks
+	// may trigger wake callbacks for the dying process from its own
+	// goroutine (e.g. aborting its in-flight kernels) while the killer's
+	// resume still holds resumeMu waiting for the final park signal.
+	p.mu.Lock()
+	if p.state == StateExited || p.state == StateKilled {
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+
+	p.resumeMu.Lock()
+	defer p.resumeMu.Unlock()
+
+	p.mu.Lock()
+	st := p.state
+	if st == StateExited || st == StateKilled {
+		p.mu.Unlock()
+		return
+	}
+	if p.stopped && !msg.kill {
+		// SIGTSTP semantics: the wake condition (kernel completion, timer)
+		// has happened, but the process must not run until SIGCONT.
+		p.pendingWake = &msg
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+
+	select {
+	case p.resumeCh <- msg:
+		<-p.parkedCh // wait for next park or exit
+	case <-p.parkedCh:
+		// Process exited concurrently (channel closed drains immediately).
+	}
+}
+
+// Sleep parks the process for d of engine time. Zero and negative values
+// yield (re-enter the event queue at the current instant).
+func (p *Process) Sleep(d time.Duration) {
+	p.rt.eng.Schedule(d, "wake:"+p.name, func() {
+		p.resume(resumeMsg{})
+	})
+	p.park("sleep")
+}
+
+// WaitEvent registers a wake function via setup and parks until some engine
+// callback invokes it. The wake function must be called either synchronously
+// inside setup (in which case the process never parks and the data is
+// returned directly) or later from engine-callback context; extra calls are
+// ignored. The value passed to wake is returned.
+func (p *Process) WaitEvent(reason string, setup func(wake func(data any))) any {
+	var (
+		mu        sync.Mutex
+		delivered bool
+		inSetup   = true
+		syncData  any
+	)
+	wake := func(data any) {
+		mu.Lock()
+		if delivered {
+			mu.Unlock()
+			return
+		}
+		delivered = true
+		if inSetup {
+			// Called from the process's own goroutine during setup: we
+			// cannot resume ourselves; report the value without parking.
+			syncData = data
+			mu.Unlock()
+			return
+		}
+		mu.Unlock()
+		p.resume(resumeMsg{data: data})
+	}
+	setup(wake)
+	mu.Lock()
+	inSetup = false
+	deliveredSync := delivered
+	mu.Unlock()
+	if deliveredSync {
+		return syncData
+	}
+	return p.park(reason)
+}
+
+// Yield parks and immediately reschedules the process at the current
+// instant, letting other same-time events run first.
+func (p *Process) Yield() { p.Sleep(0) }

@@ -1,0 +1,324 @@
+package simproc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"freeride/internal/simtime"
+)
+
+func newRT() (*simtime.Virtual, *Runtime) {
+	eng := simtime.NewVirtual()
+	return eng, NewRuntime(eng)
+}
+
+func TestProcessRunsAndExits(t *testing.T) {
+	eng, rt := newRT()
+	ran := false
+	p := rt.Spawn("hello", func(p *Process) error {
+		ran = true
+		return nil
+	})
+	eng.MustDrain(100)
+	if !ran {
+		t.Fatal("body did not run")
+	}
+	if p.State() != StateExited {
+		t.Fatalf("state = %v, want exited", p.State())
+	}
+	if p.ExitErr() != nil {
+		t.Fatalf("exit err = %v, want nil", p.ExitErr())
+	}
+}
+
+func TestProcessSleepAdvancesVirtualTime(t *testing.T) {
+	eng, rt := newRT()
+	var woke time.Duration
+	rt.Spawn("sleeper", func(p *Process) error {
+		p.Sleep(3 * time.Second)
+		woke = p.Now()
+		return nil
+	})
+	eng.MustDrain(100)
+	if woke != 3*time.Second {
+		t.Fatalf("woke at %v, want 3s", woke)
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	eng, rt := newRT()
+	var order []string
+	mk := func(name string, period time.Duration) {
+		rt.Spawn(name, func(p *Process) error {
+			for i := 0; i < 3; i++ {
+				p.Sleep(period)
+				order = append(order, name)
+			}
+			return nil
+		})
+	}
+	mk("a", 100*time.Millisecond)
+	mk("b", 150*time.Millisecond)
+	eng.MustDrain(1000)
+	// Wake times: a at 100/200/300ms, b at 150/300/450ms. At the t=300ms
+	// tie, b's timer was scheduled earlier (at t=150ms) so FIFO runs b
+	// first.
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcessBodyError(t *testing.T) {
+	eng, rt := newRT()
+	boom := errors.New("boom")
+	p := rt.Spawn("failing", func(p *Process) error { return boom })
+	eng.MustDrain(100)
+	if !errors.Is(p.ExitErr(), boom) {
+		t.Fatalf("exit err = %v, want boom", p.ExitErr())
+	}
+	if p.State() != StateExited {
+		t.Fatalf("state = %v, want exited", p.State())
+	}
+}
+
+func TestProcessPanicBecomesError(t *testing.T) {
+	eng, rt := newRT()
+	p := rt.Spawn("panicky", func(p *Process) error { panic("ouch") })
+	eng.MustDrain(100)
+	if p.ExitErr() == nil {
+		t.Fatal("exit err = nil, want panic error")
+	}
+}
+
+func TestKillParkedProcess(t *testing.T) {
+	eng, rt := newRT()
+	deferRan := false
+	p := rt.Spawn("victim", func(p *Process) error {
+		defer func() { deferRan = true }()
+		p.Sleep(time.Hour)
+		return nil
+	})
+	eng.Schedule(time.Second, "kill", func() { p.Signal(SigKill) })
+	eng.MustDrain(100)
+	if p.State() != StateKilled {
+		t.Fatalf("state = %v, want killed", p.State())
+	}
+	if !errors.Is(p.ExitErr(), ErrKilled) {
+		t.Fatalf("exit err = %v, want ErrKilled", p.ExitErr())
+	}
+	if !deferRan {
+		t.Fatal("defers did not run on kill")
+	}
+	if eng.Now() != time.Hour {
+		// The sleep timer still fires (harmlessly) at +1h.
+		t.Fatalf("Now = %v, want 1h (sleep timer drains harmlessly)", eng.Now())
+	}
+}
+
+func TestKillIsImmediateNotAtSleepEnd(t *testing.T) {
+	eng, rt := newRT()
+	var exitedAt time.Duration
+	p := rt.Spawn("victim", func(p *Process) error {
+		p.Sleep(time.Hour)
+		return nil
+	})
+	p.OnExit(func(err error) { exitedAt = eng.Now() })
+	eng.Schedule(time.Second, "kill", func() { p.Signal(SigKill) })
+	eng.RunUntil(2 * time.Second)
+	if p.Alive() {
+		t.Fatal("process still alive 1s after kill")
+	}
+	if exitedAt != time.Second {
+		t.Fatalf("exited at %v, want 1s", exitedAt)
+	}
+}
+
+func TestStopDefersWake(t *testing.T) {
+	eng, rt := newRT()
+	var wokeAt time.Duration
+	p := rt.Spawn("stoppable", func(p *Process) error {
+		p.Sleep(time.Second) // due at t=1s
+		wokeAt = p.Now()
+		return nil
+	})
+	eng.Schedule(500*time.Millisecond, "stop", func() { p.Signal(SigStop) })
+	eng.Schedule(5*time.Second, "cont", func() { p.Signal(SigCont) })
+	eng.MustDrain(100)
+	if wokeAt != 5*time.Second {
+		t.Fatalf("woke at %v, want 5s (wake deferred until SIGCONT)", wokeAt)
+	}
+	if p.State() != StateExited {
+		t.Fatalf("state = %v, want exited", p.State())
+	}
+}
+
+func TestStopThenKillStillDies(t *testing.T) {
+	eng, rt := newRT()
+	p := rt.Spawn("stoppable", func(p *Process) error {
+		p.Sleep(time.Hour)
+		return nil
+	})
+	eng.Schedule(time.Second, "stop", func() { p.Signal(SigStop) })
+	eng.Schedule(2*time.Second, "kill", func() { p.Signal(SigKill) })
+	eng.RunUntil(3 * time.Second)
+	if p.State() != StateKilled {
+		t.Fatalf("state = %v, want killed", p.State())
+	}
+}
+
+func TestContWithoutStopIsNoop(t *testing.T) {
+	eng, rt := newRT()
+	p := rt.Spawn("x", func(p *Process) error {
+		p.Sleep(time.Second)
+		return nil
+	})
+	eng.Schedule(100*time.Millisecond, "cont", func() { p.Signal(SigCont) })
+	eng.MustDrain(100)
+	if p.State() != StateExited {
+		t.Fatalf("state = %v, want exited", p.State())
+	}
+}
+
+func TestSignalDeadProcessIsNoop(t *testing.T) {
+	eng, rt := newRT()
+	p := rt.Spawn("quick", func(p *Process) error { return nil })
+	eng.MustDrain(100)
+	p.Signal(SigKill)
+	p.Signal(SigStop)
+	p.Signal(SigCont)
+	if p.State() != StateExited {
+		t.Fatalf("state = %v, want exited", p.State())
+	}
+}
+
+func TestWaitEvent(t *testing.T) {
+	eng, rt := newRT()
+	var got any
+	rt.Spawn("waiter", func(p *Process) error {
+		got = p.WaitEvent("external", func(wake func(any)) {
+			eng.Schedule(7*time.Second, "fire", func() { wake("payload") })
+		})
+		return nil
+	})
+	eng.MustDrain(100)
+	if got != "payload" {
+		t.Fatalf("WaitEvent = %v, want payload", got)
+	}
+	if eng.Now() != 7*time.Second {
+		t.Fatalf("Now = %v, want 7s", eng.Now())
+	}
+}
+
+func TestWaitEventDoubleWakeIgnored(t *testing.T) {
+	eng, rt := newRT()
+	rounds := 0
+	rt.Spawn("waiter", func(p *Process) error {
+		p.WaitEvent("external", func(wake func(any)) {
+			eng.Schedule(time.Second, "fire1", func() { wake(1) })
+			eng.Schedule(2*time.Second, "fire2", func() { wake(2) })
+		})
+		rounds++
+		p.Sleep(10 * time.Second)
+		rounds++
+		return nil
+	})
+	eng.MustDrain(100)
+	if rounds != 2 {
+		t.Fatalf("rounds = %d, want 2 (second wake ignored)", rounds)
+	}
+}
+
+func TestOnExitAfterTermination(t *testing.T) {
+	eng, rt := newRT()
+	p := rt.Spawn("quick", func(p *Process) error { return nil })
+	eng.MustDrain(100)
+	called := false
+	p.OnExit(func(err error) { called = true })
+	if !called {
+		t.Fatal("OnExit after termination should fire immediately")
+	}
+}
+
+func TestLive(t *testing.T) {
+	eng, rt := newRT()
+	rt.Spawn("a", func(p *Process) error { p.Sleep(time.Hour); return nil })
+	rt.Spawn("b", func(p *Process) error { return nil })
+	eng.RunUntil(time.Second)
+	live := rt.Live()
+	if len(live) != 1 {
+		t.Fatalf("Live = %d procs, want 1", len(live))
+	}
+	if live[0].ParkReason() != "sleep" {
+		t.Fatalf("ParkReason = %q, want sleep", live[0].ParkReason())
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	eng, rt := newRT()
+	var childDone bool
+	rt.Spawn("parent", func(p *Process) error {
+		rt.Spawn("child", func(c *Process) error {
+			c.Sleep(time.Second)
+			childDone = true
+			return nil
+		})
+		p.Sleep(2 * time.Second)
+		return nil
+	})
+	eng.MustDrain(100)
+	if !childDone {
+		t.Fatal("child spawned from process did not complete")
+	}
+}
+
+func TestYieldPreservesFIFO(t *testing.T) {
+	eng, rt := newRT()
+	var order []int
+	rt.Spawn("a", func(p *Process) error {
+		order = append(order, 1)
+		p.Yield()
+		order = append(order, 3)
+		return nil
+	})
+	eng.Schedule(0, "between", func() { order = append(order, 2) })
+	eng.MustDrain(100)
+	// Spawn event runs first (scheduled first), body appends 1, yields;
+	// then the "between" event appends 2; then the yield wake appends 3.
+	want := []int{1, 2, 3}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateRunning.String() != "running" || StateKilled.String() != "killed" {
+		t.Fatal("State.String mismatch")
+	}
+	if SigKill.String() != "SIGKILL" {
+		t.Fatal("Signal.String mismatch")
+	}
+}
+
+func TestWaitEventSynchronousWake(t *testing.T) {
+	eng, rt := newRT()
+	var got any
+	rt.Spawn("sync", func(p *Process) error {
+		got = p.WaitEvent("immediate", func(wake func(any)) {
+			wake("now") // delivered during setup: must not park
+		})
+		return nil
+	})
+	eng.MustDrain(100)
+	if got != "now" {
+		t.Fatalf("WaitEvent sync = %v, want now", got)
+	}
+}

@@ -1,0 +1,88 @@
+package simproc
+
+// Signal identifies the subset of POSIX signals the FreeRide worker uses.
+type Signal int
+
+// Supported signals.
+const (
+	// SigStop suspends the process at its next blocking boundary
+	// (SIGTSTP in the paper's imperative interface). Work already
+	// submitted to the GPU is unaffected — exactly the asynchronous-kernel
+	// caveat of paper §5.
+	SigStop Signal = iota + 1
+	// SigCont resumes a stopped process (SIGCONT).
+	SigCont
+	// SigKill terminates the process immediately if parked, or at its next
+	// blocking boundary if running; deferred cleanup still executes
+	// (SIGKILL, the framework-enforced mechanism of paper §4.5).
+	SigKill
+)
+
+// String implements fmt.Stringer.
+func (s Signal) String() string {
+	switch s {
+	case SigStop:
+		return "SIGTSTP"
+	case SigCont:
+		return "SIGCONT"
+	case SigKill:
+		return "SIGKILL"
+	default:
+		return "SIG?"
+	}
+}
+
+// Signal delivers sig to the process. Delivery to a terminated process is a
+// no-op. Must be called from engine-callback context, not from the target
+// process's own goroutine (a process wishing to stop itself should simply
+// return).
+func (p *Process) Signal(sig Signal) {
+	switch sig {
+	case SigStop:
+		p.mu.Lock()
+		if p.state == StateRunning {
+			p.state = StateStopped
+			p.stopped = true
+		}
+		p.mu.Unlock()
+
+	case SigCont:
+		p.mu.Lock()
+		if p.state != StateStopped {
+			p.mu.Unlock()
+			return
+		}
+		p.state = StateRunning
+		p.stopped = false
+		pending := p.pendingWake
+		p.pendingWake = nil
+		p.mu.Unlock()
+		if pending != nil {
+			p.resume(*pending)
+		}
+
+	case SigKill:
+		p.mu.Lock()
+		if p.state == StateExited || p.state == StateKilled {
+			p.mu.Unlock()
+			return
+		}
+		p.killed = true
+		p.stopped = false
+		p.pendingWake = nil
+		parked := p.parked
+		p.mu.Unlock()
+		if parked {
+			p.resume(resumeMsg{kill: true})
+		}
+		// If not parked (running under the wall engine, or being resumed),
+		// the kill flag fires at the next park.
+	}
+}
+
+// Stopped reports whether the process is currently suspended by SigStop.
+func (p *Process) Stopped() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stopped
+}

@@ -1,0 +1,172 @@
+package simproc
+
+import "sync"
+
+// Latch is a one-shot condition: processes wait until it is set. It is the
+// dependency primitive the pipeline engine uses to express "BP of
+// micro-batch m at stage s needs BP at stage s+1" and similar edges.
+type Latch struct {
+	mu      sync.Mutex
+	set     bool
+	waiters []func(any)
+}
+
+// NewLatch returns an unset latch.
+func NewLatch() *Latch { return &Latch{} }
+
+// Set releases all current and future waiters. Must be called from
+// engine-callback or process context. Setting twice is a no-op.
+func (l *Latch) Set() {
+	l.mu.Lock()
+	if l.set {
+		l.mu.Unlock()
+		return
+	}
+	l.set = true
+	waiters := l.waiters
+	l.waiters = nil
+	l.mu.Unlock()
+	for _, w := range waiters {
+		w(nil)
+	}
+}
+
+// IsSet reports whether the latch has been set.
+func (l *Latch) IsSet() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.set
+}
+
+// Wait parks p until the latch is set (returns immediately if already set).
+func (l *Latch) Wait(p *Process) {
+	l.mu.Lock()
+	if l.set {
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Unlock()
+	p.WaitEvent("latch", func(wake func(any)) {
+		l.mu.Lock()
+		if l.set {
+			l.mu.Unlock()
+			// Raced with Set between the check and registration: wake now.
+			wake(nil)
+			return
+		}
+		l.waiters = append(l.waiters, wake)
+		l.mu.Unlock()
+	})
+}
+
+// Mailbox is an unbounded FIFO queue with blocking receive, used for
+// inter-process messages (state-transition commands, RPC frames).
+type Mailbox struct {
+	mu     sync.Mutex
+	queue  []any
+	waiter func(any) // at most one blocked receiver
+	closed bool
+}
+
+// NewMailbox returns an empty mailbox.
+func NewMailbox() *Mailbox { return &Mailbox{} }
+
+// Send enqueues msg, waking a blocked receiver if any. Send to a closed
+// mailbox is dropped.
+func (m *Mailbox) Send(msg any) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	if w := m.waiter; w != nil {
+		m.waiter = nil
+		m.mu.Unlock()
+		w(msg)
+		return
+	}
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+}
+
+// Close marks the mailbox closed; a blocked receiver wakes with ok=false.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	w := m.waiter
+	m.waiter = nil
+	m.mu.Unlock()
+	if w != nil {
+		w(mailboxClosed{})
+	}
+}
+
+type mailboxClosed struct{}
+
+// TryRecv dequeues without blocking; ok is false when empty or closed.
+func (m *Mailbox) TryRecv() (msg any, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	msg = m.queue[0]
+	m.queue = m.queue[1:]
+	return msg, true
+}
+
+// Len reports the number of queued messages.
+func (m *Mailbox) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// Recv parks p until a message is available. ok is false if the mailbox was
+// closed while waiting (or already closed and drained). Only one process may
+// block on a mailbox at a time.
+func (m *Mailbox) Recv(p *Process) (msg any, ok bool) {
+	m.mu.Lock()
+	if len(m.queue) > 0 {
+		msg = m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		return msg, true
+	}
+	if m.closed {
+		m.mu.Unlock()
+		return nil, false
+	}
+	if m.waiter != nil {
+		m.mu.Unlock()
+		panic("simproc: concurrent Recv on Mailbox")
+	}
+	m.mu.Unlock()
+
+	got := p.WaitEvent("mailbox", func(wake func(any)) {
+		m.mu.Lock()
+		// Re-check under lock: a Send may have raced in.
+		if len(m.queue) > 0 {
+			first := m.queue[0]
+			m.queue = m.queue[1:]
+			m.mu.Unlock()
+			wake(first)
+			return
+		}
+		if m.closed {
+			m.mu.Unlock()
+			wake(mailboxClosed{})
+			return
+		}
+		m.waiter = wake
+		m.mu.Unlock()
+	})
+	if _, wasClosed := got.(mailboxClosed); wasClosed {
+		return nil, false
+	}
+	return got, true
+}

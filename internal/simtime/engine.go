@@ -1,0 +1,88 @@
+// Package simtime provides the time substrate every FreeRide component runs
+// on: a deterministic discrete-event (virtual-time) engine for simulation and
+// experiments, and a wall-clock engine for the live manager/worker daemons.
+//
+// All components express time-dependent behaviour exclusively through the
+// Engine interface, so the same middleware code runs unchanged under both
+// engines. Under the virtual engine, time advances only when the event queue
+// is drained up to the next event, which makes multi-hour training runs
+// simulate in milliseconds and makes every experiment bit-reproducible.
+package simtime
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Engine abstracts a clock plus deferred execution.
+//
+// Implementations must guarantee that callbacks scheduled through the same
+// Engine never run concurrently with one another: the virtual engine runs
+// them on the single Run goroutine, and the wall-clock engine serializes them
+// with an internal dispatch lock. Components may therefore mutate their state
+// inside callbacks without additional locking, provided all their entry
+// points are engine callbacks.
+type Engine interface {
+	// Now reports the current time as an offset from the engine epoch.
+	Now() time.Duration
+
+	// Schedule arranges for fn to run at Now()+delay. A zero or negative
+	// delay schedules fn "as soon as possible" while preserving FIFO order
+	// among equal-time events. The name is used for debugging and tracing.
+	Schedule(delay time.Duration, name string, fn func()) *Timer
+}
+
+// Timer states, advanced monotonically with compare-and-swap so that Cancel
+// racing with the dispatch path resolves to exactly one outcome.
+const (
+	timerPending int32 = iota
+	timerCanceled
+	timerFired
+)
+
+// Timer is a handle for a scheduled callback.
+type Timer struct {
+	// when is the absolute engine-time deadline of the callback.
+	when time.Duration
+	// seq breaks ties among events with equal deadlines: lower runs first.
+	seq uint64
+	// name labels the event for debugging.
+	name string
+	fn   func()
+
+	state atomic.Int32
+
+	// stop cancels the underlying wall-clock timer, if any.
+	stop func() bool
+}
+
+// When reports the absolute engine time the timer is scheduled for.
+func (t *Timer) When() time.Duration { return t.when }
+
+// Name reports the debug label the timer was scheduled with.
+func (t *Timer) Name() string { return t.name }
+
+// Cancel prevents the callback from running. It reports whether the
+// cancellation won: false means the callback already ran or is running.
+// Canceling an already-canceled timer returns false.
+func (t *Timer) Cancel() bool {
+	if !t.state.CompareAndSwap(timerPending, timerCanceled) {
+		return false
+	}
+	if t.stop != nil {
+		t.stop()
+	}
+	return true
+}
+
+// Stopped reports whether the timer was canceled before firing.
+func (t *Timer) Stopped() bool { return t.state.Load() == timerCanceled }
+
+// Fired reports whether the callback has already run (or started running).
+func (t *Timer) Fired() bool { return t.state.Load() == timerFired }
+
+// claim transitions the timer to fired; the dispatcher must only invoke the
+// callback when claim succeeds.
+func (t *Timer) claim() bool {
+	return t.state.CompareAndSwap(timerPending, timerFired)
+}

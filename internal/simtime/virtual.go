@@ -1,0 +1,176 @@
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Virtual is the discrete-event engine. Events execute in timestamp order on
+// the goroutine that calls Run/RunUntil/Step; between events, virtual time
+// jumps directly to the next deadline.
+//
+// Event callbacks may schedule further events and may hand control to
+// simulated process goroutines (see internal/simproc); those goroutines may
+// call Schedule and Now concurrently with the blocked dispatcher, which is
+// why the queue is guarded by its own mutex rather than relying on
+// single-threadedness.
+type Virtual struct {
+	mu    sync.Mutex
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+
+	// dispatched counts events whose callbacks ran, for tests and stats.
+	dispatched uint64
+}
+
+var _ Engine = (*Virtual)(nil)
+
+// NewVirtual returns a virtual engine positioned at time zero.
+func NewVirtual() *Virtual {
+	return &Virtual{}
+}
+
+// Now reports the current virtual time.
+func (v *Virtual) Now() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Schedule enqueues fn at Now()+delay. Negative delays are clamped to "now":
+// virtual time never moves backwards.
+func (v *Virtual) Schedule(delay time.Duration, name string, fn func()) *Timer {
+	if fn == nil {
+		panic("simtime: Schedule with nil callback")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	when := v.now
+	if delay > 0 {
+		when += delay
+	}
+	t := &Timer{when: when, seq: v.seq, name: name, fn: fn}
+	v.seq++
+	heap.Push(&v.queue, t)
+	return t
+}
+
+// Dispatched reports how many event callbacks have run so far.
+func (v *Virtual) Dispatched() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.dispatched
+}
+
+// Pending reports how many events are queued (including canceled ones not
+// yet reaped).
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.queue.Len()
+}
+
+// Step runs the single next event, advancing time to its deadline. It
+// reports false when the queue is empty.
+func (v *Virtual) Step() bool {
+	for {
+		v.mu.Lock()
+		if v.queue.Len() == 0 {
+			v.mu.Unlock()
+			return false
+		}
+		t := heap.Pop(&v.queue).(*Timer)
+		if !t.claim() {
+			v.mu.Unlock()
+			continue // canceled; skip without advancing time
+		}
+		if t.when > v.now {
+			v.now = t.when
+		}
+		v.dispatched++
+		v.mu.Unlock()
+		t.fn()
+		return true
+	}
+}
+
+// RunUntil executes events with deadlines <= until, then advances the clock
+// to until. Events scheduled during execution are honored if they fall
+// within the horizon.
+func (v *Virtual) RunUntil(until time.Duration) {
+	for {
+		v.mu.Lock()
+		// Reap canceled heads so the horizon check sees the next live event.
+		for v.queue.Len() > 0 && v.queue[0].Stopped() {
+			heap.Pop(&v.queue)
+		}
+		if v.queue.Len() == 0 || v.queue[0].when > until {
+			if v.now < until {
+				v.now = until
+			}
+			v.mu.Unlock()
+			return
+		}
+		v.mu.Unlock()
+		v.Step()
+	}
+}
+
+// RunFor executes events for the next d of virtual time.
+func (v *Virtual) RunFor(d time.Duration) {
+	v.RunUntil(v.Now() + d)
+}
+
+// Drain executes events until the queue is empty or maxEvents callbacks have
+// run. It returns the number of callbacks executed. A maxEvents of zero
+// means no limit; the limit exists so runaway self-rescheduling loops fail
+// loudly in tests instead of hanging.
+func (v *Virtual) Drain(maxEvents uint64) uint64 {
+	var n uint64
+	for {
+		if maxEvents > 0 && n >= maxEvents {
+			return n
+		}
+		if !v.Step() {
+			return n
+		}
+		n++
+	}
+}
+
+// MustDrain is Drain that panics if the event limit is hit, for tests.
+func (v *Virtual) MustDrain(maxEvents uint64) uint64 {
+	n := v.Drain(maxEvents)
+	if maxEvents > 0 && n >= maxEvents {
+		panic(fmt.Sprintf("simtime: Drain hit event limit %d at t=%v", maxEvents, v.Now()))
+	}
+	return n
+}
+
+// eventQueue is a min-heap on (when, seq).
+type eventQueue []*Timer
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*Timer)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}

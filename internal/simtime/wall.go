@@ -1,0 +1,51 @@
+package simtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Wall is the wall-clock engine used by the live manager/worker daemons.
+// Callbacks fire from time.AfterFunc goroutines but are serialized with a
+// dispatch mutex so components keep the same no-concurrent-callbacks
+// guarantee they enjoy under the virtual engine.
+type Wall struct {
+	epoch time.Time
+
+	// dispatchMu serializes all callbacks scheduled through this engine.
+	dispatchMu sync.Mutex
+}
+
+var _ Engine = (*Wall)(nil)
+
+// NewWall returns a wall-clock engine whose epoch is the moment of creation.
+func NewWall() *Wall {
+	return &Wall{epoch: time.Now()}
+}
+
+// Now reports time elapsed since the engine epoch.
+func (w *Wall) Now() time.Duration {
+	return time.Since(w.epoch)
+}
+
+// Schedule runs fn after delay on a timer goroutine, serialized against all
+// other callbacks of this engine.
+func (w *Wall) Schedule(delay time.Duration, name string, fn func()) *Timer {
+	if fn == nil {
+		panic("simtime: Schedule with nil callback")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	t := &Timer{when: w.Now() + delay, name: name, fn: fn}
+	timer := time.AfterFunc(delay, func() {
+		if !t.claim() {
+			return
+		}
+		w.dispatchMu.Lock()
+		defer w.dispatchMu.Unlock()
+		fn()
+	})
+	t.stop = timer.Stop
+	return t
+}

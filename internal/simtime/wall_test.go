@@ -1,0 +1,81 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallNowAdvances(t *testing.T) {
+	w := NewWall()
+	a := w.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := w.Now()
+	if b <= a {
+		t.Fatalf("Now() did not advance: %v then %v", a, b)
+	}
+}
+
+func TestWallScheduleFires(t *testing.T) {
+	w := NewWall()
+	done := make(chan struct{})
+	w.Schedule(time.Millisecond, "fire", func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("callback did not fire within 2s")
+	}
+}
+
+func TestWallCancelPreventsFire(t *testing.T) {
+	w := NewWall()
+	fired := make(chan struct{}, 1)
+	tm := w.Schedule(50*time.Millisecond, "victim", func() { fired <- struct{}{} })
+	if !tm.Cancel() {
+		t.Fatal("Cancel() = false, want true")
+	}
+	select {
+	case <-fired:
+		t.Fatal("canceled callback fired")
+	case <-time.After(120 * time.Millisecond):
+	}
+}
+
+func TestWallCallbacksSerialized(t *testing.T) {
+	w := NewWall()
+	var mu sync.Mutex
+	inFlight := 0
+	maxInFlight := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		w.Schedule(time.Millisecond, "probe", func() {
+			defer wg.Done()
+			mu.Lock()
+			inFlight++
+			if inFlight > maxInFlight {
+				maxInFlight = inFlight
+			}
+			mu.Unlock()
+			time.Sleep(200 * time.Microsecond)
+			mu.Lock()
+			inFlight--
+			mu.Unlock()
+		})
+	}
+	wg.Wait()
+	if maxInFlight != 1 {
+		t.Fatalf("max concurrent callbacks = %d, want 1", maxInFlight)
+	}
+}
+
+func TestWallNegativeDelayFiresSoon(t *testing.T) {
+	w := NewWall()
+	done := make(chan struct{})
+	w.Schedule(-time.Second, "asap", func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("negative-delay callback did not fire")
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary holds order statistics of a sample of durations or scalars.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P90    float64
+	P99    float64
+	StdDev float64
+}
+
+// Summarize computes summary statistics of a float sample.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, v := range sorted {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    quantile(sorted, 0.50),
+		P90:    quantile(sorted, 0.90),
+		P99:    quantile(sorted, 0.99),
+		StdDev: math.Sqrt(variance),
+	}
+}
+
+// SummarizeDurations computes summary statistics of a duration sample, in
+// seconds.
+func SummarizeDurations(sample []time.Duration) Summary {
+	fs := make([]float64, len(sample))
+	for i, d := range sample {
+		fs[i] = d.Seconds()
+	}
+	return Summarize(fs)
+}
+
+// quantile returns the q-quantile of an ascending-sorted sample using linear
+// interpolation between closest ranks.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
