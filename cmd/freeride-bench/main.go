@@ -1,0 +1,186 @@
+// Command freeride-bench runs the simulator's performance benchmarks and
+// emits a machine-readable JSON report, so the perf trajectory of the
+// reproduction is recorded alongside its accuracy. The headline number is
+// the wall-clock of the Table 2 grid (the benchmark the perf acceptance
+// criteria track); the micro-benchmarks isolate the engine event loop and
+// the in-memory RPC fast path.
+//
+// Example:
+//
+//	freeride-bench -out BENCH_1.json -iters 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"freeride"
+	"freeride/internal/experiments"
+	"freeride/internal/freerpc"
+	"freeride/internal/sidetask"
+	"freeride/internal/simtime"
+)
+
+// Report is the emitted JSON document.
+type Report struct {
+	Benchmark  string    `json:"benchmark"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Timestamp  time.Time `json:"timestamp"`
+
+	// Table2NsPerOp is each measured wall-clock of one full Table 2 grid.
+	Table2NsPerOp []int64 `json:"table2_ns_per_op"`
+	// Table2BestNs is the minimum (least-noise) observation.
+	Table2BestNs int64 `json:"table2_best_ns"`
+	// BaselineNsPerOp are reference observations of the same grid on an
+	// earlier revision (passed via -baseline-ns), interleaved with the
+	// current runs on the same machine for a fair comparison.
+	BaselineNsPerOp []int64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineDesc    string  `json:"baseline_desc,omitempty"`
+	// Speedup is best-baseline / best-current when a baseline is given.
+	Speedup float64 `json:"speedup,omitempty"`
+
+	// Reproduction metrics (must be invariant under perf work).
+	IterativeIPct float64 `json:"iterative_I_pct"`
+	IterativeSPct float64 `json:"iterative_S_pct"`
+	MixedSPct     float64 `json:"mixed_S_pct"`
+
+	// Micro-benchmarks.
+	EngineNsPerOp      float64 `json:"engine_ns_per_op"`
+	EngineAllocsPerOp  float64 `json:"engine_allocs_per_op"`
+	RPCNsPerOp         float64 `json:"rpc_ns_per_op"`
+	RPCAllocsPerOp     float64 `json:"rpc_allocs_per_op"`
+	RPCNotifyNsPerOp   float64 `json:"rpc_notify_ns_per_op"`
+	ParallelismApplied int     `json:"parallelism"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output JSON path ('-' for stdout)")
+	iters := flag.Int("iters", 3, "Table 2 grid repetitions")
+	epochs := flag.Int("epochs", 8, "epochs per training run")
+	parallel := flag.Int("parallel", 0, "grid parallelism (0 = GOMAXPROCS)")
+	baselineNs := flag.String("baseline-ns", "", "comma-separated baseline ns/op observations to record")
+	baselineDesc := flag.String("baseline-desc", "", "description of the baseline revision")
+	flag.Parse()
+
+	rep := Report{
+		Benchmark:          "BenchmarkTable2",
+		GoMaxProcs:         runtime.GOMAXPROCS(0),
+		Timestamp:          time.Now().UTC(),
+		ParallelismApplied: *parallel,
+	}
+
+	opts := experiments.Options{
+		Epochs: *epochs, WorkScale: sidetask.WorkNone, Seed: 1, Parallelism: *parallel,
+	}
+	for i := 0; i < *iters; i++ {
+		start := time.Now()
+		res, err := experiments.RunTable2(opts)
+		if err != nil {
+			fatalf("table2: %v", err)
+		}
+		ns := time.Since(start).Nanoseconds()
+		rep.Table2NsPerOp = append(rep.Table2NsPerOp, ns)
+		if rep.Table2BestNs == 0 || ns < rep.Table2BestNs {
+			rep.Table2BestNs = ns
+		}
+		meanI, meanS := res.Averages(freeride.MethodIterative)
+		mixed, _ := res.Row("mixed", freeride.MethodIterative)
+		rep.IterativeIPct = 100 * meanI
+		rep.IterativeSPct = 100 * meanS
+		rep.MixedSPct = 100 * mixed.S
+		fmt.Fprintf(os.Stderr, "table2 run %d/%d: %.2fs (I=%.4f%% S=%.3f%%)\n",
+			i+1, *iters, float64(ns)/1e9, rep.IterativeIPct, rep.IterativeSPct)
+	}
+
+	eng := testing.Benchmark(func(b *testing.B) {
+		v := simtime.NewVirtual()
+		fn := func() {}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v.ScheduleDetached(time.Microsecond, "bench", fn)
+			v.Step()
+		}
+	})
+	rep.EngineNsPerOp = float64(eng.NsPerOp())
+	rep.EngineAllocsPerOp = float64(eng.AllocsPerOp())
+
+	rpc := testing.Benchmark(func(b *testing.B) {
+		v := simtime.NewVirtual()
+		mux := freerpc.NewMux()
+		type params struct {
+			A int64 `json:"a"`
+		}
+		freerpc.HandleFunc(mux, "Echo", func(p params) (any, error) { return p, nil })
+		c1, c2 := freerpc.MemPipe(v, time.Microsecond)
+		client := freerpc.NewPeer(v, c1, nil)
+		freerpc.NewPeer(v, c2, mux)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			client.Go("Echo", params{A: 1}, 0, nil)
+			v.MustDrain(4)
+		}
+	})
+	rep.RPCNsPerOp = float64(rpc.NsPerOp())
+	rep.RPCAllocsPerOp = float64(rpc.AllocsPerOp())
+
+	notify := testing.Benchmark(func(b *testing.B) {
+		v := simtime.NewVirtual()
+		mux := freerpc.NewMux()
+		type params struct {
+			A int64 `json:"a"`
+		}
+		freerpc.HandleFunc(mux, "Report", func(p params) (any, error) { return nil, nil })
+		c1, c2 := freerpc.MemPipe(v, time.Microsecond)
+		client := freerpc.NewPeer(v, c1, nil)
+		freerpc.NewPeer(v, c2, mux)
+		for i := 0; i < b.N; i++ {
+			_ = client.Notify("Report", params{A: 1})
+			v.MustDrain(2)
+		}
+	})
+	rep.RPCNotifyNsPerOp = float64(notify.NsPerOp())
+
+	if *baselineNs != "" {
+		rep.BaselineDesc = *baselineDesc
+		var best int64
+		for _, f := range strings.Split(*baselineNs, ",") {
+			n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				fatalf("bad -baseline-ns entry %q: %v", f, err)
+			}
+			rep.BaselineNsPerOp = append(rep.BaselineNsPerOp, n)
+			if best == 0 || n < best {
+				best = n
+			}
+		}
+		if best > 0 && rep.Table2BestNs > 0 {
+			rep.Speedup = float64(best) / float64(rep.Table2BestNs)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (best table2: %.2fs)\n", *out, float64(rep.Table2BestNs)/1e9)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "freeride-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -192,6 +192,9 @@ type Session struct {
 
 	Profile  *bubble.Profile
 	reporter *bubble.Reporter
+	// workerIdx maps worker name → index in Workers, built at assembly so
+	// Submit resolves placements in O(1) instead of scanning.
+	workerIdx map[string]int
 
 	mu                sync.Mutex
 	placements        []TaskPlacement
@@ -232,6 +235,9 @@ func NewSession(cfg Config) (*Session, error) {
 			MemBytes:     model.ServerI.GPUMemBytes,
 			Policy:       policy,
 			ResidencyTax: tax,
+			// Occupancy/memory series are only consumed by profiling and
+			// figure-rendering runs; measurement sessions skip recording.
+			NoTraces: !cfg.RecordOps,
 		})
 	}
 	tr, err := pipeline.New(eng, procs, devices, pipeline.Config{
@@ -275,6 +281,7 @@ func (s *Session) assembleControlPlane() error {
 		Tick:     cfg.Tick,
 		MemSlack: 256 << 20,
 	})
+	s.workerIdx = make(map[string]int, len(s.Devices))
 	for i, dev := range s.Devices {
 		ctrs := container.NewRuntime(s.Procs)
 		w := core.NewWorker(s.Eng, dev, ctrs, core.WorkerConfig{
@@ -291,31 +298,22 @@ func (s *Session) assembleControlPlane() error {
 			_ = wPeer.Notify(method, params)
 		})
 		s.Manager.AddWorker(w.Name(), i, s.Profile.Stages[i].MemAvailable, mgrPeer)
+		s.workerIdx[w.Name()] = i
 		s.Workers = append(s.Workers, w)
 	}
 
 	// The instrumented trainer reports bubbles to the manager over its own
-	// RPC link (paper step ➎).
+	// RPC link (paper step ➎). The typed DTO crosses the MemPipe as-is —
+	// the manager's handler receives it without any JSON round-trip.
 	s.reporter = bubble.NewReporter(s.Profile, cfg.SafetyMargin)
 	pipeEnd, mgrEnd := freerpc.MemPipe(s.Eng, cfg.RPCLatency)
 	pipePeer := freerpc.NewPeer(s.Eng, pipeEnd, nil)
 	freerpc.NewPeer(s.Eng, mgrEnd, s.Manager.Mux())
 	s.reporter.SetSink(func(b bubble.Bubble) {
-		_ = pipePeer.Notify("Manager.AddBubble", bubbleToDTO(b))
+		_ = pipePeer.Notify("Manager.AddBubble", core.ToBubbleDTO(b))
 	})
 	s.reporter.Attach(s.Trainer)
 	return nil
-}
-
-// bubbleToDTO mirrors core's wire form (kept here to avoid exporting it).
-func bubbleToDTO(b bubble.Bubble) map[string]any {
-	return map[string]any{
-		"stage":    b.Stage,
-		"type":     int(b.Type),
-		"startNs":  int64(b.Start),
-		"durNs":    int64(b.Duration),
-		"memAvail": b.MemAvailable,
-	}
 }
 
 // taskFactory resolves harnesses on the worker side: custom registrations
@@ -397,10 +395,8 @@ func (s *Session) Submit(p model.TaskProfile, stage int) error {
 			return err
 		}
 		widx := -1
-		for i, w := range s.Workers {
-			if w.Name() == placed {
-				widx = i
-			}
+		if i, ok := s.workerIdx[placed]; ok {
+			widx = i
 		}
 		s.mu.Lock()
 		s.placements = append(s.placements, TaskPlacement{
@@ -531,10 +527,15 @@ func (s *Session) Run() (*Result, error) {
 	if s.Manager != nil {
 		s.Manager.Start()
 	}
-	// Generous event budget: aborts runaway simulations loudly.
+	// Generous event budget: aborts runaway simulations loudly. The batch
+	// size bounds how far the simulation can run past the final epoch:
+	// baseline side tasks and the manager tick produce events forever, so
+	// a large batch would simulate (and pay for) work long after every
+	// measurement froze. Everything up to Done is unaffected by batching.
 	const maxEvents = 500_000_000
+	const drainBatch = 4096
 	for !s.Trainer.Done().IsSet() {
-		if n := s.Eng.Drain(1_000_000); n == 0 {
+		if n := s.Eng.Drain(drainBatch); n == 0 {
 			return nil, fmt.Errorf("freeride: simulation stalled at t=%v", s.Eng.Now())
 		}
 		if s.Eng.Dispatched() > maxEvents {
@@ -613,7 +614,55 @@ func (r *Result) CostReport(tNoSideTask time.Duration) cost.Report {
 	return rep
 }
 
-// --- offline bubble profile cache ------------------------------------------
+// --- memoized offline passes (profile, baseline) ---------------------------
+//
+// Both caches are singleflight-guarded: the parallel experiment runner fires
+// many sessions that share a configuration, and exactly one of them should
+// pay for the profiling (or baseline) run while the rest wait for its
+// result.
+
+// flightCache memoizes fn-per-key with duplicate-call suppression. Failed
+// computations are not cached; the next caller retries.
+type flightCache[K comparable, V any] struct {
+	mu       sync.Mutex
+	done     map[K]V
+	inflight map[K]chan struct{}
+}
+
+func newFlightCache[K comparable, V any]() *flightCache[K, V] {
+	return &flightCache[K, V]{done: map[K]V{}, inflight: map[K]chan struct{}{}}
+}
+
+func (c *flightCache[K, V]) get(key K, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	for {
+		if v, ok := c.done[key]; ok {
+			c.mu.Unlock()
+			return v, nil
+		}
+		ch, ok := c.inflight[key]
+		if !ok {
+			break
+		}
+		c.mu.Unlock()
+		<-ch
+		c.mu.Lock()
+	}
+	ch := make(chan struct{})
+	c.inflight[key] = ch
+	c.mu.Unlock()
+
+	v, err := fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.done[key] = v
+	}
+	close(ch)
+	c.mu.Unlock()
+	return v, err
+}
 
 type profileKey struct {
 	llm      string
@@ -623,23 +672,20 @@ type profileKey struct {
 	virtual  int
 }
 
-var (
-	profMu    sync.Mutex
-	profCache = map[profileKey]*bubble.Profile{}
-)
+var profCache = newFlightCache[profileKey, *bubble.Profile]()
 
 // offlineBubbleProfile runs a short RecordOps training on a private engine
 // and extracts the per-stage bubble templates — the paper's one-time
 // offline profiling pass (§4.3), memoized per configuration.
 func offlineBubbleProfile(cfg Config) (*bubble.Profile, error) {
 	key := profileKey{cfg.LLM.Name, cfg.Stages, cfg.MicroBatches, cfg.Schedule, cfg.VirtualStages}
-	profMu.Lock()
-	if p, ok := profCache[key]; ok {
-		profMu.Unlock()
-		return p, nil
-	}
-	profMu.Unlock()
+	return profCache.get(key, func() (*bubble.Profile, error) {
+		return runBubbleProfile(cfg)
+	})
+}
 
+// runBubbleProfile is the uncached profiling pass.
+func runBubbleProfile(cfg Config) (*bubble.Profile, error) {
 	eng := simtime.NewVirtual()
 	procs := simproc.NewRuntime(eng)
 	devices := make([]*simgpu.Device, cfg.Stages)
@@ -668,49 +714,32 @@ func offlineBubbleProfile(cfg Config) (*bubble.Profile, error) {
 	if !tr.Done().IsSet() {
 		return nil, fmt.Errorf("freeride: profiling run did not finish")
 	}
-	var prof *bubble.Profile
 	if cfg.VirtualStages > 1 {
 		// Interleaved chunks share a device, so op-gap analysis per chunk
 		// cannot see the device's true idle time; profile from the
 		// occupancy traces instead (the paper's actual mechanism).
-		prof, err = bubble.ProfileFromTraces(tr, 1, 0)
-	} else {
-		prof, err = bubble.ProfileTrainer(tr, 1, 0)
+		return bubble.ProfileFromTraces(tr, 1, 0)
 	}
-	if err != nil {
-		return nil, err
-	}
-	profMu.Lock()
-	profCache[key] = prof
-	profMu.Unlock()
-	return prof, nil
+	return bubble.ProfileTrainer(tr, 1, 0)
 }
 
-// BaselineTrainTime runs (and memoizes) the no-side-task training for a
-// config, returning T_noSideTask.
+// BaselineTrainTime runs (and memoizes, with singleflight) the no-side-task
+// training for a config, returning T_noSideTask.
 func BaselineTrainTime(cfg Config) (time.Duration, error) {
 	cfg.Method = MethodNone
 	cfg.RecordOps = false
 	key := baselineKey{cfg.LLM.Name, cfg.Stages, cfg.MicroBatches, cfg.Epochs, cfg.Schedule, cfg.VirtualStages}
-	baseMu.Lock()
-	if d, ok := baseCache[key]; ok {
-		baseMu.Unlock()
-		return d, nil
-	}
-	baseMu.Unlock()
-
-	sess, err := NewSession(cfg)
-	if err != nil {
-		return 0, err
-	}
-	res, err := sess.Run()
-	if err != nil {
-		return 0, err
-	}
-	baseMu.Lock()
-	baseCache[key] = res.TrainTime
-	baseMu.Unlock()
-	return res.TrainTime, nil
+	return baseCache.get(key, func() (time.Duration, error) {
+		sess, err := NewSession(cfg)
+		if err != nil {
+			return 0, err
+		}
+		res, err := sess.Run()
+		if err != nil {
+			return 0, err
+		}
+		return res.TrainTime, nil
+	})
 }
 
 type baselineKey struct {
@@ -722,7 +751,4 @@ type baselineKey struct {
 	virtual  int
 }
 
-var (
-	baseMu    sync.Mutex
-	baseCache = map[baselineKey]time.Duration{}
-)
+var baseCache = newFlightCache[baselineKey, time.Duration]()

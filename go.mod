@@ -1,0 +1,3 @@
+module freeride
+
+go 1.24

@@ -73,9 +73,12 @@ type workerInfo struct {
 	NumTasks int    `json:"numTasks"`
 }
 
-// bubbleDTO is the wire form of a bubble report from the instrumented
-// trainer.
-type bubbleDTO struct {
+// BubbleDTO is the wire form of a bubble report from the instrumented
+// trainer. It is exported so reporters outside core (the session assembly,
+// the live node daemon) send the exact type the manager's handler expects:
+// over a MemPipe that makes the report a zero-JSON typed handoff, over TCP
+// it marshals to the same JSON as always.
+type BubbleDTO struct {
 	Stage    int   `json:"stage"`
 	Type     int   `json:"type"`
 	StartNs  int64 `json:"startNs"`
@@ -83,8 +86,9 @@ type bubbleDTO struct {
 	MemAvail int64 `json:"memAvail"`
 }
 
-func toDTO(b bubble.Bubble) bubbleDTO {
-	return bubbleDTO{
+// ToBubbleDTO converts a bubble to its wire form.
+func ToBubbleDTO(b bubble.Bubble) BubbleDTO {
+	return BubbleDTO{
 		Stage:    b.Stage,
 		Type:     int(b.Type),
 		StartNs:  int64(b.Start),
@@ -93,7 +97,8 @@ func toDTO(b bubble.Bubble) bubbleDTO {
 	}
 }
 
-func fromDTO(d bubbleDTO) bubble.Bubble {
+// FromBubbleDTO converts a wire bubble back to the domain type.
+func FromBubbleDTO(d BubbleDTO) bubble.Bubble {
 	return bubble.Bubble{
 		Stage:        d.Stage,
 		Type:         bubble.Type(d.Type),

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -117,6 +116,10 @@ type Manager struct {
 	tasks   map[string]*taskRecord
 	stats   ManagerStats
 	ticker  *simtime.Timer
+	// tickFn is the Algorithm-2 loop body, allocated once: the loop
+	// re-arms its timer every Tick for the whole training run and must
+	// not allocate a fresh closure each pass.
+	tickFn  func()
 	running bool
 }
 
@@ -130,8 +133,8 @@ func NewManager(eng simtime.Engine, opts ManagerOptions) *Manager {
 		mux:   freerpc.NewMux(),
 		tasks: make(map[string]*taskRecord),
 	}
-	freerpc.HandleFunc(m.mux, "Manager.AddBubble", func(d bubbleDTO) (any, error) {
-		m.AddBubble(fromDTO(d))
+	freerpc.HandleFunc(m.mux, "Manager.AddBubble", func(d BubbleDTO) (any, error) {
+		m.AddBubble(FromBubbleDTO(d))
 		return nil, nil
 	})
 	freerpc.HandleFunc(m.mux, "Manager.Submit", func(spec TaskSpec) (any, error) {
@@ -277,7 +280,7 @@ func (m *Manager) Submit(spec TaskSpec) error {
 	w.peer.Go("Worker.Create", createArgs{
 		Spec:          spec,
 		MemLimitBytes: spec.Profile.MemBytes + m.opts.MemSlack,
-	}, m.opts.RPCTimeout, func(raw json.RawMessage, err error) {
+	}, m.opts.RPCTimeout, func(result any, err error) {
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		if err != nil {
@@ -349,10 +352,15 @@ func (m *Manager) scheduleTick() {
 		m.mu.Unlock()
 		return
 	}
-	m.ticker = m.eng.Schedule(m.opts.Tick, "manager-tick", func() {
-		m.tick()
-		m.scheduleTick()
-	})
+	if m.tickFn == nil {
+		m.tickFn = func() {
+			m.tick()
+			m.scheduleTick()
+		}
+	}
+	// The ticker handle never leaves the manager, so the fired timer is
+	// reused instead of allocating one per tick.
+	m.ticker = simtime.Reschedule(m.eng, m.ticker, m.opts.Tick, "manager-tick", m.tickFn)
 	m.mu.Unlock()
 }
 
@@ -447,14 +455,14 @@ func (m *Manager) startLocked(w *workerMeta, rec *taskRecord, b *bubble.Bubble) 
 	w.peer.Go("Worker.Start", startArgs{
 		Name:        rec.spec.Name,
 		BubbleEndNs: int64(b.End()),
-	}, m.opts.RPCTimeout, func(raw json.RawMessage, err error) {
+	}, m.opts.RPCTimeout, func(result any, err error) {
 		m.mu.Lock()
 		defer m.mu.Unlock()
-		if err != nil {
+		if err != nil || result == nil {
 			return
 		}
-		var st taskStatus
-		if jerr := json.Unmarshal(raw, &st); jerr != nil {
+		st, derr := freerpc.DecodeResult[taskStatus](result)
+		if derr != nil {
 			return
 		}
 		if st.Started {
@@ -473,12 +481,12 @@ func (m *Manager) pauseLocked(w *workerMeta, rec *taskRecord) {
 	rec.state = sidetask.StatePaused // optimistic; grace kill corrects it
 	m.stats.RPCs++
 	w.peer.Go("Worker.Pause", taskRef{Name: rec.spec.Name}, m.opts.RPCTimeout,
-		func(raw json.RawMessage, err error) {
-			if err != nil {
+		func(result any, err error) {
+			if err != nil || result == nil {
 				return
 			}
-			var st taskStatus
-			if jerr := json.Unmarshal(raw, &st); jerr != nil {
+			st, derr := freerpc.DecodeResult[taskStatus](result)
+			if derr != nil {
 				return
 			}
 			m.mu.Lock()

@@ -246,7 +246,7 @@ func (w *Worker) handleInit(ref taskRef) (any, error) {
 		// CreateSideTask, so the hang budget covers both phases.
 		timeout = t.spec.Profile.CreateTime + 3*t.spec.Profile.InitTime + w.cfg.Grace
 	}
-	w.eng.Schedule(timeout, "init-check:"+ref.Name, func() {
+	simtime.Detached(w.eng, timeout, "init-check:"+ref.Name, func() {
 		if t.harness.State() == sidetask.StateCreated && t.cont.Alive() {
 			w.mu.Lock()
 			w.stats.InitKills++
@@ -367,7 +367,7 @@ func (w *Worker) handleStop(ref taskRef) (any, error) {
 	w.mu.Lock()
 	w.stats.Stops++
 	w.mu.Unlock()
-	w.eng.Schedule(w.cfg.Grace, "stop-check:"+ref.Name, func() {
+	simtime.Detached(w.eng, w.cfg.Grace, "stop-check:"+ref.Name, func() {
 		if t.cont.Alive() {
 			t.cont.Kill()
 		}

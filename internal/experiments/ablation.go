@@ -52,47 +52,68 @@ func runAblationPoint(cfg freeride.Config, task model.TaskProfile) (AblationRow,
 	}, nil
 }
 
+// ablationPoint is one fully configured sweep cell.
+type ablationPoint struct {
+	label string
+	cfg   freeride.Config
+	task  model.TaskProfile
+}
+
+// runAblationSweep evaluates the points on the worker pool, preserving
+// their order in the result.
+func runAblationSweep(opts Options, name string, points []ablationPoint) (*AblationResult, error) {
+	rows := make([]AblationRow, len(points))
+	err := forEachIndex(opts.Parallelism, len(points), func(i int) error {
+		p := points[i]
+		row, err := runAblationPoint(p.cfg, p.task)
+		if err != nil {
+			return fmt.Errorf("ablation %s %s: %w", name, p.label, err)
+		}
+		row.Label = p.label
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{Name: name, Rows: rows}, nil
+}
+
 // RunAblationGrace sweeps the framework-enforced grace period. Well-behaved
 // iterative tasks should be insensitive to it (the program-directed limit
 // does the work); only a pathologically short grace kills legitimate tasks.
 func RunAblationGrace(opts Options) (*AblationResult, error) {
 	opts.normalize()
-	out := &AblationResult{Name: "grace period (graphsgd iterative)"}
+	var points []ablationPoint
 	for _, grace := range []time.Duration{
 		20 * time.Millisecond, 100 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second,
 	} {
 		cfg := opts.baseConfig()
 		cfg.Method = freeride.MethodIterative
 		cfg.Grace = grace
-		row, err := runAblationPoint(cfg, model.GraphSGD)
-		if err != nil {
-			return nil, fmt.Errorf("ablation grace %v: %w", grace, err)
-		}
-		row.Label = fmt.Sprintf("grace=%v", grace)
-		out.Rows = append(out.Rows, row)
+		points = append(points, ablationPoint{
+			label: fmt.Sprintf("grace=%v", grace), cfg: cfg, task: model.GraphSGD,
+		})
 	}
-	return out, nil
+	return runAblationSweep(opts, "grace period (graphsgd iterative)", points)
 }
 
 // RunAblationRPCLatency sweeps control-plane latency: higher latency delays
 // starts/pauses and erodes harvested steps, but must never corrupt training.
 func RunAblationRPCLatency(opts Options) (*AblationResult, error) {
 	opts.normalize()
-	out := &AblationResult{Name: "RPC latency (resnet18 iterative)"}
+	var points []ablationPoint
 	for _, lat := range []time.Duration{
 		0, 200 * time.Microsecond, 2 * time.Millisecond, 20 * time.Millisecond,
 	} {
 		cfg := opts.baseConfig()
 		cfg.Method = freeride.MethodIterative
 		cfg.RPCLatency = lat
-		row, err := runAblationPoint(cfg, model.ResNet18)
-		if err != nil {
-			return nil, fmt.Errorf("ablation rpc %v: %w", lat, err)
-		}
-		row.Label = fmt.Sprintf("rpc=%v", lat)
-		out.Rows = append(out.Rows, row)
+		points = append(points, ablationPoint{
+			label: fmt.Sprintf("rpc=%v", lat), cfg: cfg, task: model.ResNet18,
+		})
 	}
-	return out, nil
+	return runAblationSweep(opts, "RPC latency (resnet18 iterative)", points)
 }
 
 // RunAblationSafetyMargin sweeps the reporter's bubble safety margin:
@@ -100,21 +121,18 @@ func RunAblationRPCLatency(opts Options) (*AblationResult, error) {
 // against overruns (lower I).
 func RunAblationSafetyMargin(opts Options) (*AblationResult, error) {
 	opts.normalize()
-	out := &AblationResult{Name: "bubble safety margin (resnet18 iterative)"}
+	var points []ablationPoint
 	for _, margin := range []time.Duration{
 		0, 10 * time.Millisecond, 50 * time.Millisecond, 200 * time.Millisecond,
 	} {
 		cfg := opts.baseConfig()
 		cfg.Method = freeride.MethodIterative
 		cfg.SafetyMargin = margin
-		row, err := runAblationPoint(cfg, model.ResNet18)
-		if err != nil {
-			return nil, fmt.Errorf("ablation margin %v: %w", margin, err)
-		}
-		row.Label = fmt.Sprintf("margin=%v", margin)
-		out.Rows = append(out.Rows, row)
+		points = append(points, ablationPoint{
+			label: fmt.Sprintf("margin=%v", margin), cfg: cfg, task: model.ResNet18,
+		})
 	}
-	return out, nil
+	return runAblationSweep(opts, "bubble safety margin (resnet18 iterative)", points)
 }
 
 // RunAblationMultiTask exercises the §8 extension: multiple side tasks
@@ -164,17 +182,14 @@ func RunAblationMultiTask(opts Options) (*AblationResult, error) {
 // the same idle time.
 func RunAblationInterleaved(opts Options) (*AblationResult, error) {
 	opts.normalize()
-	out := &AblationResult{Name: "interleaved pipeline (resnet18 iterative)"}
+	var points []ablationPoint
 	for _, virtual := range []int{1, 2} {
 		cfg := opts.baseConfig()
 		cfg.Method = freeride.MethodIterative
 		cfg.VirtualStages = virtual
-		row, err := runAblationPoint(cfg, model.ResNet18)
-		if err != nil {
-			return nil, fmt.Errorf("ablation interleaved V=%d: %w", virtual, err)
-		}
-		row.Label = fmt.Sprintf("virtual=%d", virtual)
-		out.Rows = append(out.Rows, row)
+		points = append(points, ablationPoint{
+			label: fmt.Sprintf("virtual=%d", virtual), cfg: cfg, task: model.ResNet18,
+		})
 	}
-	return out, nil
+	return runAblationSweep(opts, "interleaved pipeline (resnet18 iterative)", points)
 }

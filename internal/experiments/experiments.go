@@ -24,6 +24,11 @@ type Options struct {
 	WorkScale sidetask.WorkScale
 	// Seed drives task randomness.
 	Seed int64
+	// Parallelism bounds how many independent simulations of a grid run
+	// concurrently (0 = GOMAXPROCS, 1 = sequential). Sessions are fully
+	// isolated and identically seeded, so results are independent of the
+	// worker count; only wall-clock changes.
+	Parallelism int
 }
 
 // DefaultOptions returns the fast-suite defaults.

@@ -29,77 +29,117 @@ type Figure7Result struct {
 // model-training side tasks at batch sizes 16..128.
 func RunFigure7BatchSize(opts Options) (*Figure7Result, error) {
 	opts.normalize()
-	out := &Figure7Result{Panel: "fig7ab: batch size sensitivity"}
 	batches := []int{16, 32, 64, 96, 128}
-	for _, base := range []model.TaskProfile{model.ResNet18, model.ResNet50, model.VGG19} {
+	bases := []model.TaskProfile{model.ResNet18, model.ResNet50, model.VGG19}
+	type job struct {
+		base model.TaskProfile
+		bs   int
+	}
+	var jobs []job
+	for _, base := range bases {
 		for _, bs := range batches {
-			task := base.WithBatch(bs)
-			cfg := opts.baseConfig()
-			cfg.Method = freeride.MethodIterative
-			res, err := runOne(cfg, []model.TaskProfile{task})
-			if err != nil {
-				return nil, fmt.Errorf("fig7ab %s: %w", task.Name, err)
-			}
-			_, fits := task.StepTimeOn(model.ServerII)
-			out.Rows = append(out.Rows, Figure7Row{
-				Task: base.Name,
-				X:    fmt.Sprintf("b%d", bs),
-				I:    res.Cost.I,
-				S:    res.Cost.S,
-				OOM:  !fits,
-			})
+			jobs = append(jobs, job{base: base, bs: bs})
 		}
 	}
-	return out, nil
+	rows := make([]Figure7Row, len(jobs))
+	err := forEachIndex(opts.Parallelism, len(jobs), func(i int) error {
+		j := jobs[i]
+		task := j.base.WithBatch(j.bs)
+		cfg := opts.baseConfig()
+		cfg.Method = freeride.MethodIterative
+		res, err := runOne(cfg, []model.TaskProfile{task})
+		if err != nil {
+			return fmt.Errorf("fig7ab %s: %w", task.Name, err)
+		}
+		_, fits := task.StepTimeOn(model.ServerII)
+		rows[i] = Figure7Row{
+			Task: j.base.Name,
+			X:    fmt.Sprintf("b%d", j.bs),
+			I:    res.Cost.I,
+			S:    res.Cost.S,
+			OOM:  !fits,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure7Result{Panel: "fig7ab: batch size sensitivity", Rows: rows}, nil
 }
 
 // RunFigure7ModelSize reproduces Figure 7(c,d): all six side tasks against
 // 1.2B/3.6B/6B main models.
 func RunFigure7ModelSize(opts Options) (*Figure7Result, error) {
 	opts.normalize()
-	out := &Figure7Result{Panel: "fig7cd: model size sensitivity"}
+	type job struct {
+		task model.TaskProfile
+		llm  model.LLM
+	}
+	var jobs []job
 	for _, task := range evalTasks {
 		for _, llm := range model.LLMPresets {
-			cfg := opts.baseConfig()
-			cfg.Method = freeride.MethodIterative
-			cfg.LLM = llm
-			res, err := runOne(cfg, []model.TaskProfile{task})
-			if err != nil {
-				return nil, fmt.Errorf("fig7cd %s/%s: %w", task.Name, llm.Name, err)
-			}
-			out.Rows = append(out.Rows, Figure7Row{
-				Task: task.Name,
-				X:    fmt.Sprintf("%.1fB", llm.ParamsB),
-				I:    res.Cost.I,
-				S:    res.Cost.S,
-			})
+			jobs = append(jobs, job{task: task, llm: llm})
 		}
 	}
-	return out, nil
+	rows := make([]Figure7Row, len(jobs))
+	err := forEachIndex(opts.Parallelism, len(jobs), func(i int) error {
+		j := jobs[i]
+		cfg := opts.baseConfig()
+		cfg.Method = freeride.MethodIterative
+		cfg.LLM = j.llm
+		res, err := runOne(cfg, []model.TaskProfile{j.task})
+		if err != nil {
+			return fmt.Errorf("fig7cd %s/%s: %w", j.task.Name, j.llm.Name, err)
+		}
+		rows[i] = Figure7Row{
+			Task: j.task.Name,
+			X:    fmt.Sprintf("%.1fB", j.llm.ParamsB),
+			I:    res.Cost.I,
+			S:    res.Cost.S,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure7Result{Panel: "fig7cd: model size sensitivity", Rows: rows}, nil
 }
 
 // RunFigure7MicroBatch reproduces Figure 7(e,f): micro-batch counts 4/6/8.
 func RunFigure7MicroBatch(opts Options) (*Figure7Result, error) {
 	opts.normalize()
-	out := &Figure7Result{Panel: "fig7ef: micro-batch count sensitivity"}
+	type job struct {
+		task model.TaskProfile
+		mbs  int
+	}
+	var jobs []job
 	for _, task := range evalTasks {
 		for _, mbs := range []int{4, 6, 8} {
-			cfg := opts.baseConfig()
-			cfg.Method = freeride.MethodIterative
-			cfg.MicroBatches = mbs
-			res, err := runOne(cfg, []model.TaskProfile{task})
-			if err != nil {
-				return nil, fmt.Errorf("fig7ef %s/mb%d: %w", task.Name, mbs, err)
-			}
-			out.Rows = append(out.Rows, Figure7Row{
-				Task: task.Name,
-				X:    fmt.Sprintf("mb%d", mbs),
-				I:    res.Cost.I,
-				S:    res.Cost.S,
-			})
+			jobs = append(jobs, job{task: task, mbs: mbs})
 		}
 	}
-	return out, nil
+	rows := make([]Figure7Row, len(jobs))
+	err := forEachIndex(opts.Parallelism, len(jobs), func(i int) error {
+		j := jobs[i]
+		cfg := opts.baseConfig()
+		cfg.Method = freeride.MethodIterative
+		cfg.MicroBatches = j.mbs
+		res, err := runOne(cfg, []model.TaskProfile{j.task})
+		if err != nil {
+			return fmt.Errorf("fig7ef %s/mb%d: %w", j.task.Name, j.mbs, err)
+		}
+		rows[i] = Figure7Row{
+			Task: j.task.Name,
+			X:    fmt.Sprintf("mb%d", j.mbs),
+			I:    res.Cost.I,
+			S:    res.Cost.S,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure7Result{Panel: "fig7ef: micro-batch count sensitivity", Rows: rows}, nil
 }
 
 // Render prints the panel.

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachIndex runs fn(0..n-1) on a bounded worker pool of the given width
+// (0 or negative selects GOMAXPROCS) and returns the first error observed.
+//
+// Every experiment grid is a cross product of independent simulations: each
+// session owns a private engine, and the package-level profile/baseline
+// caches in package freeride are singleflight-guarded, so jobs can run
+// concurrently. Determinism is preserved by construction — each job writes
+// only its own result slot, so the output order never depends on
+// scheduling, and each simulation is seeded identically regardless of which
+// worker runs it.
+func forEachIndex(parallel, n int, fn func(i int) error) error {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			if firstErr != nil || next >= n {
+				mu.Unlock()
+				return
+			}
+			i := next
+			next++
+			mu.Unlock()
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+		}
+	}
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go worker()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"freeride/internal/sidetask"
+)
+
+func TestForEachIndexCoversAllOnce(t *testing.T) {
+	for _, parallel := range []int{1, 3, 16} {
+		const n = 100
+		var counts [n]int32
+		err := forEachIndex(parallel, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("parallel=%d: index %d ran %d times", parallel, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachIndexPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int32
+	err := forEachIndex(4, 50, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if atomic.LoadInt32(&ran) > 50 {
+		t.Fatalf("ran %d jobs", ran)
+	}
+}
+
+// TestParallelRunnerDeterminism reruns a small Table 2 grid with different
+// worker counts: identical seeds must produce identical rows regardless of
+// scheduling — the acceptance criterion for the concurrent grid runner.
+func TestParallelRunnerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid in -short mode")
+	}
+	opts := Options{Epochs: 2, WorkScale: sidetask.WorkNone, Seed: 1}
+
+	opts.Parallelism = 1
+	seq, err := RunTable2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 8
+	par, err := RunTable2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Rows, par.Rows) {
+		t.Fatalf("parallel grid diverged from sequential:\nseq %+v\npar %+v", seq.Rows, par.Rows)
+	}
+}

@@ -36,44 +36,57 @@ var Table2Methods = []freeride.Method{
 }
 
 // RunTable2 executes all method × workload combinations (6 tasks + mixed).
+// The cells are independent simulations and run on a bounded worker pool;
+// row order and every cell value are identical to the sequential run.
 func RunTable2(opts Options) (*Table2Result, error) {
 	opts.normalize()
-	out := &Table2Result{}
+	type job struct {
+		method freeride.Method
+		task   *model.TaskProfile // nil = mixed workload
+	}
+	var jobs []job
 	for _, method := range Table2Methods {
-		for _, task := range evalTasks {
-			cfg := opts.baseConfig()
-			cfg.Method = method
-			res, err := runOne(cfg, []model.TaskProfile{task})
-			if err != nil {
-				return nil, fmt.Errorf("table2 %v/%s: %w", method, task.Name, err)
-			}
-			out.Rows = append(out.Rows, Table2Row{
-				Task:   task.Name,
-				Method: method,
-				I:      res.Cost.I,
-				S:      res.Cost.S,
-				Steps:  res.TotalSteps(),
-				TNo:    res.Cost.TNo,
-				TWith:  res.Cost.TWith,
-			})
+		for i := range evalTasks {
+			jobs = append(jobs, job{method: method, task: &evalTasks[i]})
 		}
+		jobs = append(jobs, job{method: method})
+	}
+
+	rows := make([]Table2Row, len(jobs))
+	err := forEachIndex(opts.Parallelism, len(jobs), func(i int) error {
+		j := jobs[i]
 		cfg := opts.baseConfig()
-		cfg.Method = method
-		res, err := runMixed(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("table2 %v/mixed: %w", method, err)
+		cfg.Method = j.method
+		var (
+			res  *freeride.Result
+			err  error
+			name string
+		)
+		if j.task != nil {
+			name = j.task.Name
+			res, err = runOne(cfg, []model.TaskProfile{*j.task})
+		} else {
+			name = "mixed"
+			res, err = runMixed(cfg)
 		}
-		out.Rows = append(out.Rows, Table2Row{
-			Task:   "mixed",
-			Method: method,
+		if err != nil {
+			return fmt.Errorf("table2 %v/%s: %w", j.method, name, err)
+		}
+		rows[i] = Table2Row{
+			Task:   name,
+			Method: j.method,
 			I:      res.Cost.I,
 			S:      res.Cost.S,
 			Steps:  res.TotalSteps(),
 			TNo:    res.Cost.TNo,
 			TWith:  res.Cost.TWith,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Table2Result{Rows: rows}, nil
 }
 
 // Row finds a cell pair by task and method.

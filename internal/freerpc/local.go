@@ -1,0 +1,67 @@
+package freerpc
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Msg is the typed envelope of the in-memory fast path: the analogue of the
+// JSON wire envelope with params and results carried as live Go values.
+// Requests have a non-empty Method; responses echo the request ID. An ID of
+// zero marks a notification.
+//
+// Because no serialization boundary is crossed, reference types inside
+// Params/Result (slices, maps, pointers) are shared between sender and
+// receiver. FreeRide's wire DTOs are flat value structs, so the usual
+// box-at-interface-conversion copy is a full copy; custom params should
+// follow the same rule and be treated as immutable after sending.
+type Msg struct {
+	ID     uint64
+	Method string
+	Params any
+	Result any
+	Err    string
+}
+
+// LocalConn is a Conn whose two ends live in one process, able to hand
+// typed messages across without serialization. MemPipe conns implement it;
+// net.Conn adapters do not.
+type LocalConn interface {
+	Conn
+	// SendMsg transmits one typed message asynchronously, with the same
+	// delivery latency and ordering as Send.
+	SendMsg(m Msg) error
+	// SetMsgHandler installs the typed receiver, displacing frame delivery
+	// for this endpoint.
+	SetMsgHandler(fn func(m Msg))
+}
+
+// DecodeResult converts an RPC result — a live value on the in-memory fast
+// path, json.RawMessage off the wire — into T. A value of a foreign type
+// (e.g. a handler that returned a map) is bridged through JSON.
+func DecodeResult[T any](v any) (T, error) {
+	var out T
+	switch x := v.(type) {
+	case nil:
+		return out, nil
+	case T:
+		return x, nil
+	case json.RawMessage:
+		if len(x) == 0 {
+			return out, nil
+		}
+		if err := json.Unmarshal(x, &out); err != nil {
+			return out, fmt.Errorf("freerpc: decode result: %w", err)
+		}
+		return out, nil
+	default:
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return out, fmt.Errorf("freerpc: bridge result: %w", err)
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return out, fmt.Errorf("freerpc: bridge result: %w", err)
+		}
+		return out, nil
+	}
+}

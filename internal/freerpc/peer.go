@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"reflect"
 	"sync"
 	"time"
 
@@ -11,33 +12,46 @@ import (
 	"freeride/internal/simtime"
 )
 
-// Handler serves one RPC method. Handlers run in engine-callback context and
-// must not block; long work should be scheduled or handed to a process.
+// Handler serves one RPC method from the wire: params arrive as raw JSON.
+// Handlers run in engine-callback context and must not block; long work
+// should be scheduled or handed to a process.
 type Handler func(params json.RawMessage) (any, error)
+
+// typedHandler serves one RPC method from the in-memory fast path: params
+// arrive as the live value the caller passed (or as raw JSON when a foreign
+// caller still serialized).
+type typedHandler func(params any) (any, error)
 
 // Mux is a method dispatch table shared by any number of peers (the worker
 // registers its methods once and serves every manager connection with them).
 type Mux struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
+	typed    map[string]typedHandler
 }
 
 // NewMux returns an empty dispatch table.
 func NewMux() *Mux {
-	return &Mux{handlers: make(map[string]Handler)}
+	return &Mux{handlers: make(map[string]Handler), typed: make(map[string]typedHandler)}
 }
 
-// Handle registers h for method, replacing any previous registration.
+// Handle registers h for method, replacing any previous registration. Local
+// fast-path requests to a raw handler are bridged through JSON; register
+// with HandleFunc to serve them without serialization.
 func (m *Mux) Handle(method string, h Handler) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.handlers[method] = h
+	delete(m.typed, method)
 }
 
-// HandleFunc registers a typed handler: params are unmarshalled into a fresh
-// P before invoking fn.
+// HandleFunc registers a typed handler: wire requests are unmarshalled into
+// a fresh P; in-memory requests whose params are already a P (the common
+// case — both ends share the DTO type) are dispatched with zero JSON work.
 func HandleFunc[P any](m *Mux, method string, fn func(params P) (any, error)) {
-	m.Handle(method, func(raw json.RawMessage) (any, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[method] = func(raw json.RawMessage) (any, error) {
 		var p P
 		if len(raw) > 0 {
 			if err := json.Unmarshal(raw, &p); err != nil {
@@ -45,7 +59,36 @@ func HandleFunc[P any](m *Mux, method string, fn func(params P) (any, error)) {
 			}
 		}
 		return fn(p)
-	})
+	}
+	m.typed[method] = func(params any) (any, error) {
+		switch p := params.(type) {
+		case nil:
+			var zero P
+			return fn(zero)
+		case P:
+			return fn(p)
+		case json.RawMessage:
+			var decoded P
+			if len(p) > 0 {
+				if err := json.Unmarshal(p, &decoded); err != nil {
+					return nil, fmt.Errorf("freerpc: bad params for %s: %w", method, err)
+				}
+			}
+			return fn(decoded)
+		default:
+			// Foreign-typed local params (e.g. a hand-rolled map): bridge
+			// through JSON once rather than reject.
+			raw, err := json.Marshal(params)
+			if err != nil {
+				return nil, fmt.Errorf("freerpc: bad params for %s: %w", method, err)
+			}
+			var decoded P
+			if err := json.Unmarshal(raw, &decoded); err != nil {
+				return nil, fmt.Errorf("freerpc: bad params for %s: %w", method, err)
+			}
+			return fn(decoded)
+		}
+	}
 }
 
 func (m *Mux) lookup(method string) (Handler, bool) {
@@ -53,6 +96,35 @@ func (m *Mux) lookup(method string) (Handler, bool) {
 	defer m.mu.RUnlock()
 	h, ok := m.handlers[method]
 	return h, ok
+}
+
+// lookupLocal resolves a method for the fast path: the typed handler when
+// registered, otherwise the raw handler bridged through JSON.
+func (m *Mux) lookupLocal(method string) (typedHandler, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if th, ok := m.typed[method]; ok {
+		return th, true
+	}
+	h, ok := m.handlers[method]
+	if !ok {
+		return nil, false
+	}
+	return func(params any) (any, error) {
+		var raw json.RawMessage
+		if params != nil {
+			if r, isRaw := params.(json.RawMessage); isRaw {
+				raw = r
+			} else {
+				b, err := json.Marshal(params)
+				if err != nil {
+					return nil, fmt.Errorf("freerpc: bad params for %s: %w", method, err)
+				}
+				raw = b
+			}
+		}
+		return h(raw)
+	}, true
 }
 
 // envelope is the wire message: requests carry Method, responses don't.
@@ -76,11 +148,14 @@ func (e *RemoteError) Error() string {
 }
 
 // Peer is one endpoint of an RPC connection: it can both serve methods (via
-// its Mux) and issue calls.
+// its Mux) and issue calls. On a LocalConn (MemPipe) every call and
+// notification crosses as a typed Msg with zero JSON work; on a net.Conn
+// the newline-delimited JSON wire protocol is used.
 type Peer struct {
-	eng  simtime.Engine
-	conn Conn
-	mux  *Mux
+	eng   simtime.Engine
+	conn  Conn
+	local LocalConn // non-nil when conn supports the typed fast path
+	mux   *Mux
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -90,14 +165,19 @@ type Peer struct {
 
 type pendingCall struct {
 	method string
-	done   func(result json.RawMessage, err error)
+	done   func(result any, err error)
 	timer  *simtime.Timer
 }
 
 // NewPeer wraps conn. mux may be nil for call-only endpoints.
 func NewPeer(eng simtime.Engine, conn Conn, mux *Mux) *Peer {
 	p := &Peer{eng: eng, conn: conn, mux: mux, pending: make(map[uint64]*pendingCall)}
-	conn.SetRecvHandler(p.onFrame)
+	if lc, ok := conn.(LocalConn); ok {
+		p.local = lc
+		lc.SetMsgHandler(p.onMsg)
+	} else {
+		conn.SetRecvHandler(p.onFrame)
+	}
 	conn.OnClose(p.failAll)
 	return p
 }
@@ -108,6 +188,58 @@ func (p *Peer) Conn() Conn { return p.conn }
 // Close tears down the connection; pending calls fail with ErrClosed.
 func (p *Peer) Close() { _ = p.conn.Close() }
 
+// resolve completes the pending call for a response (from either path).
+func (p *Peer) resolve(id uint64, result any, errMsg string) {
+	p.mu.Lock()
+	call, ok := p.pending[id]
+	if ok {
+		delete(p.pending, id)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return // response to a timed-out or unknown call
+	}
+	if call.timer != nil {
+		call.timer.Cancel()
+	}
+	if errMsg != "" {
+		call.done(nil, &RemoteError{Method: call.method, Msg: errMsg})
+		return
+	}
+	call.done(result, nil)
+}
+
+// onMsg receives typed messages from a LocalConn.
+func (p *Peer) onMsg(m Msg) {
+	if m.Method != "" {
+		p.serveLocal(m)
+		return
+	}
+	p.resolve(m.ID, m.Result, m.Err)
+}
+
+// serveLocal dispatches a fast-path request and responds in kind.
+func (p *Peer) serveLocal(m Msg) {
+	var result any
+	var errMsg string
+	if p.mux == nil {
+		errMsg = "no handler table"
+	} else if th, ok := p.mux.lookupLocal(m.Method); !ok {
+		errMsg = fmt.Sprintf("unknown method %q", m.Method)
+	} else {
+		r, err := th(m.Params)
+		if err != nil {
+			errMsg = err.Error()
+		} else {
+			result = r
+		}
+	}
+	if m.ID == 0 {
+		return // notification: no response
+	}
+	_ = p.local.SendMsg(Msg{ID: m.ID, Result: result, Err: errMsg})
+}
+
 func (p *Peer) onFrame(frame []byte) {
 	var env envelope
 	if err := json.Unmarshal(frame, &env); err != nil {
@@ -117,23 +249,7 @@ func (p *Peer) onFrame(frame []byte) {
 		p.serveRequest(&env)
 		return
 	}
-	p.mu.Lock()
-	call, ok := p.pending[env.ID]
-	if ok {
-		delete(p.pending, env.ID)
-	}
-	p.mu.Unlock()
-	if !ok {
-		return // response to a timed-out or unknown call
-	}
-	if call.timer != nil {
-		call.timer.Cancel()
-	}
-	if env.Error != "" {
-		call.done(nil, &RemoteError{Method: call.method, Msg: env.Error})
-		return
-	}
-	call.done(env.Result, nil)
+	p.resolve(env.ID, env.Result, env.Error)
 }
 
 func (p *Peer) serveRequest(env *envelope) {
@@ -185,22 +301,14 @@ func (p *Peer) failAll() {
 	}
 }
 
-// Go issues an asynchronous call; done fires in engine-callback context with
-// the raw result. A zero timeout means no deadline.
-func (p *Peer) Go(method string, params any, timeout time.Duration, done func(result json.RawMessage, err error)) {
+// Go issues an asynchronous call; done fires in engine-callback context.
+// The result is a live value when the connection is in-memory and raw JSON
+// (json.RawMessage) when it crossed the wire — use DecodeResult to consume
+// it uniformly. A zero timeout means no deadline.
+func (p *Peer) Go(method string, params any, timeout time.Duration, done func(result any, err error)) {
 	if done == nil {
-		done = func(json.RawMessage, error) {}
+		done = func(any, error) {}
 	}
-	var raw json.RawMessage
-	if params != nil {
-		b, err := json.Marshal(params)
-		if err != nil {
-			done(nil, fmt.Errorf("freerpc: marshal params: %w", err))
-			return
-		}
-		raw = b
-	}
-
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -227,9 +335,21 @@ func (p *Peer) Go(method string, params any, timeout time.Duration, done func(re
 		})
 	}
 
-	frame, err := json.Marshal(envelope{ID: id, Method: method, Params: raw})
-	if err == nil {
-		err = p.conn.Send(frame)
+	var err error
+	if p.local != nil {
+		err = p.local.SendMsg(Msg{ID: id, Method: method, Params: params})
+	} else {
+		var raw json.RawMessage
+		if params != nil {
+			raw, err = json.Marshal(params)
+		}
+		if err == nil {
+			var wire []byte
+			wire, err = json.Marshal(envelope{ID: id, Method: method, Params: raw})
+			if err == nil {
+				err = p.conn.Send(wire)
+			}
+		}
 	}
 	if err != nil {
 		p.mu.Lock()
@@ -250,6 +370,9 @@ func (p *Peer) Go(method string, params any, timeout time.Duration, done func(re
 // Notify sends a one-way message (no response, no delivery guarantee beyond
 // the transport's).
 func (p *Peer) Notify(method string, params any) error {
+	if p.local != nil {
+		return p.local.SendMsg(Msg{Method: method, Params: params})
+	}
 	var raw json.RawMessage
 	if params != nil {
 		b, err := json.Marshal(params)
@@ -265,16 +388,16 @@ func (p *Peer) Notify(method string, params any) error {
 	return p.conn.Send(frame)
 }
 
-// Call issues a blocking call from process context, unmarshalling the reply
-// into result (which may be nil). A zero timeout means no deadline.
+// Call issues a blocking call from process context, decoding the reply into
+// result (a pointer, may be nil). A zero timeout means no deadline.
 func (p *Peer) Call(proc *simproc.Process, method string, params, result any, timeout time.Duration) error {
 	type outcome struct {
-		raw json.RawMessage
+		val any
 		err error
 	}
 	got := proc.WaitEvent("rpc:"+method, func(wake func(any)) {
-		p.Go(method, params, timeout, func(raw json.RawMessage, err error) {
-			wake(outcome{raw: raw, err: err})
+		p.Go(method, params, timeout, func(val any, err error) {
+			wake(outcome{val: val, err: err})
 		})
 	})
 	oc, ok := got.(outcome)
@@ -284,12 +407,38 @@ func (p *Peer) Call(proc *simproc.Process, method string, params, result any, ti
 	if oc.err != nil {
 		return oc.err
 	}
-	if result != nil && len(oc.raw) > 0 {
-		if err := json.Unmarshal(oc.raw, result); err != nil {
+	if result == nil || oc.val == nil {
+		return nil
+	}
+	switch v := oc.val.(type) {
+	case json.RawMessage:
+		if len(v) == 0 {
+			return nil
+		}
+		if err := json.Unmarshal(v, result); err != nil {
 			return fmt.Errorf("freerpc: unmarshal result of %s: %w", method, err)
 		}
+		return nil
+	default:
+		// Fast-path result: assign directly when the types line up, bridge
+		// through JSON otherwise (e.g. caller decodes into its own DTO).
+		dst := reflect.ValueOf(result)
+		if dst.Kind() == reflect.Pointer && !dst.IsNil() {
+			sv := reflect.ValueOf(v)
+			if sv.Type().AssignableTo(dst.Elem().Type()) {
+				dst.Elem().Set(sv)
+				return nil
+			}
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("freerpc: bridge result of %s: %w", method, err)
+		}
+		if err := json.Unmarshal(raw, result); err != nil {
+			return fmt.Errorf("freerpc: unmarshal result of %s: %w", method, err)
+		}
+		return nil
 	}
-	return nil
 }
 
 // Serve accepts connections from ln and wires each to a new Peer over mux.

@@ -183,14 +183,16 @@ func TestGoAsync(t *testing.T) {
 	eng, _, client, _, mux := newPair(time.Millisecond)
 	HandleFunc(mux, "Add", func(p echoArgs) (any, error) { return p.N + 1, nil })
 	var result int
-	client.Go("Add", echoArgs{N: 41}, 0, func(raw json.RawMessage, err error) {
+	client.Go("Add", echoArgs{N: 41}, 0, func(res any, err error) {
 		if err != nil {
 			t.Errorf("Go err: %v", err)
 			return
 		}
-		if err := json.Unmarshal(raw, &result); err != nil {
-			t.Errorf("unmarshal: %v", err)
+		v, derr := DecodeResult[int](res)
+		if derr != nil {
+			t.Errorf("decode: %v", derr)
 		}
+		result = v
 	})
 	eng.MustDrain(100)
 	if result != 42 {
@@ -297,7 +299,7 @@ func TestTCPServerManyClients(t *testing.T) {
 			}
 			defer c.Close()
 			ok := make(chan struct{})
-			c.Go("Hello", name, 5*time.Second, func(raw json.RawMessage, err error) {
+			c.Go("Hello", name, 5*time.Second, func(res any, err error) {
 				if err != nil {
 					t.Errorf("call: %v", err)
 				}

@@ -1,16 +1,25 @@
 // Package freerpc is FreeRide's RPC layer — the stdlib substitute for the
 // paper's gRPC (§4.6). Communication among the pipeline training system,
-// the side task manager, and the side task workers uses JSON-framed
-// request/response messages over a Conn, which is either
+// the side task manager, and the side task workers uses request/response
+// messages over a Conn, with two transports:
 //
-//   - an in-memory pipe whose delivery is scheduled on the simulation engine
-//     with a configurable one-way latency (deterministic experiments), or
-//   - a real net.Conn carrying newline-delimited JSON (the live
-//     freeride-managerd / freeride-workerd daemons).
+//   - MemPipe: an in-memory pipe whose delivery is scheduled on the
+//     simulation engine with a configurable one-way latency (deterministic
+//     experiments). MemPipe conns implement LocalConn, so peers exchange
+//     typed Msg envelopes directly — params structs (bubble DTOs, task
+//     specs, worker stats) and results cross without any JSON marshalling.
+//     Handlers registered with HandleFunc receive the caller's value as-is
+//     when the types match, and a one-time JSON bridge otherwise.
+//   - NewNetConn: a real net.Conn carrying newline-delimited JSON frames
+//     (the live freeride-managerd / freeride-workerd daemons). This is the
+//     wire protocol; HandleFunc's raw-JSON path serves it.
 //
-// The RPC latency is part of what the paper measures as "FreeRide runtime"
-// in its bubble-time breakdown (Fig. 9), so the in-memory transport models
-// it explicitly instead of being free.
+// The split means the simulator pays only for what the paper's system pays
+// for: the modelled RPC latency (part of the "FreeRide runtime" in the
+// Fig. 9 bubble-time breakdown) is preserved exactly — delivery of a typed
+// Msg is scheduled identically to a frame — while the serialization cost,
+// which the paper's gRPC substitute never modelled, is gone from the
+// simulation hot path.
 package freerpc
 
 import (
@@ -46,7 +55,9 @@ type Conn interface {
 	OnClose(fn func())
 }
 
-// memConn is one end of an in-memory pipe.
+// memConn is one end of an in-memory pipe. It is a LocalConn: peers hand
+// typed Msg values straight across (zero JSON); the frame-based Send remains
+// for transport-level tests and foreign users.
 type memConn struct {
 	eng     simtime.Engine
 	latency time.Duration
@@ -54,11 +65,12 @@ type memConn struct {
 	mu      sync.Mutex
 	peer    *memConn
 	recv    func([]byte)
+	recvMsg func(Msg)
 	closed  bool
 	onClose []func()
 }
 
-var _ Conn = (*memConn)(nil)
+var _ LocalConn = (*memConn)(nil)
 
 // MemPipe returns a connected pair of in-memory Conns with the given one-way
 // delivery latency.
@@ -81,7 +93,7 @@ func (c *memConn) Send(frame []byte) error {
 	// Copy: the sender may reuse the buffer.
 	buf := make([]byte, len(frame))
 	copy(buf, frame)
-	c.eng.Schedule(c.latency, "rpc-deliver", func() {
+	simtime.Detached(c.eng, c.latency, "rpc-deliver", func() {
 		peer.mu.Lock()
 		closed, recv := peer.closed, peer.recv
 		peer.mu.Unlock()
@@ -93,9 +105,38 @@ func (c *memConn) Send(frame []byte) error {
 	return nil
 }
 
+// SendMsg delivers a typed message to the peer after one latency — the same
+// scheduling as Send, minus the serialization.
+func (c *memConn) SendMsg(m Msg) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	peer := c.peer
+	c.mu.Unlock()
+
+	simtime.Detached(c.eng, c.latency, "rpc-deliver", func() {
+		peer.mu.Lock()
+		closed, recv := peer.closed, peer.recvMsg
+		peer.mu.Unlock()
+		if closed || recv == nil {
+			return
+		}
+		recv(m)
+	})
+	return nil
+}
+
 func (c *memConn) SetRecvHandler(fn func([]byte)) {
 	c.mu.Lock()
 	c.recv = fn
+	c.mu.Unlock()
+}
+
+func (c *memConn) SetMsgHandler(fn func(Msg)) {
+	c.mu.Lock()
+	c.recvMsg = fn
 	c.mu.Unlock()
 }
 
@@ -114,7 +155,7 @@ func (c *memConn) Close() error {
 	c.closeLocal()
 	// Propagate to the peer after one latency (FIN in flight).
 	peer := c.peer
-	c.eng.Schedule(c.latency, "rpc-close", peer.closeLocal)
+	simtime.Detached(c.eng, c.latency, "rpc-close", peer.closeLocal)
 	return nil
 }
 
@@ -191,7 +232,7 @@ func (c *netConn) readLoop() {
 	for scanner.Scan() {
 		line := make([]byte, len(scanner.Bytes()))
 		copy(line, scanner.Bytes())
-		c.eng.Schedule(0, "rpc-recv", func() {
+		simtime.Detached(c.eng, 0, "rpc-recv", func() {
 			c.mu.Lock()
 			recv, closed := c.recv, c.closed
 			c.mu.Unlock()
@@ -200,7 +241,7 @@ func (c *netConn) readLoop() {
 			}
 		})
 	}
-	c.eng.Schedule(0, "rpc-eof", func() { c.closeLocal() })
+	simtime.Detached(c.eng, 0, "rpc-eof", func() { c.closeLocal() })
 }
 
 func (c *netConn) OnClose(fn func()) {

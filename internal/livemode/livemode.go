@@ -177,11 +177,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	reporter := bubble.NewReporter(prof, 0)
 	reporter.SetSink(func(b bubble.Bubble) {
-		_ = mgrPeer.Notify("Manager.AddBubble", map[string]any{
-			"stage": b.Stage, "type": int(b.Type),
-			"startNs": int64(b.Start), "durNs": int64(b.Duration),
-			"memAvail": b.MemAvailable,
-		})
+		_ = mgrPeer.Notify("Manager.AddBubble", core.ToBubbleDTO(b))
 	})
 	reporter.Attach(trainer)
 

@@ -67,7 +67,7 @@ func (c *Ctx) ExecStepKernel() error {
 	per := d / time.Duration(parts)
 	for i := 0; i < parts; i++ {
 		if err := c.GPU.Exec(c.Proc, simgpu.KernelSpec{
-			Name:     c.Profile.Name + "-step",
+			Name:     c.h.stepKernelName,
 			Duration: per,
 			Demand:   c.Profile.Demand,
 			Weight:   c.Profile.Weight,
@@ -154,6 +154,9 @@ type Harness struct {
 	// (imperative mode uses several, giving SIGTSTP kernel-granular
 	// effect; immutable after construction).
 	kernelParts int
+	// stepKernelName is the precomputed step-kernel label (millions of
+	// launches per run; the concat must not happen per step).
+	stepKernelName string
 }
 
 // NewIterativeHarness wraps an Iterative implementation.
@@ -161,8 +164,9 @@ func NewIterativeHarness(name string, profile model.TaskProfile, impl Iterative,
 	return &Harness{
 		name: name, mode: ModeIterative, profile: profile, iter: impl,
 		seed: seed, inbox: simproc.NewMailbox(), state: StateSubmitted,
-		stepEstimate: profile.StepTime + profile.HostOverhead,
-		kernelParts:  1,
+		stepEstimate:   profile.StepTime + profile.HostOverhead,
+		kernelParts:    1,
+		stepKernelName: profile.Name + "-step",
 	}
 }
 
@@ -171,8 +175,9 @@ func NewImperativeHarness(name string, profile model.TaskProfile, impl Imperativ
 	return &Harness{
 		name: name, mode: ModeImperative, profile: profile, imper: impl,
 		seed: seed, inbox: simproc.NewMailbox(), state: StateSubmitted,
-		stepEstimate: profile.StepTime + profile.HostOverhead,
-		kernelParts:  imperativeKernelParts,
+		stepEstimate:   profile.StepTime + profile.HostOverhead,
+		kernelParts:    imperativeKernelParts,
+		stepKernelName: profile.Name + "-step",
 	}
 }
 

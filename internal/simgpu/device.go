@@ -87,6 +87,11 @@ type DeviceConfig struct {
 	// side-task context resident is not free. Default 0 (off); the
 	// experiment harness uses DefaultResidencyTax.
 	ResidencyTax float64
+	// NoTraces disables occupancy/memory series recording. Measurement
+	// runs that never read the traces (everything except profiling and the
+	// figure harnesses) set it: the series otherwise accumulate a point
+	// per rebalance for the whole run and dominate allocation volume.
+	NoTraces bool
 }
 
 // DefaultResidencyTax is the calibrated MPS context-multiplexing overhead
@@ -98,13 +103,25 @@ type Device struct {
 	eng simtime.Engine
 	cfg DeviceConfig
 
-	mu       sync.Mutex
-	clients  map[string]*Client
+	mu      sync.Mutex
+	clients map[string]*Client
+	// order lists clients in creation order: the rebalance hot path walks
+	// it instead of iterating the map (faster, and deterministic).
+	order    []*Client
 	memUsed  int64
 	occ      *trace.Series // total SM allocation over time
 	mem      *trace.Series // total memory bytes over time
 	kernels  uint64        // completed kernel count
 	workDone float64       // completed SM-seconds (at reference speed)
+
+	// scratch buffers reused across rebalances to keep the hot path
+	// allocation-free.
+	scratchRun   []*kernel
+	scratchSlots []allocSlot
+	// kernelPool recycles kernel structs (and their completion timers and
+	// closures) across launches; a device retires millions of kernels per
+	// simulated run.
+	kernelPool []*kernel
 }
 
 // NewDevice creates a device on the engine. Zero-valued config fields get
@@ -212,6 +229,7 @@ func (d *Device) NewClient(cfg ClientConfig) (*Client, error) {
 		occTr: trace.NewSeries(d.cfg.Name + "/" + cfg.Name + "/sm"),
 	}
 	d.clients[cfg.Name] = c
+	d.order = append(d.order, c)
 	return c, nil
 }
 
@@ -259,9 +277,11 @@ func (c *Client) AllocMem(n int64) error {
 	}
 	c.memUsed += n
 	d.memUsed += n
-	now := d.eng.Now()
-	c.memTr.Add(now, float64(c.memUsed))
-	d.mem.Add(now, float64(d.memUsed))
+	if !d.cfg.NoTraces {
+		now := d.eng.Now()
+		c.memTr.Add(now, float64(c.memUsed))
+		d.mem.Add(now, float64(d.memUsed))
+	}
 	return nil
 }
 
@@ -275,9 +295,11 @@ func (c *Client) FreeMem(n int64) {
 	}
 	c.memUsed -= n
 	d.memUsed -= n
-	now := d.eng.Now()
-	c.memTr.Add(now, float64(c.memUsed))
-	d.mem.Add(now, float64(d.memUsed))
+	if !d.cfg.NoTraces {
+		now := d.eng.Now()
+		c.memTr.Add(now, float64(c.memUsed))
+		d.mem.Add(now, float64(d.memUsed))
+	}
 }
 
 // Destroy aborts the client's queued and running kernels, frees its memory
@@ -301,10 +323,18 @@ func (c *Client) Destroy() {
 	c.queue = nil
 	d.memUsed -= c.memUsed
 	c.memUsed = 0
-	now := d.eng.Now()
-	c.memTr.Add(now, 0)
-	d.mem.Add(now, float64(d.memUsed))
+	if !d.cfg.NoTraces {
+		now := d.eng.Now()
+		c.memTr.Add(now, 0)
+		d.mem.Add(now, float64(d.memUsed))
+	}
 	delete(d.clients, c.cfg.Name)
+	for i, oc := range d.order {
+		if oc == c {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
 	d.rebalanceLocked()
 	d.mu.Unlock()
 

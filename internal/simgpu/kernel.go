@@ -48,7 +48,13 @@ type kernel struct {
 	// lastUpdate is the engine time work was last accrued at.
 	lastUpdate time.Duration
 
-	timer      *simtime.Timer
+	// timer is the completion event. Its handle never leaves the kernel,
+	// so reschedules after a rebalance reuse the same Timer allocation.
+	timer *simtime.Timer
+	// doneName and completeFn are precomputed once per kernel: completion
+	// is rescheduled on every rebalance and must not allocate.
+	doneName   string
+	completeFn func()
 	onComplete func(error)
 	started    time.Duration
 	startSet   bool
@@ -57,7 +63,6 @@ type kernel struct {
 func (k *kernel) cancelTimer() {
 	if k.timer != nil {
 		k.timer.Cancel()
-		k.timer = nil
 	}
 }
 
@@ -77,12 +82,32 @@ func (c *Client) Launch(spec KernelSpec, onComplete func(error)) error {
 		}
 		return ErrClientClosed
 	}
-	k := &kernel{
-		client:     c,
-		spec:       spec,
-		work:       spec.Demand * spec.Duration.Seconds(),
-		onComplete: onComplete,
+	var k *kernel
+	if n := len(d.kernelPool); n > 0 {
+		k = d.kernelPool[n-1]
+		d.kernelPool[n-1] = nil
+		d.kernelPool = d.kernelPool[:n-1]
+		*k = kernel{
+			client:     c,
+			spec:       spec,
+			work:       spec.Demand * spec.Duration.Seconds(),
+			onComplete: onComplete,
+			// The completion timer and closure survive recycling.
+			timer:      k.timer,
+			completeFn: k.completeFn,
+		}
+	} else {
+		k = &kernel{
+			client:     c,
+			spec:       spec,
+			work:       spec.Demand * spec.Duration.Seconds(),
+			onComplete: onComplete,
+		}
+		k.completeFn = func() { d.completeKernel(k) }
 	}
+	// The timer label is a debug string only; reusing spec.Name avoids a
+	// per-launch concat.
+	k.doneName = spec.Name
 	if c.current == nil {
 		c.current = k
 		k.started = d.eng.Now()
@@ -99,7 +124,10 @@ func (c *Client) Launch(spec KernelSpec, onComplete func(error)) error {
 // returning the kernel's completion error. This is the blocking API side
 // tasks and pipeline stages use.
 func (c *Client) Exec(p *simproc.Process, spec KernelSpec) error {
-	res := p.WaitEvent("kernel:"+spec.Name, func(wake func(any)) {
+	// spec.Name is used verbatim as the park label: Exec runs once per
+	// simulated kernel and a "kernel:" prefix concat here shows up in
+	// profiles.
+	res := p.WaitEvent(spec.Name, func(wake func(any)) {
 		if err := c.Launch(spec, func(err error) { wake(err) }); err != nil {
 			// Launch failed synchronously; onComplete already invoked wake.
 			_ = err
@@ -139,12 +167,13 @@ func (c *Client) Busy() bool {
 func (d *Device) rebalanceLocked() {
 	now := d.eng.Now()
 
-	running := make([]*kernel, 0, len(d.clients))
-	for _, c := range d.clients {
+	running := d.scratchRun[:0]
+	for _, c := range d.order {
 		if c.current != nil {
 			running = append(running, c.current)
 		}
 	}
+	d.scratchRun = running
 
 	// Accrue progress under the old allocations.
 	for _, k := range running {
@@ -164,7 +193,7 @@ func (d *Device) rebalanceLocked() {
 	// contexts, every kernel pays a small scheduling overhead.
 	if d.cfg.ResidencyTax > 0 && d.cfg.Policy == PolicyMPS {
 		resident := 0
-		for _, c := range d.clients {
+		for _, c := range d.order {
 			if c.memUsed > 0 || c.current != nil {
 				resident++
 			}
@@ -180,15 +209,19 @@ func (d *Device) rebalanceLocked() {
 	var total float64
 	for _, k := range running {
 		total += k.alloc
-		k.client.occTr.Add(now, k.alloc)
 		d.scheduleCompletionLocked(k)
 	}
-	for _, c := range d.clients {
-		if c.current == nil {
-			c.occTr.Add(now, 0)
+	if !d.cfg.NoTraces {
+		for _, k := range running {
+			k.client.occTr.Add(now, k.alloc)
 		}
+		for _, c := range d.order {
+			if c.current == nil {
+				c.occTr.Add(now, 0)
+			}
+		}
+		d.occ.Add(now, total)
 	}
-	d.occ.Add(now, total)
 }
 
 // assignAllocations computes per-kernel SM fractions under the device
@@ -211,19 +244,15 @@ func (d *Device) assignAllocations(running []*kernel) {
 			k.alloc = math.Max(minAlloc, k.spec.Demand*d.cfg.Capacity*share)
 		}
 	default: // PolicyMPS: weighted water-filling capped by demand.
-		type slot struct {
-			k     *kernel
-			w     float64
-			fixed bool
-		}
-		slots := make([]slot, len(running))
-		for i, k := range running {
+		slots := d.scratchSlots[:0]
+		for _, k := range running {
 			w := k.spec.Weight
 			if k.client.cfg.Weight > 0 {
 				w = k.client.cfg.Weight
 			}
-			slots[i] = slot{k: k, w: w}
+			slots = append(slots, allocSlot{k: k, w: w})
 		}
+		d.scratchSlots = slots
 		remaining := d.cfg.Capacity
 		for {
 			var totalW float64
@@ -264,6 +293,14 @@ func (d *Device) assignAllocations(running []*kernel) {
 	}
 }
 
+// allocSlot is the MPS water-filling work item (in Device scratch storage
+// so per-rebalance allocation stays zero).
+type allocSlot struct {
+	k     *kernel
+	w     float64
+	fixed bool
+}
+
 // clientWeightOf reports a kernel's scheduling weight at client
 // granularity (for time-slicing): the client weight if set, else 1.
 func clientWeightOf(k *kernel) float64 {
@@ -281,9 +318,7 @@ func (d *Device) scheduleCompletionLocked(k *kernel) {
 	}
 	secs := k.work / k.alloc
 	delay := time.Duration(math.Ceil(secs * 1e9))
-	k.timer = d.eng.Schedule(delay, "kernel-done:"+k.spec.Name, func() {
-		d.completeKernel(k)
-	})
+	k.timer = simtime.Reschedule(d.eng, k.timer, delay, k.doneName, k.completeFn)
 }
 
 // completeKernel retires a finished kernel, promotes the client's next
@@ -306,9 +341,16 @@ func (d *Device) completeKernel(k *kernel) {
 		c.current.startSet = true
 	}
 	d.rebalanceLocked()
+	// Retire k into the pool while the lock is held; after Unlock this
+	// function must not touch k again — the completion callback below may
+	// launch a new kernel that reuses it.
+	cb := k.onComplete
+	k.onComplete = nil
+	k.client = nil
+	d.kernelPool = append(d.kernelPool, k)
 	d.mu.Unlock()
 
-	if k.onComplete != nil {
-		k.onComplete(nil)
+	if cb != nil {
+		cb(nil)
 	}
 }

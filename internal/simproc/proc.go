@@ -97,7 +97,12 @@ func (rt *Runtime) Live() []*Process {
 type Process struct {
 	rt   *Runtime
 	name string
-	id   int
+	// wakeName/wakeFn are the precomputed sleep-event label and callback:
+	// Sleep is the hottest schedule site in the simulator and must not
+	// allocate per call.
+	wakeName string
+	wakeFn   func()
+	id       int
 
 	// handshake channels; see park/resume.
 	resumeCh chan resumeMsg
@@ -110,7 +115,11 @@ type Process struct {
 	parkReason  string
 	killed      bool
 	stopped     bool
-	pendingWake *resumeMsg // wake deferred while stopped
+	// pendingWake holds a wake deferred while stopped. Stored by value:
+	// taking a pointer to resume's msg argument would force a heap
+	// allocation on every resume, the hottest call in the runtime.
+	pendingWake    resumeMsg
+	hasPendingWake bool
 	onExit      []func(err error)
 	// resumeMu serializes resume handshakes from multiple wakers (wall mode).
 	resumeMu sync.Mutex
@@ -123,17 +132,23 @@ func (rt *Runtime) Spawn(name string, fn func(p *Process) error) *Process {
 	rt.mu.Lock()
 	rt.seq++
 	p := &Process{
-		rt:       rt,
-		name:     fmt.Sprintf("%s#%d", name, rt.seq),
-		id:       rt.seq,
-		resumeCh: make(chan resumeMsg),
-		parkedCh: make(chan struct{}),
+		rt:   rt,
+		name: fmt.Sprintf("%s#%d", name, rt.seq),
+		id:   rt.seq,
+		// Both handshake channels have capacity 1: resumeMu guarantees at
+		// most one resume in flight and parks strictly alternate with
+		// resumes, so deposits never block and the waker needs no select —
+		// a measurable saving on the two rendezvous per blocking primitive.
+		resumeCh: make(chan resumeMsg, 1),
+		parkedCh: make(chan struct{}, 1),
 		state:    StateRunning,
 	}
+	p.wakeName = "wake:" + p.name
+	p.wakeFn = func() { p.resume(resumeMsg{}) }
 	rt.procs[p] = struct{}{}
 	rt.mu.Unlock()
 
-	rt.eng.Schedule(0, "spawn:"+p.name, func() {
+	simtime.Detached(rt.eng, 0, "spawn:"+p.name, func() {
 		go p.run(fn)
 		<-p.parkedCh // wait until the body parks or exits
 	})
@@ -286,26 +301,26 @@ func (p *Process) resume(msg resumeMsg) {
 	if p.stopped && !msg.kill {
 		// SIGTSTP semantics: the wake condition (kernel completion, timer)
 		// has happened, but the process must not run until SIGCONT.
-		p.pendingWake = &msg
+		p.pendingWake = msg
+		p.hasPendingWake = true
 		p.mu.Unlock()
 		return
 	}
 	p.mu.Unlock()
 
-	select {
-	case p.resumeCh <- msg:
-		<-p.parkedCh // wait for next park or exit
-	case <-p.parkedCh:
-		// Process exited concurrently (channel closed drains immediately).
-	}
+	// The buffered deposit cannot block: at most one resume is in flight
+	// (resumeMu) and the previous one's message was consumed by the park
+	// that produced our parked-token. If the process exits instead of
+	// parking, the message rots in the buffer and the recv below returns
+	// via the channel close.
+	p.resumeCh <- msg
+	<-p.parkedCh // wait for next park or exit
 }
 
 // Sleep parks the process for d of engine time. Zero and negative values
 // yield (re-enter the event queue at the current instant).
 func (p *Process) Sleep(d time.Duration) {
-	p.rt.eng.Schedule(d, "wake:"+p.name, func() {
-		p.resume(resumeMsg{})
-	})
+	simtime.Detached(p.rt.eng, d, p.wakeName, p.wakeFn)
 	p.park("sleep")
 }
 

@@ -55,10 +55,12 @@ func (p *Process) Signal(sig Signal) {
 		p.state = StateRunning
 		p.stopped = false
 		pending := p.pendingWake
-		p.pendingWake = nil
+		hasPending := p.hasPendingWake
+		p.pendingWake = resumeMsg{}
+		p.hasPendingWake = false
 		p.mu.Unlock()
-		if pending != nil {
-			p.resume(*pending)
+		if hasPending {
+			p.resume(pending)
 		}
 
 	case SigKill:
@@ -69,7 +71,8 @@ func (p *Process) Signal(sig Signal) {
 		}
 		p.killed = true
 		p.stopped = false
-		p.pendingWake = nil
+		p.pendingWake = resumeMsg{}
+		p.hasPendingWake = false
 		parked := p.parked
 		p.mu.Unlock()
 		if parked {

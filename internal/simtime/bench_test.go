@@ -1,0 +1,88 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEngineHotLoopAllocFree pins the allocation-free property of the
+// detached schedule→fire loop: a regression re-introducing per-event
+// allocations fails here (and in CI) loudly rather than only shifting a
+// benchmark number nobody asserts on.
+func TestEngineHotLoopAllocFree(t *testing.T) {
+	v := NewVirtual()
+	fn := func() {}
+	// Warm the free-list so the steady state is measured.
+	v.ScheduleDetached(0, "warm", fn)
+	v.Step()
+	allocs := testing.AllocsPerRun(1000, func() {
+		v.ScheduleDetached(time.Microsecond, "bench", fn)
+		v.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("detached schedule→fire loop allocates %.1f objects/event, want 0", allocs)
+	}
+}
+
+// BenchmarkEngine measures the core schedule→fire loop: one detached event
+// in flight per iteration, the shape of the simulator's hottest path (RPC
+// delivery, process sleep wake-ups). It should run allocation-free.
+func BenchmarkEngine(b *testing.B) {
+	v := NewVirtual()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.ScheduleDetached(time.Microsecond, "bench", fn)
+		v.Step()
+	}
+}
+
+// BenchmarkEngineDeepQueue measures heap behavior with many pending events:
+// schedule bursts of 512, then drain.
+func BenchmarkEngineDeepQueue(b *testing.B) {
+	v := NewVirtual()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 512; j++ {
+			// Mixed delays exercise sift-up and sift-down paths.
+			v.ScheduleDetached(time.Duration(j%7)*time.Millisecond, "bench", fn)
+		}
+		for v.Step() {
+		}
+	}
+}
+
+// BenchmarkEngineCancel measures the cancel-heavy pattern (RPC timeouts,
+// kernel rebalancing): schedule with a handle, cancel, repeat. Eager
+// removal keeps the queue from accumulating dead timers.
+func BenchmarkEngineCancel(b *testing.B) {
+	v := NewVirtual()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := v.Schedule(time.Second, "bench", fn)
+		t.Cancel()
+	}
+	if v.Pending() != 0 {
+		b.Fatalf("queue holds %d dead timers", v.Pending())
+	}
+}
+
+// BenchmarkEngineReschedule measures the self-rescheduling-loop pattern
+// (manager tick, kernel completion): one timer re-armed forever.
+func BenchmarkEngineReschedule(b *testing.B) {
+	v := NewVirtual()
+	var tm *Timer
+	var fn func()
+	fn = func() { tm = v.Reschedule(tm, time.Millisecond, "tick", fn) }
+	tm = v.Schedule(time.Millisecond, "tick", fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Step()
+	}
+}

@@ -32,6 +32,41 @@ type Engine interface {
 	Schedule(delay time.Duration, name string, fn func()) *Timer
 }
 
+// Detacher is implemented by engines that offer an allocation-free fast path
+// for fire-and-forget events: no Timer handle is returned, which lets the
+// engine recycle the timer through a free-list after the callback runs.
+type Detacher interface {
+	// ScheduleDetached behaves like Schedule but returns no handle; the
+	// event cannot be canceled or observed.
+	ScheduleDetached(delay time.Duration, name string, fn func())
+}
+
+// Detached schedules a fire-and-forget event, taking the engine's pooled
+// fast path when available. Hot paths that discard the *Timer handle (RPC
+// frame delivery, process sleep wake-ups) should prefer this over Schedule:
+// a handle that escapes can never be safely recycled, a handle that is never
+// created can.
+func Detached(eng Engine, delay time.Duration, name string, fn func()) {
+	if d, ok := eng.(Detacher); ok {
+		d.ScheduleDetached(delay, name, fn)
+		return
+	}
+	eng.Schedule(delay, name, fn)
+}
+
+// Reschedule re-arms a fired, canceled or nil timer whose handle the caller
+// exclusively owns, reusing its allocation on the virtual engine (see
+// Virtual.Reschedule). On other engines it cancels t and schedules afresh.
+func Reschedule(eng Engine, t *Timer, delay time.Duration, name string, fn func()) *Timer {
+	if v, ok := eng.(*Virtual); ok {
+		return v.Reschedule(t, delay, name, fn)
+	}
+	if t != nil {
+		t.Cancel()
+	}
+	return eng.Schedule(delay, name, fn)
+}
+
 // Timer states, advanced monotonically with compare-and-swap so that Cancel
 // racing with the dispatch path resolves to exactly one outcome.
 const (
@@ -54,6 +89,15 @@ type Timer struct {
 
 	// stop cancels the underlying wall-clock timer, if any.
 	stop func() bool
+
+	// vq is the owning virtual engine; Cancel removes the timer from its
+	// queue eagerly instead of leaving a dead entry for the dispatcher.
+	vq *Virtual
+	// pos is the timer's index in vq's heap, -1 when not queued.
+	pos int32
+	// pooled marks detached timers eligible for free-list recycling after
+	// they fire (no handle escaped, so no stale Cancel can reach them).
+	pooled bool
 }
 
 // When reports the absolute engine time the timer is scheduled for.
@@ -71,6 +115,9 @@ func (t *Timer) Cancel() bool {
 	}
 	if t.stop != nil {
 		t.stop()
+	}
+	if t.vq != nil {
+		t.vq.remove(t)
 	}
 	return true
 }

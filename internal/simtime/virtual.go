@@ -1,9 +1,9 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,17 +16,41 @@ import (
 // call Schedule and Now concurrently with the blocked dispatcher, which is
 // why the queue is guarded by its own mutex rather than relying on
 // single-threadedness.
+//
+// The queue is an indexed 4-ary min-heap on (when, seq): no container/heap
+// interface calls or any-boxing on the dispatch path, and Cancel removes its
+// entry immediately via the stored index instead of leaving a dead timer to
+// be reaped at pop time. Detached events (ScheduleDetached) draw their
+// Timers from a free-list, making the hottest schedule→fire loop
+// allocation-free.
 type Virtual struct {
+	// now is read lock-free (Now is the single most-called function in the
+	// simulator) and written only under mu by the dispatcher.
+	now atomic.Int64
+
 	mu    sync.Mutex
-	now   time.Duration
-	queue eventQueue
+	queue []*Timer
 	seq   uint64
+
+	// free is the Timer free-list. Only detached timers are recycled: a
+	// *Timer returned by Schedule may be retained by the caller forever,
+	// and a stale Cancel on a recycled handle would kill an unrelated
+	// event.
+	free []*Timer
+
+	// dead stages the last-fired pooled timer for recycling. It is touched
+	// only by the dispatching goroutine outside the lock and folded into
+	// free under the next Step's lock, saving a lock round-trip per event.
+	dead *Timer
 
 	// dispatched counts events whose callbacks ran, for tests and stats.
 	dispatched uint64
 }
 
-var _ Engine = (*Virtual)(nil)
+var (
+	_ Engine   = (*Virtual)(nil)
+	_ Detacher = (*Virtual)(nil)
+)
 
 // NewVirtual returns a virtual engine positioned at time zero.
 func NewVirtual() *Virtual {
@@ -35,9 +59,7 @@ func NewVirtual() *Virtual {
 
 // Now reports the current virtual time.
 func (v *Virtual) Now() time.Duration {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.now
+	return time.Duration(v.now.Load())
 }
 
 // Schedule enqueues fn at Now()+delay. Negative delays are clamped to "now":
@@ -47,15 +69,67 @@ func (v *Virtual) Schedule(delay time.Duration, name string, fn func()) *Timer {
 		panic("simtime: Schedule with nil callback")
 	}
 	v.mu.Lock()
-	defer v.mu.Unlock()
-	when := v.now
-	if delay > 0 {
-		when += delay
-	}
-	t := &Timer{when: when, seq: v.seq, name: name, fn: fn}
+	t := &Timer{when: v.deadlineLocked(delay), seq: v.seq, name: name, fn: fn, vq: v}
 	v.seq++
-	heap.Push(&v.queue, t)
+	v.pushLocked(t)
+	v.mu.Unlock()
 	return t
+}
+
+// ScheduleDetached enqueues a fire-and-forget event whose Timer comes from
+// the free-list. With no handle escaping, the timer is recycled as soon as
+// its callback returns.
+func (v *Virtual) ScheduleDetached(delay time.Duration, name string, fn func()) {
+	if fn == nil {
+		panic("simtime: ScheduleDetached with nil callback")
+	}
+	v.mu.Lock()
+	var t *Timer
+	if n := len(v.free); n > 0 {
+		t = v.free[n-1]
+		v.free[n-1] = nil
+		v.free = v.free[:n-1]
+		t.state.Store(timerPending)
+	} else {
+		t = &Timer{vq: v, pooled: true}
+	}
+	t.when, t.seq, t.name, t.fn = v.deadlineLocked(delay), v.seq, name, fn
+	v.seq++
+	v.pushLocked(t)
+	v.mu.Unlock()
+}
+
+// Reschedule re-arms t — a timer previously returned by this engine's
+// Schedule — with a new deadline, name and callback, reusing the Timer
+// allocation. The caller must be the exclusive holder of the handle: any
+// other retained copy could Cancel the re-armed event. A still-pending t is
+// canceled first; a nil or foreign t falls back to a fresh Schedule. This is
+// the allocation-free path for the self-rescheduling loops (manager tick,
+// kernel completion) whose Timer handle never leaves its owner.
+func (v *Virtual) Reschedule(t *Timer, delay time.Duration, name string, fn func()) *Timer {
+	if t == nil || t.vq != v || t.pooled {
+		return v.Schedule(delay, name, fn)
+	}
+	if fn == nil {
+		panic("simtime: Reschedule with nil callback")
+	}
+	t.Cancel() // no-op if already fired; removes a pending t from the queue
+	v.mu.Lock()
+	t.state.Store(timerPending)
+	t.when, t.seq, t.name, t.fn = v.deadlineLocked(delay), v.seq, name, fn
+	v.seq++
+	v.pushLocked(t)
+	v.mu.Unlock()
+	return t
+}
+
+// deadlineLocked clamps delay to now. Caller holds v.mu.
+func (v *Virtual) deadlineLocked(delay time.Duration) time.Duration {
+	now := time.Duration(v.now.Load())
+	if delay > 0 {
+		return now + delay
+	}
+	return now
 }
 
 // Dispatched reports how many event callbacks have run so far.
@@ -65,12 +139,19 @@ func (v *Virtual) Dispatched() uint64 {
 	return v.dispatched
 }
 
-// Pending reports how many events are queued (including canceled ones not
-// yet reaped).
+// Pending reports how many events are queued. Canceled events leave the
+// queue at Cancel time, so every queued event is live.
 func (v *Virtual) Pending() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	return v.queue.Len()
+	return len(v.queue)
+}
+
+// FreeListLen reports the current Timer free-list size (for tests).
+func (v *Virtual) FreeListLen() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.free)
 }
 
 // Step runs the single next event, advancing time to its deadline. It
@@ -78,21 +159,35 @@ func (v *Virtual) Pending() int {
 func (v *Virtual) Step() bool {
 	for {
 		v.mu.Lock()
-		if v.queue.Len() == 0 {
+		if d := v.dead; d != nil {
+			v.dead = nil
+			v.free = append(v.free, d)
+		}
+		if len(v.queue) == 0 {
 			v.mu.Unlock()
 			return false
 		}
-		t := heap.Pop(&v.queue).(*Timer)
-		if !t.claim() {
+		t := v.popLocked()
+		// Pooled timers expose no handle, so nothing can cancel them: the
+		// claim CAS is skipped for them.
+		if !t.pooled && !t.claim() {
+			// Cancel won the race after we popped; its remove() saw
+			// pos == -1 and did nothing. Skip without advancing time.
 			v.mu.Unlock()
-			continue // canceled; skip without advancing time
+			continue
 		}
-		if t.when > v.now {
-			v.now = t.when
+		if t.when > time.Duration(v.now.Load()) {
+			v.now.Store(int64(t.when))
 		}
 		v.dispatched++
+		fn := t.fn
 		v.mu.Unlock()
-		t.fn()
+		fn()
+		if t.pooled {
+			t.fn = nil
+			t.name = ""
+			v.dead = t
+		}
 		return true
 	}
 }
@@ -103,13 +198,9 @@ func (v *Virtual) Step() bool {
 func (v *Virtual) RunUntil(until time.Duration) {
 	for {
 		v.mu.Lock()
-		// Reap canceled heads so the horizon check sees the next live event.
-		for v.queue.Len() > 0 && v.queue[0].Stopped() {
-			heap.Pop(&v.queue)
-		}
-		if v.queue.Len() == 0 || v.queue[0].when > until {
-			if v.now < until {
-				v.now = until
+		if len(v.queue) == 0 || v.queue[0].when > until {
+			if time.Duration(v.now.Load()) < until {
+				v.now.Store(int64(until))
 			}
 			v.mu.Unlock()
 			return
@@ -150,27 +241,125 @@ func (v *Virtual) MustDrain(maxEvents uint64) uint64 {
 	return n
 }
 
-// eventQueue is a min-heap on (when, seq).
-type eventQueue []*Timer
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
+// remove deletes a canceled timer from the queue (called from Timer.Cancel,
+// possibly concurrently with the dispatcher).
+func (v *Virtual) remove(t *Timer) {
+	v.mu.Lock()
+	if t.pos >= 0 {
+		v.deleteLocked(int(t.pos))
+		if t.pooled {
+			// Unreachable today (detached timers expose no handle), but
+			// keep the invariant: a canceled pooled timer goes back to
+			// the free-list rather than leaking.
+			t.fn = nil
+			t.name = ""
+			v.free = append(v.free, t)
+		}
 	}
-	return q[i].seq < q[j].seq
+	v.mu.Unlock()
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+// --- indexed 4-ary min-heap on (when, seq) --------------------------------
+//
+// A 4-ary layout halves the tree height of the binary heap and keeps the
+// children of a node on one cache line of pointers; with the comparison
+// inlined (no sort.Interface/heap.Interface dispatch) this is the cheapest
+// structure for the schedule/fire loop that dominates simulation time.
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*Timer)) }
+const heapArity = 4
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+func timerLess(a, b *Timer) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// pushLocked appends t and restores the heap property. Caller holds v.mu.
+func (v *Virtual) pushLocked(t *Timer) {
+	t.pos = int32(len(v.queue))
+	v.queue = append(v.queue, t)
+	v.siftUpLocked(int(t.pos))
+}
+
+// popLocked removes and returns the minimum. Caller holds v.mu.
+func (v *Virtual) popLocked() *Timer {
+	q := v.queue
+	t := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[0].pos = 0
+	q[last] = nil
+	v.queue = q[:last]
+	if last > 0 {
+		v.siftDownLocked(0)
+	}
+	t.pos = -1
 	return t
+}
+
+// deleteLocked removes the element at index i. Caller holds v.mu.
+func (v *Virtual) deleteLocked(i int) {
+	q := v.queue
+	last := len(q) - 1
+	t := q[i]
+	if i != last {
+		q[i] = q[last]
+		q[i].pos = int32(i)
+	}
+	q[last] = nil
+	v.queue = q[:last]
+	if i < last {
+		// The swapped-in element may need to move either direction.
+		v.siftDownLocked(i)
+		v.siftUpLocked(int(v.queue[i].pos))
+	}
+	t.pos = -1
+}
+
+func (v *Virtual) siftUpLocked(i int) {
+	q := v.queue
+	t := q[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		p := q[parent]
+		if !timerLess(t, p) {
+			break
+		}
+		q[i] = p
+		p.pos = int32(i)
+		i = parent
+	}
+	q[i] = t
+	t.pos = int32(i)
+}
+
+func (v *Virtual) siftDownLocked(i int) {
+	q := v.queue
+	n := len(q)
+	t := q[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if timerLess(q[c], q[min]) {
+				min = c
+			}
+		}
+		if !timerLess(q[min], t) {
+			break
+		}
+		q[i] = q[min]
+		q[i].pos = int32(i)
+		i = min
+	}
+	q[i] = t
+	t.pos = int32(i)
 }
