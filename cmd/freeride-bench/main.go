@@ -25,6 +25,8 @@ import (
 	"freeride/internal/experiments"
 	"freeride/internal/freerpc"
 	"freeride/internal/sidetask"
+	"freeride/internal/simgpu"
+	"freeride/internal/simproc"
 	"freeride/internal/simtime"
 )
 
@@ -52,12 +54,56 @@ type Report struct {
 	MixedSPct     float64 `json:"mixed_S_pct"`
 
 	// Micro-benchmarks.
-	EngineNsPerOp      float64 `json:"engine_ns_per_op"`
-	EngineAllocsPerOp  float64 `json:"engine_allocs_per_op"`
-	RPCNsPerOp         float64 `json:"rpc_ns_per_op"`
-	RPCAllocsPerOp     float64 `json:"rpc_allocs_per_op"`
-	RPCNotifyNsPerOp   float64 `json:"rpc_notify_ns_per_op"`
-	ParallelismApplied int     `json:"parallelism"`
+	EngineNsPerOp     float64 `json:"engine_ns_per_op"`
+	EngineAllocsPerOp float64 `json:"engine_allocs_per_op"`
+	RPCNsPerOp        float64 `json:"rpc_ns_per_op"`
+	RPCAllocsPerOp    float64 `json:"rpc_allocs_per_op"`
+	RPCNotifyNsPerOp  float64 `json:"rpc_notify_ns_per_op"`
+	// ParkResume measures one goroutine-process sleep→park→wake→resume
+	// cycle (the futex handshake); Exec one blocking kernel round trip;
+	// InlineStep one event-loop continuation cycle. All three paths are
+	// pinned at 0 allocs/op by tests.
+	ParkResumeNsPerOp     float64 `json:"park_resume_ns_per_op,omitempty"`
+	ParkResumeAllocsPerOp float64 `json:"park_resume_allocs_per_op"`
+	ExecNsPerOp           float64 `json:"exec_ns_per_op,omitempty"`
+	ExecAllocsPerOp       float64 `json:"exec_allocs_per_op"`
+	InlineStepNsPerOp     float64 `json:"inline_step_ns_per_op,omitempty"`
+	ParallelismApplied    int     `json:"parallelism"`
+}
+
+// compareReports enforces the perf acceptance gate between two recorded
+// reports: the reproduction metrics must be bit-identical, and the grid
+// wall-clock must not regress by more than maxRegress (fractional).
+func compareReports(oldPath, newPath string, maxRegress float64) error {
+	var oldRep, newRep Report
+	for _, x := range []struct {
+		path string
+		into *Report
+	}{{oldPath, &oldRep}, {newPath, &newRep}} {
+		data, err := os.ReadFile(x.path)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, x.into); err != nil {
+			return fmt.Errorf("%s: %w", x.path, err)
+		}
+	}
+	if oldRep.IterativeIPct != newRep.IterativeIPct ||
+		oldRep.IterativeSPct != newRep.IterativeSPct ||
+		oldRep.MixedSPct != newRep.MixedSPct {
+		return fmt.Errorf("reproduction metrics diverged: %s has I=%v S=%v mixed=%v, %s has I=%v S=%v mixed=%v",
+			oldPath, oldRep.IterativeIPct, oldRep.IterativeSPct, oldRep.MixedSPct,
+			newPath, newRep.IterativeIPct, newRep.IterativeSPct, newRep.MixedSPct)
+	}
+	limit := float64(oldRep.Table2BestNs) * (1 + maxRegress)
+	if float64(newRep.Table2BestNs) > limit {
+		return fmt.Errorf("table2_best_ns regressed: %s %.2fs vs %s %.2fs (limit %.2fs)",
+			newPath, float64(newRep.Table2BestNs)/1e9, oldPath, float64(oldRep.Table2BestNs)/1e9, limit/1e9)
+	}
+	fmt.Fprintf(os.Stderr, "compare ok: %s %.2fs -> %s %.2fs (%.2fx), metrics bit-identical\n",
+		oldPath, float64(oldRep.Table2BestNs)/1e9, newPath, float64(newRep.Table2BestNs)/1e9,
+		float64(oldRep.Table2BestNs)/float64(newRep.Table2BestNs))
+	return nil
 }
 
 func main() {
@@ -67,7 +113,20 @@ func main() {
 	parallel := flag.Int("parallel", 0, "grid parallelism (0 = GOMAXPROCS)")
 	baselineNs := flag.String("baseline-ns", "", "comma-separated baseline ns/op observations to record")
 	baselineDesc := flag.String("baseline-desc", "", "description of the baseline revision")
+	compareNew := flag.String("compare", "", "compare mode: path of the newer report (no benchmarks run)")
+	compareOld := flag.String("against", "", "compare mode: path of the older baseline report")
+	maxRegress := flag.Float64("max-regress", 0.10, "compare mode: allowed fractional table2_best_ns regression")
 	flag.Parse()
+
+	if *compareOld != "" || *compareNew != "" {
+		if *compareOld == "" || *compareNew == "" {
+			fatalf("compare mode needs both -compare NEW.json and -against OLD.json")
+		}
+		if err := compareReports(*compareOld, *compareNew, *maxRegress); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	rep := Report{
 		Benchmark:          "BenchmarkTable2",
@@ -146,6 +205,73 @@ func main() {
 		}
 	})
 	rep.RPCNotifyNsPerOp = float64(notify.NsPerOp())
+
+	park := testing.Benchmark(func(b *testing.B) {
+		v := simtime.NewVirtual()
+		procs := simproc.NewRuntime(v)
+		procs.Spawn("sleeper", func(p *simproc.Process) error {
+			for {
+				p.Sleep(time.Microsecond)
+			}
+		})
+		for i := 0; i < 16; i++ {
+			v.Step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v.Step()
+		}
+	})
+	rep.ParkResumeNsPerOp = float64(park.NsPerOp())
+	rep.ParkResumeAllocsPerOp = float64(park.AllocsPerOp())
+
+	exec := testing.Benchmark(func(b *testing.B) {
+		v := simtime.NewVirtual()
+		procs := simproc.NewRuntime(v)
+		dev := simgpu.NewDevice(v, simgpu.DeviceConfig{Name: "bench-gpu", NoTraces: true})
+		c, err := dev.NewClient(simgpu.ClientConfig{Name: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := simgpu.KernelSpec{Name: "k", Duration: time.Microsecond, Demand: 0.5, Weight: 0.5}
+		procs.Spawn("execer", func(p *simproc.Process) error {
+			for {
+				if err := c.Exec(p, spec); err != nil {
+					return err
+				}
+			}
+		})
+		for i := 0; i < 16; i++ {
+			v.Step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v.Step()
+		}
+	})
+	rep.ExecNsPerOp = float64(exec.NsPerOp())
+	rep.ExecAllocsPerOp = float64(exec.AllocsPerOp())
+
+	inline := testing.Benchmark(func(b *testing.B) {
+		v := simtime.NewVirtual()
+		procs := simproc.NewRuntime(v)
+		procs.SpawnInline("ticker", func(p *simproc.Process) {
+			var k func(any)
+			k = func(any) { p.SleepThen(time.Microsecond, k) }
+			p.SleepThen(time.Microsecond, k)
+		})
+		for i := 0; i < 16; i++ {
+			v.Step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v.Step()
+		}
+	})
+	rep.InlineStepNsPerOp = float64(inline.NsPerOp())
 
 	if *baselineNs != "" {
 		rep.BaselineDesc = *baselineDesc

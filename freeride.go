@@ -445,11 +445,16 @@ func (s *Session) submitBaseline(name string, p model.TaskProfile, stage int, se
 		return err
 	}
 	ctrs := container.NewRuntime(s.Procs)
-	_, err = ctrs.Run(container.Spec{
+	cspec := container.Spec{
 		Name:   name,
 		Device: s.Devices[stage],
 		// Baselines impose no MPS memory limit (naive) / a permissive one.
-	}, h.Run)
+	}
+	if h.CanInline() {
+		_, err = ctrs.RunInline(cspec, h.Start)
+	} else {
+		_, err = ctrs.Run(cspec, h.Run)
+	}
 	if err != nil {
 		return err
 	}

@@ -67,16 +67,50 @@ func NewRuntime(procs *simproc.Runtime) *Runtime {
 	return &Runtime{procs: procs, containers: make(map[string]*Container)}
 }
 
-// Run creates and starts a container. The body begins executing at the
-// current engine time.
+// Run creates and starts a container whose body is a goroutine process. The
+// body begins executing at the current engine time.
 func (rt *Runtime) Run(spec Spec, body Body) (*Container, error) {
+	c, gpu, err := rt.create(spec)
+	if err != nil {
+		return nil, err
+	}
+	c.proc = rt.procs.Spawn("ctr/"+spec.Name, func(p *simproc.Process) error {
+		return body(p, gpu)
+	})
+	rt.watch(c, gpu)
+	return c, nil
+}
+
+// InlineBody is a containerized event-loop program: start receives the
+// inline process and the container's GPU client and sets up its
+// continuation machine (see simproc.SpawnInline).
+type InlineBody func(p *simproc.Process, gpu *simgpu.Client)
+
+// RunInline creates and starts a container whose body runs as an event-loop
+// process on the engine goroutine — no process goroutine, no park/resume
+// handshakes. Isolation semantics are identical to Run's: when the process
+// exits or is killed, its GPU context is destroyed with it.
+func (rt *Runtime) RunInline(spec Spec, start InlineBody) (*Container, error) {
+	c, gpu, err := rt.create(spec)
+	if err != nil {
+		return nil, err
+	}
+	c.proc = rt.procs.SpawnInline("ctr/"+spec.Name, func(p *simproc.Process) {
+		start(p, gpu)
+	})
+	rt.watch(c, gpu)
+	return c, nil
+}
+
+// create reserves the container name and provisions its GPU client.
+func (rt *Runtime) create(spec Spec) (*Container, *simgpu.Client, error) {
 	if spec.Name == "" {
-		return nil, errors.New("container: empty name")
+		return nil, nil, errors.New("container: empty name")
 	}
 	rt.mu.Lock()
 	if _, dup := rt.containers[spec.Name]; dup {
 		rt.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrDuplicate, spec.Name)
+		return nil, nil, fmt.Errorf("%w: %s", ErrDuplicate, spec.Name)
 	}
 	// Reserve the name before spawning so concurrent Runs cannot collide.
 	c := &Container{name: spec.Name}
@@ -95,14 +129,16 @@ func (rt *Runtime) Run(spec Spec, body Body) (*Container, error) {
 			rt.mu.Lock()
 			delete(rt.containers, spec.Name)
 			rt.mu.Unlock()
-			return nil, fmt.Errorf("container %s: gpu client: %w", spec.Name, err)
+			return nil, nil, fmt.Errorf("container %s: gpu client: %w", spec.Name, err)
 		}
 	}
 	c.gpu = gpu
 	c.startedAt = rt.procs.Engine().Now()
-	c.proc = rt.procs.Spawn("ctr/"+spec.Name, func(p *simproc.Process) error {
-		return body(p, gpu)
-	})
+	return c, gpu, nil
+}
+
+// watch installs the exit hook tying the GPU context's life to the process.
+func (rt *Runtime) watch(c *Container, gpu *simgpu.Client) {
 	c.proc.OnExit(func(err error) {
 		// The process is gone: its CUDA context dies with it, aborting any
 		// in-flight kernels and releasing device memory.
@@ -115,7 +151,6 @@ func (rt *Runtime) Run(spec Spec, body Body) (*Container, error) {
 		c.exitedAt = rt.procs.Engine().Now()
 		c.mu.Unlock()
 	})
-	return c, nil
 }
 
 // Get looks up a container by name.

@@ -171,12 +171,21 @@ func (w *Worker) handleCreate(args createArgs) (any, error) {
 	}
 	w.mu.Unlock()
 
-	cont, err := w.ctrs.Run(container.Spec{
+	cspec := container.Spec{
 		Name:        w.cfg.Name + "/" + args.Spec.Name,
 		Device:      w.device,
 		GPUMemLimit: args.MemLimitBytes,
 		GPUWeight:   0, // kernels carry their own weight
-	}, harness.Run)
+	}
+	// Event-loop-capable harnesses (all built-in tasks) run inline on the
+	// engine goroutine; arbitrary user implementations keep the goroutine
+	// shell.
+	var cont *container.Container
+	if harness.CanInline() {
+		cont, err = w.ctrs.RunInline(cspec, harness.Start)
+	} else {
+		cont, err = w.ctrs.Run(cspec, harness.Run)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("worker %s: container: %w", w.cfg.Name, err)
 	}

@@ -145,10 +145,12 @@ type Figure2Result struct {
 }
 
 // RunFigure2 profiles bubbles for 1.2B/3.6B/6B at 4 micro-batches and for
-// 3.6B at 8 micro-batches.
+// 3.6B at 8 micro-batches. The four profiling runs are independent (each
+// spins up a private session) and execute on the bounded worker pool
+// (Options.Parallelism); results are assembled in config order afterwards,
+// so the output is identical to the sequential run.
 func RunFigure2(opts Options) (*Figure2Result, error) {
 	opts.normalize()
-	out := &Figure2Result{}
 	configs := []struct {
 		llm model.LLM
 		mbs int
@@ -158,11 +160,22 @@ func RunFigure2(opts Options) (*Figure2Result, error) {
 		{model.NanoGPT6B, 4},
 		{model.NanoGPT3B, 8},
 	}
-	for _, c := range configs {
+	profs := make([]*bubble.Profile, len(configs))
+	err := forEachIndex(opts.Parallelism, len(configs), func(i int) error {
+		c := configs[i]
 		prof, err := profileFor(c.llm, c.mbs)
 		if err != nil {
-			return nil, fmt.Errorf("fig2 %s/mb%d: %w", c.llm.Name, c.mbs, err)
+			return fmt.Errorf("fig2 %s/mb%d: %w", c.llm.Name, c.mbs, err)
 		}
+		profs[i] = prof
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure2Result{}
+	for i, c := range configs {
+		prof := profs[i]
 		if c.mbs == 4 {
 			for _, sp := range prof.Stages {
 				for _, tpl := range sp.Templates {

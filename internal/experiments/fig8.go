@@ -110,12 +110,30 @@ func newFig8Rig(enforce bool, factory core.HarnessFactory) *fig8Rig {
 }
 
 // RunFigure8 executes both limit scenarios, each with and without the
-// corresponding mechanism.
+// corresponding mechanism. The four scenarios build fully private rigs
+// (engine, device, manager, worker — nothing shared), so they run as
+// independent jobs on the bounded worker pool (Options.Parallelism), each
+// writing only its own result fields.
 func RunFigure8(opts Options) (*Figure8Result, error) {
 	opts.normalize()
 	out := &Figure8Result{MemCap: 8 * model.GiB}
+	scenarios := []func() error{
+		func() error { return fig8TimeLimit(opts, true, out) },
+		func() error { return fig8TimeLimit(opts, false, out) },
+		func() error { return fig8MemLimit(opts, true, out) },
+		func() error { return fig8MemLimit(opts, false, out) },
+	}
+	if err := forEachIndex(opts.Parallelism, len(scenarios), func(i int) error {
+		return scenarios[i]()
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
-	// ---- Panel (a): execution-time limit ----
+// fig8TimeLimit runs one Panel (a) scenario: a hog task that defeats the
+// program-directed check, with or without the framework-enforced kill.
+func fig8TimeLimit(opts Options, enforce bool, out *Figure8Result) error {
 	hogFactory := func(spec core.TaskSpec) (*sidetask.Harness, error) {
 		p := spec.Profile
 		p.StepTime = time.Millisecond // defeats the program-directed check
@@ -124,37 +142,37 @@ func RunFigure8(opts Options) (*Figure8Result, error) {
 		p.InitTime = 50 * time.Millisecond
 		return sidetask.NewIterativeHarness(spec.Name, p, hogTask{kernel: 10 * time.Second}, spec.Seed), nil
 	}
-	for _, enforce := range []bool{true, false} {
-		rig := newFig8Rig(enforce, hogFactory)
-		spec := core.TaskSpec{Name: "hog", Profile: model.ResNet18, Mode: sidetask.ModeIterative, Seed: opts.Seed}
-		if err := rig.mgr.Submit(spec); err != nil {
-			return nil, fmt.Errorf("fig8a submit: %w", err)
-		}
-		rig.mgr.Start()
-		rig.eng.RunFor(time.Second) // create + init
-		base := rig.eng.Now()
-		bubbleEnd := base + 600*time.Millisecond
-		rig.mgr.AddBubble(bubble.Bubble{Stage: 0, Type: bubble.TypeA, Start: base, Duration: 600 * time.Millisecond, MemAvailable: 40 * model.GiB})
-		rig.eng.RunFor(4 * time.Second)
-
-		h, ok := rig.worker.Harness("hog")
-		if !ok {
-			return nil, fmt.Errorf("fig8a: hog task missing")
-		}
-		_ = h
-		series := Figure8Series{Name: "with limit", Points: sampleSeries(rig.dev.Occupancy(), base-200*time.Millisecond, base+4*time.Second, 50*time.Millisecond)}
-		if enforce {
-			out.OccWithLimit = series
-			out.BubbleEnd = bubbleEnd
-			out.GraceKills = rig.worker.Stats().GraceKills
-			out.KilledAt = bubbleEnd + 300*time.Millisecond
-		} else {
-			series.Name = "without limit"
-			out.OccWithoutLimit = series
-		}
+	rig := newFig8Rig(enforce, hogFactory)
+	spec := core.TaskSpec{Name: "hog", Profile: model.ResNet18, Mode: sidetask.ModeIterative, Seed: opts.Seed}
+	if err := rig.mgr.Submit(spec); err != nil {
+		return fmt.Errorf("fig8a submit: %w", err)
 	}
+	rig.mgr.Start()
+	rig.eng.RunFor(time.Second) // create + init
+	base := rig.eng.Now()
+	bubbleEnd := base + 600*time.Millisecond
+	rig.mgr.AddBubble(bubble.Bubble{Stage: 0, Type: bubble.TypeA, Start: base, Duration: 600 * time.Millisecond, MemAvailable: 40 * model.GiB})
+	rig.eng.RunFor(4 * time.Second)
 
-	// ---- Panel (b): memory limit ----
+	if _, ok := rig.worker.Harness("hog"); !ok {
+		return fmt.Errorf("fig8a: hog task missing")
+	}
+	series := Figure8Series{Name: "with limit", Points: sampleSeries(rig.dev.Occupancy(), base-200*time.Millisecond, base+4*time.Second, 50*time.Millisecond)}
+	if enforce {
+		out.OccWithLimit = series
+		out.BubbleEnd = bubbleEnd
+		out.GraceKills = rig.worker.Stats().GraceKills
+		out.KilledAt = bubbleEnd + 300*time.Millisecond
+	} else {
+		series.Name = "without limit"
+		out.OccWithoutLimit = series
+	}
+	return nil
+}
+
+// fig8MemLimit runs one Panel (b) scenario: a leaking task with or without
+// the MPS memory cap.
+func fig8MemLimit(opts Options, withCap bool, out *Figure8Result) error {
 	leakFactory := func(spec core.TaskSpec) (*sidetask.Harness, error) {
 		p := spec.Profile
 		p.StepTime = 100 * time.Millisecond
@@ -163,68 +181,66 @@ func RunFigure8(opts Options) (*Figure8Result, error) {
 		p.InitTime = 50 * time.Millisecond
 		return sidetask.NewIterativeHarness(spec.Name, p, leakTask{}, spec.Seed), nil
 	}
-	for _, withCap := range []bool{true, false} {
-		rig := newFig8Rig(true, leakFactory)
-		profile := model.ResNet18
-		if withCap {
-			// The manager imposes limit = profiled mem + slack; craft the
-			// profile so the cap lands at 8 GB.
-			profile.MemBytes = 8*model.GiB - 256<<20
-		} else {
-			profile.MemBytes = model.GiB // limit exists but we report the uncapped growth
+	rig := newFig8Rig(true, leakFactory)
+	profile := model.ResNet18
+	if withCap {
+		// The manager imposes limit = profiled mem + slack; craft the
+		// profile so the cap lands at 8 GB.
+		profile.MemBytes = 8*model.GiB - 256<<20
+	} else {
+		profile.MemBytes = model.GiB // limit exists but we report the uncapped growth
+	}
+	spec := core.TaskSpec{Name: "leaky", Profile: profile, Mode: sidetask.ModeIterative, Seed: opts.Seed}
+	var cont *container.Container
+	if withCap {
+		if err := rig.mgr.Submit(spec); err != nil {
+			return fmt.Errorf("fig8b submit: %w", err)
 		}
-		spec := core.TaskSpec{Name: "leaky", Profile: profile, Mode: sidetask.ModeIterative, Seed: opts.Seed}
-		var cont *container.Container
-		if withCap {
-			if err := rig.mgr.Submit(spec); err != nil {
-				return nil, fmt.Errorf("fig8b submit: %w", err)
-			}
-		} else {
-			// Without the MPS cap the task is deployed outside the manager
-			// (a raw container with no memory limit).
-			h, err := leakFactory(spec)
-			if err != nil {
-				return nil, err
-			}
-			procs := simproc.NewRuntime(rig.eng)
-			ctrs := container.NewRuntime(procs)
-			c, err := ctrs.Run(container.Spec{Name: "leaky-nolimit", Device: rig.dev}, h.Run)
-			if err != nil {
-				return nil, err
-			}
-			cont = c
-			rig.eng.Schedule(200*time.Millisecond, "kick", func() {
-				h.Deliver(sidetask.Command{Transition: sidetask.TransitionInit})
-				h.Deliver(sidetask.Command{Transition: sidetask.TransitionStart, BubbleEnd: 1 << 62})
-			})
+	} else {
+		// Without the MPS cap the task is deployed outside the manager
+		// (a raw container with no memory limit).
+		h, err := leakFactory(spec)
+		if err != nil {
+			return err
 		}
-		if withCap {
-			rig.mgr.Start()
-			rig.eng.RunFor(time.Second)
-			base := rig.eng.Now()
-			rig.mgr.AddBubble(bubble.Bubble{Stage: 0, Type: bubble.TypeA, Start: base, Duration: 10 * time.Second, MemAvailable: 40 * model.GiB})
+		procs := simproc.NewRuntime(rig.eng)
+		ctrs := container.NewRuntime(procs)
+		c, err := ctrs.Run(container.Spec{Name: "leaky-nolimit", Device: rig.dev}, h.Run)
+		if err != nil {
+			return err
 		}
-		rig.eng.RunFor(6 * time.Second)
+		cont = c
+		rig.eng.Schedule(200*time.Millisecond, "kick", func() {
+			h.Deliver(sidetask.Command{Transition: sidetask.TransitionInit})
+			h.Deliver(sidetask.Command{Transition: sidetask.TransitionStart, BubbleEnd: 1 << 62})
+		})
+	}
+	if withCap {
+		rig.mgr.Start()
+		rig.eng.RunFor(time.Second)
+		base := rig.eng.Now()
+		rig.mgr.AddBubble(bubble.Bubble{Stage: 0, Type: bubble.TypeA, Start: base, Duration: 10 * time.Second, MemAvailable: 40 * model.GiB})
+	}
+	rig.eng.RunFor(6 * time.Second)
 
-		var tr *trace.Series
-		if withCap {
-			// The managed container's client trace.
+	var tr *trace.Series
+	if withCap {
+		// The managed container's client trace.
+		tr = rig.dev.MemTrace()
+	} else {
+		tr = cont.GPU().MemTrace()
+		if tr == nil {
 			tr = rig.dev.MemTrace()
-		} else {
-			tr = cont.GPU().MemTrace()
-			if tr == nil {
-				tr = rig.dev.MemTrace()
-			}
-		}
-		pts := sampleSeries(tr, 0, rig.eng.Now(), 100*time.Millisecond)
-		if withCap {
-			out.MemWithLimit = Figure8Series{Name: "with 8GB limit", Points: pts}
-			out.OOMKilled = rig.dev.MemUsed() == 0
-		} else {
-			out.MemWithoutLimit = Figure8Series{Name: "without limit", Points: pts}
 		}
 	}
-	return out, nil
+	pts := sampleSeries(tr, 0, rig.eng.Now(), 100*time.Millisecond)
+	if withCap {
+		out.MemWithLimit = Figure8Series{Name: "with 8GB limit", Points: pts}
+		out.OOMKilled = rig.dev.MemUsed() == 0
+	} else {
+		out.MemWithoutLimit = Figure8Series{Name: "without limit", Points: pts}
+	}
+	return nil
 }
 
 func sampleSeries(s *trace.Series, from, to, step time.Duration) []trace.Point {

@@ -29,36 +29,46 @@ type Figure9Result struct {
 }
 
 // RunFigure9 measures the bubble-time breakdown for each side task (and the
-// mixed workload) under the iterative interface.
+// mixed workload) under the iterative interface. The per-task runs are
+// independent simulations and execute on the bounded worker pool
+// (Options.Parallelism); each job writes only its own row, so the output is
+// identical to the sequential run.
 func RunFigure9(opts Options) (*Figure9Result, error) {
 	opts.normalize()
-	out := &Figure9Result{}
-	for _, task := range evalTasks {
+	n := len(evalTasks) + 1 // six tasks + mixed
+	rows := make([]Figure9Row, n)
+	err := forEachIndex(opts.Parallelism, n, func(i int) error {
 		cfg := opts.baseConfig()
 		cfg.Method = freeride.MethodIterative
-		res, err := runOne(cfg, []model.TaskProfile{task})
-		if err != nil {
-			return nil, fmt.Errorf("fig9 %s: %w", task.Name, err)
+		if i < len(evalTasks) {
+			task := evalTasks[i]
+			res, err := runOne(cfg, []model.TaskProfile{task})
+			if err != nil {
+				return fmt.Errorf("fig9 %s: %w", task.Name, err)
+			}
+			row, err := breakdown(task.Name, cfg, res, []model.TaskProfile{task})
+			if err != nil {
+				return err
+			}
+			rows[i] = row
+			return nil
 		}
-		row, err := breakdown(task.Name, cfg, res, []model.TaskProfile{task})
+		res, err := runMixed(cfg)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("fig9 mixed: %w", err)
 		}
-		out.Rows = append(out.Rows, row)
-	}
-	cfg := opts.baseConfig()
-	cfg.Method = freeride.MethodIterative
-	res, err := runMixed(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("fig9 mixed: %w", err)
-	}
-	row, err := breakdown("mixed", cfg, res,
-		[]model.TaskProfile{model.PageRank, model.ResNet18, model.Image, model.VGG19})
+		row, err := breakdown("mixed", cfg, res,
+			[]model.TaskProfile{model.PageRank, model.ResNet18, model.Image, model.VGG19})
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	out.Rows = append(out.Rows, row)
-	return out, nil
+	return &Figure9Result{Rows: rows}, nil
 }
 
 // breakdown derives the four shares from the run's counters.

@@ -46,6 +46,55 @@ func TestForEachIndexPropagatesError(t *testing.T) {
 	}
 }
 
+// TestFigureGridsParallelDeterminism reruns the figure grids that joined
+// the worker pool (Figure 8's rigs, Figure 9's breakdown, Figure 2's
+// profiling sweeps) with different worker counts: identical seeds must
+// produce identical results regardless of scheduling.
+func TestFigureGridsParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grids in -short mode")
+	}
+	opts := Options{Epochs: 2, WorkScale: sidetask.WorkNone, Seed: 1}
+
+	opts.Parallelism = 1
+	fig8Seq, err := RunFigure8(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig9Seq, err := RunFigure9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig2Seq, err := RunFigure2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Parallelism = 8
+	fig8Par, err := RunFigure8(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig9Par, err := RunFigure9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig2Par, err := RunFigure2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(fig8Seq, fig8Par) {
+		t.Errorf("parallel Figure 8 diverged from sequential:\nseq %+v\npar %+v", fig8Seq, fig8Par)
+	}
+	if !reflect.DeepEqual(fig9Seq.Rows, fig9Par.Rows) {
+		t.Errorf("parallel Figure 9 diverged from sequential:\nseq %+v\npar %+v", fig9Seq.Rows, fig9Par.Rows)
+	}
+	if !reflect.DeepEqual(fig2Seq, fig2Par) {
+		t.Errorf("parallel Figure 2 diverged from sequential:\nseq %+v\npar %+v", fig2Seq, fig2Par)
+	}
+}
+
 // TestParallelRunnerDeterminism reruns a small Table 2 grid with different
 // worker counts: identical seeds must produce identical rows regardless of
 // scheduling — the acceptance criterion for the concurrent grid runner.

@@ -210,8 +210,8 @@ func (t *Trainer) Start() error {
 
 	for v := 0; v < nv; v++ {
 		v := v
-		t.procs.Spawn(fmt.Sprintf("pipe-v%d", v), func(p *simproc.Process) error {
-			return t.runStage(p, v)
+		t.procs.SpawnInline(fmt.Sprintf("pipe-v%d", v), func(p *simproc.Process) {
+			t.startStage(p, v)
 		})
 	}
 	t.beginEpoch(0)
@@ -259,83 +259,175 @@ func (t *Trainer) stageArrived(epoch int) {
 	t.beginEpoch(epoch + 1)
 }
 
-// runStage is the body of one (virtual) stage process: Epochs times through
-// the stage's schedule, blocking on cross-stage dependencies. With
-// VirtualPerStage == 1 the virtual index v IS the physical stage; otherwise
-// chunk v executes on device v mod Stages, its kernels FIFO-interleaving
-// with the device's other chunks.
-func (t *Trainer) runStage(p *simproc.Process, v int) error {
+// stageRun is the continuation-passing body of one (virtual) stage: Epochs
+// times through the stage's schedule, blocking on cross-stage dependencies —
+// entirely on the engine goroutine, with no process-goroutine handshake per
+// dependency, transfer or kernel. With VirtualPerStage == 1 the virtual
+// index v IS the physical stage; otherwise chunk v executes on device
+// v mod Stages, its kernels FIFO-interleaving with the device's other
+// chunks.
+type stageRun struct {
+	t      *Trainer
+	p      *simproc.Process
+	v      int
+	phys   int
+	nv     int
+	client *simgpu.Client
+	ops    []Op
+	// names are the per-op kernel labels, precomputed so the op loop never
+	// formats strings.
+	names []string
+	fpDur time.Duration
+	bpDur time.Duration
+	optDur time.Duration
+	comm  time.Duration
+
+	epoch   int
+	i       int // index into ops
+	opStart time.Duration
+
+	// Pre-bound continuations: one closure each for the whole run.
+	afterGoFn   func(any)
+	afterDepFn  func(any)
+	afterCommFn func(any)
+	afterExecFn func(any)
+}
+
+// startStage builds and launches the stage machine (inline process body).
+func (t *Trainer) startStage(p *simproc.Process, v int) {
 	nv := t.cfg.numVirtual()
 	ops, err := StageSchedule(t.cfg.Schedule, v, nv, t.cfg.MicroBatches)
 	if err != nil {
-		return err
+		p.Exit(err)
+		return
 	}
 	m := t.cfg.Model
 	chunks := time.Duration(t.cfg.VirtualPerStage)
 	phys := v % t.cfg.Stages
-	client := t.clients[phys]
-	fpDur := m.FPPerMB / chunks
-	bpDur := m.BPPerMB / chunks
-	optDur := m.OptStep / chunks
-
-	for epoch := 0; epoch < t.cfg.Epochs; epoch++ {
-		t.goEpochs[epoch].Wait(p)
-		fpDone, bpDone := t.fpDone[epoch], t.bpDone[epoch]
-
-		for _, op := range ops {
-			switch op.Kind {
-			case OpForward:
-				if v > 0 {
-					fpDone[v-1][op.MB].Wait(p)
-					p.Sleep(m.CommLatency) // activation transfer
-				}
-				if err := t.exec(p, client, phys, op, fpDur); err != nil {
-					return err
-				}
-				fpDone[v][op.MB].Set()
-			case OpBackward:
-				if v < nv-1 {
-					bpDone[v+1][op.MB].Wait(p)
-					p.Sleep(m.CommLatency) // gradient transfer
-				}
-				if err := t.exec(p, client, phys, op, bpDur); err != nil {
-					return err
-				}
-				bpDone[v][op.MB].Set()
-			case OpOptimize:
-				if err := t.exec(p, client, phys, op, optDur); err != nil {
-					return err
-				}
-			}
-		}
-		t.stageArrived(epoch)
+	r := &stageRun{
+		t:      t,
+		p:      p,
+		v:      v,
+		phys:   phys,
+		nv:     nv,
+		client: t.clients[phys],
+		ops:    ops,
+		names:  make([]string, len(ops)),
+		fpDur:  m.FPPerMB / chunks,
+		bpDur:  m.BPPerMB / chunks,
+		optDur: m.OptStep / chunks,
+		comm:   m.CommLatency,
 	}
-	return nil
+	for i, op := range ops {
+		r.names[i] = fmt.Sprintf("s%d-%v-%d", phys, op.Kind, op.MB)
+	}
+	r.afterGoFn = r.afterGo
+	r.afterDepFn = r.afterDep
+	r.afterCommFn = r.afterComm
+	r.afterExecFn = r.afterExec
+	r.waitEpoch()
 }
 
-// exec runs one op's kernel and logs its span.
-func (t *Trainer) exec(p *simproc.Process, c *simgpu.Client, s int, op Op, d time.Duration) error {
-	start := p.Now()
-	err := c.Exec(p, simgpu.KernelSpec{
-		Name:     fmt.Sprintf("s%d-%v-%d", s, op.Kind, op.MB),
+// waitEpoch blocks on the epoch-release latch.
+func (r *stageRun) waitEpoch() {
+	r.t.goEpochs[r.epoch].WaitThen(r.p, r.afterGoFn)
+}
+
+func (r *stageRun) afterGo(any) {
+	r.i = 0
+	r.nextOp()
+}
+
+// nextOp dispatches ops[i], or closes the epoch when the schedule is done.
+func (r *stageRun) nextOp() {
+	if r.i >= len(r.ops) {
+		epoch := r.epoch
+		r.epoch++
+		r.t.stageArrived(epoch)
+		if r.epoch >= r.t.cfg.Epochs {
+			r.p.Exit(nil)
+			return
+		}
+		r.waitEpoch()
+		return
+	}
+	op := r.ops[r.i]
+	switch op.Kind {
+	case OpForward:
+		if r.v > 0 {
+			r.t.fpDone[r.epoch][r.v-1][op.MB].WaitThen(r.p, r.afterDepFn)
+			return
+		}
+	case OpBackward:
+		if r.v < r.nv-1 {
+			r.t.bpDone[r.epoch][r.v+1][op.MB].WaitThen(r.p, r.afterDepFn)
+			return
+		}
+	}
+	r.execOp()
+}
+
+// afterDep runs once the op's cross-stage dependency is satisfied: model the
+// activation/gradient transfer, then execute.
+func (r *stageRun) afterDep(any) {
+	r.p.SleepThen(r.comm, r.afterCommFn)
+}
+
+func (r *stageRun) afterComm(any) {
+	r.execOp()
+}
+
+// execOp issues the op's kernel.
+func (r *stageRun) execOp() {
+	op := r.ops[r.i]
+	var d time.Duration
+	switch op.Kind {
+	case OpForward:
+		d = r.fpDur
+	case OpBackward:
+		d = r.bpDur
+	default:
+		d = r.optDur
+	}
+	r.opStart = r.p.Now()
+	r.client.ExecThen(r.p, simgpu.KernelSpec{
+		Name:     r.names[r.i],
 		Duration: d,
 		Demand:   1.0,
 		Weight:   1.0,
-	})
-	if err != nil {
+	}, r.afterExecFn)
+}
+
+// afterExec retires the op: record its span, release dependents, advance.
+func (r *stageRun) afterExec(res any) {
+	t := r.t
+	op := r.ops[r.i]
+	if res != nil {
+		err, ok := res.(error)
+		if !ok {
+			err = fmt.Errorf("pipeline: unexpected completion payload %T", res)
+		}
 		t.mu.Lock()
 		if t.failed == nil {
-			t.failed = fmt.Errorf("pipeline: stage %d %v mb %d: %w", s, op.Kind, op.MB, err)
+			t.failed = fmt.Errorf("pipeline: stage %d %v mb %d: %w", r.phys, op.Kind, op.MB, err)
 		}
 		t.mu.Unlock()
-		return err
+		r.p.Exit(err)
+		return
 	}
 	if t.cfg.RecordOps {
 		t.mu.Lock()
-		t.opLog[s] = append(t.opLog[s], OpSpan{Op: op, Start: start, End: p.Now()})
+		t.opLog[r.phys] = append(t.opLog[r.phys], OpSpan{Op: op, Start: r.opStart, End: r.p.Now()})
 		t.mu.Unlock()
 	}
-	return nil
+	switch op.Kind {
+	case OpForward:
+		t.fpDone[r.epoch][r.v][op.MB].Set()
+	case OpBackward:
+		t.bpDone[r.epoch][r.v][op.MB].Set()
+	}
+	r.i++
+	r.nextOp()
 }
 
 func newLatchGrid(stages, mbs int) [][]*simproc.Latch {

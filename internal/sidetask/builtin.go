@@ -29,7 +29,10 @@ type trainTask struct {
 	trainer *nn.Trainer
 }
 
-var _ Iterative = (*trainTask)(nil)
+var (
+	_ Iterative = (*trainTask)(nil)
+	_ Stepper   = (*trainTask)(nil)
+)
 
 func (t *trainTask) CreateSideTask(ctx *Ctx) error {
 	// "Load the dataset, data loader, loss function and optimizer states
@@ -49,12 +52,20 @@ func (t *trainTask) InitSideTask(ctx *Ctx) error {
 
 func (t *trainTask) RunNextStep(ctx *Ctx) error {
 	ctx.HostWork(t.profile.HostOverhead)
+	if err := t.StepWork(ctx); err != nil {
+		return err
+	}
+	return ctx.ExecStepKernel()
+}
+
+// StepWork is the step's CPU-side work (Stepper; runs on the event loop).
+func (t *trainTask) StepWork(*Ctx) error {
 	if t.trainer != nil {
 		if _, err := t.trainer.TrainStep(); err != nil {
 			return err
 		}
 	}
-	return ctx.ExecStepKernel()
+	return nil
 }
 
 func (t *trainTask) StopSideTask(ctx *Ctx) error {
@@ -70,7 +81,10 @@ type pagerankTask struct {
 	pr      *graph.PageRank
 }
 
-var _ Iterative = (*pagerankTask)(nil)
+var (
+	_ Iterative = (*pagerankTask)(nil)
+	_ Stepper   = (*pagerankTask)(nil)
+)
 
 func (t *pagerankTask) CreateSideTask(ctx *Ctx) error {
 	if t.scale == WorkNone {
@@ -87,10 +101,18 @@ func (t *pagerankTask) InitSideTask(ctx *Ctx) error {
 
 func (t *pagerankTask) RunNextStep(ctx *Ctx) error {
 	ctx.HostWork(t.profile.HostOverhead)
+	if err := t.StepWork(ctx); err != nil {
+		return err
+	}
+	return ctx.ExecStepKernel()
+}
+
+// StepWork is the step's CPU-side work (Stepper; runs on the event loop).
+func (t *pagerankTask) StepWork(*Ctx) error {
 	if t.pr != nil {
 		t.pr.Step()
 	}
-	return ctx.ExecStepKernel()
+	return nil
 }
 
 func (t *pagerankTask) StopSideTask(ctx *Ctx) error {
@@ -105,7 +127,10 @@ type sgdTask struct {
 	mf      *graph.SGDMF
 }
 
-var _ Iterative = (*sgdTask)(nil)
+var (
+	_ Iterative = (*sgdTask)(nil)
+	_ Stepper   = (*sgdTask)(nil)
+)
 
 func (t *sgdTask) CreateSideTask(ctx *Ctx) error {
 	if t.scale == WorkNone {
@@ -123,10 +148,18 @@ func (t *sgdTask) InitSideTask(ctx *Ctx) error {
 
 func (t *sgdTask) RunNextStep(ctx *Ctx) error {
 	ctx.HostWork(t.profile.HostOverhead)
+	if err := t.StepWork(ctx); err != nil {
+		return err
+	}
+	return ctx.ExecStepKernel()
+}
+
+// StepWork is the step's CPU-side work (Stepper; runs on the event loop).
+func (t *sgdTask) StepWork(*Ctx) error {
 	if t.mf != nil {
 		t.mf.Step()
 	}
-	return ctx.ExecStepKernel()
+	return nil
 }
 
 func (t *sgdTask) StopSideTask(ctx *Ctx) error {
@@ -141,7 +174,10 @@ type imageTask struct {
 	pipe    *imageproc.Pipeline
 }
 
-var _ Iterative = (*imageTask)(nil)
+var (
+	_ Iterative = (*imageTask)(nil)
+	_ Stepper   = (*imageTask)(nil)
+)
 
 func (t *imageTask) CreateSideTask(ctx *Ctx) error {
 	if t.scale == WorkNone {
@@ -157,12 +193,20 @@ func (t *imageTask) InitSideTask(ctx *Ctx) error {
 
 func (t *imageTask) RunNextStep(ctx *Ctx) error {
 	ctx.HostWork(t.profile.HostOverhead)
+	if err := t.StepWork(ctx); err != nil {
+		return err
+	}
+	return ctx.ExecStepKernel()
+}
+
+// StepWork is the step's CPU-side work (Stepper; runs on the event loop).
+func (t *imageTask) StepWork(*Ctx) error {
 	if t.pipe != nil {
 		if _, err := t.pipe.Step(); err != nil {
 			return err
 		}
 	}
-	return ctx.ExecStepKernel()
+	return nil
 }
 
 func (t *imageTask) StopSideTask(ctx *Ctx) error {

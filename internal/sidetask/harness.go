@@ -110,6 +110,21 @@ type Imperative interface {
 	RunGpuWorkload(ctx *Ctx) error
 }
 
+// Stepper marks an Iterative implementation whose RunNextStep is exactly
+//
+//	ctx.HostWork(profile.HostOverhead); <CPU work>; ctx.ExecStepKernel()
+//
+// with the CPU work exposed as StepWork. Such tasks run on the engine event
+// loop with no process goroutine: the harness itself schedules the host time
+// and the step kernel around StepWork, so a step costs zero goroutine
+// switches and zero allocations. Implementations must keep CreateSideTask,
+// InitSideTask, StopSideTask and StepWork non-blocking (no Ctx.HostWork /
+// Ctx.ExecStepKernel / GPU.Exec calls — memory AllocMem/FreeMem are fine).
+// All built-in tasks implement it.
+type Stepper interface {
+	StepWork(ctx *Ctx) error
+}
+
 // Command is a state-transition order from the worker.
 type Command struct {
 	Transition Transition

@@ -1,0 +1,169 @@
+package sidetask
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"freeride/internal/container"
+	"freeride/internal/model"
+	"freeride/internal/simgpu"
+	"freeride/internal/simproc"
+	"freeride/internal/simtime"
+)
+
+// stateEvent is one observed transition with its virtual timestamp.
+type stateEvent struct {
+	State State
+	At    time.Duration
+}
+
+// runScriptedLifecycle drives one harness through a fixed command script on
+// a private rig and returns the observed state transitions (with
+// timestamps), the final counters and the final device memory.
+func runScriptedLifecycle(t *testing.T, mode Mode, inline bool) ([]stateEvent, Counters, int64) {
+	t.Helper()
+	profile := model.ResNet18
+	eng := simtime.NewVirtual()
+	procs := simproc.NewRuntime(eng)
+	dev := simgpu.NewDevice(eng, simgpu.DeviceConfig{Name: "gpu0"})
+	ctr := container.NewRuntime(procs)
+	h, err := NewBuiltin(profile, mode, WorkNone, 1)
+	if err != nil {
+		t.Fatalf("NewBuiltin: %v", err)
+	}
+	var events []stateEvent
+	h.SetStateListener(func(s State) {
+		events = append(events, stateEvent{State: s, At: eng.Now()})
+	})
+	spec := container.Spec{
+		Name:        profile.Name,
+		Device:      dev,
+		GPUMemLimit: profile.MemBytes + model.GiB,
+		GPUWeight:   profile.Weight,
+	}
+	var cont *container.Container
+	if inline {
+		if !h.CanInline() {
+			t.Fatalf("built-in %s (mode %v) should be inline-capable", profile.Name, mode)
+		}
+		cont, err = ctr.RunInline(spec, h.Start)
+	} else {
+		cont, err = ctr.Run(spec, h.Run)
+	}
+	if err != nil {
+		t.Fatalf("container: %v", err)
+	}
+
+	// Scripted lifecycle (ResNet18 creates for 1.5s, inits for 0.4s):
+	// init, a 500ms bubble, a mid-run bubble extension, pause, a second
+	// 300ms bubble, stop.
+	eng.Schedule(1600*time.Millisecond, "init", func() {
+		h.Deliver(Command{Transition: TransitionInit})
+	})
+	eng.Schedule(2100*time.Millisecond, "start", func() {
+		h.Deliver(Command{Transition: TransitionStart, BubbleEnd: eng.Now() + 500*time.Millisecond})
+	})
+	eng.Schedule(2400*time.Millisecond, "extend", func() {
+		h.Deliver(Command{Transition: TransitionStart, BubbleEnd: eng.Now() + 400*time.Millisecond})
+	})
+	eng.Schedule(2700*time.Millisecond, "pause", func() {
+		if mode == ModeImperative {
+			cont.Stop()
+		} else {
+			h.Deliver(Command{Transition: TransitionPause})
+		}
+	})
+	eng.Schedule(3000*time.Millisecond, "start2", func() {
+		if mode == ModeImperative {
+			cont.Cont()
+		} else {
+			h.Deliver(Command{Transition: TransitionStart, BubbleEnd: eng.Now() + 300*time.Millisecond})
+		}
+	})
+	eng.Schedule(3600*time.Millisecond, "stop", func() {
+		if mode == ModeImperative && cont.Process().Stopped() {
+			cont.Cont()
+		}
+		h.Deliver(Command{Transition: TransitionStop})
+		if mode == ModeImperative {
+			// The imperative body never reads its inbox mid-run; kill it
+			// after a grace, like the worker does.
+			simtime.Detached(eng, 500*time.Millisecond, "stop-kill", func() {
+				if cont.Alive() {
+					cont.Kill()
+				}
+			})
+		}
+	})
+	eng.RunUntil(5 * time.Second)
+	return events, h.Counters(), dev.MemUsed()
+}
+
+// TestInlineMatchesGoroutineIterative is the equivalence guarantee for the
+// event-loop harness: an identical command script must produce bit-identical
+// state transitions (including timestamps), counters and memory effects in
+// both execution substrates.
+func TestInlineMatchesGoroutineIterative(t *testing.T) {
+	gEvents, gCounters, gMem := runScriptedLifecycle(t, ModeIterative, false)
+	iEvents, iCounters, iMem := runScriptedLifecycle(t, ModeIterative, true)
+	if !reflect.DeepEqual(gEvents, iEvents) {
+		t.Errorf("state transitions diverge:\ngoroutine %+v\ninline    %+v", gEvents, iEvents)
+	}
+	if gCounters != iCounters {
+		t.Errorf("counters diverge:\ngoroutine %+v\ninline    %+v", gCounters, iCounters)
+	}
+	if gMem != iMem {
+		t.Errorf("device memory diverges: goroutine %d, inline %d", gMem, iMem)
+	}
+	if gCounters.Steps == 0 {
+		t.Fatal("scripted lifecycle ran no steps")
+	}
+}
+
+// TestInlineMatchesGoroutineImperative covers the SIGTSTP/SIGCONT path: the
+// inline imperative loop must pause and resume at the same kernel
+// boundaries as the goroutine body.
+func TestInlineMatchesGoroutineImperative(t *testing.T) {
+	gEvents, gCounters, gMem := runScriptedLifecycle(t, ModeImperative, false)
+	iEvents, iCounters, iMem := runScriptedLifecycle(t, ModeImperative, true)
+	if !reflect.DeepEqual(gEvents, iEvents) {
+		t.Errorf("state transitions diverge:\ngoroutine %+v\ninline    %+v", gEvents, iEvents)
+	}
+	if gCounters != iCounters {
+		t.Errorf("counters diverge:\ngoroutine %+v\ninline    %+v", gCounters, iCounters)
+	}
+	if gMem != iMem {
+		t.Errorf("device memory diverges: goroutine %d, inline %d", gMem, iMem)
+	}
+	if gCounters.Steps == 0 {
+		t.Fatal("scripted lifecycle ran no steps")
+	}
+}
+
+// TestCanInline pins which harnesses take the event-loop path.
+func TestCanInline(t *testing.T) {
+	for _, mode := range []Mode{ModeIterative, ModeImperative} {
+		h, err := NewBuiltin(model.PageRank, mode, WorkNone, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.CanInline() {
+			t.Errorf("built-in pagerank (mode %v) should be inline-capable", mode)
+		}
+	}
+	// Arbitrary user implementations keep the goroutine shell.
+	h := NewIterativeHarness("custom", model.PageRank, customIter{}, 1)
+	if h.CanInline() {
+		t.Error("non-Stepper Iterative must not claim inline capability")
+	}
+}
+
+type customIter struct{}
+
+func (customIter) CreateSideTask(*Ctx) error { return nil }
+func (customIter) InitSideTask(*Ctx) error   { return nil }
+func (customIter) RunNextStep(ctx *Ctx) error {
+	return ctx.ExecStepKernel()
+}
+func (customIter) StopSideTask(*Ctx) error { return nil }

@@ -339,7 +339,12 @@ func (c *Client) Destroy() {
 	d.mu.Unlock()
 
 	for _, k := range aborted {
-		if k.onComplete != nil {
+		if k.waiter != nil {
+			// Typically a no-op: the owning process is already dead by the
+			// time its context is destroyed, and wakes to dead processes are
+			// discarded.
+			k.waiter.Wake(ErrKernelAborted)
+		} else if k.onComplete != nil {
 			k.onComplete(ErrKernelAborted)
 		}
 	}

@@ -56,6 +56,10 @@ type kernel struct {
 	doneName   string
 	completeFn func()
 	onComplete func(error)
+	// waiter, when set, receives the completion (nil or an error) through
+	// its wait slot instead of onComplete. This is the blocking/inline Exec
+	// path: delivering to a pre-bound process wait costs no closure.
+	waiter     *simproc.Process
 	started    time.Duration
 	startSet   bool
 }
@@ -72,12 +76,20 @@ func (k *kernel) cancelTimer() {
 // matching CUDA semantics — this is exactly why the paper's imperative
 // interface cannot stop in-flight work (§5).
 func (c *Client) Launch(spec KernelSpec, onComplete func(error)) error {
+	return c.launch(spec, onComplete, nil)
+}
+
+// launch enqueues a kernel delivering either to onComplete or to waiter's
+// wait slot (exactly one of the two is non-nil; both nil is fire-and-forget).
+func (c *Client) launch(spec KernelSpec, onComplete func(error), waiter *simproc.Process) error {
 	spec.normalize()
 	d := c.dev
 	d.mu.Lock()
 	if c.closed {
 		d.mu.Unlock()
-		if onComplete != nil {
+		if waiter != nil {
+			waiter.Wake(ErrClientClosed)
+		} else if onComplete != nil {
 			onComplete(ErrClientClosed)
 		}
 		return ErrClientClosed
@@ -92,6 +104,7 @@ func (c *Client) Launch(spec KernelSpec, onComplete func(error)) error {
 			spec:       spec,
 			work:       spec.Demand * spec.Duration.Seconds(),
 			onComplete: onComplete,
+			waiter:     waiter,
 			// The completion timer and closure survive recycling.
 			timer:      k.timer,
 			completeFn: k.completeFn,
@@ -102,6 +115,7 @@ func (c *Client) Launch(spec KernelSpec, onComplete func(error)) error {
 			spec:       spec,
 			work:       spec.Demand * spec.Duration.Seconds(),
 			onComplete: onComplete,
+			waiter:     waiter,
 		}
 		k.completeFn = func() { d.completeKernel(k) }
 	}
@@ -122,17 +136,27 @@ func (c *Client) Launch(spec KernelSpec, onComplete func(error)) error {
 
 // Exec launches the kernel and parks the process until completion,
 // returning the kernel's completion error. This is the blocking API side
-// tasks and pipeline stages use.
+// tasks use; the completion delivers straight into the process's wait slot,
+// so the whole launch→park→complete→wake cycle allocates nothing.
 func (c *Client) Exec(p *simproc.Process, spec KernelSpec) error {
 	// spec.Name is used verbatim as the park label: Exec runs once per
 	// simulated kernel and a "kernel:" prefix concat here shows up in
 	// profiles.
-	res := p.WaitEvent(spec.Name, func(wake func(any)) {
-		if err := c.Launch(spec, func(err error) { wake(err) }); err != nil {
-			// Launch failed synchronously; onComplete already invoked wake.
-			_ = err
-		}
-	})
+	p.BeginWait(nil)
+	_ = c.launch(spec, nil, p)
+	return execResult(p.Await(spec.Name))
+}
+
+// ExecThen is the inline form of Exec: k receives the completion payload
+// (nil on success, otherwise an error) once the kernel finishes.
+func (c *Client) ExecThen(p *simproc.Process, spec KernelSpec, k func(any)) {
+	p.BeginWait(k)
+	_ = c.launch(spec, nil, p)
+	p.EndWait(spec.Name)
+}
+
+// execResult converts a completion wake payload to the Exec error.
+func execResult(res any) error {
 	if res == nil {
 		return nil
 	}
@@ -342,15 +366,19 @@ func (d *Device) completeKernel(k *kernel) {
 	}
 	d.rebalanceLocked()
 	// Retire k into the pool while the lock is held; after Unlock this
-	// function must not touch k again — the completion callback below may
+	// function must not touch k again — the completion delivery below may
 	// launch a new kernel that reuses it.
 	cb := k.onComplete
+	w := k.waiter
 	k.onComplete = nil
+	k.waiter = nil
 	k.client = nil
 	d.kernelPool = append(d.kernelPool, k)
 	d.mu.Unlock()
 
-	if cb != nil {
+	if w != nil {
+		w.Wake(nil)
+	} else if cb != nil {
 		cb(nil)
 	}
 }

@@ -1,22 +1,45 @@
 // Package simproc implements simulated OS processes on top of a
-// simtime.Engine. A Process runs user code on its own goroutine but hands
-// control back to the engine whenever it blocks (sleep, GPU kernel, RPC
-// wait), so that under the virtual engine exactly one piece of code runs at
-// a time and virtual time only advances while every process is parked.
+// simtime.Engine. A process exists in one of two flavours:
+//
+//   - Event-loop (inline) processes run entirely on the engine goroutine as
+//     continuation-passing state machines (SpawnInline): a blocking point is
+//     expressed by arming the process's wait slot with a continuation and
+//     returning to the engine. Waking costs a function call — no goroutine
+//     switch, no channel operation, no allocation. The simulator's hot
+//     interior loops (side-task steps, pipeline stage ops) run this way.
+//   - Goroutine processes (Spawn) run user code on a dedicated goroutine and
+//     hand control back to the engine whenever they block, so arbitrary
+//     imperative bodies work unchanged (examples, live mode, the imperative
+//     side-task interface). The park/resume rendezvous is a futex-style
+//     handshake: a single atomic state word plus two one-slot semaphores,
+//     touched only when the counterpart is actually blocked.
+//
+// Both flavours share one wake path: each Process owns a reusable,
+// generation-checked wait slot, and every wake source (timers, kernel
+// completions, latches, mailboxes, RPC replies) delivers through
+// Process.Wake. Wake sources are audited to fire exactly once per armed
+// wait; wakes addressed to a terminated process (e.g. the sleep timer of a
+// killed process firing late) are discarded. This is what makes the wait
+// path allocation-free: there is no per-wait closure state to guard against
+// duplicate deliveries.
 //
 // Processes support the three signals FreeRide's worker uses (paper §4.2,
 // §4.5): Stop (SIGTSTP) and Cont (SIGCONT) for the imperative interface's
 // transparent pause/resume, and Kill (SIGKILL) for the framework-enforced
 // resource limit. Signal semantics deliberately mirror the CUDA reality the
 // paper describes: stopping a process does not abort work already submitted
-// to the GPU — only the *next* blocking boundary is affected — whereas
-// killing a process destroys it (and its GPU context, via the exit hooks).
+// to the GPU — only the *next* blocking boundary is affected (for both
+// flavours, a Stop defers the delivery of the next wake until Cont) —
+// whereas killing a process destroys it (and its GPU context, via the exit
+// hooks).
 package simproc
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"freeride/internal/simtime"
@@ -56,11 +79,19 @@ var ErrKilled = errors.New("simproc: killed")
 // further blocking calls re-panic immediately so cleanup cannot stall.
 type killedPanic struct{ p *Process }
 
-// resumeMsg wakes a parked process.
+// resumeMsg wakes a parked goroutine process.
 type resumeMsg struct {
 	kill bool
 	data any
 }
+
+// Handshake states of the futex word (goroutine processes only).
+const (
+	hsRun     int32 = iota // process executing; engine side not waiting
+	hsParked               // process blocked on procGate
+	hsEngWait              // engine side blocked on engGate awaiting a park
+	hsDead                 // process terminated
+)
 
 // Runtime creates and tracks processes on one engine.
 type Runtime struct {
@@ -92,70 +123,116 @@ func (rt *Runtime) Live() []*Process {
 	return out
 }
 
-// Process is one simulated process. Body code must interact with time only
-// through the process's blocking primitives.
+// Process is one simulated process. Goroutine-process bodies must interact
+// with time only through the blocking primitives; inline bodies only through
+// the *Then continuation primitives.
 type Process struct {
-	rt   *Runtime
-	name string
+	rt     *Runtime
+	name   string
+	id     int
+	inline bool
 	// wakeName/wakeFn are the precomputed sleep-event label and callback:
 	// Sleep is the hottest schedule site in the simulator and must not
 	// allocate per call.
 	wakeName string
 	wakeFn   func()
-	id       int
+	// wakeAny is the precomputed func(any) form of Wake handed to WaitEvent
+	// setups, so registering a wake source allocates nothing.
+	wakeAny func(any)
 
-	// handshake channels; see park/resume.
-	resumeCh chan resumeMsg
-	parkedCh chan struct{}
-
-	mu          sync.Mutex
-	state       State
-	exitErr     error
-	parked      bool
-	parkReason  string
-	killed      bool
-	stopped     bool
-	// pendingWake holds a wake deferred while stopped. Stored by value:
-	// taking a pointer to resume's msg argument would force a heap
-	// allocation on every resume, the hottest call in the runtime.
-	pendingWake    resumeMsg
-	hasPendingWake bool
-	onExit      []func(err error)
-	// resumeMu serializes resume handshakes from multiple wakers (wall mode).
+	// Futex-style handshake (goroutine processes): hs is the state word;
+	// the gates are one-slot semaphores only touched when the peer is (or
+	// is about to be) blocked. wakeMsg is the single deposit slot, written
+	// by the waker before it posts procGate (resumeMu keeps at most one
+	// wake in flight).
+	hs       atomic.Int32
+	procGate chan struct{}
+	engGate  chan struct{}
+	wakeMsg  resumeMsg
 	resumeMu sync.Mutex
+
+	mu         sync.Mutex
+	state      State
+	exitErr    error
+	parked     bool
+	parkReason string
+	killed     bool
+	stopped    bool
+	onExit     []func(err error)
+
+	// Reusable wait slot. waitGen counts arms (diagnostics); waitOpen marks
+	// the arming phase, during which a synchronous Wake is recorded and
+	// returned without parking; cont is the continuation of an inline wait.
+	waitGen   uint64
+	waitArmed bool
+	waitOpen  bool
+	waitDone  bool
+	waitData  any
+	cont      func(any)
+
+	// pendingData holds a wake deferred while stopped (SIGTSTP semantics).
+	pendingData any
+	hasPending  bool
 }
 
-// Spawn starts fn as a new process. fn begins executing at engine-time
-// Now() (as a scheduled event). The returned Process can be signaled and
-// observed immediately.
-func (rt *Runtime) Spawn(name string, fn func(p *Process) error) *Process {
+// newProcess allocates the shared process core.
+func (rt *Runtime) newProcess(name string, inline bool) *Process {
 	rt.mu.Lock()
 	rt.seq++
 	p := &Process{
-		rt:   rt,
-		name: fmt.Sprintf("%s#%d", name, rt.seq),
-		id:   rt.seq,
-		// Both handshake channels have capacity 1: resumeMu guarantees at
-		// most one resume in flight and parks strictly alternate with
-		// resumes, so deposits never block and the waker needs no select —
-		// a measurable saving on the two rendezvous per blocking primitive.
-		resumeCh: make(chan resumeMsg, 1),
-		parkedCh: make(chan struct{}, 1),
-		state:    StateRunning,
+		rt:     rt,
+		name:   fmt.Sprintf("%s#%d", name, rt.seq),
+		id:     rt.seq,
+		inline: inline,
+		state:  StateRunning,
+	}
+	if !inline {
+		// One-slot gates: strict alternation of park and wake (enforced by
+		// resumeMu) means deposits never block.
+		p.procGate = make(chan struct{}, 1)
+		p.engGate = make(chan struct{}, 1)
 	}
 	p.wakeName = "wake:" + p.name
-	p.wakeFn = func() { p.resume(resumeMsg{}) }
+	p.wakeFn = func() { p.Wake(nil) }
+	p.wakeAny = p.Wake
 	rt.procs[p] = struct{}{}
 	rt.mu.Unlock()
+	return p
+}
 
+// Spawn starts fn as a new goroutine process. fn begins executing at
+// engine-time Now() (as a scheduled event). The returned Process can be
+// signaled and observed immediately.
+func (rt *Runtime) Spawn(name string, fn func(p *Process) error) *Process {
+	p := rt.newProcess(name, false)
 	simtime.Detached(rt.eng, 0, "spawn:"+p.name, func() {
 		go p.run(fn)
-		<-p.parkedCh // wait until the body parks or exits
+		p.waitForPark() // wait until the body parks or exits
 	})
 	return p
 }
 
-// run executes the process body with kill-unwinding and exit bookkeeping.
+// SpawnInline starts an event-loop process: start runs as an engine event at
+// the current instant, on the engine goroutine. The body expresses blocking
+// through the *Then primitives (SleepThen, Latch.WaitThen, Mailbox.RecvThen,
+// simgpu's ExecThen, or BeginWait/EndWait directly) and terminates by
+// calling p.Exit.
+func (rt *Runtime) SpawnInline(name string, start func(p *Process)) *Process {
+	p := rt.newProcess(name, true)
+	simtime.Detached(rt.eng, 0, "spawn:"+p.name, func() {
+		p.mu.Lock()
+		dead := p.state == StateExited || p.state == StateKilled
+		p.mu.Unlock()
+		if dead {
+			return // killed before the start event fired
+		}
+		start(p)
+	})
+	return p
+}
+
+// run executes a goroutine process body with kill-unwinding and exit
+// bookkeeping.
 func (p *Process) run(fn func(p *Process) error) {
 	var err error
 	func() {
@@ -185,9 +262,12 @@ func (p *Process) run(fn func(p *Process) error) {
 	for _, h := range hooks {
 		h(err)
 	}
-	// Final park signal releases whoever resumed us last, then the channel
-	// closes so any future resume handshakes complete immediately.
-	close(p.parkedCh)
+	// Publish termination; release the engine side if it is blocked in
+	// waitForPark. Future wakes observe hsDead (and the dead state) and
+	// return immediately.
+	if p.hs.Swap(hsDead) == hsEngWait {
+		p.engGate <- struct{}{}
+	}
 }
 
 // Name reports the unique process name.
@@ -204,6 +284,9 @@ func (p *Process) Engine() simtime.Engine { return p.rt.eng }
 
 // Now reports the current engine time.
 func (p *Process) Now() time.Duration { return p.rt.eng.Now() }
+
+// Inline reports whether this is an event-loop process.
+func (p *Process) Inline() bool { return p.inline }
 
 // State reports the process state.
 func (p *Process) State() State {
@@ -232,6 +315,14 @@ func (p *Process) ParkReason() string {
 	return p.parkReason
 }
 
+// WaitGen reports how many waits the process has armed so far (diagnostics
+// for the exactly-once wake audit).
+func (p *Process) WaitGen() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.waitGen
+}
+
 // OnExit registers a hook called (in process context, after the body
 // returns) when the process terminates. If the process has already
 // terminated the hook runs immediately.
@@ -247,8 +338,159 @@ func (p *Process) OnExit(h func(err error)) {
 	p.mu.Unlock()
 }
 
-// park blocks the process goroutine until a resume arrives. Must only be
-// called from the process's own goroutine. Returns the resume payload.
+// Exit terminates an inline process: it records the exit error, runs the
+// exit hooks and marks the process dead. The body must return to the engine
+// right after calling it. Goroutine processes terminate by returning from
+// their body instead.
+func (p *Process) Exit(err error) {
+	if !p.inline {
+		panic("simproc: Exit on a goroutine process (return from the body instead)")
+	}
+	p.exitInline(err)
+}
+
+// exitInline is the inline termination path (also used by SigKill).
+func (p *Process) exitInline(err error) {
+	p.mu.Lock()
+	if p.state == StateExited || p.state == StateKilled {
+		p.mu.Unlock()
+		return
+	}
+	if errors.Is(err, ErrKilled) {
+		p.state = StateKilled
+	} else {
+		p.state = StateExited
+	}
+	p.exitErr = err
+	p.waitArmed = false
+	p.waitOpen = false
+	p.waitDone = false
+	p.waitData = nil
+	p.cont = nil
+	p.parkReason = ""
+	p.hasPending = false
+	p.pendingData = nil
+	hooks := p.onExit
+	p.onExit = nil
+	p.mu.Unlock()
+	for _, h := range hooks {
+		h(err)
+	}
+}
+
+// --- wait slot -------------------------------------------------------------
+
+// BeginWait arms the process's reusable wait slot. For inline processes k is
+// the continuation to run when the wake arrives; goroutine processes pass
+// nil and park in Await. Between BeginWait and Await/EndWait the caller
+// registers exactly one wake source that will invoke p.Wake — a source may
+// also deliver synchronously during registration, in which case the process
+// never blocks.
+func (p *Process) BeginWait(k func(any)) {
+	p.mu.Lock()
+	if p.inline && (k == nil) {
+		p.mu.Unlock()
+		panic("simproc: BeginWait(nil) on an inline process")
+	}
+	p.waitGen++
+	p.waitArmed = true
+	p.waitOpen = true
+	p.waitDone = false
+	p.waitData = nil
+	p.cont = k
+	p.mu.Unlock()
+}
+
+// Await completes a goroutine process's wait: it parks until the armed wake
+// arrives (or returns immediately if it already did) and returns the wake's
+// data.
+func (p *Process) Await(reason string) any {
+	p.mu.Lock()
+	p.waitOpen = false
+	if p.waitDone {
+		data := p.waitData
+		p.waitDone = false
+		p.waitData = nil
+		p.mu.Unlock()
+		return data
+	}
+	p.mu.Unlock()
+	return p.park(reason)
+}
+
+// EndWait completes an inline process's wait registration: if the wake
+// already arrived during registration the continuation runs immediately,
+// otherwise the process returns to the engine and the continuation runs when
+// Wake is called.
+func (p *Process) EndWait(reason string) {
+	p.mu.Lock()
+	p.waitOpen = false
+	if p.waitDone {
+		p.waitDone = false
+		data := p.waitData
+		p.waitData = nil
+		k := p.cont
+		p.cont = nil
+		p.mu.Unlock()
+		k(data)
+		return
+	}
+	if p.waitArmed {
+		p.parkReason = reason
+	}
+	p.mu.Unlock()
+}
+
+// Wake delivers data to the process's currently armed wait. It is the single
+// wake entry every audited source uses; each armed wait must be woken
+// exactly once. Wakes addressed to a terminated process, or arriving with no
+// wait armed (a stale timer), are discarded. A wake delivered while the
+// process is stopped (SIGTSTP) is held and re-delivered on SIGCONT.
+func (p *Process) Wake(data any) {
+	p.mu.Lock()
+	if p.state == StateExited || p.state == StateKilled {
+		p.mu.Unlock()
+		return
+	}
+	if !p.waitArmed {
+		p.mu.Unlock()
+		return
+	}
+	if p.waitOpen {
+		// Synchronous delivery during registration: recorded, consumed by
+		// Await/EndWait without blocking. Stop does not defer this case —
+		// the process is executing and will observe the stop at its next
+		// real blocking boundary, exactly like the goroutine shell.
+		p.waitDone = true
+		p.waitData = data
+		p.waitArmed = false
+		p.mu.Unlock()
+		return
+	}
+	if p.stopped {
+		// SIGTSTP semantics: the wake condition (kernel completion, timer)
+		// has happened, but the process must not run until SIGCONT.
+		p.pendingData = data
+		p.hasPending = true
+		p.mu.Unlock()
+		return
+	}
+	p.waitArmed = false
+	p.parkReason = ""
+	k := p.cont
+	p.cont = nil
+	p.mu.Unlock()
+	if p.inline {
+		k(data)
+		return
+	}
+	p.resume(resumeMsg{data: data})
+}
+
+// --- goroutine park/resume (futex handshake) -------------------------------
+
+// park blocks the process goroutine until a wake deposit arrives. Must only
+// be called from the process's own goroutine. Returns the wake payload.
 func (p *Process) park(reason string) any {
 	p.mu.Lock()
 	if p.killed {
@@ -259,8 +501,15 @@ func (p *Process) park(reason string) any {
 	p.parkReason = reason
 	p.mu.Unlock()
 
-	p.parkedCh <- struct{}{} // hand control back to the engine side
-	msg := <-p.resumeCh
+	// Publish the park; release the engine side if it is blocked awaiting
+	// it. The Swap plus the conditional send is the whole "I am parked"
+	// half of the handshake — no channel operation when nobody waits.
+	if p.hs.Swap(hsParked) == hsEngWait {
+		p.engGate <- struct{}{}
+	}
+	<-p.procGate // semaphore park until a wake is deposited
+	msg := p.wakeMsg
+	p.wakeMsg = resumeMsg{}
 
 	p.mu.Lock()
 	p.parked = false
@@ -273,10 +522,9 @@ func (p *Process) park(reason string) any {
 	return msg.data
 }
 
-// resume wakes a parked process and waits until it parks again or exits.
-// Must be called from engine-callback context (never from the process's own
-// goroutine). If the process is stopped, the wake is deferred until Cont —
-// unless it is a kill, which always delivers.
+// resume wakes a parked goroutine process and waits until it parks again or
+// exits. Must be called from engine-callback context (never from the
+// process's own goroutine).
 func (p *Process) resume(msg resumeMsg) {
 	// Early-out for terminated processes BEFORE taking resumeMu: exit hooks
 	// may trigger wake callbacks for the dying process from its own
@@ -293,75 +541,93 @@ func (p *Process) resume(msg resumeMsg) {
 	defer p.resumeMu.Unlock()
 
 	p.mu.Lock()
-	st := p.state
-	if st == StateExited || st == StateKilled {
-		p.mu.Unlock()
-		return
-	}
-	if p.stopped && !msg.kill {
-		// SIGTSTP semantics: the wake condition (kernel completion, timer)
-		// has happened, but the process must not run until SIGCONT.
-		p.pendingWake = msg
-		p.hasPendingWake = true
+	if p.state == StateExited || p.state == StateKilled {
 		p.mu.Unlock()
 		return
 	}
 	p.mu.Unlock()
 
-	// The buffered deposit cannot block: at most one resume is in flight
-	// (resumeMu) and the previous one's message was consumed by the park
-	// that produced our parked-token. If the process exits instead of
-	// parking, the message rots in the buffer and the recv below returns
-	// via the channel close.
-	p.resumeCh <- msg
-	<-p.parkedCh // wait for next park or exit
+	// Claim the parked token. Under the virtual engine the process is
+	// always fully parked by the time a wake fires; the spin only triggers
+	// under the wall engine when a waker races the final instructions of
+	// park's publish.
+	for !p.hs.CompareAndSwap(hsParked, hsRun) {
+		if p.hs.Load() == hsDead {
+			return
+		}
+		runtime.Gosched()
+	}
+	p.wakeMsg = msg
+	p.procGate <- struct{}{}
+	p.waitForPark()
 }
+
+// waitForPark blocks the engine side until the process parks (or exits).
+// The fast path is a single failed CAS when the park already happened.
+func (p *Process) waitForPark() {
+	if p.hs.CompareAndSwap(hsRun, hsEngWait) {
+		<-p.engGate
+	}
+}
+
+// --- signals (see signal.go for Signal) ------------------------------------
+
+// deliverPending re-delivers a wake deferred by SIGTSTP (engine context).
+func (p *Process) deliverPending() {
+	p.mu.Lock()
+	if !p.hasPending {
+		p.mu.Unlock()
+		return
+	}
+	data := p.pendingData
+	p.hasPending = false
+	p.pendingData = nil
+	p.waitArmed = false
+	p.parkReason = ""
+	k := p.cont
+	p.cont = nil
+	p.mu.Unlock()
+	if p.inline {
+		k(data)
+		return
+	}
+	p.resume(resumeMsg{data: data})
+}
+
+// --- blocking primitives ---------------------------------------------------
 
 // Sleep parks the process for d of engine time. Zero and negative values
 // yield (re-enter the event queue at the current instant).
 func (p *Process) Sleep(d time.Duration) {
+	p.BeginWait(nil)
 	simtime.Detached(p.rt.eng, d, p.wakeName, p.wakeFn)
-	p.park("sleep")
+	p.Await("sleep")
 }
 
-// WaitEvent registers a wake function via setup and parks until some engine
-// callback invokes it. The wake function must be called either synchronously
-// inside setup (in which case the process never parks and the data is
-// returned directly) or later from engine-callback context; extra calls are
-// ignored. The value passed to wake is returned.
+// SleepThen is the inline form of Sleep: k runs after d of engine time.
+func (p *Process) SleepThen(d time.Duration, k func(any)) {
+	p.BeginWait(k)
+	simtime.Detached(p.rt.eng, d, p.wakeName, p.wakeFn)
+	p.EndWait("sleep")
+}
+
+// WaitEvent arms the wait slot, hands the slot's wake function to setup for
+// registration, and parks until some engine callback invokes it. The wake
+// function must be called exactly once: either synchronously inside setup
+// (in which case the process never parks and the data is returned directly)
+// or later from engine-callback context. The value passed to wake is
+// returned.
 func (p *Process) WaitEvent(reason string, setup func(wake func(data any))) any {
-	var (
-		mu        sync.Mutex
-		delivered bool
-		inSetup   = true
-		syncData  any
-	)
-	wake := func(data any) {
-		mu.Lock()
-		if delivered {
-			mu.Unlock()
-			return
-		}
-		delivered = true
-		if inSetup {
-			// Called from the process's own goroutine during setup: we
-			// cannot resume ourselves; report the value without parking.
-			syncData = data
-			mu.Unlock()
-			return
-		}
-		mu.Unlock()
-		p.resume(resumeMsg{data: data})
-	}
-	setup(wake)
-	mu.Lock()
-	inSetup = false
-	deliveredSync := delivered
-	mu.Unlock()
-	if deliveredSync {
-		return syncData
-	}
-	return p.park(reason)
+	p.BeginWait(nil)
+	setup(p.wakeAny)
+	return p.Await(reason)
+}
+
+// WaitEventThen is the inline form of WaitEvent: k receives the wake's data.
+func (p *Process) WaitEventThen(reason string, setup func(wake func(data any)), k func(any)) {
+	p.BeginWait(k)
+	setup(p.wakeAny)
+	p.EndWait(reason)
 }
 
 // Yield parks and immediately reschedules the process at the current

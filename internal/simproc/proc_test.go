@@ -216,22 +216,63 @@ func TestWaitEvent(t *testing.T) {
 	}
 }
 
-func TestWaitEventDoubleWakeIgnored(t *testing.T) {
+// The wake contract after the exactly-once audit: each armed wait is woken
+// exactly once. The two tolerated stale cases — a duplicate synchronous wake
+// during setup, and a wake addressed to an already-terminated process (e.g.
+// the sleep timer of a killed process firing late) — are discarded.
+
+func TestWaitEventDuplicateSetupWakeIgnored(t *testing.T) {
 	eng, rt := newRT()
-	rounds := 0
+	var got any
 	rt.Spawn("waiter", func(p *Process) error {
-		p.WaitEvent("external", func(wake func(any)) {
-			eng.Schedule(time.Second, "fire1", func() { wake(1) })
-			eng.Schedule(2*time.Second, "fire2", func() { wake(2) })
+		got = p.WaitEvent("immediate", func(wake func(any)) {
+			wake("first")
+			wake("second") // wait already satisfied: discarded
 		})
-		rounds++
-		p.Sleep(10 * time.Second)
-		rounds++
 		return nil
 	})
 	eng.MustDrain(100)
-	if rounds != 2 {
-		t.Fatalf("rounds = %d, want 2 (second wake ignored)", rounds)
+	if got != "first" {
+		t.Fatalf("WaitEvent = %v, want first", got)
+	}
+}
+
+func TestWakeAfterExitIgnored(t *testing.T) {
+	eng, rt := newRT()
+	var wk func(any)
+	p := rt.Spawn("waiter", func(p *Process) error {
+		p.WaitEvent("external", func(wake func(any)) {
+			wk = wake
+			eng.Schedule(time.Second, "fire", func() { wake("payload") })
+		})
+		return nil
+	})
+	eng.MustDrain(100)
+	if p.State() != StateExited {
+		t.Fatalf("state = %v, want exited", p.State())
+	}
+	wk("late") // stale wake to a dead process: discarded, no panic
+	if p.State() != StateExited {
+		t.Fatalf("state after late wake = %v, want exited", p.State())
+	}
+}
+
+func TestWakeWithNoArmedWaitIgnored(t *testing.T) {
+	eng, rt := newRT()
+	p := rt.Spawn("sleeper", func(p *Process) error {
+		p.Sleep(time.Hour)
+		return nil
+	})
+	eng.RunUntil(time.Second)
+	gen := p.WaitGen()
+	// A stray Wake while parked is delivered to the armed wait (this is
+	// exactly why sources must be exactly-once); after exit further wakes
+	// are discarded without touching the generation counter.
+	p.Signal(SigKill)
+	eng.RunUntil(2 * time.Second)
+	p.Wake(nil)
+	if got := p.WaitGen(); got != gen {
+		t.Fatalf("WaitGen after stale wake = %d, want %d", got, gen)
 	}
 }
 

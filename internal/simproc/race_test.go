@@ -1,0 +1,82 @@
+package simproc
+
+import (
+	"testing"
+	"time"
+
+	"freeride/internal/simtime"
+)
+
+// TestFutexHandshakeStressStopContKill hammers the futex park/resume
+// handshake from genuinely concurrent wakers: under the wall engine, timer
+// callbacks fire from their own goroutines while the process goroutines
+// park and wake, and Stop/Cont/Kill signals land at arbitrary points of the
+// handshake. Run with -race this validates the atomic state word, the gate
+// semaphores and the stopped/killed transitions.
+func TestFutexHandshakeStressStopContKill(t *testing.T) {
+	eng := simtime.NewWall()
+	rt := NewRuntime(eng)
+
+	const procs = 8
+	targets := make([]*Process, procs)
+	for i := 0; i < procs; i++ {
+		targets[i] = rt.Spawn("worker", func(p *Process) error {
+			for {
+				p.Sleep(200 * time.Microsecond)
+			}
+		})
+	}
+
+	// Signal storms, delivered from engine-callback context as required.
+	var storm func(round int)
+	storm = func(round int) {
+		for _, p := range targets {
+			switch round % 3 {
+			case 0:
+				p.Signal(SigStop)
+			case 1:
+				p.Signal(SigCont)
+			case 2:
+				p.Signal(SigStop)
+				p.Signal(SigCont)
+			}
+		}
+		if round < 30 {
+			eng.Schedule(300*time.Microsecond, "storm", func() { storm(round + 1) })
+		}
+	}
+	eng.Schedule(time.Millisecond, "storm", func() { storm(0) })
+
+	// Give the storm time to interleave with the sleep/wake cycles, then
+	// kill everything — some processes mid-park, some stopped, some with a
+	// deferred pending wake.
+	done := make(chan struct{})
+	eng.Schedule(30*time.Millisecond, "killall", func() {
+		for _, p := range targets {
+			p.Signal(SigKill)
+		}
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("kill event never fired")
+	}
+
+	// Every process must wind down to killed (a process stopped or parked
+	// at kill time dies immediately; one racing into a park dies at that
+	// park, woken by its in-flight sleep timer).
+	deadline := time.Now().Add(5 * time.Second)
+	for _, p := range targets {
+		for p.Alive() && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if p.Alive() {
+			t.Fatalf("process %s still alive after kill (state %v, parked on %q)",
+				p.Name(), p.State(), p.ParkReason())
+		}
+		if p.State() != StateKilled {
+			t.Fatalf("process %s state = %v, want killed", p.Name(), p.State())
+		}
+	}
+}

@@ -12,9 +12,11 @@ const (
 	SigStop Signal = iota + 1
 	// SigCont resumes a stopped process (SIGCONT).
 	SigCont
-	// SigKill terminates the process immediately if parked, or at its next
-	// blocking boundary if running; deferred cleanup still executes
-	// (SIGKILL, the framework-enforced mechanism of paper §4.5).
+	// SigKill terminates the process immediately if parked (inline
+	// processes are always at a blocking boundary, so the kill is always
+	// immediate for them), or at its next blocking boundary if running;
+	// deferred cleanup still executes (SIGKILL, the framework-enforced
+	// mechanism of paper §4.5).
 	SigKill
 )
 
@@ -54,14 +56,8 @@ func (p *Process) Signal(sig Signal) {
 		}
 		p.state = StateRunning
 		p.stopped = false
-		pending := p.pendingWake
-		hasPending := p.hasPendingWake
-		p.pendingWake = resumeMsg{}
-		p.hasPendingWake = false
 		p.mu.Unlock()
-		if hasPending {
-			p.resume(pending)
-		}
+		p.deliverPending()
 
 	case SigKill:
 		p.mu.Lock()
@@ -71,8 +67,16 @@ func (p *Process) Signal(sig Signal) {
 		}
 		p.killed = true
 		p.stopped = false
-		p.pendingWake = resumeMsg{}
-		p.hasPendingWake = false
+		p.hasPending = false
+		p.pendingData = nil
+		if p.inline {
+			p.mu.Unlock()
+			// Inline processes are always at a blocking boundary when an
+			// engine callback runs, so the kill takes effect immediately:
+			// drop the armed wait and run the exit hooks now.
+			p.exitInline(ErrKilled)
+			return
+		}
 		parked := p.parked
 		p.mu.Unlock()
 		if parked {

@@ -5,10 +5,13 @@ import "sync"
 // Latch is a one-shot condition: processes wait until it is set. It is the
 // dependency primitive the pipeline engine uses to express "BP of
 // micro-batch m at stage s needs BP at stage s+1" and similar edges.
+// Waiters are recorded as processes, not closures: Set wakes each one
+// through its wait slot, so waiting is allocation-free beyond the waiter
+// list itself.
 type Latch struct {
 	mu      sync.Mutex
 	set     bool
-	waiters []func(any)
+	waiters []*Process
 }
 
 // NewLatch returns an unset latch.
@@ -26,8 +29,8 @@ func (l *Latch) Set() {
 	waiters := l.waiters
 	l.waiters = nil
 	l.mu.Unlock()
-	for _, w := range waiters {
-		w(nil)
+	for _, p := range waiters {
+		p.Wake(nil)
 	}
 }
 
@@ -38,6 +41,19 @@ func (l *Latch) IsSet() bool {
 	return l.set
 }
 
+// register enrolls an armed waiter, waking it immediately if Set raced in
+// between the caller's check and the registration.
+func (l *Latch) register(p *Process) {
+	l.mu.Lock()
+	if l.set {
+		l.mu.Unlock()
+		p.Wake(nil)
+		return
+	}
+	l.waiters = append(l.waiters, p)
+	l.mu.Unlock()
+}
+
 // Wait parks p until the latch is set (returns immediately if already set).
 func (l *Latch) Wait(p *Process) {
 	l.mu.Lock()
@@ -46,17 +62,24 @@ func (l *Latch) Wait(p *Process) {
 		return
 	}
 	l.mu.Unlock()
-	p.WaitEvent("latch", func(wake func(any)) {
-		l.mu.Lock()
-		if l.set {
-			l.mu.Unlock()
-			// Raced with Set between the check and registration: wake now.
-			wake(nil)
-			return
-		}
-		l.waiters = append(l.waiters, wake)
+	p.BeginWait(nil)
+	l.register(p)
+	p.Await("latch")
+}
+
+// WaitThen is the inline form of Wait: k runs once the latch is set —
+// immediately (and synchronously) if it already is.
+func (l *Latch) WaitThen(p *Process, k func(any)) {
+	l.mu.Lock()
+	if l.set {
 		l.mu.Unlock()
-	})
+		k(nil)
+		return
+	}
+	l.mu.Unlock()
+	p.BeginWait(k)
+	l.register(p)
+	p.EndWait("latch")
 }
 
 // Mailbox is an unbounded FIFO queue with blocking receive, used for
@@ -64,12 +87,17 @@ func (l *Latch) Wait(p *Process) {
 type Mailbox struct {
 	mu     sync.Mutex
 	queue  []any
-	waiter func(any) // at most one blocked receiver
+	waiter *Process // at most one blocked receiver
 	closed bool
 }
 
 // NewMailbox returns an empty mailbox.
 func NewMailbox() *Mailbox { return &Mailbox{} }
+
+// Closed is the wake payload a blocked receiver observes when the mailbox is
+// closed. RecvThen continuations compare against it; Recv translates it to
+// ok == false.
+type Closed struct{}
 
 // Send enqueues msg, waking a blocked receiver if any. Send to a closed
 // mailbox is dropped.
@@ -82,7 +110,7 @@ func (m *Mailbox) Send(msg any) {
 	if w := m.waiter; w != nil {
 		m.waiter = nil
 		m.mu.Unlock()
-		w(msg)
+		w.Wake(msg)
 		return
 	}
 	m.queue = append(m.queue, msg)
@@ -101,11 +129,9 @@ func (m *Mailbox) Close() {
 	m.waiter = nil
 	m.mu.Unlock()
 	if w != nil {
-		w(mailboxClosed{})
+		w.Wake(Closed{})
 	}
 }
-
-type mailboxClosed struct{}
 
 // TryRecv dequeues without blocking; ok is false when empty or closed.
 func (m *Mailbox) TryRecv() (msg any, ok bool) {
@@ -126,6 +152,30 @@ func (m *Mailbox) Len() int {
 	return len(m.queue)
 }
 
+// register enrolls an armed receiver, delivering synchronously if a message
+// (or the close) raced in between the caller's check and the registration.
+func (m *Mailbox) register(p *Process) {
+	m.mu.Lock()
+	if len(m.queue) > 0 {
+		first := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		p.Wake(first)
+		return
+	}
+	if m.closed {
+		m.mu.Unlock()
+		p.Wake(Closed{})
+		return
+	}
+	if m.waiter != nil {
+		m.mu.Unlock()
+		panic("simproc: concurrent Recv on Mailbox")
+	}
+	m.waiter = p
+	m.mu.Unlock()
+}
+
 // Recv parks p until a message is available. ok is false if the mailbox was
 // closed while waiting (or already closed and drained). Only one process may
 // block on a mailbox at a time.
@@ -141,32 +191,21 @@ func (m *Mailbox) Recv(p *Process) (msg any, ok bool) {
 		m.mu.Unlock()
 		return nil, false
 	}
-	if m.waiter != nil {
-		m.mu.Unlock()
-		panic("simproc: concurrent Recv on Mailbox")
-	}
 	m.mu.Unlock()
 
-	got := p.WaitEvent("mailbox", func(wake func(any)) {
-		m.mu.Lock()
-		// Re-check under lock: a Send may have raced in.
-		if len(m.queue) > 0 {
-			first := m.queue[0]
-			m.queue = m.queue[1:]
-			m.mu.Unlock()
-			wake(first)
-			return
-		}
-		if m.closed {
-			m.mu.Unlock()
-			wake(mailboxClosed{})
-			return
-		}
-		m.waiter = wake
-		m.mu.Unlock()
-	})
-	if _, wasClosed := got.(mailboxClosed); wasClosed {
+	p.BeginWait(nil)
+	m.register(p)
+	got := p.Await("mailbox")
+	if _, wasClosed := got.(Closed); wasClosed {
 		return nil, false
 	}
 	return got, true
+}
+
+// RecvThen is the inline form of Recv: k receives the next message, or
+// Closed{} if the mailbox is (or becomes) closed and drained.
+func (m *Mailbox) RecvThen(p *Process, k func(any)) {
+	p.BeginWait(k)
+	m.register(p)
+	p.EndWait("mailbox")
 }

@@ -54,12 +54,20 @@ func Detached(eng Engine, delay time.Duration, name string, fn func()) {
 	eng.Schedule(delay, name, fn)
 }
 
+// Rescheduler is implemented by engines that can re-arm a fired or canceled
+// timer in place, reusing its allocation (and, on the wall engine, the
+// underlying runtime timer).
+type Rescheduler interface {
+	Reschedule(t *Timer, delay time.Duration, name string, fn func()) *Timer
+}
+
 // Reschedule re-arms a fired, canceled or nil timer whose handle the caller
-// exclusively owns, reusing its allocation on the virtual engine (see
-// Virtual.Reschedule). On other engines it cancels t and schedules afresh.
+// exclusively owns, reusing its allocation when the engine supports it
+// (both Virtual and Wall do). On other engines it cancels t and schedules
+// afresh.
 func Reschedule(eng Engine, t *Timer, delay time.Duration, name string, fn func()) *Timer {
-	if v, ok := eng.(*Virtual); ok {
-		return v.Reschedule(t, delay, name, fn)
+	if r, ok := eng.(Rescheduler); ok {
+		return r.Reschedule(t, delay, name, fn)
 	}
 	if t != nil {
 		t.Cancel()
@@ -89,6 +97,11 @@ type Timer struct {
 
 	// stop cancels the underlying wall-clock timer, if any.
 	stop func() bool
+
+	// weng/wt tie a wall-engine timer to its runtime timer so Reschedule
+	// and the detached free-list can re-arm it in place.
+	weng *Wall
+	wt   *time.Timer
 
 	// vq is the owning virtual engine; Cancel removes the timer from its
 	// queue eagerly instead of leaving a dead entry for the dispatcher.

@@ -79,3 +79,123 @@ func TestWallNegativeDelayFiresSoon(t *testing.T) {
 		t.Fatal("negative-delay callback did not fire")
 	}
 }
+
+func TestWallDetachedFiresAndRecycles(t *testing.T) {
+	w := NewWall()
+	const rounds = 8
+	for i := 0; i < rounds; i++ {
+		done := make(chan struct{})
+		w.ScheduleDetached(time.Millisecond, "detached", func() { close(done) })
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("detached callback %d did not fire", i)
+		}
+	}
+	// Fired detached timers return to the free-list for reuse. (How many
+	// distinct timers were minted depends on a benign race between the
+	// waiter and the post-callback pooling, so only the lower bound is
+	// asserted.)
+	deadline := time.Now().Add(time.Second)
+	for w.FreeListLen() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := w.FreeListLen(); n == 0 {
+		t.Fatalf("free list empty after %d detached events, want pooled timers", rounds)
+	}
+}
+
+func TestWallDetachedConcurrent(t *testing.T) {
+	w := NewWall()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	const n = 64
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		w.ScheduleDetached(time.Duration(i%7)*time.Millisecond, "burst", func() {
+			mu.Lock()
+			fired++
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if fired != n {
+		t.Fatalf("fired = %d, want %d", fired, n)
+	}
+}
+
+func TestWallRescheduleReusesTimer(t *testing.T) {
+	w := NewWall()
+	done := make(chan int, 4)
+	tm := w.Schedule(time.Millisecond, "first", func() { done <- 1 })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("first fire missing")
+	}
+	tm2 := w.Reschedule(tm, time.Millisecond, "second", func() { done <- 2 })
+	if tm2 != tm {
+		t.Fatal("Reschedule of a fired wall timer should reuse the handle")
+	}
+	select {
+	case v := <-done:
+		if v != 2 {
+			t.Fatalf("second fire delivered %d, want 2", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second fire missing")
+	}
+}
+
+func TestWallRescheduleSelf(t *testing.T) {
+	// The self-rescheduling loop shape (manager tick): re-arm from inside
+	// the callback, several rounds, one Timer allocation.
+	w := NewWall()
+	done := make(chan struct{})
+	var mu sync.Mutex
+	var tm *Timer
+	rounds := 0
+	var tick func()
+	tick = func() {
+		mu.Lock()
+		rounds++
+		r := rounds
+		if r < 5 {
+			tm = w.Reschedule(tm, time.Millisecond, "tick", tick)
+		}
+		mu.Unlock()
+		if r >= 5 {
+			close(done)
+		}
+	}
+	mu.Lock()
+	tm = w.Schedule(time.Millisecond, "tick", tick)
+	mu.Unlock()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("self-rescheduling loop stalled")
+	}
+}
+
+func TestWallReschedulePendingCancelsFirst(t *testing.T) {
+	w := NewWall()
+	done := make(chan int, 2)
+	tm := w.Schedule(time.Hour, "never", func() { done <- 1 })
+	w.Reschedule(tm, time.Millisecond, "soon", func() { done <- 2 })
+	select {
+	case v := <-done:
+		if v != 2 {
+			t.Fatalf("got fire %d, want 2 (re-armed callback)", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("re-armed callback did not fire")
+	}
+	select {
+	case v := <-done:
+		t.Fatalf("unexpected extra fire %d", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
