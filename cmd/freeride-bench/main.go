@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"freeride"
+	"freeride/internal/core"
 	"freeride/internal/experiments"
 	"freeride/internal/freerpc"
 	"freeride/internal/sidetask"
@@ -52,6 +53,10 @@ type Report struct {
 	IterativeIPct float64 `json:"iterative_I_pct"`
 	IterativeSPct float64 `json:"iterative_S_pct"`
 	MixedSPct     float64 `json:"mixed_S_pct"`
+
+	// ManagerMode records which Algorithm-2 driver the grid ran under
+	// (event-driven is the default; polling is the differential oracle).
+	ManagerMode string `json:"manager_mode,omitempty"`
 
 	// Micro-benchmarks.
 	EngineNsPerOp     float64 `json:"engine_ns_per_op"`
@@ -111,6 +116,7 @@ func main() {
 	iters := flag.Int("iters", 3, "Table 2 grid repetitions")
 	epochs := flag.Int("epochs", 8, "epochs per training run")
 	parallel := flag.Int("parallel", 0, "grid parallelism (0 = GOMAXPROCS)")
+	managerMode := flag.String("manager", "event", "Algorithm-2 driver: event, polling or immediate")
 	baselineNs := flag.String("baseline-ns", "", "comma-separated baseline ns/op observations to record")
 	baselineDesc := flag.String("baseline-desc", "", "description of the baseline revision")
 	compareNew := flag.String("compare", "", "compare mode: path of the newer report (no benchmarks run)")
@@ -128,15 +134,22 @@ func main() {
 		return
 	}
 
+	mode, err := core.ParseManagerMode(*managerMode)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	rep := Report{
 		Benchmark:          "BenchmarkTable2",
 		GoMaxProcs:         runtime.GOMAXPROCS(0),
 		Timestamp:          time.Now().UTC(),
 		ParallelismApplied: *parallel,
+		ManagerMode:        mode.String(),
 	}
 
 	opts := experiments.Options{
 		Epochs: *epochs, WorkScale: sidetask.WorkNone, Seed: 1, Parallelism: *parallel,
+		ManagerMode: mode,
 	}
 	for i := 0; i < *iters; i++ {
 		start := time.Now()

@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"freeride/internal/core"
 	"freeride/internal/livemode"
 	"freeride/internal/model"
 )
@@ -39,10 +40,15 @@ func run(args []string) error {
 	llmName := fs.String("model", "3.6b", "model trained on the node (for memory accounting)")
 	mbs := fs.Int("microbatches", 4, "micro-batches on the node")
 	retry := fs.Duration("retry", 20*time.Second, "how long to keep retrying worker connections")
+	managerMode := fs.String("manager", "event", "Algorithm-2 driver: event, polling or immediate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	llm, err := model.LLMByName(*llmName)
+	if err != nil {
+		return err
+	}
+	mode, err := core.ParseManagerMode(*managerMode)
 	if err != nil {
 		return err
 	}
@@ -52,6 +58,7 @@ func run(args []string) error {
 		ListenAddr: *listen,
 		Model:      llm,
 		MicroBatch: *mbs,
+		Mode:       mode,
 		Logf:       func(f string, a ...any) { logger.Printf(f, a...) },
 	})
 	if err != nil {

@@ -96,8 +96,12 @@ type Config struct {
 	VirtualStages int
 	// Method selects the co-location approach.
 	Method Method
-	// Tick is the manager's Algorithm-2 loop period.
+	// Tick is the manager's Algorithm-2 loop period (the deadline-rounding
+	// grid of the event-driven manager, the poll interval of the oracle).
 	Tick time.Duration
+	// ManagerMode selects how the Algorithm-2 loop is driven: event-driven
+	// (default), the legacy polling loop, or unquantized immediate mode.
+	ManagerMode core.ManagerMode
 	// Grace is the worker's framework-enforced kill delay.
 	Grace time.Duration
 	// RPCLatency is the one-way latency of the simulated control-plane
@@ -192,6 +196,10 @@ type Session struct {
 
 	Profile  *bubble.Profile
 	reporter *bubble.Reporter
+	// memSlack is the MPS-limit headroom handed to the manager; the
+	// eligibility filter uses the same value so EligibleStages and
+	// Algorithm-1 admission can never disagree.
+	memSlack int64
 	// workerIdx maps worker name → index in Workers, built at assembly so
 	// Submit resolves placements in O(1) instead of scanning.
 	workerIdx map[string]int
@@ -253,11 +261,12 @@ func NewSession(cfg Config) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{
-		cfg:     cfg,
-		Eng:     eng,
-		Procs:   procs,
-		Devices: devices,
-		Trainer: tr,
+		cfg:      cfg,
+		Eng:      eng,
+		Procs:    procs,
+		Devices:  devices,
+		Trainer:  tr,
+		memSlack: core.DefaultMemSlack,
 	}
 
 	if cfg.Method == MethodIterative || cfg.Method == MethodImperative {
@@ -279,7 +288,8 @@ func (s *Session) assembleControlPlane() error {
 	cfg := s.cfg
 	s.Manager = core.NewManager(s.Eng, core.ManagerOptions{
 		Tick:     cfg.Tick,
-		MemSlack: 256 << 20,
+		Mode:     cfg.ManagerMode,
+		MemSlack: s.memSlack,
 	})
 	s.workerIdx = make(map[string]int, len(s.Devices))
 	for i, dev := range s.Devices {
@@ -355,12 +365,14 @@ func (s *Session) RegisterCustom(profile model.TaskProfile, build CustomTask) er
 }
 
 // EligibleStages lists the pipeline stages whose bubbles have enough GPU
-// memory for the task.
+// memory for the task, including the MemSlack headroom the manager's MPS
+// limit carries — the same admission predicate Algorithm 1 applies, so a
+// stage listed here is never rejected at Submit time.
 func (s *Session) EligibleStages(p model.TaskProfile) []int {
 	var out []int
 	for stage := 0; stage < s.cfg.Stages; stage++ {
 		avail := s.cfg.LLM.StageMemAvailable(model.ServerI.GPUMemBytes, stage, s.cfg.Stages, s.cfg.MicroBatches)
-		if p.MemBytes < avail {
+		if core.AdmitsMem(avail, p.MemBytes, s.memSlack) {
 			out = append(out, stage)
 		}
 	}

@@ -26,10 +26,14 @@ type rig struct {
 }
 
 func newRig(t *testing.T, n int, avail []int64, wcfg WorkerConfig) *rig {
+	return newRigOpts(t, n, avail, wcfg, ManagerOptions{Tick: time.Millisecond})
+}
+
+func newRigOpts(t *testing.T, n int, avail []int64, wcfg WorkerConfig, mopts ManagerOptions) *rig {
 	t.Helper()
 	eng := simtime.NewVirtual()
 	procs := simproc.NewRuntime(eng)
-	mgr := NewManager(eng, ManagerOptions{Tick: time.Millisecond})
+	mgr := NewManager(eng, mopts)
 	r := &rig{eng: eng, procs: procs, mgr: mgr}
 	for i := 0; i < n; i++ {
 		dev := simgpu.NewDevice(eng, simgpu.DeviceConfig{Name: "gpu" + string(rune('0'+i))})

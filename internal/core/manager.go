@@ -16,14 +16,94 @@ import (
 // (paper Alg. 1 line 13, RejectSideTask).
 var ErrRejected = errors.New("core: side task rejected: no worker with enough GPU memory")
 
+// DefaultMemSlack is the allocator headroom added to a task's profiled
+// memory requirement when setting its MPS limit. Admission (Alg. 1) and the
+// session's eligibility filter must both account for it, or a task admitted
+// by the memory filter could receive an MPS limit exceeding the worker's
+// available memory.
+const DefaultMemSlack = 256 << 20
+
+// AdmitsMem is the Algorithm-1 memory predicate: available GPU memory must
+// cover the task's profiled footprint plus the MPS-limit slack. Admission,
+// the session's stage-eligibility filter and the Figure-9 OOM accounting
+// all share it so they can never disagree.
+func AdmitsMem(gpuMem, memBytes, slack int64) bool {
+	return gpuMem >= memBytes+slack
+}
+
+// ManagerMode selects how the Algorithm-2 loop is driven.
+type ManagerMode int
+
+const (
+	// ManagerEventDriven (the default) reconciles each worker on
+	// control-plane events — bubble reports, task-state pushes, RPC
+	// completions — plus two armed deadline timers per worker (current
+	// bubble end, front pending bubble start). Deadlines are rounded to the
+	// Tick grid the polling loop would have acted on, so every action fires
+	// at a timestamp bit-identical to ManagerPolling's. The identity
+	// assumes control-plane messages are in flight for less than one Tick
+	// (RPC latency < Tick, the shipped configurations); with slower links a
+	// report landing exactly on a grid instant may be served one Tick later
+	// than the polling loop would — still correct, just not bit-equal.
+	// Bubble reports carry a visibleAt stamp that makes even exact-grid
+	// collisions match the polling loop; a TaskState push whose delivery
+	// lands exactly on a grid instant can still be seen one Tick earlier
+	// than the poll would (the reconcile event may sort after the delivery
+	// where the tick sorts before). That window has measure zero on the
+	// virtual clock — the grid-wide oracle test is the enforced contract.
+	ManagerEventDriven ManagerMode = iota
+	// ManagerPolling is the literal Algorithm-2 loop: a self-rescheduling
+	// tick every Tick of engine time. Kept as the differential-testing
+	// oracle for the event-driven mode.
+	ManagerPolling
+	// ManagerImmediate is event-driven without Tick quantization: actions
+	// fire at exact bubble boundaries and event arrival times. Lowest
+	// control latency, not timing-compatible with the polling loop.
+	ManagerImmediate
+)
+
+// String implements fmt.Stringer.
+func (m ManagerMode) String() string {
+	switch m {
+	case ManagerEventDriven:
+		return "event-driven"
+	case ManagerPolling:
+		return "polling"
+	case ManagerImmediate:
+		return "immediate"
+	default:
+		return fmt.Sprintf("ManagerMode(%d)", int(m))
+	}
+}
+
+// ParseManagerMode resolves a command-line mode name; it accepts the
+// String() forms plus the short aliases "event" and "poll".
+func ParseManagerMode(s string) (ManagerMode, error) {
+	switch s {
+	case "event", "event-driven":
+		return ManagerEventDriven, nil
+	case "polling", "poll":
+		return ManagerPolling, nil
+	case "immediate":
+		return ManagerImmediate, nil
+	default:
+		return 0, fmt.Errorf("core: unknown manager mode %q (want event, polling or immediate)", s)
+	}
+}
+
 // ManagerOptions tune the side task manager.
 type ManagerOptions struct {
-	// Tick is the Alg. 2 loop period.
+	// Tick is the Alg. 2 loop period: the polling interval in
+	// ManagerPolling mode, the deadline-rounding grid in ManagerEventDriven
+	// mode.
 	Tick time.Duration
+	// Mode selects how the loop is driven; zero is ManagerEventDriven.
+	Mode ManagerMode
 	// RPCTimeout bounds every manager→worker call.
 	RPCTimeout time.Duration
 	// MemSlack is added to a task's profiled memory requirement when
-	// setting its MPS limit (allocator headroom).
+	// setting its MPS limit (allocator headroom). Admission requires
+	// MemBytes+MemSlack to fit in the worker's available memory.
 	MemSlack int64
 	// MaxQueuePerWorker caps placement per worker (0 = unlimited). The
 	// paper's experiments run one task per worker; the cap enables the
@@ -74,11 +154,24 @@ type taskRecord struct {
 	exited      bool
 	exitErr     string
 	initSent    bool
+	// refArgs is the task's taskRef pre-boxed once: Init/Pause/Stop send it
+	// on every cycle and must not re-box the struct per call.
+	refArgs any
 	// startedForBubble dedupes starts within one bubble.
 	startedForBubble *bubble.Bubble
 	// servedFrom is when the current bubble's start succeeded.
 	servedFrom time.Duration
 	serving    bool
+}
+
+// pendingBubble is one reported-but-unserved bubble. visibleAt is the first
+// instant the Algorithm-2 loop could act on the report: the polling loop
+// never sees a report before its next tick, so the event-driven manager must
+// not adopt one earlier either — even when a reconcile and a report land on
+// the same timestamp in either order.
+type pendingBubble struct {
+	b         bubble.Bubble
+	visibleAt time.Duration
 }
 
 // workerMeta mirrors the paper's per-worker fields: GPUMem, TaskQueue,
@@ -91,8 +184,31 @@ type workerMeta struct {
 	queue   []*taskRecord
 	current *taskRecord
 	bubble  *bubble.Bubble
-	pending []bubble.Bubble
+	// pending is kept ordered by Start (stable on ties) so the front is
+	// always the next bubble Algorithm 2 could adopt; out-of-order reports
+	// (livemode) no longer let a far-future bubble starve begun ones.
+	pending []pendingBubble
 	alive   bool
+
+	// Event-driven reconcile state. endTimer fires at the (rounded) end of
+	// the current bubble — the pause point; startTimer at the instant the
+	// front pending bubble becomes adoptable; kickTimer at the next tick
+	// instant after a state push / RPC completion. All three reuse their
+	// Timer allocation through simtime.Reschedule and share reconcileFn, so
+	// the steady state allocates nothing. The *At fields record each
+	// timer's intended instant (valid while it is Pending) so re-arming an
+	// unchanged deadline is a no-op on the wall engine too, where
+	// Timer.When drifts by the arming latency.
+	endTimer    *simtime.Timer
+	startTimer  *simtime.Timer
+	kickTimer   *simtime.Timer
+	endAt       time.Duration
+	startAt     time.Duration
+	kickAt      time.Duration
+	reconcileFn func()
+	endName     string
+	startName   string
+	kickName    string
 }
 
 func (w *workerMeta) numTasks() int {
@@ -101,6 +217,20 @@ func (w *workerMeta) numTasks() int {
 		n++
 	}
 	return n
+}
+
+// cancelTimersLocked disarms the worker's reconcile timers (handles are kept
+// for Reschedule reuse).
+func (w *workerMeta) cancelTimersLocked() {
+	if w.endTimer != nil {
+		w.endTimer.Cancel()
+	}
+	if w.startTimer != nil {
+		w.startTimer.Cancel()
+	}
+	if w.kickTimer != nil {
+		w.kickTimer.Cancel()
+	}
 }
 
 // Manager is the side task manager (paper §3.2, §4.4): it places newly
@@ -115,7 +245,11 @@ type Manager struct {
 	workers []*workerMeta
 	tasks   map[string]*taskRecord
 	stats   ManagerStats
-	ticker  *simtime.Timer
+	// epoch anchors the Tick grid: the polling loop ticks at
+	// epoch+k*Tick, and the event-driven mode rounds its deadlines onto
+	// the same instants.
+	epoch  time.Duration
+	ticker *simtime.Timer
 	// tickFn is the Algorithm-2 loop body, allocated once: the loop
 	// re-arms its timer every Tick for the whole training run and must
 	// not allocate a fresh closure each pass.
@@ -152,6 +286,7 @@ func NewManager(eng simtime.Engine, opts ManagerOptions) *Manager {
 		defer m.mu.Unlock()
 		if rec, ok := m.tasks[st.Name]; ok && !rec.exited {
 			rec.state = sidetask.State(st.State)
+			m.wakeLocked(m.workers[rec.workerIdx])
 		}
 		return nil, nil
 	})
@@ -170,9 +305,16 @@ func (m *Manager) Mux() *freerpc.Mux { return m.mux }
 func (m *Manager) AddWorker(name string, stage int, gpuMem int64, peer *freerpc.Peer) {
 	w := &workerMeta{
 		name: name, peer: peer, gpuMem: gpuMem, stage: stage, alive: true,
+		endName:   "manager-bubble-end:" + name,
+		startName: "manager-bubble-start:" + name,
+		kickName:  "manager-kick:" + name,
 	}
+	w.reconcileFn = func() { m.reconcile(w) }
 	m.mu.Lock()
 	m.workers = append(m.workers, w)
+	// Workers may join a running manager (livemode): fold them into the
+	// reconcile schedule as the next tick would have.
+	m.wakeLocked(w)
 	m.mu.Unlock()
 	peer.Conn().OnClose(func() { m.workerLost(w) })
 }
@@ -201,6 +343,7 @@ func (m *Manager) workerLost(w *workerMeta) {
 	w.queue = nil
 	w.bubble = nil
 	w.pending = nil
+	w.cancelTimersLocked()
 }
 
 // WorkerCount reports the number of registered workers.
@@ -237,7 +380,9 @@ func (m *Manager) Tasks() []TaskView {
 
 // Submit places a new side task (paper Algorithm 1): among workers with
 // enough available GPU memory, pick the one with the fewest tasks; reject
-// if none qualifies.
+// if none qualifies. "Enough" accounts for the MemSlack headroom the MPS
+// limit will carry: a worker whose memory merely matches the profiled
+// footprint cannot honor the limit MemBytes+MemSlack.
 func (m *Manager) Submit(spec TaskSpec) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -249,7 +394,7 @@ func (m *Manager) Submit(spec TaskSpec) error {
 	minTasks := int(^uint(0) >> 1)
 	selected := -1
 	for i, w := range m.workers {
-		if !w.alive || w.gpuMem <= spec.Profile.MemBytes {
+		if !w.alive || !AdmitsMem(w.gpuMem, spec.Profile.MemBytes, m.opts.MemSlack) {
 			continue
 		}
 		if m.opts.MaxQueuePerWorker > 0 && w.numTasks() >= m.opts.MaxQueuePerWorker {
@@ -270,10 +415,12 @@ func (m *Manager) Submit(spec TaskSpec) error {
 		workerIdx:   selected,
 		state:       sidetask.StateSubmitted,
 		submittedAt: m.eng.Now(),
+		refArgs:     taskRef{Name: spec.Name},
 	}
 	m.tasks[spec.Name] = rec
 	w := m.workers[selected]
 	w.queue = append(w.queue, rec)
+	m.wakeLocked(w)
 
 	// SUBMITTED→CREATED happens on the worker.
 	m.stats.RPCs++
@@ -287,11 +434,13 @@ func (m *Manager) Submit(spec TaskSpec) error {
 			rec.exited = true
 			rec.exitErr = err.Error()
 			rec.state = sidetask.StateStopped
+			m.wakeLocked(w)
 			return
 		}
 		if rec.state == sidetask.StateSubmitted {
 			rec.state = sidetask.StateCreated
 		}
+		m.wakeLocked(w)
 	})
 	return nil
 }
@@ -308,22 +457,33 @@ func (m *Manager) SubmitAndPlace(spec TaskSpec) (string, error) {
 
 // AddBubble queues a bubble report for the worker serving its stage
 // (step ➎: "add bubbles from pipeline training system to side task
-// manager").
+// manager"). The report is inserted in Start order and the worker's
+// reconcile schedule is updated.
 func (m *Manager) AddBubble(b bubble.Bubble) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.BubblesAdded++
 	m.stats.BubbleTimeTotal += b.Duration
 	for _, w := range m.workers {
-		if w.stage == b.Stage {
-			w.pending = append(w.pending, b)
-			return
+		if w.stage != b.Stage {
+			continue
 		}
+		pb := pendingBubble{b: b, visibleAt: m.eventInstantLocked(m.eng.Now())}
+		i := len(w.pending)
+		for i > 0 && w.pending[i-1].b.Start > b.Start {
+			i--
+		}
+		w.pending = append(w.pending, pendingBubble{})
+		copy(w.pending[i+1:], w.pending[i:])
+		w.pending[i] = pb
+		m.wakeLocked(w)
+		return
 	}
 	// No worker for this stage: the bubble goes unharvested.
 }
 
-// Start begins the Algorithm-2 loop.
+// Start begins serving Algorithm 2: the polling loop in ManagerPolling
+// mode, the per-worker reconcile schedule otherwise.
 func (m *Manager) Start() {
 	m.mu.Lock()
 	if m.running {
@@ -331,8 +491,20 @@ func (m *Manager) Start() {
 		return
 	}
 	m.running = true
+	m.epoch = m.eng.Now()
+	if m.opts.Mode == ManagerPolling {
+		m.mu.Unlock()
+		m.scheduleTick()
+		return
+	}
+	// Replicate the first tick for every worker; reconciles cascade from
+	// there, driven purely by events and armed deadlines.
+	for _, w := range m.workers {
+		if w.alive {
+			m.kickLocked(w, m.eventInstantLocked(m.epoch))
+		}
+	}
 	m.mu.Unlock()
-	m.scheduleTick()
 }
 
 // Stop halts the loop (tasks keep their current state).
@@ -344,7 +516,125 @@ func (m *Manager) Stop() {
 		m.ticker.Cancel()
 		m.ticker = nil
 	}
+	for _, w := range m.workers {
+		w.cancelTimersLocked()
+	}
 }
+
+// --- timing: the Tick grid ------------------------------------------------
+//
+// The polling loop acts at epoch+k*Tick, k ≥ 1, and an event processed at
+// engine-time t is first seen by the tick strictly after t (a tick sharing
+// t's timestamp was enqueued a full period earlier, so it runs first and
+// misses the event). The event-driven mode rounds every wake-up onto those
+// same instants, which is what keeps its timing bit-identical to the
+// polling oracle.
+
+// eventInstantLocked reports the first instant the loop may act on an event
+// processed at engine-time t.
+func (m *Manager) eventInstantLocked(t time.Duration) time.Duration {
+	if m.opts.Mode != ManagerEventDriven {
+		return t
+	}
+	if t < m.epoch {
+		t = m.epoch
+	}
+	k := (t - m.epoch) / m.opts.Tick
+	return m.epoch + (k+1)*m.opts.Tick
+}
+
+// deadlineInstantLocked reports the first instant the loop may act on a
+// known deadline d (a bubble start or end): the first tick at or after d.
+func (m *Manager) deadlineInstantLocked(d time.Duration) time.Duration {
+	if m.opts.Mode != ManagerEventDriven {
+		return d
+	}
+	if d <= m.epoch+m.opts.Tick {
+		return m.epoch + m.opts.Tick
+	}
+	k := (d - m.epoch + m.opts.Tick - 1) / m.opts.Tick
+	return m.epoch + k*m.opts.Tick
+}
+
+// --- event-driven reconcile -----------------------------------------------
+
+// reconcile is the shared timer callback: one full Algorithm-2 pass for w at
+// the current (grid-aligned) instant, then re-arm whatever deadlines remain.
+func (m *Manager) reconcile(w *workerMeta) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.running || !w.alive {
+		return
+	}
+	now := m.eng.Now()
+	m.reconcileWorkerLocked(w, now)
+	m.armWorkerLocked(w, now)
+}
+
+// wakeLocked notes a control-plane event for w: a reconcile is scheduled at
+// the same instant the polling loop would have acted on it, and the
+// deadline timers are refreshed. No-op in polling mode (the tick covers it)
+// and while the manager is stopped (Start arms the initial pass).
+func (m *Manager) wakeLocked(w *workerMeta) {
+	if !m.running || !w.alive || m.opts.Mode == ManagerPolling {
+		return
+	}
+	now := m.eng.Now()
+	m.kickLocked(w, m.eventInstantLocked(now))
+	m.armWorkerLocked(w, now)
+}
+
+// kickLocked arms w's kick timer for instant at, unless an earlier (or
+// equal) kick is already pending.
+func (m *Manager) kickLocked(w *workerMeta, at time.Duration) {
+	if t := w.kickTimer; t != nil && t.Pending() && w.kickAt <= at {
+		return
+	}
+	w.kickTimer = simtime.Reschedule(m.eng, w.kickTimer, at-m.eng.Now(), w.kickName, w.reconcileFn)
+	w.kickAt = at
+}
+
+// armWorkerLocked refreshes w's two deadline timers from its state: the
+// current bubble's end (the pause point) and the front pending bubble's
+// adoption instant. Both reuse their handles; re-arming an unchanged
+// deadline is a no-op.
+func (m *Manager) armWorkerLocked(w *workerMeta, now time.Duration) {
+	if !m.running || !w.alive || m.opts.Mode == ManagerPolling {
+		return
+	}
+	if w.bubble != nil {
+		w.endTimer = m.armLocked(w.endTimer, &w.endAt, m.deadlineInstantLocked(w.bubble.End()), w.endName, w.reconcileFn)
+	}
+	if len(w.pending) > 0 {
+		front := &w.pending[0]
+		at := front.visibleAt
+		if d := m.deadlineInstantLocked(front.b.Start); d > at {
+			at = d
+		}
+		// An already-adoptable front (at <= now) is blocked only by the
+		// current bubble; the end-timer pass adopts it, so no timer is due.
+		if at > now {
+			w.startTimer = m.armLocked(w.startTimer, &w.startAt, at, w.startName, w.reconcileFn)
+		}
+	}
+	// An idle worker with queued tasks promotes the next one on the next
+	// tick (the polling loop's pop); replicate that with a kick.
+	if w.current == nil && len(w.queue) > 0 {
+		m.kickLocked(w, m.eventInstantLocked(now))
+	}
+}
+
+// armLocked re-arms t (which the manager exclusively owns) for instant at,
+// reusing the handle; a pending timer already set to at is left alone.
+func (m *Manager) armLocked(t *simtime.Timer, armedAt *time.Duration, at time.Duration, name string, fn func()) *simtime.Timer {
+	if t != nil && t.Pending() && *armedAt == at {
+		return t
+	}
+	*armedAt = at
+	return simtime.Reschedule(m.eng, t, at-m.eng.Now(), name, fn)
+}
+
+// --- Algorithm 2 ----------------------------------------------------------
 
 func (m *Manager) scheduleTick() {
 	m.mu.Lock()
@@ -364,69 +654,76 @@ func (m *Manager) scheduleTick() {
 	m.mu.Unlock()
 }
 
-// tick is one pass of paper Algorithm 2 over all workers.
+// tick is one pass of paper Algorithm 2 over all workers (polling mode).
 func (m *Manager) tick() {
 	now := m.eng.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-
 	for _, w := range m.workers {
-		if !w.alive {
-			continue
-		}
-		// Lines 4–8: current bubble ended → pause the current task.
-		if w.bubble != nil && now >= w.bubble.End() {
-			if w.current != nil && w.current.serving {
-				m.accountServedLocked(w.current, w.bubble)
-				m.pauseLocked(w, w.current)
-			}
-			w.bubble = nil
-		}
-		// Lines 9–10: adopt a newly begun bubble.
-		if w.bubble == nil {
-			w.bubble = m.nextBubbleLocked(w, now)
-		}
-		// Lines 11–15: pick the next task if idle.
-		if w.current == nil {
-			if len(w.queue) == 0 {
-				continue
-			}
-			w.current = w.queue[0]
-			w.queue = w.queue[1:]
-		}
-		cur := w.current
-		if cur.exited {
-			w.current = nil
-			continue
-		}
-		// Lines 16–17: initialize a created task.
-		if cur.state == sidetask.StateCreated && !cur.initSent {
-			m.initLocked(w, cur)
-			continue
-		}
-		// Lines 18–19: start a paused task into the current bubble.
-		if w.bubble != nil && cur.state == sidetask.StatePaused && cur.startedForBubble != w.bubble {
-			m.startLocked(w, cur, w.bubble)
-		}
+		m.reconcileWorkerLocked(w, now)
 	}
 }
 
-// nextBubbleLocked pops the first pending bubble that has begun and not
-// ended, dropping expired ones.
+// reconcileWorkerLocked is the per-worker body of Algorithm 2, shared
+// verbatim by the polling tick and the event-driven reconcile.
+func (m *Manager) reconcileWorkerLocked(w *workerMeta, now time.Duration) {
+	if !w.alive {
+		return
+	}
+	// Lines 4–8: current bubble ended → pause the current task.
+	if w.bubble != nil && now >= w.bubble.End() {
+		if w.current != nil && w.current.serving {
+			m.accountServedLocked(w.current, w.bubble)
+			m.pauseLocked(w, w.current)
+		}
+		w.bubble = nil
+	}
+	// Lines 9–10: adopt a newly begun bubble.
+	if w.bubble == nil {
+		w.bubble = m.nextBubbleLocked(w, now)
+	}
+	// Lines 11–15: pick the next task if idle.
+	if w.current == nil {
+		if len(w.queue) == 0 {
+			return
+		}
+		w.current = w.queue[0]
+		w.queue = w.queue[1:]
+	}
+	cur := w.current
+	if cur.exited {
+		w.current = nil
+		return
+	}
+	// Lines 16–17: initialize a created task.
+	if cur.state == sidetask.StateCreated && !cur.initSent {
+		m.initLocked(w, cur)
+		return
+	}
+	// Lines 18–19: start a paused task into the current bubble.
+	if w.bubble != nil && cur.state == sidetask.StatePaused && cur.startedForBubble != w.bubble {
+		m.startLocked(w, cur, w.bubble)
+	}
+}
+
+// nextBubbleLocked pops the front pending bubble if it has begun, is
+// visible, and has not ended; expired fronts are dropped. pending is Start-
+// ordered, so an ineligible front means nothing behind it is eligible
+// either.
 func (m *Manager) nextBubbleLocked(w *workerMeta, now time.Duration) *bubble.Bubble {
 	for len(w.pending) > 0 {
-		b := w.pending[0]
-		if now >= b.End() {
+		pb := &w.pending[0]
+		if now < pb.visibleAt || pb.b.Start > now {
+			return nil // front not yet adoptable
+		}
+		if now >= pb.b.End() {
 			w.pending = w.pending[1:]
 			m.stats.BubblesExpired++
 			continue
 		}
-		if b.Start <= now {
-			w.pending = w.pending[1:]
-			cp := b
-			return &cp
-		}
-		return nil // front bubble is in the future
+		cp := pb.b
+		w.pending = w.pending[1:]
+		return &cp
 	}
 	return nil
 }
@@ -435,8 +732,20 @@ func (m *Manager) initLocked(w *workerMeta, rec *taskRecord) {
 	rec.initSent = true
 	m.stats.RPCs++
 	// Completion (the PAUSED transition) is pushed back asynchronously via
-	// Manager.TaskState; nothing to poll.
-	w.peer.Go("Worker.Init", taskRef{Name: rec.spec.Name}, m.opts.RPCTimeout, nil)
+	// Manager.TaskState; the reply only matters when the call itself fails,
+	// in which case initSent is unpinned so a later pass retries — a wedged
+	// init would otherwise starve the worker's whole queue.
+	w.peer.Go("Worker.Init", rec.refArgs, m.opts.RPCTimeout, func(result any, err error) {
+		if err == nil {
+			return
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if !rec.exited && rec.state == sidetask.StateCreated {
+			rec.initSent = false
+		}
+		m.wakeLocked(w)
+	})
 }
 
 func (m *Manager) applyStatusLocked(rec *taskRecord, st taskStatus) {
@@ -459,10 +768,20 @@ func (m *Manager) startLocked(w *workerMeta, rec *taskRecord, b *bubble.Bubble) 
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		if err != nil || result == nil {
+			// The start never reached the worker (or timed out): unpin the
+			// dedupe record so the bubble can be retried on the next pass.
+			if rec.startedForBubble == b {
+				rec.startedForBubble = nil
+			}
+			m.wakeLocked(w)
 			return
 		}
 		st, derr := freerpc.DecodeResult[taskStatus](result)
 		if derr != nil {
+			if rec.startedForBubble == b {
+				rec.startedForBubble = nil
+			}
+			m.wakeLocked(w)
 			return
 		}
 		if st.Started {
@@ -473,26 +792,39 @@ func (m *Manager) startLocked(w *workerMeta, rec *taskRecord, b *bubble.Bubble) 
 			return
 		}
 		m.applyStatusLocked(rec, st)
+		m.wakeLocked(w)
 	})
 }
 
 func (m *Manager) pauseLocked(w *workerMeta, rec *taskRecord) {
 	rec.serving = false
-	rec.state = sidetask.StatePaused // optimistic; grace kill corrects it
+	rec.state = sidetask.StatePaused // optimistic; corrected below on failure
 	m.stats.RPCs++
-	w.peer.Go("Worker.Pause", taskRef{Name: rec.spec.Name}, m.opts.RPCTimeout,
+	w.peer.Go("Worker.Pause", rec.refArgs, m.opts.RPCTimeout,
 		func(result any, err error) {
+			m.mu.Lock()
+			defer m.mu.Unlock()
 			if err != nil || result == nil {
+				// The pause never reached the worker (or timed out): the
+				// task is, to the manager's best knowledge, still running —
+				// correct the optimistic record.
+				if !rec.exited && rec.state == sidetask.StatePaused {
+					rec.state = sidetask.StateRunning
+				}
+				m.wakeLocked(w)
 				return
 			}
 			st, derr := freerpc.DecodeResult[taskStatus](result)
 			if derr != nil {
+				// An undecodable reply still proves the worker processed
+				// the pause, so the optimistic PAUSED stands — only the
+				// exit flag it may have carried is lost (the TaskExited
+				// push covers that independently).
 				return
 			}
-			m.mu.Lock()
-			defer m.mu.Unlock()
 			if st.Exited {
 				m.applyStatusLocked(rec, st)
+				m.wakeLocked(w)
 			}
 		})
 }
@@ -525,6 +857,7 @@ func (m *Manager) onTaskExited(st taskStatus) {
 	if w.current == rec {
 		w.current = nil
 	}
+	m.wakeLocked(w)
 }
 
 // StopAll asks every worker to stop its tasks (end of run).
@@ -537,6 +870,6 @@ func (m *Manager) StopAll() {
 		}
 		w := m.workers[rec.workerIdx]
 		m.stats.RPCs++
-		w.peer.Go("Worker.Stop", taskRef{Name: rec.spec.Name}, m.opts.RPCTimeout, nil)
+		w.peer.Go("Worker.Stop", rec.refArgs, m.opts.RPCTimeout, nil)
 	}
 }

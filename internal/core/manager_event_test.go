@@ -1,0 +1,338 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"freeride/internal/bubble"
+	"freeride/internal/freerpc"
+	"freeride/internal/model"
+	"freeride/internal/sidetask"
+	"freeride/internal/simtime"
+)
+
+// managerModes are the two timing-compatible loop drivers; most scenarios
+// below run under both and must behave identically.
+var managerModes = []ManagerMode{ManagerEventDriven, ManagerPolling}
+
+// TestAdmissionAccountsForMemSlack: Algorithm 1 must admit a task only when
+// the worker can honor the MPS limit MemBytes+MemSlack, and must not reject
+// on exact equality (the old check was gpuMem <= MemBytes, an off-by-one
+// that also ignored the slack entirely).
+func TestAdmissionAccountsForMemSlack(t *testing.T) {
+	const slack = int64(256 << 20)
+	mem := model.ResNet18.MemBytes
+	cases := []struct {
+		name   string
+		gpuMem int64
+		slack  int64
+		admit  bool
+	}{
+		{"exact fit, no slack", mem, 0, true},
+		{"one byte short, no slack", mem - 1, 0, false},
+		{"fits task but not slack", mem + slack - 1, slack, false},
+		{"exact fit with slack", mem + slack, slack, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := simtime.NewVirtual()
+			mgr := NewManager(eng, ManagerOptions{MemSlack: tc.slack})
+			a, _ := freerpc.MemPipe(eng, 0)
+			mgr.AddWorker("w0", 0, tc.gpuMem, freerpc.NewPeer(eng, a, nil))
+			err := mgr.Submit(spec("t", model.ResNet18, sidetask.ModeIterative))
+			if tc.admit && err != nil {
+				t.Fatalf("Submit = %v, want admission", err)
+			}
+			if !tc.admit && !errors.Is(err, ErrRejected) {
+				t.Fatalf("Submit = %v, want ErrRejected", err)
+			}
+		})
+	}
+}
+
+// TestOutOfOrderBubbleReportsNotStarved: a far-future bubble reported before
+// an already-begun one (out-of-order reports, the livemode case) must not
+// block the begun bubble at the head of the queue.
+func TestOutOfOrderBubbleReportsNotStarved(t *testing.T) {
+	for _, mode := range managerModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			r := newRigOpts(t, 1, []int64{22 * model.GiB}, WorkerConfig{},
+				ManagerOptions{Tick: time.Millisecond, Mode: mode})
+			if err := r.mgr.Submit(spec("rn18", model.ResNet18, sidetask.ModeIterative)); err != nil {
+				t.Fatal(err)
+			}
+			r.mgr.Start()
+			r.eng.RunFor(4 * time.Second) // create + init
+			base := r.eng.Now()
+			// Reported first: a bubble an hour out. Reported second: one that
+			// has effectively begun.
+			r.mgr.AddBubble(bubble.Bubble{
+				Stage: 0, Start: base + time.Hour, Duration: 500 * time.Millisecond,
+				MemAvailable: 22 * model.GiB,
+			})
+			r.mgr.AddBubble(bubble.Bubble{
+				Stage: 0, Start: base + 2*time.Millisecond, Duration: 500 * time.Millisecond,
+				MemAvailable: 22 * model.GiB,
+			})
+			r.eng.RunFor(time.Second)
+			if got := r.mgr.Stats().BubblesServed; got != 1 {
+				t.Fatalf("BubblesServed = %d, want 1 (begun bubble starved behind future one)", got)
+			}
+			h, _ := r.workers[0].Harness("rn18")
+			if h.Counters().Steps == 0 {
+				t.Fatal("no steps ran in the begun bubble")
+			}
+		})
+	}
+}
+
+// flakyWorker is a scripted worker-side RPC surface: Create/Init succeed
+// (Init pushes the PAUSED transition back like a real worker), Start fails a
+// configurable number of times before succeeding, Pause always fails. It
+// exercises the manager's RPC error paths without a real task underneath.
+type flakyWorker struct {
+	mux        *freerpc.Mux
+	notify     func(method string, params any)
+	initFails  int
+	initCalls  int
+	startFails int
+	startCalls int
+	pauseCalls int
+}
+
+func newFlakyWorker(startFails int) *flakyWorker {
+	f := &flakyWorker{mux: freerpc.NewMux(), startFails: startFails}
+	freerpc.HandleFunc(f.mux, "Worker.Create", func(a createArgs) (any, error) {
+		return taskStatus{Name: a.Spec.Name, State: int(sidetask.StateCreated)}, nil
+	})
+	freerpc.HandleFunc(f.mux, "Worker.Init", func(ref taskRef) (any, error) {
+		f.initCalls++
+		if f.initCalls <= f.initFails {
+			return nil, fmt.Errorf("transient init failure %d", f.initCalls)
+		}
+		f.notify("Manager.TaskState", taskStatus{Name: ref.Name, State: int(sidetask.StatePaused)})
+		return taskStatus{Name: ref.Name, State: int(sidetask.StateCreated)}, nil
+	})
+	freerpc.HandleFunc(f.mux, "Worker.Start", func(a startArgs) (any, error) {
+		f.startCalls++
+		if f.startCalls <= f.startFails {
+			return nil, fmt.Errorf("transient start failure %d", f.startCalls)
+		}
+		return taskStatus{Name: a.Name, State: int(sidetask.StateRunning), Started: true}, nil
+	})
+	freerpc.HandleFunc(f.mux, "Worker.Pause", func(ref taskRef) (any, error) {
+		f.pauseCalls++
+		return nil, errors.New("pause lost")
+	})
+	freerpc.HandleFunc(f.mux, "Worker.Stop", func(ref taskRef) (any, error) {
+		return taskStatus{Name: ref.Name, State: int(sidetask.StateStopped)}, nil
+	})
+	return f
+}
+
+func newFlakyRig(t *testing.T, mode ManagerMode, startFails int) (*simtime.Virtual, *Manager, *flakyWorker) {
+	t.Helper()
+	eng := simtime.NewVirtual()
+	mgr := NewManager(eng, ManagerOptions{Tick: time.Millisecond, Mode: mode})
+	mgrSide, workerSide := freerpc.MemPipe(eng, 200*time.Microsecond)
+	mgrPeer := freerpc.NewPeer(eng, mgrSide, mgr.Mux())
+	f := newFlakyWorker(startFails)
+	workerPeer := freerpc.NewPeer(eng, workerSide, f.mux)
+	f.notify = func(method string, params any) { _ = workerPeer.Notify(method, params) }
+	mgr.AddWorker("w0", 0, 22*model.GiB, mgrPeer)
+	return eng, mgr, f
+}
+
+// TestFailedStartUnpinsBubbleForRetry: a failed Worker.Start used to leave
+// startedForBubble pinned, so the bubble was never retried; the error path
+// must clear it and the next pass must retry into the same bubble.
+func TestFailedStartUnpinsBubbleForRetry(t *testing.T) {
+	for _, mode := range managerModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			eng, mgr, f := newFlakyRig(t, mode, 2)
+			if err := mgr.Submit(spec("task", model.ResNet18, sidetask.ModeIterative)); err != nil {
+				t.Fatal(err)
+			}
+			mgr.Start()
+			eng.RunFor(100 * time.Millisecond) // create + init + paused push
+			base := eng.Now()
+			mgr.AddBubble(bubble.Bubble{
+				Stage: 0, Start: base, Duration: 200 * time.Millisecond,
+				MemAvailable: 22 * model.GiB,
+			})
+			eng.RunFor(100 * time.Millisecond)
+			if f.startCalls != 3 {
+				t.Fatalf("startCalls = %d, want 3 (two failures then success)", f.startCalls)
+			}
+			if got := mgr.Stats().BubblesServed; got != 1 {
+				t.Fatalf("BubblesServed = %d, want 1 after retries", got)
+			}
+			if tv := mgr.Tasks()[0]; tv.State != sidetask.StateRunning {
+				t.Fatalf("task state = %v, want RUNNING", tv.State)
+			}
+		})
+	}
+}
+
+// TestFailedInitRetried: a failed Worker.Init used to leave initSent pinned
+// with the task stuck in CREATED, starving the worker's queue forever; the
+// error path must unpin it so a later pass retries.
+func TestFailedInitRetried(t *testing.T) {
+	for _, mode := range managerModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			eng, mgr, f := newFlakyRig(t, mode, 0)
+			f.initFails = 2
+			if err := mgr.Submit(spec("task", model.ResNet18, sidetask.ModeIterative)); err != nil {
+				t.Fatal(err)
+			}
+			mgr.Start()
+			eng.RunFor(100 * time.Millisecond)
+			if f.initCalls != 3 {
+				t.Fatalf("initCalls = %d, want 3 (two failures then success)", f.initCalls)
+			}
+			if tv := mgr.Tasks()[0]; tv.State != sidetask.StatePaused {
+				t.Fatalf("task state = %v, want PAUSED after init retries", tv.State)
+			}
+		})
+	}
+}
+
+// TestFailedPauseCorrectsOptimisticState: pauseLocked records PAUSED
+// optimistically; when the pause RPC fails the record must be corrected back
+// to RUNNING instead of lying forever.
+func TestFailedPauseCorrectsOptimisticState(t *testing.T) {
+	for _, mode := range managerModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			eng, mgr, f := newFlakyRig(t, mode, 0)
+			if err := mgr.Submit(spec("task", model.ResNet18, sidetask.ModeIterative)); err != nil {
+				t.Fatal(err)
+			}
+			mgr.Start()
+			eng.RunFor(100 * time.Millisecond)
+			base := eng.Now()
+			mgr.AddBubble(bubble.Bubble{
+				Stage: 0, Start: base, Duration: 50 * time.Millisecond,
+				MemAvailable: 22 * model.GiB,
+			})
+			eng.RunFor(200 * time.Millisecond) // bubble ends, pause sent and lost
+			if f.pauseCalls == 0 {
+				t.Fatal("pause never attempted")
+			}
+			if tv := mgr.Tasks()[0]; tv.State != sidetask.StateRunning {
+				t.Fatalf("task state = %v after lost pause, want RUNNING (worker truth)", tv.State)
+			}
+		})
+	}
+}
+
+// TestEventDrivenSkipsIdleTicks is the tentpole's point: with nothing to do,
+// the event-driven manager schedules (nearly) nothing, where the polling
+// loop burns an event per Tick per session.
+func TestEventDrivenSkipsIdleTicks(t *testing.T) {
+	dispatched := func(mode ManagerMode) uint64 {
+		eng := simtime.NewVirtual()
+		mgr := NewManager(eng, ManagerOptions{Tick: time.Millisecond, Mode: mode})
+		a, _ := freerpc.MemPipe(eng, 0)
+		mgr.AddWorker("w0", 0, 22*model.GiB, freerpc.NewPeer(eng, a, nil))
+		mgr.Start()
+		eng.RunFor(10 * time.Second)
+		return eng.Dispatched()
+	}
+	poll := dispatched(ManagerPolling)
+	event := dispatched(ManagerEventDriven)
+	if poll < 9_000 {
+		t.Fatalf("polling dispatched %d events, expected ~10000", poll)
+	}
+	if event > 10 {
+		t.Fatalf("event-driven dispatched %d events over 10 idle seconds, want <=10", event)
+	}
+}
+
+// TestModesBitIdenticalOnScriptedLifecycle drives a real worker through a
+// bubble pattern with odd (non-grid-aligned) offsets under both modes and
+// requires identical stats, counters and final state — the core-level
+// differential check backing the grid-level oracle in experiments.
+func TestModesBitIdenticalOnScriptedLifecycle(t *testing.T) {
+	type outcome struct {
+		stats  ManagerStats
+		steps  uint64
+		kernel time.Duration
+		state  sidetask.State
+		ws     WorkerStats
+	}
+	run := func(mode ManagerMode) outcome {
+		r := newRigOpts(t, 1, []int64{22 * model.GiB}, WorkerConfig{},
+			ManagerOptions{Tick: time.Millisecond, Mode: mode})
+		if err := r.mgr.Submit(spec("rn18", model.ResNet18, sidetask.ModeIterative)); err != nil {
+			t.Fatal(err)
+		}
+		r.mgr.Start()
+		r.eng.RunFor(4 * time.Second)
+		base := r.eng.Now()
+		// Odd offsets and durations: adoption, pause and expiry instants all
+		// land between grid points, plus one bubble too short to survive
+		// until its adoption tick and one pair back-to-back.
+		script := []struct{ start, dur time.Duration }{
+			{700 * time.Microsecond, 437 * time.Millisecond},
+			{500 * time.Millisecond, 300 * time.Microsecond}, // expires unseen
+			{900 * time.Millisecond, 233100 * time.Microsecond},
+			{1133200 * time.Microsecond, 400 * time.Millisecond}, // back-to-back
+			{3 * time.Second, 512300 * time.Microsecond},
+		}
+		for _, b := range script {
+			r.mgr.AddBubble(bubble.Bubble{
+				Stage: 0, Start: base + b.start, Duration: b.dur,
+				MemAvailable: 22 * model.GiB,
+			})
+		}
+		r.eng.RunFor(5 * time.Second)
+		h, ok := r.workers[0].Harness("rn18")
+		if !ok {
+			t.Fatal("task missing")
+		}
+		c := h.Counters()
+		return outcome{
+			stats:  r.mgr.Stats(),
+			steps:  c.Steps,
+			kernel: c.KernelTime,
+			state:  h.State(),
+			ws:     r.workers[0].Stats(),
+		}
+	}
+	poll := run(ManagerPolling)
+	event := run(ManagerEventDriven)
+	if poll != event {
+		t.Fatalf("modes diverged:\npolling: %+v\nevent:   %+v", poll, event)
+	}
+	if poll.stats.BubblesServed == 0 || poll.steps == 0 {
+		t.Fatalf("scenario inert: %+v", poll)
+	}
+}
+
+// TestImmediateModeServesBubbles: the unquantized mode is not required to be
+// timing-compatible, but it must serve the same lifecycle.
+func TestImmediateModeServesBubbles(t *testing.T) {
+	r := newRigOpts(t, 1, []int64{22 * model.GiB}, WorkerConfig{},
+		ManagerOptions{Tick: time.Millisecond, Mode: ManagerImmediate})
+	if err := r.mgr.Submit(spec("rn18", model.ResNet18, sidetask.ModeIterative)); err != nil {
+		t.Fatal(err)
+	}
+	r.mgr.Start()
+	r.eng.RunFor(4 * time.Second)
+	base := r.eng.Now()
+	r.mgr.AddBubble(bubble.Bubble{
+		Stage: 0, Start: base + 100*time.Millisecond, Duration: 500 * time.Millisecond,
+		MemAvailable: 22 * model.GiB,
+	})
+	r.eng.RunFor(time.Second)
+	h, _ := r.workers[0].Harness("rn18")
+	if h.Counters().Steps == 0 || r.mgr.Stats().BubblesServed != 1 {
+		t.Fatalf("immediate mode served nothing: steps=%d stats=%+v",
+			h.Counters().Steps, r.mgr.Stats())
+	}
+	if got := h.State(); got != sidetask.StatePaused {
+		t.Fatalf("state after bubble = %v, want PAUSED", got)
+	}
+}

@@ -62,7 +62,13 @@ type workerTask struct {
 	spec    TaskSpec
 	harness *sidetask.Harness
 	cont    *container.Container
-	grace   *simtime.Timer
+	// grace is the task's reusable framework-enforcement timer: every
+	// pause re-arms the same handle (simtime.Reschedule) with the same
+	// pre-built callback and name, so a pause/start cycle costs no
+	// allocation and no event-queue surgery beyond the re-arm itself.
+	grace     *simtime.Timer
+	graceFn   func()
+	graceName string
 }
 
 // Worker owns the side tasks of one GPU: it creates their containers on top
@@ -275,8 +281,7 @@ func (w *Worker) handleStart(args startArgs) (any, error) {
 		return nil, err
 	}
 	if t.grace != nil {
-		t.grace.Cancel()
-		t.grace = nil
+		t.grace.Cancel() // keep the handle: the next pause re-arms it
 	}
 	st := t.harness.State()
 	switch st {
@@ -338,27 +343,31 @@ func (w *Worker) handlePause(ref taskRef) (any, error) {
 	if w.cfg.DisableEnforcement {
 		return w.status(t), nil
 	}
-	gpu := t.cont.GPU()
-	t.grace = w.eng.Schedule(w.cfg.Grace, "grace-check:"+ref.Name, func() {
-		if !t.cont.Alive() {
-			return
+	if t.graceFn == nil {
+		gpu := t.cont.GPU()
+		t.graceName = "grace-check:" + ref.Name
+		t.graceFn = func() {
+			if !t.cont.Alive() {
+				return
+			}
+			misbehaving := false
+			if t.harness.Mode() == sidetask.ModeImperative {
+				// Suspended processes are fine; a busy GPU means a kernel is
+				// still hogging SMs long past the bubble.
+				misbehaving = gpu != nil && gpu.Busy()
+			} else {
+				misbehaving = t.harness.State() == sidetask.StateRunning ||
+					(gpu != nil && gpu.Busy())
+			}
+			if misbehaving {
+				w.mu.Lock()
+				w.stats.GraceKills++
+				w.mu.Unlock()
+				t.cont.Kill()
+			}
 		}
-		misbehaving := false
-		if t.harness.Mode() == sidetask.ModeImperative {
-			// Suspended processes are fine; a busy GPU means a kernel is
-			// still hogging SMs long past the bubble.
-			misbehaving = gpu != nil && gpu.Busy()
-		} else {
-			misbehaving = t.harness.State() == sidetask.StateRunning ||
-				(gpu != nil && gpu.Busy())
-		}
-		if misbehaving {
-			w.mu.Lock()
-			w.stats.GraceKills++
-			w.mu.Unlock()
-			t.cont.Kill()
-		}
-	})
+	}
+	t.grace = simtime.Reschedule(w.eng, t.grace, w.cfg.Grace, t.graceName, t.graceFn)
 	return w.status(t), nil
 }
 

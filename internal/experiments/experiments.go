@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"freeride"
+	"freeride/internal/core"
 	"freeride/internal/model"
 	"freeride/internal/sidetask"
 )
@@ -29,6 +30,10 @@ type Options struct {
 	// isolated and identically seeded, so results are independent of the
 	// worker count; only wall-clock changes.
 	Parallelism int
+	// ManagerMode drives the Algorithm-2 loop: event-driven (default) or
+	// the polling oracle. Results are bit-identical either way (asserted by
+	// the differential test); only simulation wall-clock changes.
+	ManagerMode core.ManagerMode
 }
 
 // DefaultOptions returns the fast-suite defaults.
@@ -50,6 +55,7 @@ func (o Options) baseConfig() freeride.Config {
 	cfg.Epochs = o.Epochs
 	cfg.WorkScale = o.WorkScale
 	cfg.Seed = o.Seed
+	cfg.ManagerMode = o.ManagerMode
 	return cfg
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"freeride"
+	"freeride/internal/core"
 	"freeride/internal/model"
 )
 
@@ -92,7 +93,9 @@ func breakdown(name string, cfg freeride.Config, res *freeride.Result, tasks []m
 	for _, task := range tasks {
 		for stage := 0; stage < cfg.Stages; stage++ {
 			avail := cfg.LLM.StageMemAvailable(model.ServerI.GPUMemBytes, stage, cfg.Stages, cfg.MicroBatches)
-			if task.MemBytes < avail {
+			// Same predicate as Algorithm-1 admission (incl. MPS-limit
+			// slack): a stage the manager would reject must count as OOM.
+			if core.AdmitsMem(avail, task.MemBytes, core.DefaultMemSlack) {
 				eligible[stage] = true
 			}
 		}

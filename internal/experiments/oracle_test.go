@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"freeride"
+	"freeride/internal/core"
+	"freeride/internal/model"
+	"freeride/internal/sidetask"
+)
+
+// oracleOpts shrinks the grid's epochs (the bubble pattern repeats per
+// epoch) while keeping every method × workload cell.
+func oracleOpts(mode core.ManagerMode) Options {
+	o := Options{Epochs: 4, WorkScale: sidetask.WorkNone, Seed: 1, ManagerMode: mode}
+	o.normalize()
+	return o
+}
+
+// runOracleGrid executes the FreeRide cells of the Table 2 grid (the ones a
+// manager participates in: both interfaces × six tasks + mixed) and returns
+// each cell's full Result — training time, per-task work and transitions,
+// manager and worker counters, cost metrics.
+func runOracleGrid(t *testing.T, mode core.ManagerMode) map[string]*freeride.Result {
+	t.Helper()
+	out := make(map[string]*freeride.Result)
+	for _, method := range []freeride.Method{freeride.MethodIterative, freeride.MethodImperative} {
+		for i := range evalTasks {
+			cfg := oracleOpts(mode).baseConfig()
+			cfg.Method = method
+			res, err := runOne(cfg, []model.TaskProfile{evalTasks[i]})
+			if err != nil {
+				t.Fatalf("%v/%s under %v: %v", method, evalTasks[i].Name, mode, err)
+			}
+			out[fmt.Sprintf("%v/%s", method, evalTasks[i].Name)] = res
+		}
+		cfg := oracleOpts(mode).baseConfig()
+		cfg.Method = method
+		res, err := runMixed(cfg)
+		if err != nil {
+			t.Fatalf("%v/mixed under %v: %v", method, mode, err)
+		}
+		out[fmt.Sprintf("%v/mixed", method)] = res
+	}
+	return out
+}
+
+// TestPollingVsEventDrivenBitIdentical is the differential oracle: the
+// event-driven manager must reproduce the polling loop's behaviour
+// bit-for-bit across the full grid — identical training times, task steps
+// and kernel/host/insufficient times, exit states, manager stats (including
+// RPC and bubble counters and served bubble time) and worker stats.
+func TestPollingVsEventDrivenBitIdentical(t *testing.T) {
+	event := runOracleGrid(t, core.ManagerEventDriven)
+	poll := runOracleGrid(t, core.ManagerPolling)
+	if len(event) != len(poll) {
+		t.Fatalf("cell counts differ: %d vs %d", len(event), len(poll))
+	}
+	for key, er := range event {
+		pr, ok := poll[key]
+		if !ok {
+			t.Fatalf("cell %s missing from polling grid", key)
+		}
+		// The configs intentionally differ in ManagerMode; everything
+		// observable must not.
+		er.Config, pr.Config = freeride.Config{}, freeride.Config{}
+		if !reflect.DeepEqual(er, pr) {
+			t.Errorf("cell %s diverged:\nevent-driven: %+v\npolling:      %+v", key, er, pr)
+		}
+		if er.TotalSteps() == 0 {
+			t.Errorf("cell %s ran no side-task steps (inert oracle)", key)
+		}
+	}
+}
+
+// TestTable2GridRunsEventDriven pins the grid harness itself to the new
+// default mode and sanity-checks the headline metrics' signs.
+func TestTable2GridRunsEventDriven(t *testing.T) {
+	res, err := RunTable2(oracleOpts(core.ManagerEventDriven))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanI, meanS := res.Averages(freeride.MethodIterative)
+	if meanI < 0 || meanI > 0.03 {
+		t.Errorf("iterative mean I = %.4f, want small positive", meanI)
+	}
+	if meanS <= 0 {
+		t.Errorf("iterative mean S = %.4f, want positive", meanS)
+	}
+}

@@ -301,7 +301,10 @@ func (p *Peer) failAll() {
 	}
 }
 
-// Go issues an asynchronous call; done fires in engine-callback context.
+// Go issues an asynchronous call; done fires in engine-callback context,
+// never synchronously from inside Go itself — callers may hold their own
+// locks across the call (the manager does) and immediate failures (closed
+// peer, send error) are delivered through the engine like any reply.
 // The result is a live value when the connection is in-memory and raw JSON
 // (json.RawMessage) when it crossed the wire — use DecodeResult to consume
 // it uniformly. A zero timeout means no deadline.
@@ -312,7 +315,7 @@ func (p *Peer) Go(method string, params any, timeout time.Duration, done func(re
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		done(nil, ErrClosed)
+		p.failAsync(done, ErrClosed)
 		return
 	}
 	p.nextID++
@@ -362,9 +365,15 @@ func (p *Peer) Go(method string, params any, timeout time.Duration, done func(re
 			if call.timer != nil {
 				call.timer.Cancel()
 			}
-			done(nil, err)
+			p.failAsync(done, err)
 		}
 	}
+}
+
+// failAsync delivers a call failure from engine-callback context, upholding
+// Go's no-synchronous-completion contract.
+func (p *Peer) failAsync(done func(result any, err error), err error) {
+	simtime.Detached(p.eng, 0, "rpc-fail", func() { done(nil, err) })
 }
 
 // Notify sends a one-way message (no response, no delivery guarantee beyond

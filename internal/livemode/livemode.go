@@ -235,7 +235,11 @@ type ManagerConfig struct {
 	Model      model.LLM
 	MicroBatch int
 	Tick       time.Duration
-	Logf       func(format string, args ...any)
+	// Mode drives Algorithm 2; the zero value is the event-driven manager.
+	// Live deployments benefit doubly: no wall-clock wakeup per Tick, and
+	// out-of-order bubble reports (real network) are served in Start order.
+	Mode core.ManagerMode
+	Logf func(format string, args ...any)
 }
 
 // ManagerDaemon is a running manager.
@@ -276,7 +280,7 @@ func StartManager(cfg ManagerConfig) (*ManagerDaemon, error) {
 		cfg.MicroBatch = 4
 	}
 	eng := simtime.NewWall()
-	mgr := core.NewManager(eng, core.ManagerOptions{Tick: cfg.Tick, MemSlack: 256 << 20})
+	mgr := core.NewManager(eng, core.ManagerOptions{Tick: cfg.Tick, Mode: cfg.Mode, MemSlack: core.DefaultMemSlack})
 
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {

@@ -138,6 +138,11 @@ func (t *Timer) Cancel() bool {
 // Stopped reports whether the timer was canceled before firing.
 func (t *Timer) Stopped() bool { return t.state.Load() == timerCanceled }
 
+// Pending reports whether the timer is armed and has neither fired nor been
+// canceled. Owners of a reusable Reschedule handle use this to skip re-arming
+// a deadline that is already set: When() then reports the armed deadline.
+func (t *Timer) Pending() bool { return t.state.Load() == timerPending }
+
 // Fired reports whether the callback has already run (or started running).
 func (t *Timer) Fired() bool { return t.state.Load() == timerFired }
 
