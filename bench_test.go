@@ -6,6 +6,7 @@
 package freeride_test
 
 import (
+	"flag"
 	"testing"
 
 	"freeride"
@@ -13,8 +14,17 @@ import (
 	"freeride/internal/sidetask"
 )
 
+// -rebalance-oracle reruns the benchmarks under the GPU scheduler's
+// full-recompute oracle pass instead of the incremental one; the reported
+// metrics must not move (CI smokes the Table 2 grid this way).
+var rebalanceOracle = flag.Bool("rebalance-oracle", false,
+	"run grids under the full-rebalance differential oracle")
+
 func benchOpts() experiments.Options {
-	return experiments.Options{Epochs: 8, WorkScale: sidetask.WorkNone, Seed: 1}
+	return experiments.Options{
+		Epochs: 8, WorkScale: sidetask.WorkNone, Seed: 1,
+		FullRebalance: *rebalanceOracle,
+	}
 }
 
 // BenchmarkTable1 regenerates paper Table 1: side-task throughput on

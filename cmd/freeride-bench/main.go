@@ -57,6 +57,9 @@ type Report struct {
 	// ManagerMode records which Algorithm-2 driver the grid ran under
 	// (event-driven is the default; polling is the differential oracle).
 	ManagerMode string `json:"manager_mode,omitempty"`
+	// Rebalance records which GPU scheduler pass the grid ran under
+	// (incremental is the default; full is the differential oracle).
+	Rebalance string `json:"rebalance,omitempty"`
 
 	// Micro-benchmarks.
 	EngineNsPerOp     float64 `json:"engine_ns_per_op"`
@@ -64,6 +67,11 @@ type Report struct {
 	RPCNsPerOp        float64 `json:"rpc_ns_per_op"`
 	RPCAllocsPerOp    float64 `json:"rpc_allocs_per_op"`
 	RPCNotifyNsPerOp  float64 `json:"rpc_notify_ns_per_op"`
+	// RPCTimeout* measure a Go round-trip with a deadline armed (the
+	// manager's shape): the per-peer deadline wheel plus the pendingCall
+	// free-list keep it allocation-free too.
+	RPCTimeoutNsPerOp     float64 `json:"rpc_timeout_ns_per_op,omitempty"`
+	RPCTimeoutAllocsPerOp float64 `json:"rpc_timeout_allocs_per_op"`
 	// ParkResume measures one goroutine-process sleep→park→wake→resume
 	// cycle (the futex handshake); Exec one blocking kernel round trip;
 	// InlineStep one event-loop continuation cycle. All three paths are
@@ -117,6 +125,7 @@ func main() {
 	epochs := flag.Int("epochs", 8, "epochs per training run")
 	parallel := flag.Int("parallel", 0, "grid parallelism (0 = GOMAXPROCS)")
 	managerMode := flag.String("manager", "event", "Algorithm-2 driver: event, polling or immediate")
+	rebalance := flag.String("rebalance", "incremental", "GPU scheduler pass: incremental or full (the oracle)")
 	baselineNs := flag.String("baseline-ns", "", "comma-separated baseline ns/op observations to record")
 	baselineDesc := flag.String("baseline-desc", "", "description of the baseline revision")
 	compareNew := flag.String("compare", "", "compare mode: path of the newer report (no benchmarks run)")
@@ -138,6 +147,14 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	var fullRebalance bool
+	switch *rebalance {
+	case "incremental":
+	case "full":
+		fullRebalance = true
+	default:
+		fatalf("unknown -rebalance %q (want incremental or full)", *rebalance)
+	}
 
 	rep := Report{
 		Benchmark:          "BenchmarkTable2",
@@ -145,11 +162,12 @@ func main() {
 		Timestamp:          time.Now().UTC(),
 		ParallelismApplied: *parallel,
 		ManagerMode:        mode.String(),
+		Rebalance:          *rebalance,
 	}
 
 	opts := experiments.Options{
 		Epochs: *epochs, WorkScale: sidetask.WorkNone, Seed: 1, Parallelism: *parallel,
-		ManagerMode: mode,
+		ManagerMode: mode, FullRebalance: fullRebalance,
 	}
 	for i := 0; i < *iters; i++ {
 		start := time.Now()
@@ -201,6 +219,26 @@ func main() {
 	})
 	rep.RPCNsPerOp = float64(rpc.NsPerOp())
 	rep.RPCAllocsPerOp = float64(rpc.AllocsPerOp())
+
+	rpcTimeout := testing.Benchmark(func(b *testing.B) {
+		v := simtime.NewVirtual()
+		mux := freerpc.NewMux()
+		type params struct {
+			A int64 `json:"a"`
+		}
+		freerpc.HandleFunc(mux, "Echo", func(p params) (any, error) { return nil, nil })
+		c1, c2 := freerpc.MemPipe(v, time.Microsecond)
+		client := freerpc.NewPeer(v, c1, nil)
+		freerpc.NewPeer(v, c2, mux)
+		boxed := any(params{A: 1})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			client.Go("Echo", boxed, 10*time.Microsecond, nil)
+			v.MustDrain(8)
+		}
+	})
+	rep.RPCTimeoutNsPerOp = float64(rpcTimeout.NsPerOp())
+	rep.RPCTimeoutAllocsPerOp = float64(rpcTimeout.AllocsPerOp())
 
 	notify := testing.Benchmark(func(b *testing.B) {
 		v := simtime.NewVirtual()

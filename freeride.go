@@ -118,6 +118,10 @@ type Config struct {
 	Seed int64
 	// RecordOps retains the op timeline for figure rendering.
 	RecordOps bool
+	// FullRebalance forces the GPU scheduler's full-recompute pass instead
+	// of the incremental one — the float-exact differential oracle (see
+	// simgpu.DeviceConfig.FullRebalance).
+	FullRebalance bool
 }
 
 // DefaultConfig mirrors the paper's principal setup: nanoGPT-3.6B on a
@@ -245,7 +249,8 @@ func NewSession(cfg Config) (*Session, error) {
 			ResidencyTax: tax,
 			// Occupancy/memory series are only consumed by profiling and
 			// figure-rendering runs; measurement sessions skip recording.
-			NoTraces: !cfg.RecordOps,
+			NoTraces:      !cfg.RecordOps,
+			FullRebalance: cfg.FullRebalance,
 		})
 	}
 	tr, err := pipeline.New(eng, procs, devices, pipeline.Config{
@@ -456,6 +461,7 @@ func (s *Session) submitBaseline(name string, p model.TaskProfile, stage int, se
 	if err != nil {
 		return err
 	}
+	h.BindEngine(s.Eng)
 	ctrs := container.NewRuntime(s.Procs)
 	cspec := container.Spec{
 		Name:   name,
@@ -544,18 +550,21 @@ func (s *Session) Run() (*Result, error) {
 	if s.Manager != nil {
 		s.Manager.Start()
 	}
-	// Generous event budget: aborts runaway simulations loudly. The batch
-	// size bounds how far the simulation can run past the final epoch:
-	// baseline side tasks and the manager tick produce events forever, so
-	// a large batch would simulate (and pay for) work long after every
-	// measurement froze. Everything up to Done is unaffected by batching.
+	// Generous event budget: aborts runaway simulations loudly. The drain
+	// stops at the exact event that sets Done — the per-event flag check is
+	// one atomic load — so the teardown below (StopAll and its grace
+	// window) always begins at the same virtual instant regardless of how
+	// many bookkeeping events happen to be queued. Batch-draining here used
+	// to overshoot Done by up to a batch, which made teardown timing (and
+	// thus worker stop/kill counters) depend on incidental event counts.
 	const maxEvents = 500_000_000
-	const drainBatch = 4096
-	for !s.Trainer.Done().IsSet() {
-		if n := s.Eng.Drain(drainBatch); n == 0 {
+	const budgetCheckEvery = 4096
+	done := s.Trainer.Done()
+	for n := uint64(0); !done.IsSet(); n++ {
+		if !s.Eng.Step() {
 			return nil, fmt.Errorf("freeride: simulation stalled at t=%v", s.Eng.Now())
 		}
-		if s.Eng.Dispatched() > maxEvents {
+		if n%budgetCheckEvery == 0 && s.Eng.Dispatched() > maxEvents {
 			return nil, fmt.Errorf("freeride: event budget exceeded at t=%v", s.Eng.Now())
 		}
 	}

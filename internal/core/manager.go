@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"freeride/internal/bubble"
@@ -241,7 +240,8 @@ type Manager struct {
 	opts ManagerOptions
 	mux  *freerpc.Mux
 
-	mu      sync.Mutex
+	// mu rides the engine ownership regime (see simtime.Guard).
+	mu      simtime.Guard
 	workers []*workerMeta
 	tasks   map[string]*taskRecord
 	stats   ManagerStats
@@ -267,6 +267,7 @@ func NewManager(eng simtime.Engine, opts ManagerOptions) *Manager {
 		mux:   freerpc.NewMux(),
 		tasks: make(map[string]*taskRecord),
 	}
+	m.mu.Bind(eng)
 	freerpc.HandleFunc(m.mux, "Manager.AddBubble", func(d BubbleDTO) (any, error) {
 		m.AddBubble(FromBubbleDTO(d))
 		return nil, nil

@@ -3,7 +3,6 @@ package core
 import (
 	"encoding/json"
 	"fmt"
-	"sync"
 	"time"
 
 	"freeride/internal/container"
@@ -69,6 +68,21 @@ type workerTask struct {
 	grace     *simtime.Timer
 	graceFn   func()
 	graceName string
+	// stateArgs pre-boxes the Manager.TaskState payload for each life-cycle
+	// state, and exitOK the clean Manager.TaskExited payload: the worker
+	// pushes one notification per transition for the whole run and must not
+	// re-box a taskStatus per push (only error exits, which carry a dynamic
+	// message, still allocate).
+	stateArgs [int(sidetask.StateStopped) + 1]any
+	exitOK    any
+}
+
+// stateBox returns the pre-boxed TaskState payload for s.
+func (t *workerTask) stateBox(s sidetask.State) any {
+	if s >= 0 && int(s) < len(t.stateArgs) && t.stateArgs[s] != nil {
+		return t.stateArgs[s]
+	}
+	return taskStatus{Name: t.spec.Name, State: int(s)}
 }
 
 // Worker owns the side tasks of one GPU: it creates their containers on top
@@ -80,7 +94,8 @@ type Worker struct {
 	device *simgpu.Device
 	ctrs   *container.Runtime
 
-	mu       sync.Mutex
+	// mu rides the engine ownership regime (see simtime.Guard).
+	mu       simtime.Guard
 	tasks    map[string]*workerTask
 	stats    WorkerStats
 	notifyFn func(method string, params any) // manager notification channel
@@ -97,13 +112,15 @@ func NewWorker(eng simtime.Engine, device *simgpu.Device, ctrs *container.Runtim
 	if cfg.Name == "" {
 		cfg.Name = "worker-" + device.Name()
 	}
-	return &Worker{
+	w := &Worker{
 		eng:    eng,
 		cfg:    cfg,
 		device: device,
 		ctrs:   ctrs,
 		tasks:  make(map[string]*workerTask),
 	}
+	w.mu.Bind(eng)
+	return w
 }
 
 // Name reports the worker name.
@@ -170,6 +187,7 @@ func (w *Worker) handleCreate(args createArgs) (any, error) {
 	if err != nil {
 		return nil, fmt.Errorf("worker %s: factory: %w", w.cfg.Name, err)
 	}
+	harness.BindEngine(w.eng)
 	w.mu.Lock()
 	if _, dup := w.tasks[args.Spec.Name]; dup {
 		w.mu.Unlock()
@@ -196,6 +214,10 @@ func (w *Worker) handleCreate(args createArgs) (any, error) {
 		return nil, fmt.Errorf("worker %s: container: %w", w.cfg.Name, err)
 	}
 	t := &workerTask{spec: args.Spec, harness: harness, cont: cont}
+	for s := sidetask.StateSubmitted; s <= sidetask.StateStopped; s++ {
+		t.stateArgs[s] = taskStatus{Name: args.Spec.Name, State: int(s)}
+	}
+	t.exitOK = taskStatus{Name: args.Spec.Name, Exited: true}
 	w.mu.Lock()
 	w.tasks[args.Spec.Name] = t
 	w.stats.Created++
@@ -205,7 +227,7 @@ func (w *Worker) handleCreate(args createArgs) (any, error) {
 	// stale (the paper's manager likewise learns transitions through its
 	// RPC layer).
 	harness.SetStateListener(func(s sidetask.State) {
-		w.notify("Manager.TaskState", taskStatus{Name: args.Spec.Name, State: int(s)})
+		w.notify("Manager.TaskState", t.stateBox(s))
 	})
 
 	cont.Process().OnExit(func(err error) {
@@ -215,11 +237,11 @@ func (w *Worker) handleCreate(args createArgs) (any, error) {
 			w.stats.TaskErrExit++
 		}
 		w.mu.Unlock()
-		msg := ""
-		if err != nil {
-			msg = err.Error()
+		if err == nil {
+			w.notify("Manager.TaskExited", t.exitOK)
+			return
 		}
-		w.notify("Manager.TaskExited", taskStatus{Name: args.Spec.Name, Exited: true, ExitErr: msg})
+		w.notify("Manager.TaskExited", taskStatus{Name: args.Spec.Name, Exited: true, ExitErr: err.Error()})
 	})
 	return taskStatus{Name: args.Spec.Name, State: int(harness.State())}, nil
 }

@@ -34,6 +34,10 @@ type Options struct {
 	// the polling oracle. Results are bit-identical either way (asserted by
 	// the differential test); only simulation wall-clock changes.
 	ManagerMode core.ManagerMode
+	// FullRebalance forces the GPU scheduler's full-recompute oracle pass
+	// instead of the incremental one. Results are bit-identical either way
+	// (asserted by the differential test); only wall-clock changes.
+	FullRebalance bool
 }
 
 // DefaultOptions returns the fast-suite defaults.
@@ -56,6 +60,7 @@ func (o Options) baseConfig() freeride.Config {
 	cfg.WorkScale = o.WorkScale
 	cfg.Seed = o.Seed
 	cfg.ManagerMode = o.ManagerMode
+	cfg.FullRebalance = o.FullRebalance
 	return cfg
 }
 

@@ -22,23 +22,28 @@ func oracleOpts(mode core.ManagerMode) Options {
 // runOracleGrid executes the FreeRide cells of the Table 2 grid (the ones a
 // manager participates in: both interfaces × six tasks + mixed) and returns
 // each cell's full Result — training time, per-task work and transitions,
-// manager and worker counters, cost metrics.
-func runOracleGrid(t *testing.T, mode core.ManagerMode) map[string]*freeride.Result {
+// manager and worker counters, cost metrics. tweak, when non-nil, adjusts
+// each cell's config before the run (the rebalance oracle uses it).
+func runOracleGrid(t *testing.T, mode core.ManagerMode, tweak func(*freeride.Config)) map[string]*freeride.Result {
 	t.Helper()
+	cellCfg := func(method freeride.Method) freeride.Config {
+		cfg := oracleOpts(mode).baseConfig()
+		cfg.Method = method
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		return cfg
+	}
 	out := make(map[string]*freeride.Result)
 	for _, method := range []freeride.Method{freeride.MethodIterative, freeride.MethodImperative} {
 		for i := range evalTasks {
-			cfg := oracleOpts(mode).baseConfig()
-			cfg.Method = method
-			res, err := runOne(cfg, []model.TaskProfile{evalTasks[i]})
+			res, err := runOne(cellCfg(method), []model.TaskProfile{evalTasks[i]})
 			if err != nil {
 				t.Fatalf("%v/%s under %v: %v", method, evalTasks[i].Name, mode, err)
 			}
 			out[fmt.Sprintf("%v/%s", method, evalTasks[i].Name)] = res
 		}
-		cfg := oracleOpts(mode).baseConfig()
-		cfg.Method = method
-		res, err := runMixed(cfg)
+		res, err := runMixed(cellCfg(method))
 		if err != nil {
 			t.Fatalf("%v/mixed under %v: %v", method, mode, err)
 		}
@@ -47,32 +52,52 @@ func runOracleGrid(t *testing.T, mode core.ManagerMode) map[string]*freeride.Res
 	return out
 }
 
+// compareOracleGrids asserts two grids are bit-identical modulo the config
+// fields the comparison intentionally varies.
+func compareOracleGrids(t *testing.T, a, b map[string]*freeride.Result, what string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: cell counts differ: %d vs %d", what, len(a), len(b))
+	}
+	for key, ar := range a {
+		br, ok := b[key]
+		if !ok {
+			t.Fatalf("%s: cell %s missing", what, key)
+		}
+		// The configs intentionally differ; everything observable must not.
+		ar.Config, br.Config = freeride.Config{}, freeride.Config{}
+		if !reflect.DeepEqual(ar, br) {
+			t.Errorf("%s: cell %s diverged:\n%+v\nvs\n%+v", what, key, ar, br)
+		}
+		if ar.TotalSteps() == 0 {
+			t.Errorf("%s: cell %s ran no side-task steps (inert oracle)", what, key)
+		}
+	}
+}
+
 // TestPollingVsEventDrivenBitIdentical is the differential oracle: the
 // event-driven manager must reproduce the polling loop's behaviour
 // bit-for-bit across the full grid — identical training times, task steps
 // and kernel/host/insufficient times, exit states, manager stats (including
 // RPC and bubble counters and served bubble time) and worker stats.
 func TestPollingVsEventDrivenBitIdentical(t *testing.T) {
-	event := runOracleGrid(t, core.ManagerEventDriven)
-	poll := runOracleGrid(t, core.ManagerPolling)
-	if len(event) != len(poll) {
-		t.Fatalf("cell counts differ: %d vs %d", len(event), len(poll))
-	}
-	for key, er := range event {
-		pr, ok := poll[key]
-		if !ok {
-			t.Fatalf("cell %s missing from polling grid", key)
-		}
-		// The configs intentionally differ in ManagerMode; everything
-		// observable must not.
-		er.Config, pr.Config = freeride.Config{}, freeride.Config{}
-		if !reflect.DeepEqual(er, pr) {
-			t.Errorf("cell %s diverged:\nevent-driven: %+v\npolling:      %+v", key, er, pr)
-		}
-		if er.TotalSteps() == 0 {
-			t.Errorf("cell %s ran no side-task steps (inert oracle)", key)
-		}
-	}
+	event := runOracleGrid(t, core.ManagerEventDriven, nil)
+	poll := runOracleGrid(t, core.ManagerPolling, nil)
+	compareOracleGrids(t, event, poll, "event vs polling")
+}
+
+// TestIncrementalVsFullRebalanceGridBitIdentical is the end-to-end scheduler
+// differential: the whole FreeRide grid — training, bubbles, manager,
+// workers, kills, cost metrics — must be bit-identical whether the GPU
+// scheduler runs the incremental rebalance or the retained full-recompute
+// oracle. The simgpu-level oracle asserts float-exact allocations on random
+// workloads; this asserts nothing observable changes at system scale.
+func TestIncrementalVsFullRebalanceGridBitIdentical(t *testing.T) {
+	inc := runOracleGrid(t, core.ManagerEventDriven, nil)
+	ful := runOracleGrid(t, core.ManagerEventDriven, func(cfg *freeride.Config) {
+		cfg.FullRebalance = true
+	})
+	compareOracleGrids(t, inc, ful, "incremental vs full rebalance")
 }
 
 // TestTable2GridRunsEventDriven pins the grid harness itself to the new

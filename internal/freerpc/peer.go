@@ -157,21 +157,56 @@ type Peer struct {
 	local LocalConn // non-nil when conn supports the typed fast path
 	mux   *Mux
 
-	mu      sync.Mutex
+	// mu rides the engine ownership regime (see simtime.Guard): free in
+	// single-owner simulations, a real mutex under goroutine shells and
+	// live transports.
+	mu      simtime.Guard
 	nextID  uint64
 	pending map[uint64]*pendingCall
 	closed  bool
+
+	// callFree recycles pendingCall records: the struct never escapes to
+	// callers, and call ids are never reused (nextID is monotonic), so a
+	// stale reply to a completed call can never resolve the record's next
+	// incarnation — it simply misses the pending map.
+	callFree []*pendingCall
+
+	// The deadline wheel: one engine timer per peer, armed at the earliest
+	// outstanding call deadline, instead of one timer (plus a cancel) per
+	// call. Entries are a min-heap on (at, id) and are removed lazily — a
+	// reply just deletes the call from pending; the entry expires later,
+	// finds nothing, and is dropped.
+	wheel      []deadlineEntry
+	wheelTimer *simtime.Timer
+	// wheelAt records the armed instant while wheelTimer is pending (the
+	// wall engine's Timer.When drifts by arming latency, so the timer
+	// itself can't be asked).
+	wheelAt time.Duration
+	// wheelFn is the timer callback, built once per peer.
+	wheelFn func()
 }
 
 type pendingCall struct {
 	method string
 	done   func(result any, err error)
-	timer  *simtime.Timer
+	// timeout is the call's original deadline budget, kept for the expiry
+	// error message.
+	timeout time.Duration
 }
+
+// deadlineEntry is one wheel slot: call id plus its absolute deadline.
+type deadlineEntry struct {
+	at time.Duration
+	id uint64
+}
+
+var noopDone = func(any, error) {}
 
 // NewPeer wraps conn. mux may be nil for call-only endpoints.
 func NewPeer(eng simtime.Engine, conn Conn, mux *Mux) *Peer {
 	p := &Peer{eng: eng, conn: conn, mux: mux, pending: make(map[uint64]*pendingCall)}
+	p.mu.Bind(eng)
+	p.wheelFn = p.expireDeadlines
 	if lc, ok := conn.(LocalConn); ok {
 		p.local = lc
 		lc.SetMsgHandler(p.onMsg)
@@ -182,31 +217,149 @@ func NewPeer(eng simtime.Engine, conn Conn, mux *Mux) *Peer {
 	return p
 }
 
+// newCallLocked takes a pendingCall from the free-list. Caller holds p.mu.
+func (p *Peer) newCallLocked() *pendingCall {
+	if n := len(p.callFree); n > 0 {
+		c := p.callFree[n-1]
+		p.callFree[n-1] = nil
+		p.callFree = p.callFree[:n-1]
+		return c
+	}
+	return &pendingCall{}
+}
+
+// recycleLocked clears and pools a completed call record. The caller must
+// already have removed it from pending and copied out what it needs — once
+// recycled, the record may immediately back a new call. Caller holds p.mu.
+func (p *Peer) recycleLocked(c *pendingCall) {
+	c.method = ""
+	c.done = nil
+	c.timeout = 0
+	p.callFree = append(p.callFree, c)
+}
+
 // Conn returns the underlying transport.
 func (p *Peer) Conn() Conn { return p.conn }
 
 // Close tears down the connection; pending calls fail with ErrClosed.
 func (p *Peer) Close() { _ = p.conn.Close() }
 
+// --- deadline wheel --------------------------------------------------------
+
+// armDeadlineLocked records a call deadline and keeps the wheel timer armed
+// at the earliest outstanding one. Caller holds p.mu.
+func (p *Peer) armDeadlineLocked(id uint64, at time.Duration) {
+	p.wheelPushLocked(deadlineEntry{at: at, id: id})
+	if p.wheelTimer != nil && p.wheelTimer.Pending() && p.wheelAt <= at {
+		return // an earlier (or equal) expiry pass will re-arm as needed
+	}
+	p.wheelAt = at
+	p.wheelTimer = simtime.Reschedule(p.eng, p.wheelTimer, at-p.eng.Now(), "rpc-timeouts", p.wheelFn)
+}
+
+// expireDeadlines is the wheel timer callback: it times out every still-
+// pending call whose deadline has passed, drops stale entries (calls that
+// already completed), and re-arms for the next outstanding deadline.
+func (p *Peer) expireDeadlines() {
+	// Expiries are rare (a measurement run never times out), so the
+	// collection slice is allocated on demand.
+	type expiry struct {
+		done    func(result any, err error)
+		method  string
+		timeout time.Duration
+	}
+	var expired []expiry
+	p.mu.Lock()
+	now := p.eng.Now()
+	for len(p.wheel) > 0 && p.wheel[0].at <= now {
+		e := p.wheelPopLocked()
+		if call, ok := p.pending[e.id]; ok {
+			delete(p.pending, e.id)
+			expired = append(expired, expiry{done: call.done, method: call.method, timeout: call.timeout})
+			p.recycleLocked(call)
+		}
+	}
+	if len(p.wheel) > 0 {
+		p.wheelAt = p.wheel[0].at
+		p.wheelTimer = simtime.Reschedule(p.eng, p.wheelTimer, p.wheelAt-now, "rpc-timeouts", p.wheelFn)
+	}
+	p.mu.Unlock()
+	for _, e := range expired {
+		e.done(nil, fmt.Errorf("%w: %s after %v", ErrTimeout, e.method, e.timeout))
+	}
+}
+
+// wheelPushLocked / wheelPopLocked maintain the (at, id) min-heap. Caller
+// holds p.mu.
+func (p *Peer) wheelPushLocked(e deadlineEntry) {
+	p.wheel = append(p.wheel, e)
+	i := len(p.wheel) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(p.wheel[i], p.wheel[parent]) {
+			break
+		}
+		p.wheel[i], p.wheel[parent] = p.wheel[parent], p.wheel[i]
+		i = parent
+	}
+}
+
+func (p *Peer) wheelPopLocked() deadlineEntry {
+	h := p.wheel
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	p.wheel = h[:last]
+	h = p.wheel
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && entryLess(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && entryLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}
+
+// entryLess orders wheel entries by deadline, ties by issue order, so
+// simultaneous expiries fire their callbacks deterministically.
+func entryLess(a, b deadlineEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.id < b.id
+}
+
 // resolve completes the pending call for a response (from either path).
 func (p *Peer) resolve(id uint64, result any, errMsg string) {
 	p.mu.Lock()
 	call, ok := p.pending[id]
-	if ok {
-		delete(p.pending, id)
-	}
-	p.mu.Unlock()
 	if !ok {
+		p.mu.Unlock()
 		return // response to a timed-out or unknown call
 	}
-	if call.timer != nil {
-		call.timer.Cancel()
-	}
+	delete(p.pending, id)
+	done, method := call.done, call.method
+	// Recycle before running done: the record is out of the map, so even a
+	// duplicate reply for this id can no longer reach it, and done itself
+	// may issue a new call that reuses it. The wheel entry, if any, expires
+	// lazily and finds nothing.
+	p.recycleLocked(call)
+	p.mu.Unlock()
 	if errMsg != "" {
-		call.done(nil, &RemoteError{Method: call.method, Msg: errMsg})
+		done(nil, &RemoteError{Method: method, Msg: errMsg})
 		return
 	}
-	call.done(result, nil)
+	done(result, nil)
 }
 
 // onMsg receives typed messages from a LocalConn.
@@ -292,11 +445,12 @@ func (p *Peer) failAll() {
 	p.closed = true
 	pending := p.pending
 	p.pending = make(map[uint64]*pendingCall)
+	p.wheel = nil
+	if p.wheelTimer != nil {
+		p.wheelTimer.Cancel()
+	}
 	p.mu.Unlock()
 	for _, c := range pending {
-		if c.timer != nil {
-			c.timer.Cancel()
-		}
 		c.done(nil, ErrClosed)
 	}
 }
@@ -310,7 +464,7 @@ func (p *Peer) failAll() {
 // it uniformly. A zero timeout means no deadline.
 func (p *Peer) Go(method string, params any, timeout time.Duration, done func(result any, err error)) {
 	if done == nil {
-		done = func(any, error) {}
+		done = noopDone
 	}
 	p.mu.Lock()
 	if p.closed {
@@ -320,23 +474,13 @@ func (p *Peer) Go(method string, params any, timeout time.Duration, done func(re
 	}
 	p.nextID++
 	id := p.nextID
-	call := &pendingCall{method: method, done: done}
+	call := p.newCallLocked()
+	call.method, call.done, call.timeout = method, done, timeout
 	p.pending[id] = call
-	p.mu.Unlock()
-
 	if timeout > 0 {
-		call.timer = p.eng.Schedule(timeout, "rpc-timeout:"+method, func() {
-			p.mu.Lock()
-			_, still := p.pending[id]
-			if still {
-				delete(p.pending, id)
-			}
-			p.mu.Unlock()
-			if still {
-				done(nil, fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout))
-			}
-		})
+		p.armDeadlineLocked(id, p.eng.Now()+timeout)
 	}
+	p.mu.Unlock()
 
 	var err error
 	if p.local != nil {
@@ -356,15 +500,13 @@ func (p *Peer) Go(method string, params any, timeout time.Duration, done func(re
 	}
 	if err != nil {
 		p.mu.Lock()
-		_, still := p.pending[id]
+		c, still := p.pending[id]
 		if still {
 			delete(p.pending, id)
+			p.recycleLocked(c) // the wheel entry, if any, expires lazily
 		}
 		p.mu.Unlock()
 		if still {
-			if call.timer != nil {
-				call.timer.Cancel()
-			}
 			p.failAsync(done, err)
 		}
 	}

@@ -62,12 +62,47 @@ type memConn struct {
 	eng     simtime.Engine
 	latency time.Duration
 
-	mu      sync.Mutex
+	// mu rides the engine ownership regime (see simtime.Guard).
+	mu      simtime.Guard
 	peer    *memConn
 	recv    func([]byte)
 	recvMsg func(Msg)
 	closed  bool
 	onClose []func()
+	// msgPool recycles typed-message delivery events (the carried Msg plus
+	// the pre-built engine callback), so SendMsg schedules without
+	// allocating a closure per message — the control plane's hottest
+	// allocation site after the per-call bookkeeping.
+	msgPool []*msgEvent
+}
+
+// msgEvent is one in-flight typed message: pooled on the sending end, its
+// fire callback is built once and reused for every delivery.
+type msgEvent struct {
+	conn *memConn // sending end; delivery goes to conn.peer
+	m    Msg
+	fire func()
+}
+
+// deliver hands the message to the receiving end and recycles the event.
+func (e *msgEvent) deliver() {
+	c := e.conn
+	m := e.m
+	e.m = Msg{}
+	c.mu.Lock()
+	// Recycle before invoking the receiver: the handler may send again
+	// (request → response) and reuse this very event.
+	c.msgPool = append(c.msgPool, e)
+	peer := c.peer
+	c.mu.Unlock()
+
+	peer.mu.Lock()
+	closed, recv := peer.closed, peer.recvMsg
+	peer.mu.Unlock()
+	if closed || recv == nil {
+		return
+	}
+	recv(m)
 }
 
 var _ LocalConn = (*memConn)(nil)
@@ -77,6 +112,8 @@ var _ LocalConn = (*memConn)(nil)
 func MemPipe(eng simtime.Engine, latency time.Duration) (Conn, Conn) {
 	a := &memConn{eng: eng, latency: latency}
 	b := &memConn{eng: eng, latency: latency}
+	a.mu.Bind(eng)
+	b.mu.Bind(eng)
 	a.peer, b.peer = b, a
 	return a, b
 }
@@ -106,25 +143,27 @@ func (c *memConn) Send(frame []byte) error {
 }
 
 // SendMsg delivers a typed message to the peer after one latency — the same
-// scheduling as Send, minus the serialization.
+// scheduling as Send, minus the serialization. Delivery events come from the
+// sender's pool, so steady-state messaging allocates nothing.
 func (c *memConn) SendMsg(m Msg) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return ErrClosed
 	}
-	peer := c.peer
+	var e *msgEvent
+	if n := len(c.msgPool); n > 0 {
+		e = c.msgPool[n-1]
+		c.msgPool[n-1] = nil
+		c.msgPool = c.msgPool[:n-1]
+	} else {
+		e = &msgEvent{conn: c}
+		e.fire = e.deliver
+	}
+	e.m = m
 	c.mu.Unlock()
 
-	simtime.Detached(c.eng, c.latency, "rpc-deliver", func() {
-		peer.mu.Lock()
-		closed, recv := peer.closed, peer.recvMsg
-		peer.mu.Unlock()
-		if closed || recv == nil {
-			return
-		}
-		recv(m)
-	})
+	simtime.Detached(c.eng, c.latency, "rpc-deliver", e.fire)
 	return nil
 }
 
@@ -193,7 +232,11 @@ type netConn struct {
 var _ Conn = (*netConn)(nil)
 
 // NewNetConn wraps nc. The read loop starts at the first SetRecvHandler.
+// A net-backed conn schedules frame delivery from its read-pump goroutine,
+// so it declares the shared engine regime up front (a no-op on the wall
+// engine the live daemons run on).
 func NewNetConn(eng simtime.Engine, nc net.Conn) Conn {
+	simtime.EscalateShared(eng)
 	return &netConn{eng: eng, nc: nc}
 }
 

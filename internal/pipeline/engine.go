@@ -101,7 +101,7 @@ func New(eng simtime.Engine, procs *simproc.Runtime, devices []*simgpu.Device, c
 		procs:   procs,
 		devices: devices,
 		opLog:   make([][]OpSpan, cfg.Stages),
-		done:    simproc.NewLatch(),
+		done:    simproc.NewLatch(eng),
 	}
 	return t, nil
 }
@@ -203,9 +203,9 @@ func (t *Trainer) Start() error {
 	t.fpDone = make([][][]*simproc.Latch, t.cfg.Epochs)
 	t.bpDone = make([][][]*simproc.Latch, t.cfg.Epochs)
 	for e := 0; e < t.cfg.Epochs; e++ {
-		t.goEpochs[e] = simproc.NewLatch()
-		t.fpDone[e] = newLatchGrid(nv, t.cfg.MicroBatches)
-		t.bpDone[e] = newLatchGrid(nv, t.cfg.MicroBatches)
+		t.goEpochs[e] = simproc.NewLatch(t.eng)
+		t.fpDone[e] = newLatchGrid(t.eng, nv, t.cfg.MicroBatches)
+		t.bpDone[e] = newLatchGrid(t.eng, nv, t.cfg.MicroBatches)
 	}
 
 	for v := 0; v < nv; v++ {
@@ -430,12 +430,12 @@ func (r *stageRun) afterExec(res any) {
 	r.nextOp()
 }
 
-func newLatchGrid(stages, mbs int) [][]*simproc.Latch {
+func newLatchGrid(eng simtime.Engine, stages, mbs int) [][]*simproc.Latch {
 	grid := make([][]*simproc.Latch, stages)
 	for s := range grid {
 		grid[s] = make([]*simproc.Latch, mbs)
 		for m := range grid[s] {
-			grid[s][m] = simproc.NewLatch()
+			grid[s][m] = simproc.NewLatch(eng)
 		}
 	}
 	return grid

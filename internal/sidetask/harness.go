@@ -4,12 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	"freeride/internal/model"
 	"freeride/internal/simgpu"
 	"freeride/internal/simproc"
+	"freeride/internal/simtime"
 )
 
 // Mode selects the programming interface a task uses.
@@ -156,7 +156,10 @@ type Harness struct {
 
 	inbox *simproc.Mailbox
 
-	mu        sync.Mutex
+	// mu rides the engine ownership regime once BindEngine is called (the
+	// worker binds each deployed harness to its engine at create time);
+	// unbound harnesses (tests, ad-hoc rigs) keep a real mutex.
+	mu        simtime.Guard
 	state     State
 	bubbleEnd time.Duration
 	counters  Counters
@@ -237,6 +240,15 @@ func (h *Harness) SetStepEstimate(d time.Duration) {
 
 // Deliver sends a state-transition command to the harness (worker side).
 func (h *Harness) Deliver(cmd Command) { h.inbox.Send(cmd) }
+
+// BindEngine ties the harness's lock and inbox to eng's ownership regime
+// (see simtime.Guard): free in single-owner simulations, real mutexes once
+// the engine escalates. The deployer calls it right after construction,
+// before the harness is started or shared.
+func (h *Harness) BindEngine(eng simtime.Engine) {
+	h.mu.Bind(eng)
+	h.inbox.Bind(eng)
+}
 
 // SetStateListener installs a callback fired on every state change, from
 // the task process's context. The worker uses it to keep the manager's

@@ -24,7 +24,6 @@ package simgpu
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"freeride/internal/simtime"
 	"freeride/internal/trace"
@@ -92,6 +91,12 @@ type DeviceConfig struct {
 	// figure harnesses) set it: the series otherwise accumulate a point
 	// per rebalance for the whole run and dominate allocation volume.
 	NoTraces bool
+	// FullRebalance forces the original full-recompute scheduler pass
+	// (rebalanceFullLocked) on every kernel event instead of the
+	// incremental pass that reuses the device's running-set and residency
+	// caches. The two are float-exact equivalents; the full pass is kept as
+	// the differential-testing oracle for the incremental one.
+	FullRebalance bool
 }
 
 // DefaultResidencyTax is the calibrated MPS context-multiplexing overhead
@@ -103,16 +108,29 @@ type Device struct {
 	eng simtime.Engine
 	cfg DeviceConfig
 
-	mu      sync.Mutex
+	// mu guards all device and client state. It is an ownership-regime
+	// guard: free while the engine is single-owner (the all-inline grids),
+	// a real mutex once goroutine shells or live transports exist.
+	mu      simtime.Guard
 	clients map[string]*Client
-	// order lists clients in creation order: the rebalance hot path walks
-	// it instead of iterating the map (faster, and deterministic).
+	// order lists clients in creation order: the full-recompute oracle
+	// walks it instead of iterating the map (faster, and deterministic).
 	order    []*Client
 	memUsed  int64
 	occ      *trace.Series // total SM allocation over time
 	mem      *trace.Series // total memory bytes over time
 	kernels  uint64        // completed kernel count
 	workDone float64       // completed SM-seconds (at reference speed)
+
+	// running caches the in-flight kernel set (each client's current, in
+	// client creation order — the same order the full recompute derives by
+	// walking d.order). Kernel launch/completion/abort updates it in place,
+	// so the incremental rebalance never walks the client list.
+	running []*kernel
+	// resident caches how many clients hold GPU state (memory allocated or
+	// a kernel in flight) — the ResidencyTax predicate — maintained on
+	// every transition instead of recounted per rebalance.
+	resident int
 
 	// scratch buffers reused across rebalances to keep the hot path
 	// allocation-free.
@@ -139,13 +157,15 @@ func NewDevice(eng simtime.Engine, cfg DeviceConfig) *Device {
 	if cfg.Name == "" {
 		cfg.Name = "gpu"
 	}
-	return &Device{
+	d := &Device{
 		eng:     eng,
 		cfg:     cfg,
 		clients: make(map[string]*Client),
 		occ:     trace.NewSeries(cfg.Name + "/sm"),
 		mem:     trace.NewSeries(cfg.Name + "/mem"),
 	}
+	d.mu.Bind(eng)
+	return d
 }
 
 // Name reports the device name.
@@ -210,6 +230,12 @@ type Client struct {
 	queue   []*kernel
 	memTr   *trace.Series
 	occTr   *trace.Series
+	// orderIdx is the client's index in dev.order, kept current across
+	// Destroys; the running-set cache sorts by it.
+	orderIdx int
+	// resident mirrors the ResidencyTax predicate (memUsed > 0 or a kernel
+	// in flight) so transitions can maintain dev.resident in O(1).
+	resident bool
 }
 
 // NewClient registers a client context on the device.
@@ -223,14 +249,74 @@ func (d *Device) NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, fmt.Errorf("simgpu: duplicate client %q on %s", cfg.Name, d.cfg.Name)
 	}
 	c := &Client{
-		dev:   d,
-		cfg:   cfg,
-		memTr: trace.NewSeries(d.cfg.Name + "/" + cfg.Name + "/mem"),
-		occTr: trace.NewSeries(d.cfg.Name + "/" + cfg.Name + "/sm"),
+		dev:      d,
+		cfg:      cfg,
+		memTr:    trace.NewSeries(d.cfg.Name + "/" + cfg.Name + "/mem"),
+		occTr:    trace.NewSeries(d.cfg.Name + "/" + cfg.Name + "/sm"),
+		orderIdx: len(d.order),
 	}
 	d.clients[cfg.Name] = c
 	d.order = append(d.order, c)
 	return c, nil
+}
+
+// --- incremental scheduler caches -----------------------------------------
+//
+// The running set and the residency count are maintained at every transition
+// (launch, completion, Destroy, memory traffic) so the rebalance pass needs
+// neither a client-list walk nor a residency recount. rebalanceFullLocked
+// ignores both caches and rederives everything — the differential oracle.
+
+// residencyChangedLocked re-evaluates c's residency after any change to its
+// memory or kernel state and folds the delta into the device count. Caller
+// holds d.mu.
+func (d *Device) residencyChangedLocked(c *Client) {
+	r := !c.closed && (c.memUsed > 0 || c.current != nil)
+	if r != c.resident {
+		c.resident = r
+		if r {
+			d.resident++
+		} else {
+			d.resident--
+		}
+	}
+}
+
+// runningInsertLocked adds k (its client's new current) to the running set,
+// keeping client creation order. Caller holds d.mu.
+func (d *Device) runningInsertLocked(k *kernel) {
+	i := len(d.running)
+	for i > 0 && d.running[i-1].client.orderIdx > k.client.orderIdx {
+		i--
+	}
+	d.running = append(d.running, nil)
+	copy(d.running[i+1:], d.running[i:])
+	d.running[i] = k
+	for j := i; j < len(d.running); j++ {
+		d.running[j].runIdx = int32(j)
+	}
+}
+
+// runningRemoveLocked drops k from the running set. Caller holds d.mu.
+func (d *Device) runningRemoveLocked(k *kernel) {
+	i := int(k.runIdx)
+	copy(d.running[i:], d.running[i+1:])
+	last := len(d.running) - 1
+	d.running[last] = nil
+	d.running = d.running[:last]
+	for j := i; j < last; j++ {
+		d.running[j].runIdx = int32(j)
+	}
+	k.runIdx = -1
+}
+
+// runningReplaceLocked swaps a completed kernel for its client's promoted
+// successor in the same slot (same client, same position). Caller holds d.mu.
+func (d *Device) runningReplaceLocked(old, next *kernel) {
+	i := old.runIdx
+	d.running[i] = next
+	next.runIdx = i
+	old.runIdx = -1
 }
 
 // Name reports the client name.
@@ -277,6 +363,7 @@ func (c *Client) AllocMem(n int64) error {
 	}
 	c.memUsed += n
 	d.memUsed += n
+	d.residencyChangedLocked(c)
 	if !d.cfg.NoTraces {
 		now := d.eng.Now()
 		c.memTr.Add(now, float64(c.memUsed))
@@ -295,6 +382,7 @@ func (c *Client) FreeMem(n int64) {
 	}
 	c.memUsed -= n
 	d.memUsed -= n
+	d.residencyChangedLocked(c)
 	if !d.cfg.NoTraces {
 		now := d.eng.Now()
 		c.memTr.Add(now, float64(c.memUsed))
@@ -316,6 +404,7 @@ func (c *Client) Destroy() {
 	aborted := make([]*kernel, 0, len(c.queue)+1)
 	if c.current != nil {
 		c.current.cancelTimer()
+		d.runningRemoveLocked(c.current)
 		aborted = append(aborted, c.current)
 		c.current = nil
 	}
@@ -323,17 +412,16 @@ func (c *Client) Destroy() {
 	c.queue = nil
 	d.memUsed -= c.memUsed
 	c.memUsed = 0
+	d.residencyChangedLocked(c)
 	if !d.cfg.NoTraces {
 		now := d.eng.Now()
 		c.memTr.Add(now, 0)
 		d.mem.Add(now, float64(d.memUsed))
 	}
 	delete(d.clients, c.cfg.Name)
-	for i, oc := range d.order {
-		if oc == c {
-			d.order = append(d.order[:i], d.order[i+1:]...)
-			break
-		}
+	d.order = append(d.order[:c.orderIdx], d.order[c.orderIdx+1:]...)
+	for i := c.orderIdx; i < len(d.order); i++ {
+		d.order[i].orderIdx = i
 	}
 	d.rebalanceLocked()
 	d.mu.Unlock()

@@ -59,9 +59,12 @@ type kernel struct {
 	// waiter, when set, receives the completion (nil or an error) through
 	// its wait slot instead of onComplete. This is the blocking/inline Exec
 	// path: delivering to a pre-bound process wait costs no closure.
-	waiter     *simproc.Process
-	started    time.Duration
-	startSet   bool
+	waiter   *simproc.Process
+	started  time.Duration
+	startSet bool
+	// runIdx is the kernel's slot in the device's running-set cache, -1
+	// while queued or retired.
+	runIdx int32
 }
 
 func (k *kernel) cancelTimer() {
@@ -105,6 +108,7 @@ func (c *Client) launch(spec KernelSpec, onComplete func(error), waiter *simproc
 			work:       spec.Demand * spec.Duration.Seconds(),
 			onComplete: onComplete,
 			waiter:     waiter,
+			runIdx:     -1,
 			// The completion timer and closure survive recycling.
 			timer:      k.timer,
 			completeFn: k.completeFn,
@@ -116,6 +120,7 @@ func (c *Client) launch(spec KernelSpec, onComplete func(error), waiter *simproc
 			work:       spec.Demand * spec.Duration.Seconds(),
 			onComplete: onComplete,
 			waiter:     waiter,
+			runIdx:     -1,
 		}
 		k.completeFn = func() { d.completeKernel(k) }
 	}
@@ -126,6 +131,8 @@ func (c *Client) launch(spec KernelSpec, onComplete func(error), waiter *simproc
 		c.current = k
 		k.started = d.eng.Now()
 		k.startSet = true
+		d.runningInsertLocked(k)
+		d.residencyChangedLocked(c)
 		d.rebalanceLocked()
 	} else {
 		c.queue = append(c.queue, k)
@@ -188,7 +195,69 @@ func (c *Client) Busy() bool {
 // rebalanceLocked recomputes every running kernel's SM allocation after any
 // change in the running set, accrues progress, updates traces, and
 // reschedules completion events. Caller holds d.mu.
+//
+// The incremental pass trusts the device's transition-maintained caches:
+// d.running already reflects the launch/completion/abort that triggered the
+// rebalance (same kernels, same client order the full recompute would
+// derive), and d.resident already counts the ResidencyTax predicate. Each
+// kernel's completion timer is re-armed in place (simtime's pending-timer
+// Reschedule) rather than canceled and re-pushed. Everything numeric —
+// accrual, allocation, tax scaling, completion deadlines and their
+// (when, seq) ordering — is computed exactly as the full pass computes it,
+// which is what the float-exact differential oracle asserts.
 func (d *Device) rebalanceLocked() {
+	if d.cfg.FullRebalance {
+		d.rebalanceFullLocked()
+		return
+	}
+	now := d.eng.Now()
+	running := d.running
+
+	// Accrue progress under the old allocations.
+	for _, k := range running {
+		if k.alloc > 0 {
+			k.work -= k.alloc * (now - k.lastUpdate).Seconds()
+			if k.work < 0 {
+				k.work = 0
+			}
+		}
+		k.lastUpdate = now
+	}
+
+	d.assignAllocations(running)
+
+	// MPS context-multiplexing tax: with two or more resident client
+	// contexts, every kernel pays a small scheduling overhead.
+	if d.cfg.ResidencyTax > 0 && d.cfg.Policy == PolicyMPS && d.resident >= 2 {
+		scale := 1 / (1 + d.cfg.ResidencyTax)
+		for _, k := range running {
+			k.alloc *= scale
+		}
+	}
+
+	var total float64
+	for _, k := range running {
+		total += k.alloc
+		d.scheduleCompletionLocked(k)
+	}
+	if !d.cfg.NoTraces {
+		for _, k := range running {
+			k.client.occTr.Add(now, k.alloc)
+		}
+		for _, c := range d.order {
+			if c.current == nil {
+				c.occTr.Add(now, 0)
+			}
+		}
+		d.occ.Add(now, total)
+	}
+}
+
+// rebalanceFullLocked is the original full recompute: it rederives the
+// running set by walking the client list, recounts residency, cancels and
+// re-pushes every completion timer. Kept verbatim as the differential oracle
+// for the incremental pass (DeviceConfig.FullRebalance). Caller holds d.mu.
+func (d *Device) rebalanceFullLocked() {
 	now := d.eng.Now()
 
 	running := d.scratchRun[:0]
@@ -334,10 +403,14 @@ func clientWeightOf(k *kernel) float64 {
 	return 1
 }
 
-// scheduleCompletionLocked schedules the kernel's completion under its
-// current rate. Caller holds d.mu.
+// scheduleCompletionLocked (re)schedules the kernel's completion under its
+// current rate: a fresh push on the full-recompute path (the timer was
+// canceled during accrual), an in-place re-arm on the incremental path (the
+// timer is still pending) — identical (when, seq) outcomes either way.
+// Caller holds d.mu.
 func (d *Device) scheduleCompletionLocked(k *kernel) {
 	if k.alloc <= 0 {
+		k.cancelTimer() // no rate: park the completion (full path already did)
 		return
 	}
 	secs := k.work / k.alloc
@@ -363,7 +436,11 @@ func (d *Device) completeKernel(k *kernel) {
 		c.queue = c.queue[1:]
 		c.current.started = d.eng.Now()
 		c.current.startSet = true
+		d.runningReplaceLocked(k, c.current)
+	} else {
+		d.runningRemoveLocked(k)
 	}
+	d.residencyChangedLocked(c)
 	d.rebalanceLocked()
 	// Retire k into the pool while the lock is held; after Unlock this
 	// function must not touch k again — the completion delivery below may

@@ -151,7 +151,11 @@ type Process struct {
 	wakeMsg  resumeMsg
 	resumeMu sync.Mutex
 
-	mu         sync.Mutex
+	// mu guards the lifecycle and wait-slot state. It rides the engine
+	// ownership regime: free for inline processes in single-owner grids,
+	// a real mutex once the engine escalates (goroutine shells always run
+	// escalated — Spawn is what escalates).
+	mu         simtime.Guard
 	state      State
 	exitErr    error
 	parked     bool
@@ -186,6 +190,7 @@ func (rt *Runtime) newProcess(name string, inline bool) *Process {
 		inline: inline,
 		state:  StateRunning,
 	}
+	p.mu.Bind(rt.eng)
 	if !inline {
 		// One-slot gates: strict alternation of park and wake (enforced by
 		// resumeMu) means deposits never block.
@@ -203,7 +208,14 @@ func (rt *Runtime) newProcess(name string, inline bool) *Process {
 // Spawn starts fn as a new goroutine process. fn begins executing at
 // engine-time Now() (as a scheduled event). The returned Process can be
 // signaled and observed immediately.
+//
+// Spawn declares the shared concurrency regime: the body's goroutine calls
+// Schedule/Now while the dispatcher is blocked awaiting its park, so the
+// engine escalates out of its single-owner fast path before the goroutine
+// can exist. Inline processes (SpawnInline) stay on the dispatcher and
+// leave the regime untouched.
 func (rt *Runtime) Spawn(name string, fn func(p *Process) error) *Process {
+	simtime.EscalateShared(rt.eng)
 	p := rt.newProcess(name, false)
 	simtime.Detached(rt.eng, 0, "spawn:"+p.name, func() {
 		go p.run(fn)

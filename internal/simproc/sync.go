@@ -1,31 +1,43 @@
 package simproc
 
-import "sync"
+import (
+	"sync/atomic"
+
+	"freeride/internal/simtime"
+)
 
 // Latch is a one-shot condition: processes wait until it is set. It is the
 // dependency primitive the pipeline engine uses to express "BP of
 // micro-batch m at stage s needs BP at stage s+1" and similar edges.
 // Waiters are recorded as processes, not closures: Set wakes each one
 // through its wait slot, so waiting is allocation-free beyond the waiter
-// list itself.
+// list itself. IsSet is a single atomic load — the training-done latch is
+// polled once per simulated event by the session drain loop.
 type Latch struct {
-	mu      sync.Mutex
-	set     bool
+	mu      simtime.Guard
+	set     atomic.Bool
 	waiters []*Process
 }
 
-// NewLatch returns an unset latch.
-func NewLatch() *Latch { return &Latch{} }
+// NewLatch returns an unset latch whose lock rides eng's ownership regime
+// (see simtime.Guard). A nil engine yields an always-locked latch.
+func NewLatch(eng simtime.Engine) *Latch {
+	l := &Latch{}
+	if eng != nil {
+		l.mu.Bind(eng)
+	}
+	return l
+}
 
 // Set releases all current and future waiters. Must be called from
 // engine-callback or process context. Setting twice is a no-op.
 func (l *Latch) Set() {
 	l.mu.Lock()
-	if l.set {
+	if l.set.Load() {
 		l.mu.Unlock()
 		return
 	}
-	l.set = true
+	l.set.Store(true)
 	waiters := l.waiters
 	l.waiters = nil
 	l.mu.Unlock()
@@ -36,16 +48,14 @@ func (l *Latch) Set() {
 
 // IsSet reports whether the latch has been set.
 func (l *Latch) IsSet() bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.set
+	return l.set.Load()
 }
 
 // register enrolls an armed waiter, waking it immediately if Set raced in
 // between the caller's check and the registration.
 func (l *Latch) register(p *Process) {
 	l.mu.Lock()
-	if l.set {
+	if l.set.Load() {
 		l.mu.Unlock()
 		p.Wake(nil)
 		return
@@ -56,12 +66,9 @@ func (l *Latch) register(p *Process) {
 
 // Wait parks p until the latch is set (returns immediately if already set).
 func (l *Latch) Wait(p *Process) {
-	l.mu.Lock()
-	if l.set {
-		l.mu.Unlock()
+	if l.set.Load() {
 		return
 	}
-	l.mu.Unlock()
 	p.BeginWait(nil)
 	l.register(p)
 	p.Await("latch")
@@ -70,13 +77,10 @@ func (l *Latch) Wait(p *Process) {
 // WaitThen is the inline form of Wait: k runs once the latch is set —
 // immediately (and synchronously) if it already is.
 func (l *Latch) WaitThen(p *Process, k func(any)) {
-	l.mu.Lock()
-	if l.set {
-		l.mu.Unlock()
+	if l.set.Load() {
 		k(nil)
 		return
 	}
-	l.mu.Unlock()
 	p.BeginWait(k)
 	l.register(p)
 	p.EndWait("latch")
@@ -85,14 +89,24 @@ func (l *Latch) WaitThen(p *Process, k func(any)) {
 // Mailbox is an unbounded FIFO queue with blocking receive, used for
 // inter-process messages (state-transition commands, RPC frames).
 type Mailbox struct {
-	mu     sync.Mutex
+	mu     simtime.Guard
 	queue  []any
 	waiter *Process // at most one blocked receiver
 	closed bool
 }
 
-// NewMailbox returns an empty mailbox.
+// NewMailbox returns an empty (always-locked) mailbox; Bind ties it to an
+// engine's ownership regime when one is available.
 func NewMailbox() *Mailbox { return &Mailbox{} }
+
+// Bind ties the mailbox lock to eng's ownership regime (see simtime.Guard).
+// Call before the mailbox is reachable from more than one goroutine, from
+// outside any mailbox operation.
+func (m *Mailbox) Bind(eng simtime.Engine) {
+	if eng != nil {
+		m.mu.Bind(eng)
+	}
+}
 
 // Closed is the wake payload a blocked receiver observes when the mailbox is
 // closed. RecvThen continuations compare against it; Recv translates it to

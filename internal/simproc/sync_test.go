@@ -7,7 +7,7 @@ import (
 
 func TestLatchReleasesWaiters(t *testing.T) {
 	eng, rt := newRT()
-	l := NewLatch()
+	l := NewLatch(eng)
 	var wokeAt []time.Duration
 	for i := 0; i < 3; i++ {
 		rt.Spawn("waiter", func(p *Process) error {
@@ -30,7 +30,7 @@ func TestLatchReleasesWaiters(t *testing.T) {
 
 func TestLatchAlreadySet(t *testing.T) {
 	eng, rt := newRT()
-	l := NewLatch()
+	l := NewLatch(eng)
 	l.Set()
 	l.Set() // idempotent
 	done := false

@@ -61,6 +61,30 @@ type Rescheduler interface {
 	Reschedule(t *Timer, delay time.Duration, name string, fn func()) *Timer
 }
 
+// Escalator is the engine ownership hook: engines that start in a
+// single-owner (lock-free) regime implement it so components can declare
+// when they introduce concurrency. Any component that creates a goroutine
+// able to reach the engine — a goroutine-process shell (simproc.Spawn), a
+// network read pump (freerpc.NewNetConn) — must escalate first, before that
+// goroutine exists. Inherently concurrent engines (Wall) implement it as a
+// no-op; components that stay on the dispatcher goroutine (simproc
+// SpawnInline bodies, the pipeline's stage machines, inline side tasks)
+// declare their regime by not calling it.
+type Escalator interface {
+	// EscalateShared switches the engine to its mutex-guarded regime.
+	// One-way; idempotent.
+	EscalateShared()
+}
+
+// EscalateShared declares that eng is about to be shared between
+// goroutines, taking the engine's ownership hook when it has one. Call it
+// before creating any goroutine that can touch the engine.
+func EscalateShared(eng Engine) {
+	if e, ok := eng.(Escalator); ok {
+		e.EscalateShared()
+	}
+}
+
 // Reschedule re-arms a fired, canceled or nil timer whose handle the caller
 // exclusively owns, reusing its allocation when the engine supports it
 // (both Virtual and Wall do). On other engines it cancels t and schedules
@@ -109,8 +133,14 @@ type Timer struct {
 	// pos is the timer's index in vq's heap, -1 when not queued.
 	pos int32
 	// pooled marks detached timers eligible for free-list recycling after
-	// they fire (no handle escaped, so no stale Cancel can reach them).
+	// they fire. A raw *Timer to a pooled timer is inherently stale-prone
+	// (the allocation is reused for unrelated events), so the plain Cancel
+	// and Pending methods refuse pooled timers; cancellation goes through a
+	// generation-checked DetachedRef instead.
 	pooled bool
+	// gen counts incarnations of a pooled timer: bumped each time it is
+	// recycled, it is what lets a DetachedRef detect that its event is gone.
+	gen uint64
 }
 
 // When reports the absolute engine time the timer is scheduled for.
@@ -121,8 +151,15 @@ func (t *Timer) Name() string { return t.name }
 
 // Cancel prevents the callback from running. It reports whether the
 // cancellation won: false means the callback already ran or is running.
-// Canceling an already-canceled timer returns false.
+// Canceling an already-canceled timer returns false. On a pooled (detached)
+// timer Cancel is always a no-op: the *Timer may already back an unrelated
+// recycled event, and killing that one would be a silent corruption — use
+// the DetachedRef returned by ScheduleDetachedRef, whose generation check
+// makes stale cancels harmless.
 func (t *Timer) Cancel() bool {
+	if t.pooled {
+		return false
+	}
 	if !t.state.CompareAndSwap(timerPending, timerCanceled) {
 		return false
 	}
@@ -141,7 +178,9 @@ func (t *Timer) Stopped() bool { return t.state.Load() == timerCanceled }
 // Pending reports whether the timer is armed and has neither fired nor been
 // canceled. Owners of a reusable Reschedule handle use this to skip re-arming
 // a deadline that is already set: When() then reports the armed deadline.
-func (t *Timer) Pending() bool { return t.state.Load() == timerPending }
+// Like Cancel, Pending refuses pooled timers (always false): a recycled
+// *Timer would otherwise report some unrelated event's state.
+func (t *Timer) Pending() bool { return !t.pooled && t.state.Load() == timerPending }
 
 // Fired reports whether the callback has already run (or started running).
 func (t *Timer) Fired() bool { return t.state.Load() == timerFired }

@@ -11,22 +11,54 @@ import (
 // the goroutine that calls Run/RunUntil/Step; between events, virtual time
 // jumps directly to the next deadline.
 //
-// Event callbacks may schedule further events and may hand control to
-// simulated process goroutines (see internal/simproc); those goroutines may
-// call Schedule and Now concurrently with the blocked dispatcher, which is
-// why the queue is guarded by its own mutex rather than relying on
-// single-threadedness.
+// # Concurrency contract: single-owner and escalated regimes
+//
+// The engine runs in one of two regimes, declared by its users through the
+// ownership hook (EscalateShared / the package-level EscalateShared helper):
+//
+//   - Single-owner (the initial regime): every entry point — Schedule,
+//     ScheduleDetached, Reschedule, Step, Timer.Cancel, the observers — is
+//     called from one goroutine at a time: the dispatcher goroutine itself
+//     (event callbacks, and code between Step calls). This is the all-inline
+//     case every experiment grid hits: pipeline stages, side tasks and the
+//     control plane all run as event-loop continuations on the dispatcher
+//     (simproc.SpawnInline), so nothing else can touch the queue. In this
+//     regime the queue mutex is skipped entirely; Now stays lock-free as
+//     always.
+//   - Escalated (shared): the first component that introduces a second
+//     goroutine able to reach the engine — simproc.Runtime.Spawn creating a
+//     goroutine-process shell, freerpc.NewNetConn starting a read pump —
+//     must call EscalateShared before that goroutine exists. From then on
+//     all queue operations serialize on the mutex. Escalation is one-way
+//     and must itself happen on the owning goroutine (or before any
+//     concurrent use): the happens-before edge of starting the new
+//     goroutine is what publishes the regime change.
+//
+// Callbacks may hand control to simulated process goroutines (see
+// internal/simproc); those goroutines may call Schedule and Now while the
+// dispatcher is blocked waiting for them to park — that is exactly the
+// escalated regime. Who may call what from where, in short: in single-owner
+// mode, only the dispatcher goroutine (and the inline continuations it
+// runs); after escalation, any goroutine, serialized by the queue mutex,
+// with dispatch itself still exclusive to the one Run/Step caller.
 //
 // The queue is an indexed 4-ary min-heap on (when, seq): no container/heap
 // interface calls or any-boxing on the dispatch path, and Cancel removes its
 // entry immediately via the stored index instead of leaving a dead timer to
 // be reaped at pop time. Detached events (ScheduleDetached) draw their
 // Timers from a free-list, making the hottest schedule→fire loop
-// allocation-free.
+// allocation-free; recycled timers are generation-stamped so a stale handle
+// can never cancel an unrelated event (see DetachedRef).
 type Virtual struct {
 	// now is read lock-free (Now is the single most-called function in the
-	// simulator) and written only under mu by the dispatcher.
+	// simulator) and written only under the queue lock by the dispatcher.
 	now atomic.Int64
+
+	// shared is false in the single-owner regime, where lock/unlock are
+	// no-ops. It is flipped (once, by the owner) by EscalateShared; the
+	// goroutine that makes concurrent access possible is always created
+	// after the flip, which publishes it.
+	shared bool
 
 	mu    sync.Mutex
 	queue []*Timer
@@ -35,7 +67,8 @@ type Virtual struct {
 	// free is the Timer free-list. Only detached timers are recycled: a
 	// *Timer returned by Schedule may be retained by the caller forever,
 	// and a stale Cancel on a recycled handle would kill an unrelated
-	// event.
+	// event. Pooled timers are therefore inert to the plain Timer methods
+	// and cancelable only through a generation-checked DetachedRef.
 	free []*Timer
 
 	// dead stages the last-fired pooled timer for recycling. It is touched
@@ -48,13 +81,51 @@ type Virtual struct {
 }
 
 var (
-	_ Engine   = (*Virtual)(nil)
-	_ Detacher = (*Virtual)(nil)
+	_ Engine    = (*Virtual)(nil)
+	_ Detacher  = (*Virtual)(nil)
+	_ Escalator = (*Virtual)(nil)
 )
 
-// NewVirtual returns a virtual engine positioned at time zero.
+// NewVirtual returns a virtual engine positioned at time zero, in the
+// single-owner regime.
 func NewVirtual() *Virtual {
 	return &Virtual{}
+}
+
+// EscalateShared switches the engine to the escalated (mutex-guarded)
+// regime. It must be called before the first additional goroutine that can
+// reach the engine is created, from a context where no such goroutine exists
+// yet. One-way; calling it again is a no-op.
+func (v *Virtual) EscalateShared() {
+	if v.shared {
+		return
+	}
+	// Taking the mutex is not needed for correctness (the caller owns the
+	// engine at this instant, and the new goroutine's creation publishes
+	// the write), but it keeps the flip ordered against a concurrently
+	// completing critical section if a caller escalates from a callback.
+	v.mu.Lock()
+	v.shared = true
+	v.mu.Unlock()
+}
+
+// Shared reports whether the engine has escalated to the mutex regime.
+func (v *Virtual) Shared() bool { return v.shared }
+
+// lock/unlock guard the queue in the escalated regime and cost one branch in
+// the single-owner regime. The shared flag cannot flip between a lock and
+// its matching unlock: only the owner flips it, and the owner is never
+// inside one of these critical sections while doing so.
+func (v *Virtual) lock() {
+	if v.shared {
+		v.mu.Lock()
+	}
+}
+
+func (v *Virtual) unlock() {
+	if v.shared {
+		v.mu.Unlock()
+	}
 }
 
 // Now reports the current virtual time.
@@ -68,11 +139,11 @@ func (v *Virtual) Schedule(delay time.Duration, name string, fn func()) *Timer {
 	if fn == nil {
 		panic("simtime: Schedule with nil callback")
 	}
-	v.mu.Lock()
+	v.lock()
 	t := &Timer{when: v.deadlineLocked(delay), seq: v.seq, name: name, fn: fn, vq: v}
 	v.seq++
 	v.pushLocked(t)
-	v.mu.Unlock()
+	v.unlock()
 	return t
 }
 
@@ -80,15 +151,29 @@ func (v *Virtual) Schedule(delay time.Duration, name string, fn func()) *Timer {
 // the free-list. With no handle escaping, the timer is recycled as soon as
 // its callback returns.
 func (v *Virtual) ScheduleDetached(delay time.Duration, name string, fn func()) {
+	v.scheduleDetached(delay, name, fn)
+}
+
+// ScheduleDetachedRef is ScheduleDetached returning a generation-checked
+// handle that remains safe to use after the timer is recycled: Cancel and
+// Pending on a DetachedRef whose event already fired (and whose Timer now
+// backs some unrelated event) are no-ops.
+func (v *Virtual) ScheduleDetachedRef(delay time.Duration, name string, fn func()) DetachedRef {
+	t := v.scheduleDetached(delay, name, fn)
+	return DetachedRef{t: t, gen: t.gen}
+}
+
+func (v *Virtual) scheduleDetached(delay time.Duration, name string, fn func()) *Timer {
 	if fn == nil {
 		panic("simtime: ScheduleDetached with nil callback")
 	}
-	v.mu.Lock()
+	v.lock()
 	var t *Timer
 	if n := len(v.free); n > 0 {
 		t = v.free[n-1]
 		v.free[n-1] = nil
 		v.free = v.free[:n-1]
+		t.gen++ // invalidate any DetachedRef to the previous incarnation
 		t.state.Store(timerPending)
 	} else {
 		t = &Timer{vq: v, pooled: true}
@@ -96,16 +181,19 @@ func (v *Virtual) ScheduleDetached(delay time.Duration, name string, fn func()) 
 	t.when, t.seq, t.name, t.fn = v.deadlineLocked(delay), v.seq, name, fn
 	v.seq++
 	v.pushLocked(t)
-	v.mu.Unlock()
+	v.unlock()
+	return t
 }
 
 // Reschedule re-arms t — a timer previously returned by this engine's
 // Schedule — with a new deadline, name and callback, reusing the Timer
 // allocation. The caller must be the exclusive holder of the handle: any
 // other retained copy could Cancel the re-armed event. A still-pending t is
-// canceled first; a nil or foreign t falls back to a fresh Schedule. This is
-// the allocation-free path for the self-rescheduling loops (manager tick,
-// kernel completion) whose Timer handle never leaves its owner.
+// re-armed in place (the heap entry moves, nothing is freed or pushed); a
+// fired or canceled t is re-pushed. A nil or foreign t falls back to a fresh
+// Schedule. This is the allocation-free path for the self-rescheduling loops
+// (manager deadlines, kernel completion) whose Timer handle never leaves its
+// owner.
 func (v *Virtual) Reschedule(t *Timer, delay time.Duration, name string, fn func()) *Timer {
 	if t == nil || t.vq != v || t.pooled {
 		return v.Schedule(delay, name, fn)
@@ -113,17 +201,31 @@ func (v *Virtual) Reschedule(t *Timer, delay time.Duration, name string, fn func
 	if fn == nil {
 		panic("simtime: Reschedule with nil callback")
 	}
-	t.Cancel() // no-op if already fired; removes a pending t from the queue
-	v.mu.Lock()
+	v.lock()
+	if t.pos >= 0 && t.state.Load() == timerPending {
+		// In place: the exclusive-holder contract means no Cancel can race
+		// us, and the dispatcher only pops under this lock, so a queued
+		// pending timer is fully ours. Equivalent to cancel+push — the
+		// event gets a fresh seq either way — minus the heap churn.
+		t.when, t.seq, t.name, t.fn = v.deadlineLocked(delay), v.seq, name, fn
+		v.seq++
+		v.siftUpLocked(int(t.pos))
+		v.siftDownLocked(int(t.pos))
+		v.unlock()
+		return t
+	}
+	v.unlock()
+	t.Cancel() // no-op unless a canceled-elsewhere t is mid-removal
+	v.lock()
 	t.state.Store(timerPending)
 	t.when, t.seq, t.name, t.fn = v.deadlineLocked(delay), v.seq, name, fn
 	v.seq++
 	v.pushLocked(t)
-	v.mu.Unlock()
+	v.unlock()
 	return t
 }
 
-// deadlineLocked clamps delay to now. Caller holds v.mu.
+// deadlineLocked clamps delay to now. Caller holds the queue lock.
 func (v *Virtual) deadlineLocked(delay time.Duration) time.Duration {
 	now := time.Duration(v.now.Load())
 	if delay > 0 {
@@ -134,23 +236,23 @@ func (v *Virtual) deadlineLocked(delay time.Duration) time.Duration {
 
 // Dispatched reports how many event callbacks have run so far.
 func (v *Virtual) Dispatched() uint64 {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.lock()
+	defer v.unlock()
 	return v.dispatched
 }
 
 // Pending reports how many events are queued. Canceled events leave the
 // queue at Cancel time, so every queued event is live.
 func (v *Virtual) Pending() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.lock()
+	defer v.unlock()
 	return len(v.queue)
 }
 
 // FreeListLen reports the current Timer free-list size (for tests).
 func (v *Virtual) FreeListLen() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.lock()
+	defer v.unlock()
 	return len(v.free)
 }
 
@@ -158,22 +260,23 @@ func (v *Virtual) FreeListLen() int {
 // reports false when the queue is empty.
 func (v *Virtual) Step() bool {
 	for {
-		v.mu.Lock()
+		v.lock()
 		if d := v.dead; d != nil {
 			v.dead = nil
 			v.free = append(v.free, d)
 		}
 		if len(v.queue) == 0 {
-			v.mu.Unlock()
+			v.unlock()
 			return false
 		}
 		t := v.popLocked()
-		// Pooled timers expose no handle, so nothing can cancel them: the
-		// claim CAS is skipped for them.
+		// Pooled timers are only ever canceled under this lock (via their
+		// DetachedRef), which removes them from the queue eagerly: a popped
+		// pooled timer is always live, so the claim CAS is skipped.
 		if !t.pooled && !t.claim() {
 			// Cancel won the race after we popped; its remove() saw
 			// pos == -1 and did nothing. Skip without advancing time.
-			v.mu.Unlock()
+			v.unlock()
 			continue
 		}
 		if t.when > time.Duration(v.now.Load()) {
@@ -181,7 +284,7 @@ func (v *Virtual) Step() bool {
 		}
 		v.dispatched++
 		fn := t.fn
-		v.mu.Unlock()
+		v.unlock()
 		fn()
 		if t.pooled {
 			t.fn = nil
@@ -197,15 +300,15 @@ func (v *Virtual) Step() bool {
 // within the horizon.
 func (v *Virtual) RunUntil(until time.Duration) {
 	for {
-		v.mu.Lock()
+		v.lock()
 		if len(v.queue) == 0 || v.queue[0].when > until {
 			if time.Duration(v.now.Load()) < until {
 				v.now.Store(int64(until))
 			}
-			v.mu.Unlock()
+			v.unlock()
 			return
 		}
-		v.mu.Unlock()
+		v.unlock()
 		v.Step()
 	}
 }
@@ -242,21 +345,63 @@ func (v *Virtual) MustDrain(maxEvents uint64) uint64 {
 }
 
 // remove deletes a canceled timer from the queue (called from Timer.Cancel,
-// possibly concurrently with the dispatcher).
+// possibly concurrently with the dispatcher in the escalated regime). Never
+// called for pooled timers: their cancel path (DetachedRef) removes and
+// recycles under the queue lock directly.
 func (v *Virtual) remove(t *Timer) {
-	v.mu.Lock()
+	v.lock()
 	if t.pos >= 0 {
 		v.deleteLocked(int(t.pos))
-		if t.pooled {
-			// Unreachable today (detached timers expose no handle), but
-			// keep the invariant: a canceled pooled timer goes back to
-			// the free-list rather than leaking.
-			t.fn = nil
-			t.name = ""
-			v.free = append(v.free, t)
-		}
 	}
-	v.mu.Unlock()
+	v.unlock()
+}
+
+// DetachedRef is a generation-checked handle to a detached event. Unlike a
+// raw *Timer — which for pooled timers is recycled after firing and must
+// therefore never be canceled through — a DetachedRef captured at schedule
+// time stays safe forever: once the event fires and its Timer is recycled
+// into some unrelated event, Cancel and Pending on the old ref observe the
+// generation mismatch and do nothing. The zero DetachedRef is inert.
+type DetachedRef struct {
+	t   *Timer
+	gen uint64
+}
+
+// Cancel prevents the referenced detached event from running, reporting
+// whether it won. A ref whose event already fired (or whose Timer has been
+// recycled since) returns false and touches nothing.
+func (r DetachedRef) Cancel() bool {
+	t := r.t
+	if t == nil {
+		return false
+	}
+	v := t.vq
+	v.lock()
+	if t.gen != r.gen || t.pos < 0 {
+		v.unlock()
+		return false
+	}
+	v.deleteLocked(int(t.pos))
+	t.state.Store(timerCanceled)
+	t.fn = nil
+	t.name = ""
+	t.gen++ // outstanding refs (including this one) go stale immediately
+	v.free = append(v.free, t)
+	v.unlock()
+	return true
+}
+
+// Pending reports whether the referenced event is still queued.
+func (r DetachedRef) Pending() bool {
+	t := r.t
+	if t == nil {
+		return false
+	}
+	v := t.vq
+	v.lock()
+	ok := t.gen == r.gen && t.pos >= 0
+	v.unlock()
+	return ok
 }
 
 // --- indexed 4-ary min-heap on (when, seq) --------------------------------
@@ -275,14 +420,15 @@ func timerLess(a, b *Timer) bool {
 	return a.seq < b.seq
 }
 
-// pushLocked appends t and restores the heap property. Caller holds v.mu.
+// pushLocked appends t and restores the heap property. Caller holds the
+// queue lock.
 func (v *Virtual) pushLocked(t *Timer) {
 	t.pos = int32(len(v.queue))
 	v.queue = append(v.queue, t)
 	v.siftUpLocked(int(t.pos))
 }
 
-// popLocked removes and returns the minimum. Caller holds v.mu.
+// popLocked removes and returns the minimum. Caller holds the queue lock.
 func (v *Virtual) popLocked() *Timer {
 	q := v.queue
 	t := q[0]
@@ -298,7 +444,7 @@ func (v *Virtual) popLocked() *Timer {
 	return t
 }
 
-// deleteLocked removes the element at index i. Caller holds v.mu.
+// deleteLocked removes the element at index i. Caller holds the queue lock.
 func (v *Virtual) deleteLocked(i int) {
 	q := v.queue
 	last := len(q) - 1
