@@ -60,6 +60,10 @@ type Report struct {
 	// Rebalance records which GPU scheduler pass the grid ran under
 	// (incremental is the default; full is the differential oracle).
 	Rebalance string `json:"rebalance,omitempty"`
+	// ShareCache records whether the water-fill share cache was enabled
+	// ("on", the default) or the grid ran the recompute-every-time oracle
+	// ("off").
+	ShareCache string `json:"share_cache,omitempty"`
 
 	// Micro-benchmarks.
 	EngineNsPerOp     float64 `json:"engine_ns_per_op"`
@@ -126,6 +130,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "grid parallelism (0 = GOMAXPROCS)")
 	managerMode := flag.String("manager", "event", "Algorithm-2 driver: event, polling or immediate")
 	rebalance := flag.String("rebalance", "incremental", "GPU scheduler pass: incremental or full (the oracle)")
+	shareCache := flag.String("sharecache", "on", "water-fill share cache: on or off (the oracle)")
 	baselineNs := flag.String("baseline-ns", "", "comma-separated baseline ns/op observations to record")
 	baselineDesc := flag.String("baseline-desc", "", "description of the baseline revision")
 	compareNew := flag.String("compare", "", "compare mode: path of the newer report (no benchmarks run)")
@@ -155,6 +160,14 @@ func main() {
 	default:
 		fatalf("unknown -rebalance %q (want incremental or full)", *rebalance)
 	}
+	var noShareCache bool
+	switch *shareCache {
+	case "on":
+	case "off":
+		noShareCache = true
+	default:
+		fatalf("unknown -sharecache %q (want on or off)", *shareCache)
+	}
 
 	rep := Report{
 		Benchmark:          "BenchmarkTable2",
@@ -163,11 +176,12 @@ func main() {
 		ParallelismApplied: *parallel,
 		ManagerMode:        mode.String(),
 		Rebalance:          *rebalance,
+		ShareCache:         *shareCache,
 	}
 
 	opts := experiments.Options{
 		Epochs: *epochs, WorkScale: sidetask.WorkNone, Seed: 1, Parallelism: *parallel,
-		ManagerMode: mode, FullRebalance: fullRebalance,
+		ManagerMode: mode, FullRebalance: fullRebalance, NoShareCache: noShareCache,
 	}
 	for i := 0; i < *iters; i++ {
 		start := time.Now()

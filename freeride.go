@@ -122,6 +122,10 @@ type Config struct {
 	// of the incremental one — the float-exact differential oracle (see
 	// simgpu.DeviceConfig.FullRebalance).
 	FullRebalance bool
+	// NoShareCache disables the GPU scheduler's water-fill share cache —
+	// the incremental pass recomputes allocations every rebalance, like the
+	// oracle (see simgpu.DeviceConfig.NoShareCache).
+	NoShareCache bool
 }
 
 // DefaultConfig mirrors the paper's principal setup: nanoGPT-3.6B on a
@@ -251,6 +255,7 @@ func NewSession(cfg Config) (*Session, error) {
 			// figure-rendering runs; measurement sessions skip recording.
 			NoTraces:      !cfg.RecordOps,
 			FullRebalance: cfg.FullRebalance,
+			NoShareCache:  cfg.NoShareCache,
 		})
 	}
 	tr, err := pipeline.New(eng, procs, devices, pipeline.Config{

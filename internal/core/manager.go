@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
+	"sync"
 	"time"
 
 	"freeride/internal/bubble"
@@ -34,6 +36,13 @@ func AdmitsMem(gpuMem, memBytes, slack int64) bool {
 type ManagerMode int
 
 const (
+	// ManagerDefault is the zero value: "no explicit choice". It resolves
+	// at manager construction to ManagerEventDriven — or to the mode named
+	// by the FREERIDE_ORACLE_MANAGER environment variable, which is how the
+	// CI oracle matrix re-runs the whole suite under the polling oracle
+	// without touching tests that select a mode explicitly (those are
+	// differential tests and must keep their chosen arms).
+	ManagerDefault ManagerMode = iota
 	// ManagerEventDriven (the default) reconciles each worker on
 	// control-plane events — bubble reports, task-state pushes, RPC
 	// completions — plus two armed deadline timers per worker (current
@@ -50,7 +59,7 @@ const (
 	// than the poll would (the reconcile event may sort after the delivery
 	// where the tick sorts before). That window has measure zero on the
 	// virtual clock — the grid-wide oracle test is the enforced contract.
-	ManagerEventDriven ManagerMode = iota
+	ManagerEventDriven
 	// ManagerPolling is the literal Algorithm-2 loop: a self-rescheduling
 	// tick every Tick of engine time. Kept as the differential-testing
 	// oracle for the event-driven mode.
@@ -64,6 +73,8 @@ const (
 // String implements fmt.Stringer.
 func (m ManagerMode) String() string {
 	switch m {
+	case ManagerDefault:
+		return "default"
 	case ManagerEventDriven:
 		return "event-driven"
 	case ManagerPolling:
@@ -96,7 +107,9 @@ type ManagerOptions struct {
 	// ManagerPolling mode, the deadline-rounding grid in ManagerEventDriven
 	// mode.
 	Tick time.Duration
-	// Mode selects how the loop is driven; zero is ManagerEventDriven.
+	// Mode selects how the loop is driven; the zero value ManagerDefault
+	// resolves to ManagerEventDriven (or the FREERIDE_ORACLE_MANAGER
+	// environment override).
 	Mode ManagerMode
 	// RPCTimeout bounds every manager→worker call.
 	RPCTimeout time.Duration
@@ -117,7 +130,23 @@ func (o *ManagerOptions) normalize() {
 	if o.RPCTimeout <= 0 {
 		o.RPCTimeout = time.Second
 	}
+	if o.Mode == ManagerDefault {
+		o.Mode = defaultManagerMode()
+	}
 }
+
+// defaultManagerMode resolves ManagerDefault: event-driven unless the CI
+// oracle matrix forces another mode via FREERIDE_ORACLE_MANAGER.
+var defaultManagerMode = sync.OnceValue(func() ManagerMode {
+	if s := os.Getenv("FREERIDE_ORACLE_MANAGER"); s != "" {
+		m, err := ParseManagerMode(s)
+		if err != nil {
+			panic(fmt.Sprintf("core: bad FREERIDE_ORACLE_MANAGER: %v", err))
+		}
+		return m
+	}
+	return ManagerEventDriven
+})
 
 // TaskView is a snapshot of one task's manager-side record.
 type TaskView struct {

@@ -38,6 +38,10 @@ type Options struct {
 	// instead of the incremental one. Results are bit-identical either way
 	// (asserted by the differential test); only wall-clock changes.
 	FullRebalance bool
+	// NoShareCache disables the GPU scheduler's water-fill share cache,
+	// recomputing allocations on every rebalance. Results are bit-identical
+	// either way; only wall-clock changes.
+	NoShareCache bool
 }
 
 // DefaultOptions returns the fast-suite defaults.
@@ -61,6 +65,7 @@ func (o Options) baseConfig() freeride.Config {
 	cfg.Seed = o.Seed
 	cfg.ManagerMode = o.ManagerMode
 	cfg.FullRebalance = o.FullRebalance
+	cfg.NoShareCache = o.NoShareCache
 	return cfg
 }
 

@@ -100,6 +100,20 @@ func TestIncrementalVsFullRebalanceGridBitIdentical(t *testing.T) {
 	compareOracleGrids(t, inc, ful, "incremental vs full rebalance")
 }
 
+// TestShareCacheGridBitIdentical is the end-to-end water-fill-cache
+// differential: the whole FreeRide grid must be bit-identical whether the
+// incremental scheduler serves allocations from the share cache or
+// recomputes them on every rebalance. The simgpu-level oracle asserts
+// float-exactness on random workloads; this asserts nothing observable
+// changes at system scale.
+func TestShareCacheGridBitIdentical(t *testing.T) {
+	cached := runOracleGrid(t, core.ManagerEventDriven, nil)
+	recomputed := runOracleGrid(t, core.ManagerEventDriven, func(cfg *freeride.Config) {
+		cfg.NoShareCache = true
+	})
+	compareOracleGrids(t, cached, recomputed, "share cache vs recompute")
+}
+
 // TestTable2GridRunsEventDriven pins the grid harness itself to the new
 // default mode and sanity-checks the headline metrics' signs.
 func TestTable2GridRunsEventDriven(t *testing.T) {

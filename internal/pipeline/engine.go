@@ -276,11 +276,11 @@ type stageRun struct {
 	ops    []Op
 	// names are the per-op kernel labels, precomputed so the op loop never
 	// formats strings.
-	names []string
-	fpDur time.Duration
-	bpDur time.Duration
+	names  []string
+	fpDur  time.Duration
+	bpDur  time.Duration
 	optDur time.Duration
-	comm  time.Duration
+	comm   time.Duration
 
 	epoch   int
 	i       int // index into ops

@@ -24,6 +24,9 @@ package simgpu
 import (
 	"errors"
 	"fmt"
+	"math"
+	"os"
+	"sync"
 
 	"freeride/internal/simtime"
 	"freeride/internal/trace"
@@ -93,11 +96,34 @@ type DeviceConfig struct {
 	NoTraces bool
 	// FullRebalance forces the original full-recompute scheduler pass
 	// (rebalanceFullLocked) on every kernel event instead of the
-	// incremental pass that reuses the device's running-set and residency
-	// caches. The two are float-exact equivalents; the full pass is kept as
-	// the differential-testing oracle for the incremental one.
+	// incremental pass that reuses the device's running-set, residency and
+	// share caches and fuses same-instant completion→relaunch rebalances.
+	// The two are float-exact equivalents; the full pass is kept as the
+	// differential-testing oracle for the incremental one.
 	FullRebalance bool
+	// NoShareCache disables the water-fill share cache: the incremental
+	// pass then recomputes the allocation vector on every rebalance, like
+	// the full oracle, instead of reusing the converged shares when the
+	// running set's fingerprint is unchanged. Cached and recomputed shares
+	// are float-exact equivalents; the knob exists for the CI oracle matrix
+	// and A/B measurement.
+	NoShareCache bool
 }
+
+// Oracle-matrix environment overrides: the CI matrix re-runs the whole test
+// suite with the differential oracles forced on, so every oracle pair is
+// exercised end-to-end per commit, not only in the dedicated suites.
+//
+//	FREERIDE_ORACLE_REBALANCE=full  → every device runs rebalanceFullLocked
+//	FREERIDE_ORACLE_SHARECACHE=off  → every device skips the share cache
+var (
+	oracleForceFullRebalance = sync.OnceValue(func() bool {
+		return os.Getenv("FREERIDE_ORACLE_REBALANCE") == "full"
+	})
+	oracleDisableShareCache = sync.OnceValue(func() bool {
+		return os.Getenv("FREERIDE_ORACLE_SHARECACHE") == "off"
+	})
+)
 
 // DefaultResidencyTax is the calibrated MPS context-multiplexing overhead
 // used by the experiment harness.
@@ -132,6 +158,42 @@ type Device struct {
 	// every transition instead of recounted per rebalance.
 	resident int
 
+	// Water-fill share cache: converged post-tax allocation vectors of
+	// recent incremental rebalances, fingerprinted by the running set's
+	// shape — per slot the client identity and the weight/demand bits that
+	// (with the immutable policy and capacity) fully determine the
+	// assignAllocations output — plus the residency-tax predicate. A
+	// steady-state co-location rebalance, where a completed kernel is
+	// replaced by an identically shaped successor, becomes a fingerprint
+	// compare and a copy instead of an iterative water-fill. The cache is
+	// two-way (MRU first) because the steady state alternates between two
+	// shapes: the set with a completed kernel removed, and the set with its
+	// successor launched. Any membership, weight, demand or residency
+	// transition changes the fingerprint, so invalidation is implicit in
+	// the compare; the cached floats are the exact bits the recompute would
+	// produce. shareHits/shareMisses let tests assert the fast path
+	// actually engages.
+	shares      [2]shareEntry
+	shareHits   uint64
+	shareMisses uint64
+
+	// fusedFolds counts fusion windows folded into a launch rebalance.
+	fusedFolds uint64
+	// fusing marks an open completion→relaunch fusion window: the
+	// rebalance owed by the last kernel completion has been deferred in the
+	// hope that the completion's continuation immediately launches a
+	// successor at the same instant, folding both transitions into one
+	// pass. Every state-observing or -mutating entry point flushes the
+	// window first (flushFusionLocked); completeKernel flushes on return,
+	// so a window never outlives its dispatch.
+	fusing bool
+
+	// fusable gates the fusion window: only virtual engines qualify (no
+	// wall-clock time can pass between a completion and its continuation's
+	// relaunch, which is what makes the fused single rebalance exact), and
+	// the full-recompute oracle never fuses.
+	fusable bool
+
 	// scratch buffers reused across rebalances to keep the hot path
 	// allocation-free.
 	scratchRun   []*kernel
@@ -157,6 +219,12 @@ func NewDevice(eng simtime.Engine, cfg DeviceConfig) *Device {
 	if cfg.Name == "" {
 		cfg.Name = "gpu"
 	}
+	if oracleForceFullRebalance() {
+		cfg.FullRebalance = true
+	}
+	if oracleDisableShareCache() {
+		cfg.NoShareCache = true
+	}
 	d := &Device{
 		eng:     eng,
 		cfg:     cfg,
@@ -164,9 +232,15 @@ func NewDevice(eng simtime.Engine, cfg DeviceConfig) *Device {
 		occ:     trace.NewSeries(cfg.Name + "/sm"),
 		mem:     trace.NewSeries(cfg.Name + "/mem"),
 	}
+	_, virtual := eng.(*simtime.Virtual)
+	d.fusable = virtual && !cfg.FullRebalance
 	d.mu.Bind(eng)
 	return d
 }
+
+// Config reports the device configuration after defaulting and oracle-matrix
+// environment overrides (for tests that must skip when an oracle is forced).
+func (d *Device) Config() DeviceConfig { return d.cfg }
 
 // Name reports the device name.
 func (d *Device) Name() string { return d.cfg.Name }
@@ -319,6 +393,114 @@ func (d *Device) runningReplaceLocked(old, next *kernel) {
 	old.runIdx = -1
 }
 
+// shareKey is one slot of the share-cache fingerprint: the client identity
+// plus the bits of the kernel weight and demand that, with the device's
+// immutable policy and capacity, determine its allocation under either
+// policy (the client's own weight override is a function of the client
+// identity). Clients are never recycled, so pointer identity is exact.
+type shareKey struct {
+	c    *Client
+	w, d uint64
+}
+
+// shareKeyOf builds the fingerprint slot for a running kernel.
+func shareKeyOf(k *kernel) shareKey {
+	return shareKey{
+		c: k.client,
+		w: math.Float64bits(k.spec.Weight),
+		d: math.Float64bits(k.spec.Demand),
+	}
+}
+
+// shareEntry is one cached (fingerprint, allocation vector) pair.
+type shareEntry struct {
+	key    []shareKey
+	allocs []float64
+	taxed  bool
+	valid  bool
+}
+
+// matches reports whether the entry's fingerprint equals the running set's.
+func (e *shareEntry) matches(running []*kernel, taxed bool) bool {
+	if !e.valid || e.taxed != taxed || len(e.key) != len(running) {
+		return false
+	}
+	for i, k := range running {
+		if e.key[i] != shareKeyOf(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// shareCacheHitLocked looks the running set up in the two-way cache and, on
+// a match, installs the cached post-tax allocation vector (promoting the
+// entry to MRU). Caller holds d.mu.
+func (d *Device) shareCacheHitLocked(running []*kernel, taxed bool) bool {
+	e := &d.shares[0]
+	if !e.matches(running, taxed) {
+		if !d.shares[1].matches(running, taxed) {
+			d.shareMisses++
+			return false
+		}
+		d.shares[0], d.shares[1] = d.shares[1], d.shares[0]
+	}
+	for i, k := range running {
+		k.alloc = d.shares[0].allocs[i]
+	}
+	d.shareHits++
+	return true
+}
+
+// shareCacheStoreLocked records the just-computed allocation vector under
+// the running set's fingerprint, evicting the LRU entry (whose slices are
+// reused). Caller holds d.mu.
+func (d *Device) shareCacheStoreLocked(running []*kernel, taxed bool) {
+	d.shares[0], d.shares[1] = d.shares[1], d.shares[0]
+	e := &d.shares[0]
+	key, allocs := e.key[:0], e.allocs[:0]
+	for _, k := range running {
+		key = append(key, shareKeyOf(k))
+		allocs = append(allocs, k.alloc)
+	}
+	e.key, e.allocs = key, allocs
+	e.taxed = taxed
+	e.valid = true
+}
+
+// ShareCacheStats reports water-fill cache hits and misses (for tests and
+// measurement; both zero when the cache is disabled or the device runs the
+// full-recompute oracle).
+func (d *Device) ShareCacheStats() (hits, misses uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.shareHits, d.shareMisses
+}
+
+// FusedFolds reports how many completion→relaunch fusion windows were folded
+// into a launch's rebalance (for tests and measurement).
+func (d *Device) FusedFolds() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fusedFolds
+}
+
+// flushFusionLocked settles an open completion→relaunch fusion window by
+// running the deferred rebalance. Called at the top of every device entry
+// point that observes or mutates scheduler state — a launch that merely
+// queues, memory traffic, Destroy — and by completeKernel after the
+// completion delivery returns, so a window never outlives the dispatch that
+// opened it. (NewClient needs no flush: a fresh client is neither resident
+// nor running, so it cannot interact with the deferred transition.) The
+// immediate-launch path folds the window into its own rebalance instead.
+// Caller holds d.mu.
+func (d *Device) flushFusionLocked() {
+	if d.fusing {
+		d.fusing = false
+		d.rebalanceLocked()
+	}
+}
+
 // Name reports the client name.
 func (c *Client) Name() string { return c.cfg.Name }
 
@@ -350,6 +532,7 @@ func (c *Client) AllocMem(n int64) error {
 	d := c.dev
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.flushFusionLocked()
 	if c.closed {
 		return ErrClientClosed
 	}
@@ -377,6 +560,7 @@ func (c *Client) FreeMem(n int64) {
 	d := c.dev
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.flushFusionLocked()
 	if n > c.memUsed {
 		n = c.memUsed
 	}
@@ -400,6 +584,7 @@ func (c *Client) Destroy() {
 		d.mu.Unlock()
 		return
 	}
+	d.flushFusionLocked()
 	c.closed = true
 	aborted := make([]*kernel, 0, len(c.queue)+1)
 	if c.current != nil {

@@ -133,8 +133,15 @@ func (c *Client) launch(spec KernelSpec, onComplete func(error), waiter *simproc
 		k.startSet = true
 		d.runningInsertLocked(k)
 		d.residencyChangedLocked(c)
+		// Fold an open fusion window: this launch's rebalance covers the
+		// deferred completion transition too (both at the same instant).
+		if d.fusing {
+			d.fusing = false
+			d.fusedFolds++
+		}
 		d.rebalanceLocked()
 	} else {
+		d.flushFusionLocked()
 		c.queue = append(c.queue, k)
 	}
 	d.mu.Unlock()
@@ -156,7 +163,17 @@ func (c *Client) Exec(p *simproc.Process, spec KernelSpec) error {
 
 // ExecThen is the inline form of Exec: k receives the completion payload
 // (nil on success, otherwise an error) once the kernel finishes.
+//
+// Called from within a kernel-completion delivery (the self-loop: a step or
+// pipeline-op continuation immediately issuing the next kernel), it takes
+// the fused path: the still-armed wait slot is re-armed in place
+// (ChainWait), and the launch folds the deferred completion rebalance into
+// its own — completion and relaunch become one dispatch.
 func (c *Client) ExecThen(p *simproc.Process, spec KernelSpec, k func(any)) {
+	if p.ChainWait(spec.Name, k) {
+		_ = c.launch(spec, nil, p)
+		return
+	}
 	p.BeginWait(k)
 	_ = c.launch(spec, nil, p)
 	p.EndWait(spec.Name)
@@ -199,12 +216,14 @@ func (c *Client) Busy() bool {
 // The incremental pass trusts the device's transition-maintained caches:
 // d.running already reflects the launch/completion/abort that triggered the
 // rebalance (same kernels, same client order the full recompute would
-// derive), and d.resident already counts the ResidencyTax predicate. Each
-// kernel's completion timer is re-armed in place (simtime's pending-timer
-// Reschedule) rather than canceled and re-pushed. Everything numeric —
-// accrual, allocation, tax scaling, completion deadlines and their
-// (when, seq) ordering — is computed exactly as the full pass computes it,
-// which is what the float-exact differential oracle asserts.
+// derive), and d.resident already counts the ResidencyTax predicate. When
+// the running set's fingerprint is unchanged the converged allocation vector
+// comes straight from the share cache; each kernel's completion timer is
+// re-armed in place (simtime's pending-timer Reschedule) rather than
+// canceled and re-pushed. Everything numeric — accrual, allocation, tax
+// scaling, completion deadlines and their (when, seq) ordering — is computed
+// exactly as the full pass computes it, which is what the float-exact
+// differential oracle asserts.
 func (d *Device) rebalanceLocked() {
 	if d.cfg.FullRebalance {
 		d.rebalanceFullLocked()
@@ -224,14 +243,20 @@ func (d *Device) rebalanceLocked() {
 		k.lastUpdate = now
 	}
 
-	d.assignAllocations(running)
-
-	// MPS context-multiplexing tax: with two or more resident client
-	// contexts, every kernel pays a small scheduling overhead.
-	if d.cfg.ResidencyTax > 0 && d.cfg.Policy == PolicyMPS && d.resident >= 2 {
-		scale := 1 / (1 + d.cfg.ResidencyTax)
-		for _, k := range running {
-			k.alloc *= scale
+	// taxed is the MPS context-multiplexing predicate: with two or more
+	// resident client contexts, every kernel pays a small scheduling
+	// overhead.
+	taxed := d.cfg.ResidencyTax > 0 && d.cfg.Policy == PolicyMPS && d.resident >= 2
+	if d.cfg.NoShareCache || !d.shareCacheHitLocked(running, taxed) {
+		d.assignAllocations(running)
+		if taxed {
+			scale := 1 / (1 + d.cfg.ResidencyTax)
+			for _, k := range running {
+				k.alloc *= scale
+			}
+		}
+		if !d.cfg.NoShareCache {
+			d.shareCacheStoreLocked(running, taxed)
 		}
 	}
 
@@ -419,7 +444,17 @@ func (d *Device) scheduleCompletionLocked(k *kernel) {
 }
 
 // completeKernel retires a finished kernel, promotes the client's next
-// queued kernel, and rebalances.
+// queued kernel, and rebalances — or, on a fusable device, defers the
+// rebalance into a fusion window: the completion delivery below runs at the
+// same virtual instant, and when its continuation immediately launches the
+// next kernel (the ExecThen self-loop, the pipeline's op chain), the launch
+// folds the deferred completion transition into its own single rebalance —
+// one accrual, one water-fill (typically a share-cache hit, since the
+// steady-state successor has the same fingerprint), one completion-timer
+// pass, where the unfused path pays all three twice. If nothing relaunches,
+// the flush after delivery settles the window at the same instant; either
+// way the final state is bit-identical to the unfused sequence (same-instant
+// trace points overwrite, rescheduled timers keep their relative order).
 func (d *Device) completeKernel(k *kernel) {
 	d.mu.Lock()
 	c := k.client
@@ -441,7 +476,12 @@ func (d *Device) completeKernel(k *kernel) {
 		d.runningRemoveLocked(k)
 	}
 	d.residencyChangedLocked(c)
-	d.rebalanceLocked()
+	fused := d.fusable
+	if fused {
+		d.fusing = true
+	} else {
+		d.rebalanceLocked()
+	}
 	// Retire k into the pool while the lock is held; after Unlock this
 	// function must not touch k again — the completion delivery below may
 	// launch a new kernel that reuses it.
@@ -454,8 +494,17 @@ func (d *Device) completeKernel(k *kernel) {
 	d.mu.Unlock()
 
 	if w != nil {
-		w.Wake(nil)
+		// Chained delivery: the wait slot stays armed while the
+		// continuation runs, so an immediate ExecThen re-arms it in place
+		// (simproc.ChainWait) instead of a disarm/re-arm round trip.
+		w.WakeChained(nil)
 	} else if cb != nil {
 		cb(nil)
+	}
+
+	if fused {
+		d.mu.Lock()
+		d.flushFusionLocked()
+		d.mu.Unlock()
 	}
 }

@@ -69,6 +69,48 @@ func buildOracleWorkload(t *testing.T, seed int64, full bool) *oracleRig {
 	}
 	for c, cl := range r.clients {
 		c, cl := c, cl
+		// Some clients run a self-loop: the completion callback immediately
+		// relaunches the next kernel, the shape that exercises the
+		// completion→relaunch fusion window (folded on the incremental arm,
+		// never opened on the full oracle) and the share cache's steady
+		// hit/miss interleavings — sometimes with an identical spec
+		// (fingerprint hit), sometimes alternating two specs (the two-way
+		// cache), sometimes with a fresh random spec (guaranteed miss).
+		if rng.Intn(2) == 0 {
+			loops := nKernels
+			specs := [2]KernelSpec{{
+				Name:     "loop0",
+				Duration: time.Duration(1+rng.Intn(40)) * time.Millisecond,
+				Demand:   0.1 + 0.9*rng.Float64(),
+				Weight:   0.1 + 3*rng.Float64(),
+			}, {
+				Name:     "loop1",
+				Duration: time.Duration(1+rng.Intn(40)) * time.Millisecond,
+				Demand:   0.1 + 0.9*rng.Float64(),
+				Weight:   0.1 + 3*rng.Float64(),
+			}}
+			mutate := rng.Intn(3) == 0
+			var relaunch func(err error)
+			n := 0
+			relaunch = func(err error) {
+				r.completions = append(r.completions, completionRec{
+					client: c, seq: n, at: r.eng.Now(), aborted: err != nil,
+				})
+				if err != nil || n >= loops {
+					return
+				}
+				n++
+				spec := specs[n%2]
+				if mutate && n%3 == 0 {
+					spec.Demand = 0.1 + 0.8*float64(n%7)/7
+				}
+				_ = cl.Launch(spec, relaunch)
+			}
+			r.eng.Schedule(time.Duration(rng.Intn(30))*time.Millisecond, "loop-start", func() {
+				_ = cl.Launch(specs[0], relaunch)
+			})
+			continue
+		}
 		for k := 0; k < nKernels; k++ {
 			k := k
 			spec := KernelSpec{

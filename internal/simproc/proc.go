@@ -173,6 +173,11 @@ type Process struct {
 	waitDone  bool
 	waitData  any
 	cont      func(any)
+	// chainOpen marks an in-flight chained delivery (WakeChained): the slot
+	// stays armed while the continuation runs so ChainWait can re-arm it in
+	// place. Cleared by ChainWait, by BeginWait (the continuation moved on
+	// to a different wait), by exit, or by the delivery's epilogue.
+	chainOpen bool
 
 	// pendingData holds a wake deferred while stopped (SIGTSTP semantics).
 	pendingData any
@@ -379,6 +384,7 @@ func (p *Process) exitInline(err error) {
 	p.waitDone = false
 	p.waitData = nil
 	p.cont = nil
+	p.chainOpen = false
 	p.parkReason = ""
 	p.hasPending = false
 	p.pendingData = nil
@@ -410,6 +416,9 @@ func (p *Process) BeginWait(k func(any)) {
 	p.waitDone = false
 	p.waitData = nil
 	p.cont = k
+	// Arming a fresh wait from inside a chained delivery supersedes the
+	// chain: the epilogue must not disarm the new wait.
+	p.chainOpen = false
 	p.mu.Unlock()
 }
 
@@ -459,12 +468,34 @@ func (p *Process) EndWait(reason string) {
 // wait armed (a stale timer), are discarded. A wake delivered while the
 // process is stopped (SIGTSTP) is held and re-delivered on SIGCONT.
 func (p *Process) Wake(data any) {
+	p.deliver(data, false)
+}
+
+// WakeChained delivers like Wake but, on an inline process, keeps the wait
+// slot armed while the continuation runs: a continuation that immediately
+// re-arms — simgpu's ExecThen issuing the next kernel of a self-loop — does
+// so in place through ChainWait, skipping the disarm/re-arm round trip of a
+// Wake-then-BeginWait cycle. A continuation that returns without chaining
+// (and without arming a different wait or exiting) leaves the slot exactly
+// as Wake would have: disarmed. All other semantics — discarding wakes to
+// dead processes or unarmed slots, recording synchronous deliveries,
+// deferring under SIGTSTP, resuming goroutine processes — are Wake's.
+func (p *Process) WakeChained(data any) {
+	p.deliver(data, true)
+}
+
+// deliver is the single wake-delivery body behind Wake and WakeChained; the
+// two differ only in how an inline continuation's slot is handled (disarm
+// before invoking vs keep armed for ChainWait).
+func (p *Process) deliver(data any, chained bool) {
 	p.mu.Lock()
 	if p.state == StateExited || p.state == StateKilled {
 		p.mu.Unlock()
 		return
 	}
-	if !p.waitArmed {
+	if !p.waitArmed || p.chainOpen {
+		// No wait armed — or the armed wait's wake is being delivered right
+		// now (chained delivery in flight): either way this wake is stale.
 		p.mu.Unlock()
 		return
 	}
@@ -487,16 +518,53 @@ func (p *Process) Wake(data any) {
 		p.mu.Unlock()
 		return
 	}
-	p.waitArmed = false
-	p.parkReason = ""
-	k := p.cont
-	p.cont = nil
-	p.mu.Unlock()
-	if p.inline {
-		k(data)
+	if !p.inline || !chained {
+		p.waitArmed = false
+		p.parkReason = ""
+		k := p.cont
+		p.cont = nil
+		p.mu.Unlock()
+		if p.inline {
+			k(data)
+			return
+		}
+		p.resume(resumeMsg{data: data})
 		return
 	}
-	p.resume(resumeMsg{data: data})
+	k := p.cont
+	p.chainOpen = true
+	p.mu.Unlock()
+	k(data)
+	p.mu.Lock()
+	if p.chainOpen {
+		// The continuation neither chained nor armed a new wait: settle the
+		// slot to the disarmed state a plain Wake leaves behind.
+		p.chainOpen = false
+		p.waitArmed = false
+		p.cont = nil
+		p.parkReason = ""
+	}
+	p.mu.Unlock()
+}
+
+// ChainWait re-arms the wait slot from inside a chained wake delivery
+// (WakeChained), reporting whether it did: true means the caller is the
+// delivery's continuation and the still-armed slot now carries k — the
+// fused, allocation- and churn-free equivalent of BeginWait+EndWait for the
+// self-loop shape. False means no chained delivery is in flight and the
+// caller must arm normally.
+func (p *Process) ChainWait(reason string, k func(any)) bool {
+	p.mu.Lock()
+	if !p.chainOpen {
+		p.mu.Unlock()
+		return false
+	}
+	p.chainOpen = false
+	p.waitGen++
+	p.cont = k
+	p.parkReason = reason
+	p.mu.Unlock()
+	return true
 }
 
 // --- goroutine park/resume (futex handshake) -------------------------------

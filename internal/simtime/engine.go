@@ -130,8 +130,12 @@ type Timer struct {
 	// vq is the owning virtual engine; Cancel removes the timer from its
 	// queue eagerly instead of leaving a dead entry for the dispatcher.
 	vq *Virtual
-	// pos is the timer's index in vq's heap, -1 when not queued.
+	// pos is the timer's index within vq's queue structure — the heap, or
+	// its wheel bucket — and -1 when not queued.
 	pos int32
+	// slot is the timer's wheel-bucket index, -1 when the timer lives in
+	// the overflow heap. Only meaningful while pos >= 0.
+	slot int32
 	// pooled marks detached timers eligible for free-list recycling after
 	// they fire. A raw *Timer to a pooled timer is inherently stale-prone
 	// (the allocation is reused for unrelated events), so the plain Cancel

@@ -2,6 +2,7 @@ package simtime
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,13 +43,30 @@ import (
 // runs); after escalation, any goroutine, serialized by the queue mutex,
 // with dispatch itself still exclusive to the one Run/Step caller.
 //
-// The queue is an indexed 4-ary min-heap on (when, seq): no container/heap
-// interface calls or any-boxing on the dispatch path, and Cancel removes its
-// entry immediately via the stored index instead of leaving a dead timer to
-// be reaped at pop time. Detached events (ScheduleDetached) draw their
-// Timers from a free-list, making the hottest schedule→fire loop
-// allocation-free; recycled timers are generation-stamped so a stale handle
-// can never cancel an unrelated event (see DetachedRef).
+// # Queue structure: near-term calendar wheel + 4-ary heap
+//
+// The queue is split by proximity to the clock. Events due within the wheel
+// horizon (wheelSlots slots of wheelSlotWidth each, ≈ the manager's 1ms Tick
+// rounded to a power of two, ~269ms total) live in a calendar wheel: an
+// array of unordered per-slot buckets indexed by deadline, with a bitmap for
+// first-non-empty scans. Everything further out goes to an indexed 4-ary
+// min-heap on (when, seq) — no container/heap interface calls or any-boxing
+// on the dispatch path, and Cancel removes its entry immediately via the
+// stored index instead of leaving a dead timer to be reaped at pop time.
+//
+// The wheel is what absorbs the simulator's re-arm churn: a kernel
+// completion whose deadline moves by nanoseconds on every rebalance stays in
+// the same slot (Reschedule rewrites when/seq in place) or moves between two
+// slots in O(1), where the heap would pay a sift either way. Buckets hold
+// only near-simultaneous events, so the scan that orders a bucket at
+// dispatch time is short; the global dispatch order — strictly (when, seq),
+// FIFO among equal deadlines, across both structures — is identical to the
+// pure heap's, a property pinned against the container/heap reference model.
+//
+// Detached events (ScheduleDetached) draw their Timers from a free-list,
+// making the hottest schedule→fire loop allocation-free; recycled timers are
+// generation-stamped so a stale handle can never cancel an unrelated event
+// (see DetachedRef).
 type Virtual struct {
 	// now is read lock-free (Now is the single most-called function in the
 	// simulator) and written only under the queue lock by the dispatcher.
@@ -63,6 +81,24 @@ type Virtual struct {
 	mu    sync.Mutex
 	queue []*Timer
 	seq   uint64
+
+	// wheel is the near-term calendar: bucket i holds the events whose
+	// deadline falls in absolute slot s with s%wheelSlots == i. All queued
+	// events satisfy when >= now, and events land in the wheel only when
+	// within the horizon, so each occupied bucket maps to exactly one
+	// absolute slot and a forward scan from now's slot is time order.
+	wheel [wheelSlots][]*Timer
+	// wheelOcc is the non-empty-bucket bitmap (bit i = bucket i occupied).
+	wheelOcc [wheelWords]uint64
+	// wheelLen counts events currently in the wheel.
+	wheelLen int
+	// wheelHint is a lower bound on the absolute slot of every wheel event:
+	// raised to the found slot by each min scan (and to now's slot, since
+	// no event is in the past), lowered by inserts below it. When the
+	// hinted bucket is still occupied — the common case of consecutive pops
+	// from one slot — the min scan is a single bucket probe, no bitmap
+	// walk.
+	wheelHint int64
 
 	// free is the Timer free-list. Only detached timers are recycled: a
 	// *Timer returned by Schedule may be retained by the caller forever,
@@ -79,6 +115,17 @@ type Virtual struct {
 	// dispatched counts events whose callbacks ran, for tests and stats.
 	dispatched uint64
 }
+
+// Calendar-wheel geometry. Slot width is 2^20ns ≈ 1.05ms — the manager's
+// 1ms Tick grid rounded to a power of two so slot indexing is a shift — and
+// 256 slots give a ~269ms horizon covering the kernel-completion deadlines
+// of every shipped workload profile.
+const (
+	wheelSlotShift = 20
+	wheelSlots     = 256
+	wheelMask      = wheelSlots - 1
+	wheelWords     = wheelSlots / 64
+)
 
 var (
 	_ Engine    = (*Virtual)(nil)
@@ -142,7 +189,7 @@ func (v *Virtual) Schedule(delay time.Duration, name string, fn func()) *Timer {
 	v.lock()
 	t := &Timer{when: v.deadlineLocked(delay), seq: v.seq, name: name, fn: fn, vq: v}
 	v.seq++
-	v.pushLocked(t)
+	v.enqueueLocked(t)
 	v.unlock()
 	return t
 }
@@ -180,7 +227,7 @@ func (v *Virtual) scheduleDetached(delay time.Duration, name string, fn func()) 
 	}
 	t.when, t.seq, t.name, t.fn = v.deadlineLocked(delay), v.seq, name, fn
 	v.seq++
-	v.pushLocked(t)
+	v.enqueueLocked(t)
 	v.unlock()
 	return t
 }
@@ -189,11 +236,12 @@ func (v *Virtual) scheduleDetached(delay time.Duration, name string, fn func()) 
 // Schedule — with a new deadline, name and callback, reusing the Timer
 // allocation. The caller must be the exclusive holder of the handle: any
 // other retained copy could Cancel the re-armed event. A still-pending t is
-// re-armed in place (the heap entry moves, nothing is freed or pushed); a
-// fired or canceled t is re-pushed. A nil or foreign t falls back to a fresh
-// Schedule. This is the allocation-free path for the self-rescheduling loops
-// (manager deadlines, kernel completion) whose Timer handle never leaves its
-// owner.
+// re-armed in place (a wheel event rewrites its deadline within its bucket
+// or hops buckets in O(1); a heap event sifts, and may migrate into the
+// wheel); a fired or canceled t is re-pushed. A nil or foreign t falls back
+// to a fresh Schedule. This is the allocation-free path for the
+// self-rescheduling loops (manager deadlines, kernel completion) whose Timer
+// handle never leaves its owner.
 func (v *Virtual) Reschedule(t *Timer, delay time.Duration, name string, fn func()) *Timer {
 	if t == nil || t.vq != v || t.pooled {
 		return v.Schedule(delay, name, fn)
@@ -206,11 +254,10 @@ func (v *Virtual) Reschedule(t *Timer, delay time.Duration, name string, fn func
 		// In place: the exclusive-holder contract means no Cancel can race
 		// us, and the dispatcher only pops under this lock, so a queued
 		// pending timer is fully ours. Equivalent to cancel+push — the
-		// event gets a fresh seq either way — minus the heap churn.
+		// event gets a fresh seq either way — minus the queue churn.
 		t.when, t.seq, t.name, t.fn = v.deadlineLocked(delay), v.seq, name, fn
 		v.seq++
-		v.siftUpLocked(int(t.pos))
-		v.siftDownLocked(int(t.pos))
+		v.rearmLocked(t)
 		v.unlock()
 		return t
 	}
@@ -220,7 +267,7 @@ func (v *Virtual) Reschedule(t *Timer, delay time.Duration, name string, fn func
 	t.state.Store(timerPending)
 	t.when, t.seq, t.name, t.fn = v.deadlineLocked(delay), v.seq, name, fn
 	v.seq++
-	v.pushLocked(t)
+	v.enqueueLocked(t)
 	v.unlock()
 	return t
 }
@@ -246,7 +293,15 @@ func (v *Virtual) Dispatched() uint64 {
 func (v *Virtual) Pending() int {
 	v.lock()
 	defer v.unlock()
-	return len(v.queue)
+	return len(v.queue) + v.wheelLen
+}
+
+// WheelLen reports how many events currently sit in the calendar wheel (for
+// tests).
+func (v *Virtual) WheelLen() int {
+	v.lock()
+	defer v.unlock()
+	return v.wheelLen
 }
 
 // FreeListLen reports the current Timer free-list size (for tests).
@@ -265,11 +320,11 @@ func (v *Virtual) Step() bool {
 			v.dead = nil
 			v.free = append(v.free, d)
 		}
-		if len(v.queue) == 0 {
+		t := v.dequeueMinLocked()
+		if t == nil {
 			v.unlock()
 			return false
 		}
-		t := v.popLocked()
 		// Pooled timers are only ever canceled under this lock (via their
 		// DetachedRef), which removes them from the queue eagerly: a popped
 		// pooled timer is always live, so the claim CAS is skipped.
@@ -301,7 +356,7 @@ func (v *Virtual) Step() bool {
 func (v *Virtual) RunUntil(until time.Duration) {
 	for {
 		v.lock()
-		if len(v.queue) == 0 || v.queue[0].when > until {
+		if t := v.peekMinLocked(); t == nil || t.when > until {
 			if time.Duration(v.now.Load()) < until {
 				v.now.Store(int64(until))
 			}
@@ -351,7 +406,7 @@ func (v *Virtual) MustDrain(maxEvents uint64) uint64 {
 func (v *Virtual) remove(t *Timer) {
 	v.lock()
 	if t.pos >= 0 {
-		v.deleteLocked(int(t.pos))
+		v.unlinkLocked(t)
 	}
 	v.unlock()
 }
@@ -381,7 +436,7 @@ func (r DetachedRef) Cancel() bool {
 		v.unlock()
 		return false
 	}
-	v.deleteLocked(int(t.pos))
+	v.unlinkLocked(t)
 	t.state.Store(timerCanceled)
 	t.fn = nil
 	t.name = ""
@@ -404,12 +459,194 @@ func (r DetachedRef) Pending() bool {
 	return ok
 }
 
+// --- queue routing ---------------------------------------------------------
+//
+// An enqueued timer lives either in the calendar wheel (t.slot >= 0, t.pos
+// its index within the unordered bucket) or in the heap (t.slot == -1, t.pos
+// its heap index). t.slot is only meaningful while t.pos >= 0; removal from
+// either structure resets pos to -1.
+
+// wheelSlotFor reports the absolute wheel slot a deadline belongs to, or -1
+// if it is beyond the wheel horizon (heap territory). Caller holds the queue
+// lock. All queued events satisfy when >= now, so the slot delta is never
+// negative.
+func (v *Virtual) wheelSlotFor(when time.Duration) int64 {
+	s := int64(when) >> wheelSlotShift
+	if s-(v.now.Load()>>wheelSlotShift) < wheelSlots {
+		return s
+	}
+	return -1
+}
+
+// enqueueLocked places t (when/seq already set) in the wheel or the heap.
+// Caller holds the queue lock.
+func (v *Virtual) enqueueLocked(t *Timer) {
+	if s := v.wheelSlotFor(t.when); s >= 0 {
+		v.wheelInsertLocked(t, int(s&wheelMask))
+		return
+	}
+	t.slot = -1
+	v.heapPushLocked(t)
+}
+
+// unlinkLocked removes a queued t from whichever structure holds it. Caller
+// holds the queue lock; t.pos >= 0.
+func (v *Virtual) unlinkLocked(t *Timer) {
+	if t.slot >= 0 {
+		v.wheelRemoveLocked(t)
+		return
+	}
+	v.heapDeleteLocked(int(t.pos))
+}
+
+// rearmLocked repositions a queued t after its deadline changed (Reschedule
+// in-place fast path). A wheel event staying in its slot costs nothing; slot
+// hops and wheel↔heap migrations are O(1) plus at most one sift on the heap
+// side. Caller holds the queue lock; t.pos >= 0.
+func (v *Virtual) rearmLocked(t *Timer) {
+	s := v.wheelSlotFor(t.when)
+	if t.slot >= 0 {
+		if s >= 0 {
+			if slot := int32(s & wheelMask); slot != t.slot {
+				v.wheelRemoveLocked(t)
+				v.wheelInsertLocked(t, int(slot))
+			}
+			// Same slot: buckets are unordered, nothing moves.
+			return
+		}
+		v.wheelRemoveLocked(t)
+		t.slot = -1
+		v.heapPushLocked(t)
+		return
+	}
+	if s >= 0 {
+		v.heapDeleteLocked(int(t.pos))
+		v.wheelInsertLocked(t, int(s&wheelMask))
+		return
+	}
+	v.siftUpLocked(int(t.pos))
+	v.siftDownLocked(int(t.pos))
+}
+
+// peekMinLocked reports the next event to fire — the (when, seq) minimum
+// across the wheel and the heap — without removing it, or nil when empty.
+// Caller holds the queue lock.
+func (v *Virtual) peekMinLocked() *Timer {
+	t := v.wheelMinLocked()
+	if len(v.queue) > 0 {
+		if h := v.queue[0]; t == nil || timerLess(h, t) {
+			return h
+		}
+	}
+	return t
+}
+
+// dequeueMinLocked removes and returns the next event to fire, or nil when
+// empty. Caller holds the queue lock.
+func (v *Virtual) dequeueMinLocked() *Timer {
+	t := v.wheelMinLocked()
+	if len(v.queue) > 0 {
+		if h := v.queue[0]; t == nil || timerLess(h, t) {
+			return v.heapPopLocked()
+		}
+	}
+	if t != nil {
+		v.wheelRemoveLocked(t)
+	}
+	return t
+}
+
+// --- calendar wheel --------------------------------------------------------
+
+// wheelInsertLocked appends t to the bucket of absolute-slot index slot.
+// Caller holds the queue lock.
+func (v *Virtual) wheelInsertLocked(t *Timer, slot int) {
+	t.slot = int32(slot)
+	b := v.wheel[slot]
+	t.pos = int32(len(b))
+	v.wheel[slot] = append(b, t)
+	v.wheelOcc[slot>>6] |= 1 << (slot & 63)
+	v.wheelLen++
+	if s := int64(t.when) >> wheelSlotShift; s < v.wheelHint {
+		v.wheelHint = s
+	}
+}
+
+// wheelRemoveLocked unlinks t from its bucket (swap-with-last; buckets are
+// unordered). Caller holds the queue lock.
+func (v *Virtual) wheelRemoveLocked(t *Timer) {
+	slot := int(t.slot)
+	b := v.wheel[slot]
+	last := len(b) - 1
+	if i := int(t.pos); i != last {
+		b[i] = b[last]
+		b[i].pos = int32(i)
+	}
+	b[last] = nil
+	v.wheel[slot] = b[:last]
+	if last == 0 {
+		v.wheelOcc[slot>>6] &^= 1 << (slot & 63)
+	}
+	v.wheelLen--
+	t.pos = -1
+}
+
+// wheelMinLocked reports the earliest (when, seq) event in the wheel, or nil
+// when the wheel is empty: bitmap-scan buckets forward in time order from
+// now's slot (the wrap covers the bits before the start slot, which map to
+// the latest windows), then linear-scan the first occupied bucket — short by
+// construction, it holds only near-simultaneous events. Caller holds the
+// queue lock.
+func (v *Virtual) wheelMinLocked() *Timer {
+	if v.wheelLen == 0 {
+		return nil
+	}
+	if cur := v.now.Load() >> wheelSlotShift; v.wheelHint < cur {
+		v.wheelHint = cur
+	}
+	// Hinted probe: if the hinted bucket still holds events of the hinted
+	// slot (not a later rotation), it is the earliest occupied slot.
+	if b := v.wheel[v.wheelHint&wheelMask]; len(b) > 0 &&
+		int64(b[0].when)>>wheelSlotShift == v.wheelHint {
+		return bucketMin(b)
+	}
+	start := int(v.wheelHint & wheelMask)
+	w, b := start>>6, start&63
+	for i := 0; i <= wheelWords; i++ {
+		wi := (w + i) & (wheelWords - 1)
+		word := v.wheelOcc[wi]
+		if i == 0 {
+			word &= ^uint64(0) << b
+		} else if i == wheelWords {
+			word = v.wheelOcc[wi] & (1<<b - 1)
+		}
+		if word == 0 {
+			continue
+		}
+		min := bucketMin(v.wheel[wi<<6+bits.TrailingZeros64(word)])
+		v.wheelHint = int64(min.when) >> wheelSlotShift
+		return min
+	}
+	return nil
+}
+
+// bucketMin scans an (unordered, short) bucket for its (when, seq) minimum.
+func bucketMin(b []*Timer) *Timer {
+	min := b[0]
+	for _, t := range b[1:] {
+		if timerLess(t, min) {
+			min = t
+		}
+	}
+	return min
+}
+
 // --- indexed 4-ary min-heap on (when, seq) --------------------------------
 //
 // A 4-ary layout halves the tree height of the binary heap and keeps the
 // children of a node on one cache line of pointers; with the comparison
 // inlined (no sort.Interface/heap.Interface dispatch) this is the cheapest
-// structure for the schedule/fire loop that dominates simulation time.
+// structure for the far-deadline overflow behind the wheel.
 
 const heapArity = 4
 
@@ -420,16 +657,16 @@ func timerLess(a, b *Timer) bool {
 	return a.seq < b.seq
 }
 
-// pushLocked appends t and restores the heap property. Caller holds the
+// heapPushLocked appends t and restores the heap property. Caller holds the
 // queue lock.
-func (v *Virtual) pushLocked(t *Timer) {
+func (v *Virtual) heapPushLocked(t *Timer) {
 	t.pos = int32(len(v.queue))
 	v.queue = append(v.queue, t)
 	v.siftUpLocked(int(t.pos))
 }
 
-// popLocked removes and returns the minimum. Caller holds the queue lock.
-func (v *Virtual) popLocked() *Timer {
+// heapPopLocked removes and returns the minimum. Caller holds the queue lock.
+func (v *Virtual) heapPopLocked() *Timer {
 	q := v.queue
 	t := q[0]
 	last := len(q) - 1
@@ -444,8 +681,9 @@ func (v *Virtual) popLocked() *Timer {
 	return t
 }
 
-// deleteLocked removes the element at index i. Caller holds the queue lock.
-func (v *Virtual) deleteLocked(i int) {
+// heapDeleteLocked removes the element at index i. Caller holds the queue
+// lock.
+func (v *Virtual) heapDeleteLocked(i int) {
 	q := v.queue
 	last := len(q) - 1
 	t := q[i]

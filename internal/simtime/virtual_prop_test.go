@@ -76,7 +76,7 @@ func TestVirtualMatchesReferenceModel(t *testing.T) {
 		ref := &refModel{}
 
 		var gotOrder, wantOrder []int
-		timers := map[int]*Timer{}  // live Virtual handles by event id
+		timers := map[int]*Timer{} // live Virtual handles by event id
 		events := map[int]*refEvent{}
 		var liveIDs []int
 		nextID := 0

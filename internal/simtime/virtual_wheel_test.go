@@ -1,0 +1,205 @@
+package simtime
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// wheelDelays spans every interesting region of the calendar wheel: inside
+// the current slot, across slot boundaries, near the horizon edge, and far
+// beyond it (heap territory), with repeats so equal-deadline FIFO ties occur
+// in every region — including ties split across the two structures, which
+// happen when an event scheduled beyond the horizon is later joined at the
+// same deadline by a near-term one.
+var wheelDelays = []time.Duration{
+	0, 1, 100 * time.Nanosecond,
+	500 * time.Microsecond, time.Millisecond, 1049 * time.Microsecond, // ~one slot (2^20ns)
+	3 * time.Millisecond, 40 * time.Millisecond, 200 * time.Millisecond,
+	260 * time.Millisecond, 268 * time.Millisecond, // horizon edge (256 slots)
+	300 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second,
+}
+
+// TestVirtualWheelMatchesReferenceModel drives Virtual — wheel plus overflow
+// heap — and the container/heap reference model through identical random
+// interleavings of schedule, cancel, reschedule and drain operations whose
+// deadlines span the wheel horizon, in both ownership regimes. Fire order
+// (strict (when, seq), FIFO among equal deadlines, across both structures)
+// and clock movement must match the pure heap exactly: the wheel is a
+// placement strategy, never an ordering semantic.
+func TestVirtualWheelMatchesReferenceModel(t *testing.T) {
+	for _, escalated := range []bool{false, true} {
+		for seed := int64(0); seed < 30; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			v := NewVirtual()
+			if escalated {
+				v.EscalateShared()
+			}
+			ref := &refModel{}
+
+			var gotOrder, wantOrder []int
+			timers := map[int]*Timer{}
+			events := map[int]*refEvent{}
+			var liveIDs []int
+			nextID := 0
+
+			schedule := func() {
+				delay := wheelDelays[rng.Intn(len(wheelDelays))]
+				id := nextID
+				nextID++
+				gotID := id
+				timers[id] = v.Schedule(delay, "wheel-prop", func() { gotOrder = append(gotOrder, gotID) })
+				events[id] = ref.schedule(delay, id)
+				liveIDs = append(liveIDs, id)
+			}
+
+			cancel := func() {
+				if len(liveIDs) == 0 {
+					return
+				}
+				i := rng.Intn(len(liveIDs))
+				id := liveIDs[i]
+				liveIDs = append(liveIDs[:i], liveIDs[i+1:]...)
+				if timers[id].Cancel() {
+					events[id].canceled = true
+				}
+			}
+
+			// Reschedule a still-live handle: semantically cancel+schedule
+			// with a fresh seq, but exercising the in-place re-arm — same
+			// slot, slot hop, wheel→heap and heap→wheel migrations.
+			reschedule := func() {
+				if len(liveIDs) == 0 {
+					return
+				}
+				i := rng.Intn(len(liveIDs))
+				old := liveIDs[i]
+				liveIDs = append(liveIDs[:i], liveIDs[i+1:]...)
+				delay := wheelDelays[rng.Intn(len(wheelDelays))]
+				id := nextID
+				nextID++
+				gotID := id
+				timers[id] = v.Reschedule(timers[old], delay, "wheel-rearm",
+					func() { gotOrder = append(gotOrder, gotID) })
+				events[old].canceled = true
+				events[id] = ref.schedule(delay, id)
+				liveIDs = append(liveIDs, id)
+			}
+
+			stepBoth := func() {
+				want := ref.step()
+				stepped := v.Step()
+				if (want >= 0) != stepped {
+					t.Fatalf("escalated=%v seed %d: Step() = %v, reference id %d", escalated, seed, stepped, want)
+				}
+				if want >= 0 {
+					wantOrder = append(wantOrder, want)
+					for i, id := range liveIDs {
+						if id == want {
+							liveIDs = append(liveIDs[:i], liveIDs[i+1:]...)
+							break
+						}
+					}
+				}
+				if v.Now() != ref.now {
+					t.Fatalf("escalated=%v seed %d: clock %v != reference %v", escalated, seed, v.Now(), ref.now)
+				}
+			}
+
+			for op := 0; op < 500; op++ {
+				switch r := rng.Intn(10); {
+				case r < 4:
+					schedule()
+				case r < 5:
+					cancel()
+				case r < 7:
+					reschedule()
+				default:
+					stepBoth()
+				}
+			}
+			for ref.queue.Len() > 0 || v.Pending() > 0 {
+				stepBoth()
+			}
+
+			if len(gotOrder) != len(wantOrder) {
+				t.Fatalf("escalated=%v seed %d: fired %d events, reference fired %d",
+					escalated, seed, len(gotOrder), len(wantOrder))
+			}
+			for i := range gotOrder {
+				if gotOrder[i] != wantOrder[i] {
+					t.Fatalf("escalated=%v seed %d: fire order diverges at %d: got %d want %d",
+						escalated, seed, i, gotOrder[i], wantOrder[i])
+				}
+			}
+		}
+	}
+}
+
+// TestVirtualWheelPlacementAndMigration pins the routing policy white-box:
+// near-term events go to the wheel, far events to the heap, and Reschedule
+// migrates a pending timer between the two as its deadline crosses the
+// horizon — preserving the cancel+schedule fire order.
+func TestVirtualWheelPlacementAndMigration(t *testing.T) {
+	v := NewVirtual()
+	var order []string
+	near := v.Schedule(time.Millisecond, "near", func() { order = append(order, "near") })
+	far := v.Schedule(time.Second, "far", func() { order = append(order, "far") })
+	if v.WheelLen() != 1 {
+		t.Fatalf("WheelLen = %d after one near + one far event, want 1", v.WheelLen())
+	}
+
+	// Heap → wheel: pull the far event inside the horizon, ahead of near.
+	far = v.Reschedule(far, 100*time.Microsecond, "far-near", func() { order = append(order, "far-near") })
+	if v.WheelLen() != 2 {
+		t.Fatalf("WheelLen = %d after heap→wheel migration, want 2", v.WheelLen())
+	}
+	// Wheel → heap: push the near event beyond the horizon.
+	near = v.Reschedule(near, 400*time.Millisecond, "near-far", func() { order = append(order, "near-far") })
+	if v.WheelLen() != 1 {
+		t.Fatalf("WheelLen = %d after wheel→heap migration, want 1", v.WheelLen())
+	}
+	v.MustDrain(10)
+	if len(order) != 2 || order[0] != "far-near" || order[1] != "near-far" {
+		t.Fatalf("order = %v, want [far-near near-far]", order)
+	}
+	if v.Now() != 400*time.Millisecond {
+		t.Fatalf("clock = %v, want 400ms", v.Now())
+	}
+
+	// Same-slot re-arm keeps cancel+schedule FIFO: a re-armed event goes
+	// behind an equal-deadline sibling even though nothing moved in the
+	// bucket.
+	order = order[:0]
+	a := v.Schedule(time.Millisecond, "a", func() { order = append(order, "a") })
+	v.Schedule(time.Millisecond, "b", func() { order = append(order, "b") })
+	v.Reschedule(a, time.Millisecond, "a2", func() { order = append(order, "a2") })
+	v.MustDrain(10)
+	if len(order) != 2 || order[0] != "b" || order[1] != "a2" {
+		t.Fatalf("order = %v, want [b a2]", order)
+	}
+}
+
+// TestVirtualWheelRearmAllocFree pins the satellite guarantee: re-arming a
+// pending timer within the wheel — the kernel-completion shape, both the
+// same-slot rewrite and a neighbor-slot hop — allocates nothing once bucket
+// capacity is warm.
+func TestVirtualWheelRearmAllocFree(t *testing.T) {
+	v := NewVirtual()
+	tm := v.Schedule(50*time.Millisecond, "pin", func() {})
+	fn := func() {}
+	// Warm both destination buckets' capacity.
+	tm = v.Reschedule(tm, 40*time.Millisecond, "pin", fn)
+	tm = v.Reschedule(tm, 50*time.Millisecond, "pin", fn)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm = v.Reschedule(tm, 40*time.Millisecond, "pin", fn)                 // slot hop
+		tm = v.Reschedule(tm, 40*time.Millisecond+time.Nanosecond, "pin", fn) // same slot
+		tm = v.Reschedule(tm, 50*time.Millisecond, "pin", fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("wheel re-arm allocates %.2f objects/op, want 0", allocs)
+	}
+	if v.WheelLen() != 1 || v.Pending() != 1 {
+		t.Fatalf("wheel=%d pending=%d after re-arms, want 1/1", v.WheelLen(), v.Pending())
+	}
+}
