@@ -88,6 +88,13 @@ var runners = []runner{
 		}
 		return r.Render(), nil
 	}},
+	{"faults", "fault-injection sweep: harvest vs recovery overhead", func(o experiments.Options) (string, error) {
+		r, err := experiments.RunFaultSweep(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
 	{"ablations", "grace period / RPC latency / safety margin sweeps", func(o experiments.Options) (string, error) {
 		var b strings.Builder
 		for _, f := range []func(experiments.Options) (*experiments.AblationResult, error){
@@ -117,7 +124,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("freeride-experiments", flag.ContinueOnError)
-	which := fs.String("run", "all", "comma-separated experiment ids, or 'all' (ids: table1,table2,fig1,fig2,fig7ab,fig7cd,fig7ef,fig8,fig9,ablations)")
+	which := fs.String("run", "all", "comma-separated experiment ids, or 'all' (ids: table1,table2,fig1,fig2,fig7ab,fig7cd,fig7ef,fig8,fig9,faults,ablations)")
 	epochs := fs.Int("epochs", 16, "training epochs per run (paper: 128)")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	realWork := fs.Bool("realwork", false, "run real side-task computation during sweeps (slower)")

@@ -41,6 +41,7 @@ func run(args []string) error {
 	mbs := fs.Int("microbatches", 4, "micro-batches on the node")
 	retry := fs.Duration("retry", 20*time.Second, "how long to keep retrying worker connections")
 	managerMode := fs.String("manager", "event", "Algorithm-2 driver: event, polling or immediate")
+	lease := fs.Duration("lease", 0, "worker lease for the failure detector; tasks on a worker silent for a full lease are re-placed from their last checkpoint (0 disables recovery)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +60,7 @@ func run(args []string) error {
 		Model:      llm,
 		MicroBatch: *mbs,
 		Mode:       mode,
+		Lease:      *lease,
 		Logf:       func(f string, a ...any) { logger.Printf(f, a...) },
 	})
 	if err != nil {

@@ -34,6 +34,7 @@ import (
 	"freeride/internal/model"
 	"freeride/internal/pipeline"
 	"freeride/internal/sidetask"
+	"freeride/internal/simfault"
 	"freeride/internal/simgpu"
 	"freeride/internal/simproc"
 	"freeride/internal/simtime"
@@ -126,6 +127,19 @@ type Config struct {
 	// the incremental pass recomputes allocations every rebalance, like the
 	// oracle (see simgpu.DeviceConfig.NoShareCache).
 	NoShareCache bool
+	// Faults is the seeded fault schedule injected into the run (crash /
+	// sever / drop / delay / fail-kernel / wedge, all on the virtual clock).
+	// Non-nil — even empty — wires the fault hooks and enables the manager's
+	// lease-based self-healing; nil leaves the control plane exactly as
+	// before. An empty schedule with hooks wired must reproduce the no-fault
+	// metrics bit-identically (the zero-fault oracle).
+	Faults *simfault.Schedule
+	// Lease is the manager's failure-detector lease; 0 with Faults set
+	// selects core.DefaultLease. See core.ManagerOptions.Lease.
+	Lease time.Duration
+	// MaxRestarts / RetryBackoff tune task recovery (0 = core defaults).
+	MaxRestarts  int
+	RetryBackoff time.Duration
 }
 
 // DefaultConfig mirrors the paper's principal setup: nanoGPT-3.6B on a
@@ -180,6 +194,9 @@ func (c *Config) normalize() error {
 	if c.ResidencyTax < 0 {
 		c.ResidencyTax = 0
 	}
+	if c.Faults != nil && c.Lease == 0 {
+		c.Lease = core.DefaultLease
+	}
 	return nil
 }
 
@@ -204,6 +221,8 @@ type Session struct {
 
 	Profile  *bubble.Profile
 	reporter *bubble.Reporter
+	// injector drives the deterministic fault plane (nil without cfg.Faults).
+	injector *simfault.Injector
 	// memSlack is the MPS-limit headroom handed to the manager; the
 	// eligibility filter uses the same value so EligibleStages and
 	// Algorithm-1 admission can never disagree.
@@ -297,10 +316,17 @@ func NewSession(cfg Config) (*Session, error) {
 func (s *Session) assembleControlPlane() error {
 	cfg := s.cfg
 	s.Manager = core.NewManager(s.Eng, core.ManagerOptions{
-		Tick:     cfg.Tick,
-		Mode:     cfg.ManagerMode,
-		MemSlack: s.memSlack,
+		Tick:         cfg.Tick,
+		Mode:         cfg.ManagerMode,
+		MemSlack:     s.memSlack,
+		Lease:        cfg.Lease,
+		MaxRestarts:  cfg.MaxRestarts,
+		RetryBackoff: cfg.RetryBackoff,
+		Seed:         cfg.Seed,
 	})
+	if cfg.Faults != nil {
+		s.injector = simfault.NewInjector(s.Eng, cfg.Faults)
+	}
 	s.workerIdx = make(map[string]int, len(s.Devices))
 	for i, dev := range s.Devices {
 		ctrs := container.NewRuntime(s.Procs)
@@ -320,6 +346,24 @@ func (s *Session) assembleControlPlane() error {
 		s.Manager.AddWorker(w.Name(), i, s.Profile.Stages[i].MemAvailable, mgrPeer)
 		s.workerIdx[w.Name()] = i
 		s.Workers = append(s.Workers, w)
+		if s.injector != nil {
+			// Transport-level faults hook the manager↔worker link; kernel
+			// faults target only side-task GPU clients ("ctr/" prefix), never
+			// the training clients; crash/wedge act on the worker itself.
+			lf := freerpc.InjectFaults(mgrEnd)
+			wrk, device := w, dev
+			s.injector.Bind(i, simfault.Hooks{
+				CrashWorker: func() {
+					wrk.Crash()
+					mgrPeer.Close()
+				},
+				SeverLink:  func() { mgrPeer.Close() },
+				DropRPC:    lf.DropFor,
+				DelayRPC:   lf.DelayFor,
+				FailKernel: func() { device.InjectKernelFault("ctr/") },
+				WedgeTask:  wrk.WedgeFor,
+			})
+		}
 	}
 
 	// The instrumented trainer reports bubbles to the manager over its own
@@ -504,6 +548,10 @@ type TaskWork struct {
 	InsuffWait time.Duration
 	Exited     bool
 	ExitErr    string
+	// Parked means the task exhausted its recovery retry budget; Restarts
+	// counts recovery attempts consumed (fault runs only).
+	Parked   bool
+	Restarts int
 }
 
 // Result is the outcome of Session.Run.
@@ -516,6 +564,8 @@ type Result struct {
 	// Manager/Worker stats (FreeRide methods only).
 	ManagerStats core.ManagerStats
 	WorkerStats  []core.WorkerStats
+	// FaultStats counts injected fault events (fault runs only).
+	FaultStats simfault.Stats
 }
 
 // TotalSteps sums completed steps across task instances.
@@ -555,6 +605,9 @@ func (s *Session) Run() (*Result, error) {
 	if s.Manager != nil {
 		s.Manager.Start()
 	}
+	if s.injector != nil {
+		s.injector.Start()
+	}
 	// Generous event budget: aborts runaway simulations loudly. The drain
 	// stops at the exact event that sets Done — the per-event flag check is
 	// one atomic load — so the teardown below (StopAll and its grace
@@ -583,11 +636,19 @@ func (s *Session) Run() (*Result, error) {
 	}
 
 	res := &Result{Config: s.cfg, TrainTime: s.Trainer.TotalTime()}
+	var views map[string]core.TaskView
 	if s.Manager != nil {
 		res.ManagerStats = s.Manager.Stats()
 		for _, w := range s.Workers {
 			res.WorkerStats = append(res.WorkerStats, w.Stats())
 		}
+		views = make(map[string]core.TaskView)
+		for _, tv := range s.Manager.Tasks() {
+			views[tv.Spec.Name] = tv
+		}
+	}
+	if s.injector != nil {
+		res.FaultStats = s.injector.Stats()
 	}
 	s.mu.Lock()
 	placements := append([]TaskPlacement{}, s.placements...)
@@ -600,6 +661,12 @@ func (s *Session) Run() (*Result, error) {
 			tw.KernelTime = c.KernelTime
 			tw.HostTime = c.HostTime
 			tw.InsuffWait = c.InsuffWait
+		}
+		if tv, ok := views[pl.Name]; ok {
+			tw.Exited = tv.Exited
+			tw.ExitErr = tv.ExitErr
+			tw.Parked = tv.Parked
+			tw.Restarts = tv.Restarts
 		}
 		res.Tasks = append(res.Tasks, tw)
 	}
@@ -615,8 +682,17 @@ func (s *Session) snapshotCounters() {
 		var h *sidetask.Harness
 		switch s.cfg.Method {
 		case MethodIterative, MethodImperative:
-			if pl.Worker >= 0 {
-				h, _ = s.Workers[pl.Worker].Harness(pl.Name)
+			// Recovery may have moved the task off its original worker:
+			// resolve the current host through the manager, falling back to
+			// the placement-time worker.
+			widx := pl.Worker
+			if name, ok := s.Manager.TaskWorker(pl.Name); ok {
+				if j, ok := s.workerIdx[name]; ok {
+					widx = j
+				}
+			}
+			if widx >= 0 {
+				h, _ = s.Workers[widx].Harness(pl.Name)
 			}
 		default:
 			if i < len(s.baselineHarnesses) {

@@ -38,6 +38,24 @@ type createArgs struct {
 	Spec TaskSpec `json:"spec"`
 	// MemLimitBytes is the MPS memory cap the worker must impose.
 	MemLimitBytes int64 `json:"memLimitBytes"`
+	// Incarnation numbers this deployment of the task: 0 for the original
+	// placement, bumped by the manager on every recovery re-placement. The
+	// worker echoes it in all pushes/statuses so the manager can discard
+	// reports from dead incarnations.
+	Incarnation int `json:"incarnation,omitempty"`
+	// Ckpt, when non-nil, seeds the task from its last checkpointed
+	// progress (restart-from-checkpoint after a worker failure).
+	Ckpt *TaskCkpt `json:"ckpt,omitempty"`
+}
+
+// TaskCkpt is the manager-recorded checkpoint of a task's completed work:
+// the counters reported by the last successful pause. On re-placement the
+// new incarnation resumes from here; anything accrued since is lost work.
+type TaskCkpt struct {
+	Steps        uint64 `json:"steps"`
+	KernelTimeNs int64  `json:"kernelTimeNs"`
+	HostTimeNs   int64  `json:"hostTimeNs"`
+	InsuffNs     int64  `json:"insuffNs"`
 }
 
 // taskRef names a task on a worker.
@@ -59,11 +77,22 @@ type taskStatus struct {
 	Exited  bool   `json:"exited"`
 	ExitErr string `json:"exitErr,omitempty"`
 	Started bool   `json:"started,omitempty"`
+	// Incarnation echoes createArgs.Incarnation; the manager drops reports
+	// whose incarnation is not the current one.
+	Incarnation int `json:"incarnation,omitempty"`
 
 	Steps        uint64 `json:"steps"`
 	KernelTimeNs int64  `json:"kernelTimeNs"`
 	HostTimeNs   int64  `json:"hostTimeNs"`
 	InsuffNs     int64  `json:"insuffNs"`
+}
+
+// pingReply answers Worker.Ping: a liveness proof plus a status snapshot of
+// every deployed task. The statuses double as anti-entropy — a push lost to
+// a faulted link is healed by the next ping's snapshot.
+type pingReply struct {
+	Name  string       `json:"name"`
+	Tasks []taskStatus `json:"tasks,omitempty"`
 }
 
 // workerInfo describes a worker to the manager.

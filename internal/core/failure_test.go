@@ -1,12 +1,16 @@
 package core
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 
 	"freeride/internal/bubble"
+	"freeride/internal/freerpc"
 	"freeride/internal/model"
 	"freeride/internal/sidetask"
+	"freeride/internal/simtime"
 )
 
 func TestWorkerDisconnectRetiresItsTasks(t *testing.T) {
@@ -185,4 +189,231 @@ func TestDuplicateSubmitRejected(t *testing.T) {
 		t.Fatal("duplicate task name accepted")
 	}
 	r.eng.RunFor(time.Second)
+}
+
+// --- self-healing manager (PR 6) ------------------------------------------
+
+// leaseOpts is the standard lease-enabled manager config for recovery tests.
+func leaseOpts() ManagerOptions {
+	return ManagerOptions{
+		Tick:         time.Millisecond,
+		Lease:        250 * time.Millisecond,
+		MaxRestarts:  3,
+		RetryBackoff: 50 * time.Millisecond,
+		Seed:         1,
+	}
+}
+
+func taskView(t *testing.T, m *Manager, name string) TaskView {
+	t.Helper()
+	for _, tv := range m.Tasks() {
+		if tv.Spec.Name == name {
+			return tv
+		}
+	}
+	t.Fatalf("task %q not found", name)
+	return TaskView{}
+}
+
+// TestStopRPCFailureRetiresRecord pins the StopAll limbo fix: a failed
+// Worker.Stop call retires the manager's record instead of leaving it
+// forever non-exited — symmetric to the Init/Pause failure paths.
+func TestStopRPCFailureRetiresRecord(t *testing.T) {
+	eng := simtime.NewVirtual()
+	mgr := NewManager(eng, ManagerOptions{Tick: time.Millisecond})
+	// A worker stub that creates tasks fine but has no Worker.Stop method,
+	// so every stop fails at the RPC layer.
+	wmux := freerpc.NewMux()
+	wmux.Handle("Worker.Create", func(json.RawMessage) (any, error) {
+		return map[string]string{"status": "ok"}, nil
+	})
+	a, b := freerpc.MemPipe(eng, 100*time.Microsecond)
+	peer := freerpc.NewPeer(eng, a, mgr.Mux())
+	freerpc.NewPeer(eng, b, wmux)
+	mgr.AddWorker("w0", 0, 22*model.GiB, peer)
+	if err := mgr.Submit(spec("t", model.ResNet18, sidetask.ModeIterative)); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(time.Second)
+	mgr.StopAll()
+	eng.RunFor(2 * time.Second)
+	tv := taskView(t, mgr, "t")
+	if !tv.Exited || !strings.Contains(tv.ExitErr, "stop failed") {
+		t.Fatalf("task after failed Stop = %+v, want retired with stop-failed", tv)
+	}
+}
+
+// TestSubmitRacingWorkerDisconnect closes the worker link in the same
+// instant a Submit's create RPC is in flight: the record must settle retired
+// (not limbo), and the create callback must not resurrect it.
+func TestSubmitRacingWorkerDisconnect(t *testing.T) {
+	r := newRig(t, 2, []int64{22 * model.GiB, 22 * model.GiB}, WorkerConfig{})
+	r.mgr.Start()
+	r.eng.RunFor(10 * time.Millisecond)
+	if err := r.mgr.Submit(spec("race", model.PageRank, sidetask.ModeIterative)); err != nil {
+		t.Fatal(err)
+	}
+	r.mgr.workerPeer(t, 0).Close() // create RPC still in flight
+	r.eng.RunFor(time.Second)
+	tv := taskView(t, r.mgr, "race")
+	if !tv.Exited {
+		t.Fatalf("task after submit/disconnect race = %+v, want exited", tv)
+	}
+	// The other worker keeps taking submissions.
+	if placed, err := r.mgr.SubmitAndPlace(spec("next", model.PageRank, sidetask.ModeIterative)); err != nil || placed != "worker1" {
+		t.Fatalf("follow-up placed on %q (%v), want worker1", placed, err)
+	}
+	r.eng.RunFor(time.Second)
+}
+
+// TestLeaseExpiryReplacesTaskWithCheckpoint is the end-to-end recovery path:
+// a worker crashes silently (link stays open, pings fail), its lease
+// expires, and the task is re-placed on a peer resuming from the checkpoint
+// recorded at its last acknowledged pause.
+func TestLeaseExpiryReplacesTaskWithCheckpoint(t *testing.T) {
+	r := newRigOpts(t, 2, []int64{22 * model.GiB, 22 * model.GiB}, WorkerConfig{}, leaseOpts())
+	if err := r.mgr.Submit(spec("t0", model.PageRank, sidetask.ModeIterative)); err != nil {
+		t.Fatal(err)
+	}
+	r.mgr.Start()
+	r.eng.RunFor(6 * time.Second) // create + init
+	// Serve two bubbles on worker0's stage; each pause checkpoints progress.
+	base := r.eng.Now()
+	r.mgr.AddBubble(bubble.Bubble{Stage: 0, Start: base, Duration: 500 * time.Millisecond})
+	r.mgr.AddBubble(bubble.Bubble{Stage: 0, Start: base + time.Second, Duration: 500 * time.Millisecond})
+	r.eng.RunFor(2 * time.Second)
+	r.mgr.mu.Lock()
+	ck := r.mgr.tasks["t0"].ckpt
+	hasCkpt := r.mgr.tasks["t0"].hasCkpt
+	r.mgr.mu.Unlock()
+	if !hasCkpt || ck.Steps == 0 {
+		t.Fatalf("no checkpoint after served bubbles: hasCkpt=%v ckpt=%+v", hasCkpt, ck)
+	}
+
+	// Silent crash: the link stays open but pings go unanswered.
+	r.eng.Schedule(0, "crash", func() { r.workers[0].Crash() })
+	r.eng.RunFor(8 * time.Second) // lease expiry + backoff + re-create + re-init
+
+	if w, ok := r.mgr.TaskWorker("t0"); !ok || w != "worker1" {
+		t.Fatalf("TaskWorker = %q/%v, want worker1", w, ok)
+	}
+	h, ok := r.workers[1].Harness("t0")
+	if !ok {
+		t.Fatal("task not re-deployed on worker1")
+	}
+	if got := h.Counters().Steps; got < ck.Steps {
+		t.Fatalf("restarted task counters %d < checkpoint %d (did not restore)", got, ck.Steps)
+	}
+
+	// The new incarnation serves bubbles on its new stage.
+	base = r.eng.Now()
+	r.mgr.AddBubble(bubble.Bubble{Stage: 1, Start: base, Duration: 500 * time.Millisecond})
+	r.eng.RunFor(2 * time.Second)
+	if got := h.Counters().Steps; got <= ck.Steps {
+		t.Fatalf("restarted task never stepped past checkpoint (%d <= %d)", got, ck.Steps)
+	}
+
+	st := r.mgr.Stats()
+	if st.WorkersLost != 1 || st.RestartedTasks != 1 || st.Replacements != 1 || st.ParkedTasks != 0 {
+		t.Fatalf("stats = %+v, want 1 lost / 1 restarted / 1 replacement / 0 parked", st)
+	}
+	tv := taskView(t, r.mgr, "t0")
+	if tv.Exited || tv.Parked || tv.Restarts != 1 {
+		t.Fatalf("task view = %+v, want live with 1 restart", tv)
+	}
+}
+
+// TestTaskExitedAfterLeaseExpiryIgnored delivers a stale-incarnation exit
+// report after the task was already re-placed: the manager must discard it.
+func TestTaskExitedAfterLeaseExpiryIgnored(t *testing.T) {
+	r := newRigOpts(t, 2, []int64{22 * model.GiB, 22 * model.GiB}, WorkerConfig{}, leaseOpts())
+	if err := r.mgr.Submit(spec("t0", model.PageRank, sidetask.ModeIterative)); err != nil {
+		t.Fatal(err)
+	}
+	r.mgr.Start()
+	r.eng.RunFor(6 * time.Second)
+	// Hard crash with link close: immediate detection, then re-placement.
+	r.eng.Schedule(0, "crash", func() {
+		r.workers[0].Crash()
+		r.mgr.workerPeer(t, 0).Close()
+	})
+	r.eng.RunFor(4 * time.Second)
+	if w, ok := r.mgr.TaskWorker("t0"); !ok || w != "worker1" {
+		t.Fatalf("TaskWorker = %q/%v, want worker1", w, ok)
+	}
+	// A straggler exit push from the dead incarnation 0 arrives late.
+	r.mgr.onTaskExited(taskStatus{Name: "t0", Exited: true, ExitErr: "stale crash", Incarnation: 0})
+	tv := taskView(t, r.mgr, "t0")
+	if tv.Exited {
+		t.Fatalf("stale-incarnation exit retired the live replacement: %+v", tv)
+	}
+	r.eng.RunFor(time.Second)
+}
+
+// TestReplacementRerunsAdmission pins re-placement against Algorithm 1: when
+// the only worker that admits the task dies, the survivor (too small) must
+// not receive it — the task burns its retry budget and parks, with no
+// double placement anywhere.
+func TestReplacementRerunsAdmission(t *testing.T) {
+	// VGG19 (9.8 GiB) fits only worker0; worker1 has 3 GiB.
+	r := newRigOpts(t, 2, []int64{22 * model.GiB, 3 * model.GiB}, WorkerConfig{}, leaseOpts())
+	if err := r.mgr.Submit(spec("vgg", model.VGG19, sidetask.ModeIterative)); err != nil {
+		t.Fatal(err)
+	}
+	r.mgr.Start()
+	r.eng.RunFor(6 * time.Second)
+	r.eng.Schedule(0, "crash", func() {
+		r.workers[0].Crash()
+		r.mgr.workerPeer(t, 0).Close()
+	})
+	r.eng.RunFor(5 * time.Second) // enough for the full backoff ladder
+	tv := taskView(t, r.mgr, "vgg")
+	if !tv.Parked {
+		t.Fatalf("task view = %+v, want parked (budget exhausted, no eligible worker)", tv)
+	}
+	if _, ok := r.workers[1].Harness("vgg"); ok {
+		t.Fatal("task deployed on a worker that fails the admission predicate")
+	}
+	st := r.mgr.Stats()
+	if st.ParkedTasks != 1 || st.Replacements != 0 || st.RestartedTasks != 0 {
+		t.Fatalf("stats = %+v, want 1 parked / 0 replacements / 0 restarted", st)
+	}
+	// Parked is terminal: no retry timer keeps firing.
+	if pend := r.eng.Pending(); pend != 0 {
+		// Ping/lease timers for worker1 remain; just ensure time can drain
+		// without the parked task thrashing.
+		r.eng.RunFor(time.Second)
+	}
+	if got := taskView(t, r.mgr, "vgg").Restarts; got != r.mgr.opts.MaxRestarts+1 {
+		t.Fatalf("Restarts = %d, want %d (budget + the final parking attempt)", got, r.mgr.opts.MaxRestarts+1)
+	}
+}
+
+// TestWedgeHealsViaPingAntiEntropy wedges a worker's reporting across its
+// init completion: the PAUSED push is swallowed, and the manager's record
+// heals from the next ping snapshot instead of wedging the whole queue.
+func TestWedgeHealsViaPingAntiEntropy(t *testing.T) {
+	r := newRigOpts(t, 1, []int64{22 * model.GiB}, WorkerConfig{}, leaseOpts())
+	if err := r.mgr.Submit(spec("t0", model.ResNet18, sidetask.ModeIterative)); err != nil {
+		t.Fatal(err)
+	}
+	// Wedge reporting across create (1.5s) + init (0.4s) completion.
+	r.workers[0].WedgeFor(3 * time.Second)
+	r.mgr.Start()
+	r.eng.RunFor(4 * time.Second)
+	tv := taskView(t, r.mgr, "t0")
+	if tv.State != sidetask.StatePaused || tv.Exited {
+		t.Fatalf("task view after wedge window = %+v, want PAUSED (ping heal)", tv)
+	}
+	// The worker was never declared dead: it kept answering pings.
+	if st := r.mgr.Stats(); st.WorkersLost != 0 {
+		t.Fatalf("WorkersLost = %d, want 0 (wedge is not death)", st.WorkersLost)
+	}
+	base := r.eng.Now()
+	r.mgr.AddBubble(bubble.Bubble{Stage: 0, Start: base, Duration: 500 * time.Millisecond})
+	r.eng.RunFor(time.Second)
+	h, _ := r.workers[0].Harness("t0")
+	if h.Counters().Steps == 0 {
+		t.Fatal("healed task never served a bubble")
+	}
 }

@@ -3,13 +3,16 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"freeride/internal/bubble"
 	"freeride/internal/freerpc"
 	"freeride/internal/sidetask"
+	"freeride/internal/simgpu"
 	"freeride/internal/simtime"
 )
 
@@ -23,6 +26,20 @@ var ErrRejected = errors.New("core: side task rejected: no worker with enough GP
 // by the memory filter could receive an MPS limit exceeding the worker's
 // available memory.
 const DefaultMemSlack = 256 << 20
+
+// Self-healing defaults, used when ManagerOptions.Lease is enabled but the
+// companion knobs are zero.
+const (
+	// DefaultLease is the failure-detector lease: a worker that shows no
+	// sign of life for this long is declared dead. Pings go out every
+	// Lease/2, so a healthy worker refreshes its lease twice per period.
+	DefaultLease = 250 * time.Millisecond
+	// DefaultMaxRestarts bounds recovery attempts per task before it parks.
+	DefaultMaxRestarts = 3
+	// DefaultRetryBackoff is the base re-placement delay; attempt k waits
+	// backoff·2^(k-1) plus deterministic jitter.
+	DefaultRetryBackoff = 50 * time.Millisecond
+)
 
 // AdmitsMem is the Algorithm-1 memory predicate: available GPU memory must
 // cover the task's profiled footprint plus the MPS-limit slack. Admission,
@@ -121,6 +138,23 @@ type ManagerOptions struct {
 	// paper's experiments run one task per worker; the cap enables the
 	// §8 "co-locating multiple side tasks" extension when raised.
 	MaxQueuePerWorker int
+	// Lease enables the self-healing manager: each worker is pinged every
+	// Lease/2, and a worker with no sign of life (ping reply, state push,
+	// exit report) for a full Lease is declared dead — its tasks are
+	// re-placed onto eligible peers with exponential backoff, resuming from
+	// their last checkpoint. Zero disables recovery: a lost worker then
+	// retires its tasks forever, the pre-lease behaviour.
+	Lease time.Duration
+	// MaxRestarts bounds recovery attempts per task; once exhausted the
+	// task parks instead of thrashing. 0 = DefaultMaxRestarts.
+	MaxRestarts int
+	// RetryBackoff is the base re-placement delay, doubled per attempt with
+	// deterministic jitter. 0 = DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// Seed drives the recovery jitter rng. All recovery timing comes from
+	// the engine clock plus this seed — never from wall time — so
+	// same-seed fault runs are bit-identical. 0 = 1.
+	Seed int64
 }
 
 func (o *ManagerOptions) normalize() {
@@ -132,6 +166,17 @@ func (o *ManagerOptions) normalize() {
 	}
 	if o.Mode == ManagerDefault {
 		o.Mode = defaultManagerMode()
+	}
+	if o.Lease > 0 {
+		if o.MaxRestarts <= 0 {
+			o.MaxRestarts = DefaultMaxRestarts
+		}
+		if o.RetryBackoff <= 0 {
+			o.RetryBackoff = DefaultRetryBackoff
+		}
+		if o.Seed == 0 {
+			o.Seed = 1
+		}
 	}
 }
 
@@ -156,6 +201,11 @@ type TaskView struct {
 	SubmittedAt time.Duration
 	Exited      bool
 	ExitErr     string
+	// Parked means the task's retry budget is exhausted: it is out of
+	// service but not counted as a task failure.
+	Parked bool
+	// Restarts counts recovery attempts consumed so far.
+	Restarts int
 }
 
 // ManagerStats aggregates control-plane counters for the evaluation.
@@ -171,6 +221,23 @@ type ManagerStats struct {
 	// BubbleTimeServed is bubble time during which the worker's current
 	// task was started.
 	BubbleTimeServed time.Duration
+
+	// Recovery counters (lease-enabled managers only; all zero otherwise).
+	// Pings counts Worker.Ping probes sent — deliberately separate from
+	// RPCs, which the zero-fault oracle pins against the lease-free runs.
+	Pings uint64
+	// WorkersLost counts workers declared dead (link closed or lease
+	// expired).
+	WorkersLost uint64
+	// RestartedTasks counts distinct tasks restarted at least once.
+	RestartedTasks uint64
+	// Replacements counts successful re-placements in total.
+	Replacements uint64
+	// ParkedTasks counts tasks whose retry budget exhausted.
+	ParkedTasks uint64
+	// LostWork sums served bubble time lost between the last checkpoint and
+	// each worker death — the work a restart could not recover.
+	LostWork time.Duration
 }
 
 // taskRecord is the manager-side task state (cache of the worker's truth).
@@ -190,6 +257,25 @@ type taskRecord struct {
 	// servedFrom is when the current bubble's start succeeded.
 	servedFrom time.Duration
 	serving    bool
+
+	// Recovery state. incarnation numbers the task's deployments; reports
+	// carrying an older incarnation are discarded. restarts counts recovery
+	// attempts against the budget; everRestarted marks the first successful
+	// re-placement for the RestartedTasks stat; parked means the budget is
+	// gone.
+	incarnation   int
+	restarts      int
+	everRestarted bool
+	parked        bool
+	// ckpt is the last checkpointed progress (recorded from every
+	// acknowledged pause); a new incarnation resumes from it.
+	ckpt    TaskCkpt
+	hasCkpt bool
+	// servedSinceCkpt accrues served bubble time since the last checkpoint
+	// — the work a crash loses.
+	servedSinceCkpt time.Duration
+	// retryTimer drives delayed re-placement (reusable handle).
+	retryTimer *simtime.Timer
 }
 
 // pendingBubble is one reported-but-unserved bubble. visibleAt is the first
@@ -237,6 +323,18 @@ type workerMeta struct {
 	endName     string
 	startName   string
 	kickName    string
+
+	// Failure-detector state (lease-enabled managers only). lastSeen is
+	// the last instant the worker proved it was alive (ping reply or push);
+	// pingTimer fires every Lease/2, leaseTimer at lastSeen+Lease. Both are
+	// reusable Reschedule handles with pre-built callbacks.
+	lastSeen  time.Duration
+	pingTimer *simtime.Timer
+	pingFn    func()
+	pingName  string
+	leaseTimer *simtime.Timer
+	leaseFn    func()
+	leaseName  string
 }
 
 func (w *workerMeta) numTasks() int {
@@ -258,6 +356,12 @@ func (w *workerMeta) cancelTimersLocked() {
 	}
 	if w.kickTimer != nil {
 		w.kickTimer.Cancel()
+	}
+	if w.pingTimer != nil {
+		w.pingTimer.Cancel()
+	}
+	if w.leaseTimer != nil {
+		w.leaseTimer.Cancel()
 	}
 }
 
@@ -284,6 +388,9 @@ type Manager struct {
 	// not allocate a fresh closure each pass.
 	tickFn  func()
 	running bool
+	// rng drives recovery backoff jitter (lease-enabled managers only);
+	// seeded from ManagerOptions.Seed so fault runs are reproducible.
+	rng *rand.Rand
 }
 
 // NewManager builds a manager. Its RPC methods (bubble reports, task
@@ -295,6 +402,9 @@ func NewManager(eng simtime.Engine, opts ManagerOptions) *Manager {
 		opts:  opts,
 		mux:   freerpc.NewMux(),
 		tasks: make(map[string]*taskRecord),
+	}
+	if opts.Lease > 0 {
+		m.rng = rand.New(rand.NewSource(opts.Seed))
 	}
 	m.mu.Bind(eng)
 	freerpc.HandleFunc(m.mux, "Manager.AddBubble", func(d BubbleDTO) (any, error) {
@@ -314,9 +424,13 @@ func NewManager(eng simtime.Engine, opts ManagerOptions) *Manager {
 	freerpc.HandleFunc(m.mux, "Manager.TaskState", func(st taskStatus) (any, error) {
 		m.mu.Lock()
 		defer m.mu.Unlock()
-		if rec, ok := m.tasks[st.Name]; ok && !rec.exited {
+		if rec, ok := m.tasks[st.Name]; ok && !rec.exited && !rec.parked && st.Incarnation == rec.incarnation {
+			w := m.workers[rec.workerIdx]
+			if m.opts.Lease > 0 {
+				w.lastSeen = m.eng.Now()
+			}
 			rec.state = sidetask.State(st.State)
-			m.wakeLocked(m.workers[rec.workerIdx])
+			m.wakeLocked(w)
 		}
 		return nil, nil
 	})
@@ -338,42 +452,244 @@ func (m *Manager) AddWorker(name string, stage int, gpuMem int64, peer *freerpc.
 		endName:   "manager-bubble-end:" + name,
 		startName: "manager-bubble-start:" + name,
 		kickName:  "manager-kick:" + name,
+		pingName:  "manager-ping:" + name,
+		leaseName: "manager-lease:" + name,
 	}
 	w.reconcileFn = func() { m.reconcile(w) }
+	w.pingFn = func() { m.pingWorker(w) }
+	w.leaseFn = func() { m.checkLease(w) }
 	m.mu.Lock()
 	m.workers = append(m.workers, w)
 	// Workers may join a running manager (livemode): fold them into the
 	// reconcile schedule as the next tick would have.
 	m.wakeLocked(w)
+	m.armLeaseLocked(w)
 	m.mu.Unlock()
 	peer.Conn().OnClose(func() { m.workerLost(w) })
 }
 
-// workerLost marks a disconnected worker dead and retires its tasks.
+// workerLost handles a closed worker link: the worker is declared dead.
 func (m *Manager) workerLost(w *workerMeta) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.workerLostLocked(w, "worker lost")
+}
+
+// workerLostLocked declares a worker dead — shared by the link-close path
+// and the lease-expiry path. With recovery disabled (Lease == 0) its tasks
+// are retired forever, the pre-lease behaviour; with a lease configured
+// each orphaned task enters the backoff/re-place cycle.
+func (m *Manager) workerLostLocked(w *workerMeta, cause string) {
 	if !w.alive {
 		return
 	}
 	w.alive = false
-	retire := func(rec *taskRecord) {
-		if rec == nil || rec.exited {
-			return
-		}
-		rec.exited = true
-		rec.exitErr = "worker lost"
-		rec.state = sidetask.StateStopped
+	if m.running {
+		m.stats.WorkersLost++
 	}
-	retire(w.current)
-	for _, rec := range w.queue {
-		retire(rec)
+	orphans := make([]*taskRecord, 0, w.numTasks())
+	if w.current != nil {
+		orphans = append(orphans, w.current)
 	}
+	orphans = append(orphans, w.queue...)
 	w.current = nil
 	w.queue = nil
 	w.bubble = nil
 	w.pending = nil
 	w.cancelTimersLocked()
+	for _, rec := range orphans {
+		if rec.exited || rec.parked {
+			continue
+		}
+		if m.opts.Lease <= 0 || !m.running {
+			rec.exited = true
+			rec.exitErr = cause
+			rec.state = sidetask.StateStopped
+			continue
+		}
+		m.planRecoveryLocked(rec, cause)
+	}
+}
+
+// --- failure detector: leases and pings -----------------------------------
+
+// armLeaseLocked (re)starts w's failure-detector timers: a ping every
+// Lease/2 and a lease check at lastSeen+Lease. No-op unless the manager is
+// running with a lease configured.
+func (m *Manager) armLeaseLocked(w *workerMeta) {
+	if m.opts.Lease <= 0 || !m.running || !w.alive {
+		return
+	}
+	w.lastSeen = m.eng.Now()
+	w.pingTimer = simtime.Reschedule(m.eng, w.pingTimer, m.opts.Lease/2, w.pingName, w.pingFn)
+	w.leaseTimer = simtime.Reschedule(m.eng, w.leaseTimer, m.opts.Lease, w.leaseName, w.leaseFn)
+}
+
+// pingWorker probes w for liveness and re-arms the next probe. The reply
+// refreshes the lease and doubles as anti-entropy: its status snapshot heals
+// state a faulted link dropped.
+func (m *Manager) pingWorker(w *workerMeta) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.running || !w.alive {
+		return
+	}
+	w.pingTimer = simtime.Reschedule(m.eng, w.pingTimer, m.opts.Lease/2, w.pingName, w.pingFn)
+	m.stats.Pings++
+	w.peer.Go("Worker.Ping", nil, m.opts.Lease/2, func(result any, err error) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if err != nil || !w.alive {
+			return
+		}
+		w.lastSeen = m.eng.Now()
+		if reply, derr := freerpc.DecodeResult[pingReply](result); derr == nil {
+			for _, st := range reply.Tasks {
+				m.applyPingStatusLocked(st)
+			}
+		}
+	})
+}
+
+// checkLease fires at w's lease deadline: a worker with no sign of life for
+// a full Lease is declared dead; otherwise the check re-arms at the instant
+// the refreshed lease would expire.
+func (m *Manager) checkLease(w *workerMeta) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.running || !w.alive || m.opts.Lease <= 0 {
+		return
+	}
+	now := m.eng.Now()
+	if now-w.lastSeen >= m.opts.Lease {
+		m.workerLostLocked(w, "lease expired")
+		return
+	}
+	w.leaseTimer = simtime.Reschedule(m.eng, w.leaseTimer, w.lastSeen+m.opts.Lease-now, w.leaseName, w.leaseFn)
+}
+
+// applyPingStatusLocked folds one ping-reply status into the manager's
+// record. Anti-entropy is forward-only: per-link FIFO delivery means a state
+// push always arrives no later than a ping reply sampling the same
+// transition, so in fault-free runs the snapshot can never be newer than the
+// record — only transitions a lost push would have carried are applied (an
+// exit, or the init-completion PAUSED the manager has not yet seen). A stale
+// reply can therefore never regress an optimistic record.
+func (m *Manager) applyPingStatusLocked(st taskStatus) {
+	rec, ok := m.tasks[st.Name]
+	if !ok || rec.exited || rec.parked || st.Incarnation != rec.incarnation {
+		return
+	}
+	if st.Exited {
+		m.taskExitedLocked(rec, st)
+		m.wakeLocked(m.workers[rec.workerIdx])
+		return
+	}
+	if sidetask.State(st.State) == sidetask.StatePaused && rec.state == sidetask.StateCreated {
+		rec.state = sidetask.StatePaused
+		m.wakeLocked(m.workers[rec.workerIdx])
+	}
+}
+
+// --- recovery: backoff, re-placement, checkpoints -------------------------
+
+// planRecoveryLocked moves rec into the backoff/re-place cycle after its
+// deployment died (worker lost, create failure, injected kernel fault). The
+// attempt counter is charged here; an exhausted budget parks the task
+// instead of thrashing. All timing comes from the engine clock plus the
+// seeded rng — never wall time — so same-seed fault runs are bit-identical.
+func (m *Manager) planRecoveryLocked(rec *taskRecord, cause string) {
+	m.stats.LostWork += rec.servedSinceCkpt
+	rec.servedSinceCkpt = 0
+	rec.serving = false
+	rec.startedForBubble = nil
+	rec.initSent = false
+	rec.state = sidetask.StateSubmitted
+	rec.incarnation++
+	rec.restarts++
+	if rec.restarts > m.opts.MaxRestarts {
+		rec.parked = true
+		rec.state = sidetask.StateStopped
+		rec.exitErr = cause + " (retry budget exhausted; parked)"
+		m.stats.ParkedTasks++
+		return
+	}
+	shift := rec.restarts - 1
+	if shift > 16 {
+		shift = 16
+	}
+	backoff := m.opts.RetryBackoff << shift
+	delay := backoff + time.Duration(m.rng.Int63n(int64(backoff/2)+1))
+	rec.retryTimer = simtime.Reschedule(m.eng, rec.retryTimer, delay,
+		"task-retry:"+rec.spec.Name, func() { m.replaceTask(rec) })
+}
+
+// replaceTask re-runs Algorithm 1 for a recovering task when its backoff
+// expires. No eligible worker re-enters the backoff cycle (consuming another
+// attempt) rather than busy-retrying.
+func (m *Manager) replaceTask(rec *taskRecord) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.running || rec.exited || rec.parked || m.placedLocked(rec) {
+		return
+	}
+	selected := m.placeLocked(rec.spec)
+	if selected < 0 {
+		m.planRecoveryLocked(rec, "no eligible worker")
+		return
+	}
+	rec.workerIdx = selected
+	rec.state = sidetask.StateSubmitted
+	w := m.workers[selected]
+	w.queue = append(w.queue, rec)
+	m.stats.Replacements++
+	if !rec.everRestarted {
+		rec.everRestarted = true
+		m.stats.RestartedTasks++
+	}
+	m.wakeLocked(w)
+	m.sendCreateLocked(w, rec)
+}
+
+// placedLocked reports whether rec is attached (current or queued) to a live
+// worker.
+func (m *Manager) placedLocked(rec *taskRecord) bool {
+	w := m.workers[rec.workerIdx]
+	if !w.alive {
+		return false
+	}
+	if w.current == rec {
+		return true
+	}
+	for _, q := range w.queue {
+		if q == rec {
+			return true
+		}
+	}
+	return false
+}
+
+// detachLocked removes rec from its worker's current/queue slots.
+func (m *Manager) detachLocked(rec *taskRecord) {
+	w := m.workers[rec.workerIdx]
+	if w.current == rec {
+		w.current = nil
+		return
+	}
+	for i, q := range w.queue {
+		if q == rec {
+			w.queue = append(w.queue[:i], w.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// isInfraFault classifies a task exit: only injected infrastructure faults
+// are recoverable. Every other exit — clean completion, a task bug, a grace
+// kill — is the task's own outcome and stays terminal, which is what keeps
+// zero-fault lease-enabled runs bit-identical to the lease-free oracle.
+func isInfraFault(exitErr string) bool {
+	return strings.Contains(exitErr, simgpu.InjectedFaultMsg)
 }
 
 // WorkerCount reports the number of registered workers.
@@ -403,9 +719,27 @@ func (m *Manager) Tasks() []TaskView {
 			SubmittedAt: r.submittedAt,
 			Exited:      r.exited,
 			ExitErr:     r.exitErr,
+			Parked:      r.parked,
+			Restarts:    r.restarts,
 		})
 	}
 	return out
+}
+
+// TaskWorker reports the worker currently hosting the named task; ok is
+// false when the task is unknown or detached mid-recovery (backoff, parked).
+// Exited tasks report their last host.
+func (m *Manager) TaskWorker(name string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.tasks[name]
+	if !ok {
+		return "", false
+	}
+	if !rec.exited && !m.placedLocked(rec) {
+		return "", false
+	}
+	return m.workers[rec.workerIdx].name, true
 }
 
 // Submit places a new side task (paper Algorithm 1): among workers with
@@ -421,20 +755,7 @@ func (m *Manager) Submit(spec TaskSpec) error {
 	}
 	m.stats.Submitted++
 
-	minTasks := int(^uint(0) >> 1)
-	selected := -1
-	for i, w := range m.workers {
-		if !w.alive || !AdmitsMem(w.gpuMem, spec.Profile.MemBytes, m.opts.MemSlack) {
-			continue
-		}
-		if m.opts.MaxQueuePerWorker > 0 && w.numTasks() >= m.opts.MaxQueuePerWorker {
-			continue
-		}
-		if n := w.numTasks(); n < minTasks {
-			minTasks = n
-			selected = i
-		}
-	}
+	selected := m.placeLocked(spec)
 	if selected < 0 {
 		m.stats.Rejected++
 		return ErrRejected
@@ -453,14 +774,59 @@ func (m *Manager) Submit(spec TaskSpec) error {
 	m.wakeLocked(w)
 
 	// SUBMITTED→CREATED happens on the worker.
+	m.sendCreateLocked(w, rec)
+	return nil
+}
+
+// placeLocked is the Algorithm-1 selection loop, shared by Submit and
+// recovery re-placement: among live workers passing the AdmitsMem predicate
+// (and the queue cap), the one with the fewest tasks; -1 if none qualifies.
+func (m *Manager) placeLocked(spec TaskSpec) int {
+	minTasks := int(^uint(0) >> 1)
+	selected := -1
+	for i, w := range m.workers {
+		if !w.alive || !AdmitsMem(w.gpuMem, spec.Profile.MemBytes, m.opts.MemSlack) {
+			continue
+		}
+		if m.opts.MaxQueuePerWorker > 0 && w.numTasks() >= m.opts.MaxQueuePerWorker {
+			continue
+		}
+		if n := w.numTasks(); n < minTasks {
+			minTasks = n
+			selected = i
+		}
+	}
+	return selected
+}
+
+// sendCreateLocked asks w to create rec's current incarnation, carrying the
+// last checkpoint on re-placements. A failed create under recovery consumes
+// an attempt and re-enters the backoff cycle; with recovery disabled it
+// retires the task, the pre-lease behaviour.
+func (m *Manager) sendCreateLocked(w *workerMeta, rec *taskRecord) {
+	inc := rec.incarnation
+	args := createArgs{
+		Spec:          rec.spec,
+		MemLimitBytes: rec.spec.Profile.MemBytes + m.opts.MemSlack,
+		Incarnation:   inc,
+	}
+	if rec.hasCkpt {
+		ck := rec.ckpt
+		args.Ckpt = &ck
+	}
 	m.stats.RPCs++
-	w.peer.Go("Worker.Create", createArgs{
-		Spec:          spec,
-		MemLimitBytes: spec.Profile.MemBytes + m.opts.MemSlack,
-	}, m.opts.RPCTimeout, func(result any, err error) {
+	w.peer.Go("Worker.Create", args, m.opts.RPCTimeout, func(result any, err error) {
 		m.mu.Lock()
 		defer m.mu.Unlock()
+		if rec.incarnation != inc || rec.exited || rec.parked {
+			return
+		}
 		if err != nil {
+			if m.opts.Lease > 0 && m.running {
+				m.detachLocked(rec)
+				m.planRecoveryLocked(rec, "create failed: "+err.Error())
+				return
+			}
 			rec.exited = true
 			rec.exitErr = err.Error()
 			rec.state = sidetask.StateStopped
@@ -472,7 +838,6 @@ func (m *Manager) Submit(spec TaskSpec) error {
 		}
 		m.wakeLocked(w)
 	})
-	return nil
 }
 
 // SubmitAndPlace is Submit plus the chosen worker's name, for logs/tests.
@@ -522,6 +887,9 @@ func (m *Manager) Start() {
 	}
 	m.running = true
 	m.epoch = m.eng.Now()
+	for _, w := range m.workers {
+		m.armLeaseLocked(w)
+	}
 	if m.opts.Mode == ManagerPolling {
 		m.mu.Unlock()
 		m.scheduleTick()
@@ -548,6 +916,11 @@ func (m *Manager) Stop() {
 	}
 	for _, w := range m.workers {
 		w.cancelTimersLocked()
+	}
+	for _, rec := range m.tasks {
+		if rec.retryTimer != nil {
+			rec.retryTimer.Cancel()
+		}
 	}
 }
 
@@ -760,6 +1133,7 @@ func (m *Manager) nextBubbleLocked(w *workerMeta, now time.Duration) *bubble.Bub
 
 func (m *Manager) initLocked(w *workerMeta, rec *taskRecord) {
 	rec.initSent = true
+	inc := rec.incarnation
 	m.stats.RPCs++
 	// Completion (the PAUSED transition) is pushed back asynchronously via
 	// Manager.TaskState; the reply only matters when the call itself fails,
@@ -771,6 +1145,9 @@ func (m *Manager) initLocked(w *workerMeta, rec *taskRecord) {
 		}
 		m.mu.Lock()
 		defer m.mu.Unlock()
+		if rec.incarnation != inc {
+			return
+		}
 		if !rec.exited && rec.state == sidetask.StateCreated {
 			rec.initSent = false
 		}
@@ -780,9 +1157,7 @@ func (m *Manager) initLocked(w *workerMeta, rec *taskRecord) {
 
 func (m *Manager) applyStatusLocked(rec *taskRecord, st taskStatus) {
 	if st.Exited {
-		rec.exited = true
-		rec.exitErr = st.ExitErr
-		rec.state = sidetask.StateStopped
+		m.taskExitedLocked(rec, st)
 		return
 	}
 	rec.state = sidetask.State(st.State)
@@ -790,6 +1165,7 @@ func (m *Manager) applyStatusLocked(rec *taskRecord, st taskStatus) {
 
 func (m *Manager) startLocked(w *workerMeta, rec *taskRecord, b *bubble.Bubble) {
 	rec.startedForBubble = b
+	inc := rec.incarnation
 	m.stats.RPCs++
 	w.peer.Go("Worker.Start", startArgs{
 		Name:        rec.spec.Name,
@@ -797,6 +1173,9 @@ func (m *Manager) startLocked(w *workerMeta, rec *taskRecord, b *bubble.Bubble) 
 	}, m.opts.RPCTimeout, func(result any, err error) {
 		m.mu.Lock()
 		defer m.mu.Unlock()
+		if rec.incarnation != inc || rec.exited || rec.parked {
+			return
+		}
 		if err != nil || result == nil {
 			// The start never reached the worker (or timed out): unpin the
 			// dedupe record so the bubble can be retried on the next pass.
@@ -829,11 +1208,15 @@ func (m *Manager) startLocked(w *workerMeta, rec *taskRecord, b *bubble.Bubble) 
 func (m *Manager) pauseLocked(w *workerMeta, rec *taskRecord) {
 	rec.serving = false
 	rec.state = sidetask.StatePaused // optimistic; corrected below on failure
+	inc := rec.incarnation
 	m.stats.RPCs++
 	w.peer.Go("Worker.Pause", rec.refArgs, m.opts.RPCTimeout,
 		func(result any, err error) {
 			m.mu.Lock()
 			defer m.mu.Unlock()
+			if rec.incarnation != inc || rec.exited || rec.parked {
+				return
+			}
 			if err != nil || result == nil {
 				// The pause never reached the worker (or timed out): the
 				// task is, to the manager's best knowledge, still running —
@@ -855,7 +1238,19 @@ func (m *Manager) pauseLocked(w *workerMeta, rec *taskRecord) {
 			if st.Exited {
 				m.applyStatusLocked(rec, st)
 				m.wakeLocked(w)
+				return
 			}
+			// An acknowledged pause is a consistent cut of the task's
+			// progress: checkpoint the reported counters. A later restart
+			// resumes from here; only work accrued past this point is lost.
+			rec.ckpt = TaskCkpt{
+				Steps:        st.Steps,
+				KernelTimeNs: st.KernelTimeNs,
+				HostTimeNs:   st.HostTimeNs,
+				InsuffNs:     st.InsuffNs,
+			}
+			rec.hasCkpt = true
+			rec.servedSinceCkpt = 0
 		})
 }
 
@@ -869,28 +1264,45 @@ func (m *Manager) accountServedLocked(rec *taskRecord, b *bubble.Bubble) {
 	}
 	if served > 0 {
 		m.stats.BubbleTimeServed += served
+		rec.servedSinceCkpt += served
 	}
 }
 
-// onTaskExited handles the worker's exit notification.
+// onTaskExited handles the worker's exit notification. Reports from dead
+// incarnations (a crashed worker's exit push racing the re-placement) are
+// discarded.
 func (m *Manager) onTaskExited(st taskStatus) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rec, ok := m.tasks[st.Name]
-	if !ok {
+	if !ok || rec.exited || rec.parked || st.Incarnation != rec.incarnation {
+		return
+	}
+	w := m.workers[rec.workerIdx]
+	if m.opts.Lease > 0 {
+		w.lastSeen = m.eng.Now()
+	}
+	m.taskExitedLocked(rec, st)
+	m.wakeLocked(w)
+}
+
+// taskExitedLocked applies a task exit: injected infrastructure faults
+// enter the recovery cycle (the task's own work is intact — the platform
+// failed it); every other exit is the task's outcome and stays terminal.
+func (m *Manager) taskExitedLocked(rec *taskRecord, st taskStatus) {
+	m.detachLocked(rec)
+	if m.opts.Lease > 0 && m.running && isInfraFault(st.ExitErr) {
+		m.planRecoveryLocked(rec, st.ExitErr)
 		return
 	}
 	rec.exited = true
 	rec.exitErr = st.ExitErr
 	rec.state = sidetask.StateStopped
-	w := m.workers[rec.workerIdx]
-	if w.current == rec {
-		w.current = nil
-	}
-	m.wakeLocked(w)
 }
 
-// StopAll asks every worker to stop its tasks (end of run).
+// StopAll asks every worker to stop its tasks (end of run). A failed Stop
+// RPC retires the record instead of leaving it in limbo — symmetric to the
+// Init/Pause failure paths.
 func (m *Manager) StopAll() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -898,8 +1310,28 @@ func (m *Manager) StopAll() {
 		if rec.exited {
 			continue
 		}
+		if rec.retryTimer != nil {
+			rec.retryTimer.Cancel()
+		}
+		if rec.parked || !m.placedLocked(rec) {
+			continue
+		}
+		rec := rec
+		inc := rec.incarnation
 		w := m.workers[rec.workerIdx]
 		m.stats.RPCs++
-		w.peer.Go("Worker.Stop", rec.refArgs, m.opts.RPCTimeout, nil)
+		w.peer.Go("Worker.Stop", rec.refArgs, m.opts.RPCTimeout, func(result any, err error) {
+			if err == nil {
+				return
+			}
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			if rec.incarnation != inc || rec.exited {
+				return
+			}
+			rec.exited = true
+			rec.exitErr = "stop failed: " + err.Error()
+			rec.state = sidetask.StateStopped
+		})
 	}
 }

@@ -58,9 +58,12 @@ type WorkerStats struct {
 
 // workerTask is one deployed side task.
 type workerTask struct {
-	spec    TaskSpec
-	harness *sidetask.Harness
-	cont    *container.Container
+	spec TaskSpec
+	// incarnation echoes createArgs.Incarnation in every report, letting
+	// the manager discard reports from replaced deployments.
+	incarnation int
+	harness     *sidetask.Harness
+	cont        *container.Container
 	// grace is the task's reusable framework-enforcement timer: every
 	// pause re-arms the same handle (simtime.Reschedule) with the same
 	// pre-built callback and name, so a pause/start cycle costs no
@@ -95,10 +98,19 @@ type Worker struct {
 	ctrs   *container.Runtime
 
 	// mu rides the engine ownership regime (see simtime.Guard).
-	mu       simtime.Guard
-	tasks    map[string]*workerTask
+	mu    simtime.Guard
+	tasks map[string]*workerTask
+	// roster lists tasks in create order: Worker.Ping snapshots walk it
+	// instead of the map so reply order is deterministic.
+	roster   []*workerTask
 	stats    WorkerStats
 	notifyFn func(method string, params any) // manager notification channel
+	// crashed marks a fault-plane hard kill: the worker stops reporting
+	// forever and its task table is gone.
+	crashed bool
+	// wedgeUntil suppresses notifications until the given engine instant
+	// (fault-plane wedge: the worker runs but stops reporting).
+	wedgeUntil time.Duration
 }
 
 // NewWorker builds a worker for one device.
@@ -161,6 +173,30 @@ func (w *Worker) RegisterOn(mux *freerpc.Mux) {
 		defer w.mu.Unlock()
 		return workerInfo{Name: w.cfg.Name, GPUMem: w.device.MemFree(), NumTasks: len(w.tasks)}, nil
 	})
+	mux.Handle("Worker.Ping", func(json.RawMessage) (any, error) {
+		return w.pingStatus()
+	})
+}
+
+// pingStatus answers Worker.Ping: the worker's name plus a status snapshot
+// of every deployed task, in create order. A crashed worker answers nothing
+// useful — the error reply does not refresh the manager's lease, so a crash
+// whose link somehow stays open is still detected by lease expiry. A merely
+// wedged worker (notifications suppressed) still answers: the snapshot is
+// the anti-entropy that heals the pushes the wedge swallowed.
+func (w *Worker) pingStatus() (pingReply, error) {
+	w.mu.Lock()
+	if w.crashed {
+		w.mu.Unlock()
+		return pingReply{}, fmt.Errorf("worker %s: crashed", w.cfg.Name)
+	}
+	roster := append([]*workerTask(nil), w.roster...)
+	w.mu.Unlock()
+	rep := pingReply{Name: w.cfg.Name}
+	for _, t := range roster {
+		rep.Tasks = append(rep.Tasks, w.status(t))
+	}
+	return rep, nil
 }
 
 // SetNotify installs the channel for worker→manager notifications (task
@@ -174,10 +210,48 @@ func (w *Worker) SetNotify(fn func(method string, params any)) {
 func (w *Worker) notify(method string, params any) {
 	w.mu.Lock()
 	fn := w.notifyFn
+	if w.crashed || w.eng.Now() < w.wedgeUntil {
+		fn = nil
+	}
 	w.mu.Unlock()
 	if fn != nil {
 		fn(method, params)
 	}
+}
+
+// Crash simulates a hard worker failure (fault plane): notifications stop
+// for good, every task container is killed — releasing its GPU state — and
+// the task table is dropped. The worker keeps answering nothing useful; the
+// manager learns of the death through its link closing or its lease
+// expiring, exactly like a dead host.
+func (w *Worker) Crash() {
+	w.mu.Lock()
+	if w.crashed {
+		w.mu.Unlock()
+		return
+	}
+	w.crashed = true
+	dead := w.roster
+	w.roster = nil
+	w.tasks = make(map[string]*workerTask)
+	w.mu.Unlock()
+	for _, t := range dead {
+		if t.grace != nil {
+			t.grace.Cancel()
+		}
+		t.cont.Kill()
+	}
+}
+
+// WedgeFor suppresses the worker's state/exit notifications for the window
+// (fault plane: a wedged reporter). Tasks keep executing; the manager's
+// cache goes stale until the window ends or a ping snapshot heals it.
+func (w *Worker) WedgeFor(window time.Duration) {
+	w.mu.Lock()
+	if until := w.eng.Now() + window; until > w.wedgeUntil {
+		w.wedgeUntil = until
+	}
+	w.mu.Unlock()
 }
 
 // handleCreate implements SUBMITTED→CREATED: build the harness, wrap it in
@@ -188,18 +262,43 @@ func (w *Worker) handleCreate(args createArgs) (any, error) {
 		return nil, fmt.Errorf("worker %s: factory: %w", w.cfg.Name, err)
 	}
 	harness.BindEngine(w.eng)
-	w.mu.Lock()
-	if _, dup := w.tasks[args.Spec.Name]; dup {
-		w.mu.Unlock()
-		return nil, fmt.Errorf("worker %s: duplicate task %q", w.cfg.Name, args.Spec.Name)
+	if args.Ckpt != nil {
+		// Restart-from-checkpoint: the new incarnation resumes from the
+		// last progress the manager checkpointed.
+		harness.Restore(sidetask.Counters{
+			Steps:      args.Ckpt.Steps,
+			KernelTime: time.Duration(args.Ckpt.KernelTimeNs),
+			HostTime:   time.Duration(args.Ckpt.HostTimeNs),
+			InsuffWait: time.Duration(args.Ckpt.InsuffNs),
+		})
 	}
-	w.mu.Unlock()
-
 	cspec := container.Spec{
 		Name:        w.cfg.Name + "/" + args.Spec.Name,
 		Device:      w.device,
 		GPUMemLimit: args.MemLimitBytes,
 		GPUWeight:   0, // kernels carry their own weight
+	}
+	w.mu.Lock()
+	if old, dup := w.tasks[args.Spec.Name]; dup {
+		// A newer incarnation may re-land on a worker that still holds the
+		// exited remains of an older one (e.g. after an injected kernel
+		// fault); only a live duplicate is an error.
+		if old.cont.Alive() {
+			w.mu.Unlock()
+			return nil, fmt.Errorf("worker %s: duplicate task %q", w.cfg.Name, args.Spec.Name)
+		}
+		delete(w.tasks, args.Spec.Name)
+		for i, rt := range w.roster {
+			if rt == old {
+				w.roster = append(w.roster[:i], w.roster[i+1:]...)
+				break
+			}
+		}
+		w.mu.Unlock()
+		// Free the exited container's name for the new incarnation.
+		_ = w.ctrs.Remove(cspec.Name)
+	} else {
+		w.mu.Unlock()
 	}
 	// Event-loop-capable harnesses (all built-in tasks) run inline on the
 	// engine goroutine; arbitrary user implementations keep the goroutine
@@ -213,13 +312,14 @@ func (w *Worker) handleCreate(args createArgs) (any, error) {
 	if err != nil {
 		return nil, fmt.Errorf("worker %s: container: %w", w.cfg.Name, err)
 	}
-	t := &workerTask{spec: args.Spec, harness: harness, cont: cont}
+	t := &workerTask{spec: args.Spec, incarnation: args.Incarnation, harness: harness, cont: cont}
 	for s := sidetask.StateSubmitted; s <= sidetask.StateStopped; s++ {
-		t.stateArgs[s] = taskStatus{Name: args.Spec.Name, State: int(s)}
+		t.stateArgs[s] = taskStatus{Name: args.Spec.Name, State: int(s), Incarnation: args.Incarnation}
 	}
-	t.exitOK = taskStatus{Name: args.Spec.Name, Exited: true}
+	t.exitOK = taskStatus{Name: args.Spec.Name, Exited: true, Incarnation: args.Incarnation}
 	w.mu.Lock()
 	w.tasks[args.Spec.Name] = t
+	w.roster = append(w.roster, t)
 	w.stats.Created++
 	w.mu.Unlock()
 
@@ -241,7 +341,7 @@ func (w *Worker) handleCreate(args createArgs) (any, error) {
 			w.notify("Manager.TaskExited", t.exitOK)
 			return
 		}
-		w.notify("Manager.TaskExited", taskStatus{Name: args.Spec.Name, Exited: true, ExitErr: err.Error()})
+		w.notify("Manager.TaskExited", taskStatus{Name: args.Spec.Name, Exited: true, ExitErr: err.Error(), Incarnation: args.Incarnation})
 	})
 	return taskStatus{Name: args.Spec.Name, State: int(harness.State())}, nil
 }
@@ -436,6 +536,7 @@ func (w *Worker) status(t *workerTask) taskStatus {
 		State:        int(t.harness.State()),
 		Exited:       exited,
 		ExitErr:      msg,
+		Incarnation:  t.incarnation,
 		Steps:        c.Steps,
 		KernelTimeNs: int64(c.KernelTime),
 		HostTimeNs:   int64(c.HostTime),

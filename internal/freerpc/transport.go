@@ -69,6 +69,15 @@ type memConn struct {
 	recvMsg func(Msg)
 	closed  bool
 	onClose []func()
+	// Fault-injection state (see LinkFault). faulty is set once when a
+	// LinkFault is installed; the zero values behind it inject nothing, so
+	// an armed-but-idle fault plane takes one predictable branch and a
+	// plain conn pays a single bool test.
+	faulty     bool
+	dropUntil  time.Duration
+	delayUntil time.Duration
+	extraDelay time.Duration
+	dropped    uint64
 	// msgPool recycles typed-message delivery events (the carried Msg plus
 	// the pre-built engine callback), so SendMsg schedules without
 	// allocating a closure per message — the control plane's hottest
@@ -124,13 +133,21 @@ func (c *memConn) Send(frame []byte) error {
 		c.mu.Unlock()
 		return ErrClosed
 	}
+	lat := c.latency
+	if c.faulty {
+		var dropped bool
+		if lat, dropped = c.faultLatencyLocked(lat); dropped {
+			c.mu.Unlock()
+			return nil
+		}
+	}
 	peer := c.peer
 	c.mu.Unlock()
 
 	// Copy: the sender may reuse the buffer.
 	buf := make([]byte, len(frame))
 	copy(buf, frame)
-	simtime.Detached(c.eng, c.latency, "rpc-deliver", func() {
+	simtime.Detached(c.eng, lat, "rpc-deliver", func() {
 		peer.mu.Lock()
 		closed, recv := peer.closed, peer.recv
 		peer.mu.Unlock()
@@ -151,6 +168,14 @@ func (c *memConn) SendMsg(m Msg) error {
 		c.mu.Unlock()
 		return ErrClosed
 	}
+	lat := c.latency
+	if c.faulty {
+		var dropped bool
+		if lat, dropped = c.faultLatencyLocked(lat); dropped {
+			c.mu.Unlock()
+			return nil
+		}
+	}
 	var e *msgEvent
 	if n := len(c.msgPool); n > 0 {
 		e = c.msgPool[n-1]
@@ -163,8 +188,24 @@ func (c *memConn) SendMsg(m Msg) error {
 	e.m = m
 	c.mu.Unlock()
 
-	simtime.Detached(c.eng, c.latency, "rpc-deliver", e.fire)
+	simtime.Detached(c.eng, lat, "rpc-deliver", e.fire)
 	return nil
+}
+
+// faultLatencyLocked applies the injected link fault to one outgoing
+// message: inside a drop window the message is silently discarded (the
+// sender sees success — exactly a lost frame), inside a delay window the
+// one-way latency is inflated. Caller holds c.mu and has checked c.faulty.
+func (c *memConn) faultLatencyLocked(lat time.Duration) (time.Duration, bool) {
+	now := c.eng.Now()
+	if now < c.dropUntil {
+		c.dropped++
+		return lat, true
+	}
+	if now < c.delayUntil {
+		lat += c.extraDelay
+	}
+	return lat, false
 }
 
 func (c *memConn) SetRecvHandler(fn func([]byte)) {

@@ -239,7 +239,15 @@ type ManagerConfig struct {
 	// Live deployments benefit doubly: no wall-clock wakeup per Tick, and
 	// out-of-order bubble reports (real network) are served in Start order.
 	Mode core.ManagerMode
-	Logf func(format string, args ...any)
+	// Lease > 0 enables the failure detector and self-healing recovery:
+	// workers are pinged every Lease/2, declared dead after a silent Lease,
+	// and their tasks re-placed from the last checkpoint with backoff. Zero
+	// keeps the legacy no-recovery behaviour.
+	Lease time.Duration
+	// MaxRestarts and RetryBackoff bound recovery (zero = core defaults).
+	MaxRestarts  int
+	RetryBackoff time.Duration
+	Logf         func(format string, args ...any)
 }
 
 // ManagerDaemon is a running manager.
@@ -280,7 +288,10 @@ func StartManager(cfg ManagerConfig) (*ManagerDaemon, error) {
 		cfg.MicroBatch = 4
 	}
 	eng := simtime.NewWall()
-	mgr := core.NewManager(eng, core.ManagerOptions{Tick: cfg.Tick, Mode: cfg.Mode, MemSlack: core.DefaultMemSlack})
+	mgr := core.NewManager(eng, core.ManagerOptions{
+		Tick: cfg.Tick, Mode: cfg.Mode, MemSlack: core.DefaultMemSlack,
+		Lease: cfg.Lease, MaxRestarts: cfg.MaxRestarts, RetryBackoff: cfg.RetryBackoff,
+	})
 
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {

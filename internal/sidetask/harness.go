@@ -241,6 +241,20 @@ func (h *Harness) SetStepEstimate(d time.Duration) {
 // Deliver sends a state-transition command to the harness (worker side).
 func (h *Harness) Deliver(cmd Command) { h.inbox.Send(cmd) }
 
+// Restore seeds the harness's progress counters from a checkpoint before it
+// starts: a task re-placed after a worker failure resumes from its last
+// checkpointed step rather than from zero. Work-progress counters carry
+// over; run-local bookkeeping (LastPaused, StartedRuns) starts fresh with
+// the new incarnation. Call before the harness runs.
+func (h *Harness) Restore(c Counters) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counters.Steps = c.Steps
+	h.counters.KernelTime = c.KernelTime
+	h.counters.HostTime = c.HostTime
+	h.counters.InsuffWait = c.InsuffWait
+}
+
 // BindEngine ties the harness's lock and inbox to eng's ownership regime
 // (see simtime.Guard): free in single-owner simulations, real mutexes once
 // the engine escalates. The deployer calls it right after construction,

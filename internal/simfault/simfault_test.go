@@ -1,0 +1,98 @@
+package simfault
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"freeride/internal/simtime"
+)
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a := Generate(42, 10*time.Second, 16, nil, 4)
+	b := Generate(42, 10*time.Second, 16, nil, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed schedules differ:\n%v\n%v", a, b)
+	}
+	c := Generate(43, 10*time.Second, 16, nil, 4)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateSortedAndBounded(t *testing.T) {
+	horizon := 5 * time.Second
+	s := Generate(7, horizon, 32, nil, 3)
+	if len(s.Events) != 32 {
+		t.Fatalf("got %d events, want 32", len(s.Events))
+	}
+	for i, ev := range s.Events {
+		if ev.At < 0 || ev.At > horizon {
+			t.Fatalf("event %d at %v outside horizon", i, ev.At)
+		}
+		if i > 0 && ev.At < s.Events[i-1].At {
+			t.Fatalf("events not sorted at %d", i)
+		}
+		if ev.Worker < 0 || ev.Worker >= 3 {
+			t.Fatalf("event %d targets worker %d", i, ev.Worker)
+		}
+		switch ev.Kind {
+		case KindDropRPC, KindDelayRPC, KindWedgeTask:
+			if ev.Window <= 0 {
+				t.Fatalf("windowed event %d has no window", i)
+			}
+		}
+		if ev.Kind == KindDelayRPC && ev.Extra <= 0 {
+			t.Fatalf("delay event %d has no extra latency", i)
+		}
+	}
+}
+
+func TestParseKindRoundTrips(t *testing.T) {
+	for _, k := range AllKinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Fatalf("ParseKind accepted garbage")
+	}
+}
+
+func TestInjectorDispatchesAtScheduledInstants(t *testing.T) {
+	eng := simtime.NewVirtual()
+	sched := &Schedule{Events: []Event{
+		{At: 10 * time.Millisecond, Kind: KindCrashWorker, Worker: 0},
+		{At: 20 * time.Millisecond, Kind: KindDropRPC, Worker: 1, Window: time.Second},
+		{At: 30 * time.Millisecond, Kind: KindDelayRPC, Worker: 0, Window: time.Second, Extra: 2 * time.Millisecond},
+		{At: 40 * time.Millisecond, Kind: KindFailKernel, Worker: 2}, // unbound worker
+	}}
+	in := NewInjector(eng, sched)
+	var crashAt time.Duration
+	var dropWin, delayWin, delayExtra time.Duration
+	in.Bind(0, Hooks{
+		CrashWorker: func() { crashAt = eng.Now() },
+		DelayRPC:    func(w, e time.Duration) { delayWin, delayExtra = w, e },
+	})
+	in.Bind(1, Hooks{DropRPC: func(w time.Duration) { dropWin = w }})
+	in.Start()
+	eng.RunFor(time.Second)
+
+	if crashAt != 10*time.Millisecond {
+		t.Fatalf("crash fired at %v", crashAt)
+	}
+	if dropWin != time.Second {
+		t.Fatalf("drop window %v", dropWin)
+	}
+	if delayWin != time.Second || delayExtra != 2*time.Millisecond {
+		t.Fatalf("delay %v/%v", delayWin, delayExtra)
+	}
+	st := in.Stats()
+	if st.Total() != 3 || st.Skipped != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Count(KindCrashWorker) != 1 || st.Count(KindDropRPC) != 1 || st.Count(KindDelayRPC) != 1 {
+		t.Fatalf("per-kind counts wrong: %+v", st)
+	}
+}

@@ -65,7 +65,17 @@ var (
 	ErrKernelAborted = errors.New("simgpu: kernel aborted")
 	// ErrClientClosed means an operation was attempted on a destroyed client.
 	ErrClientClosed = errors.New("simgpu: client destroyed")
+	// ErrInjectedFault is the completion error delivered by an armed
+	// kernel fault (simfault's fail-kernel). The manager's recovery path
+	// recognizes it by its message, which therefore crosses RPC exit
+	// reports verbatim — keep InjectedFaultMsg in sync.
+	ErrInjectedFault = errors.New(InjectedFaultMsg)
 )
+
+// InjectedFaultMsg is ErrInjectedFault's message; error strings that
+// contain it mark an infrastructure fault (recoverable) rather than a task
+// failure (terminal).
+const InjectedFaultMsg = "simgpu: injected kernel fault"
 
 // minAlloc guards against zero rates from degenerate weights.
 const minAlloc = 1e-6
@@ -202,6 +212,14 @@ type Device struct {
 	// closures) across launches; a device retires millions of kernels per
 	// simulated run.
 	kernelPool []*kernel
+
+	// Armed kernel fault (simfault's fail-kernel): the next launch by a
+	// client whose name starts with faultPrefix completes immediately with
+	// faultErr instead of running. One-shot; nil when idle.
+	faultErr    error
+	faultPrefix string
+	// faultsFired counts injected kernel failures delivered.
+	faultsFired uint64
 }
 
 // NewDevice creates a device on the engine. Zero-valued config fields get
@@ -621,4 +639,25 @@ func (c *Client) Destroy() {
 			k.onComplete(ErrKernelAborted)
 		}
 	}
+}
+
+// InjectKernelFault arms a one-shot kernel fault: the next kernel launched
+// by a client whose name starts with prefix completes immediately with
+// ErrInjectedFault instead of executing. Side-task containers name their
+// clients "ctr/..." while pipeline training stages use "train-s...", so a
+// "ctr/" prefix faults only harvested work — the fault plane never touches
+// the main job. Re-arming before the previous fault fires just extends the
+// prefix; arming is idempotent per pending fault.
+func (d *Device) InjectKernelFault(prefix string) {
+	d.mu.Lock()
+	d.faultErr = ErrInjectedFault
+	d.faultPrefix = prefix
+	d.mu.Unlock()
+}
+
+// InjectedKernelFaults reports how many armed faults have been delivered.
+func (d *Device) InjectedKernelFaults() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faultsFired
 }

@@ -1,0 +1,54 @@
+package simgpu
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInjectKernelFaultFailsNextPrefixedLaunch(t *testing.T) {
+	eng, d := newDev(t, DeviceConfig{})
+	side := mustClient(t, d, ClientConfig{Name: "ctr/worker0/rn18"})
+	train := mustClient(t, d, ClientConfig{Name: "train-s0"})
+
+	d.InjectKernelFault("ctr/")
+
+	// The training client launches while the fault is armed: untouched.
+	var trainErr error
+	trainDone := false
+	if err := train.Launch(KernelSpec{Name: "fp", Duration: 10 * time.Millisecond}, func(err error) {
+		trainErr, trainDone = err, true
+	}); err != nil {
+		t.Fatalf("train launch: %v", err)
+	}
+
+	// The side-task client absorbs the fault, immediately.
+	var sideErr error
+	if err := side.Launch(KernelSpec{Name: "step", Duration: 10 * time.Millisecond}, func(err error) {
+		sideErr = err
+	}); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("side launch returned %v, want ErrInjectedFault", err)
+	}
+	if !errors.Is(sideErr, ErrInjectedFault) {
+		t.Fatalf("side completion %v, want ErrInjectedFault", sideErr)
+	}
+
+	// One-shot: the next side-task launch runs clean.
+	var secondErr error = errors.New("unset")
+	if err := side.Launch(KernelSpec{Name: "step", Duration: 10 * time.Millisecond}, func(err error) {
+		secondErr = err
+	}); err != nil {
+		t.Fatalf("second side launch: %v", err)
+	}
+	eng.MustDrain(1000)
+
+	if !trainDone || trainErr != nil {
+		t.Fatalf("train kernel done=%v err=%v", trainDone, trainErr)
+	}
+	if secondErr != nil {
+		t.Fatalf("second side kernel err=%v", secondErr)
+	}
+	if d.InjectedKernelFaults() != 1 {
+		t.Fatalf("faultsFired = %d, want 1", d.InjectedKernelFaults())
+	}
+}

@@ -3,6 +3,7 @@ package simgpu
 import (
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"freeride/internal/simproc"
@@ -96,6 +97,20 @@ func (c *Client) launch(spec KernelSpec, onComplete func(error), waiter *simproc
 			onComplete(ErrClientClosed)
 		}
 		return ErrClientClosed
+	}
+	if d.faultErr != nil && strings.HasPrefix(c.cfg.Name, d.faultPrefix) {
+		// Armed kernel fault: deliver the failure through the same path a
+		// closed client uses, never touching the device's running set.
+		err := d.faultErr
+		d.faultErr = nil
+		d.faultsFired++
+		d.mu.Unlock()
+		if waiter != nil {
+			waiter.Wake(err)
+		} else if onComplete != nil {
+			onComplete(err)
+		}
+		return err
 	}
 	var k *kernel
 	if n := len(d.kernelPool); n > 0 {
