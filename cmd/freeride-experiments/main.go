@@ -10,7 +10,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -93,6 +95,19 @@ var runners = []runner{
 		if err != nil {
 			return "", err
 		}
+		if err := writeCSV("faults", r.WriteCSV); err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"drift", "dynamic-bubble drift sweep: online re-profiling vs profile-once", func(o experiments.Options) (string, error) {
+		r, err := experiments.RunDriftSweep(o)
+		if err != nil {
+			return "", err
+		}
+		if err := writeCSV("drift", r.WriteCSV); err != nil {
+			return "", err
+		}
 		return r.Render(), nil
 	}},
 	{"ablations", "grace period / RPC latency / safety margin sweeps", func(o experiments.Options) (string, error) {
@@ -122,13 +137,33 @@ func main() {
 	}
 }
 
+// csvDir, when set via -csv, receives one <name>.csv per sweep that has a
+// CSV emitter.
+var csvDir string
+
+func writeCSV(name string, emit func(io.Writer) error) error {
+	if csvDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("freeride-experiments", flag.ContinueOnError)
-	which := fs.String("run", "all", "comma-separated experiment ids, or 'all' (ids: table1,table2,fig1,fig2,fig7ab,fig7cd,fig7ef,fig8,fig9,faults,ablations)")
+	which := fs.String("run", "all", "comma-separated experiment ids, or 'all' (ids: table1,table2,fig1,fig2,fig7ab,fig7cd,fig7ef,fig8,fig9,faults,drift,ablations)")
 	epochs := fs.Int("epochs", 16, "training epochs per run (paper: 128)")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	realWork := fs.Bool("realwork", false, "run real side-task computation during sweeps (slower)")
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	fs.StringVar(&csvDir, "csv", "", "directory to write per-sweep CSV files into (faults, drift)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -1,0 +1,105 @@
+// Dynamicbubbles: drift the bubble profile mid-run and watch the manager
+// re-plan — a third of the way through training, stage 2 freezes its
+// parameters, which grows its own bubbles and shrinks every other stage's.
+// The paper's profile-once design keeps serving the stale plan: the task
+// admitted onto its now-starved home stage sits in bubbles too small to
+// step. With online re-profiling armed, the manager's per-stage drift
+// detector notices the shift in the reported supply, demotes the task
+// through the same checkpoint-restart cycle a crash uses, and re-admits it
+// into the grown bubbles on the frozen stage.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"freeride"
+	"freeride/internal/bubble"
+	"freeride/internal/model"
+)
+
+func main() {
+	cfg := freeride.DefaultConfig()
+	cfg.Method = freeride.MethodIterative
+	cfg.Epochs = 16
+
+	tNo, err := freeride.BaselineTrainTime(cfg)
+	if err != nil {
+		log.Fatalf("baseline: %v", err)
+	}
+	// One drift event: freeze stage 2 a third of the way through training.
+	cfg.Drift = &bubble.DriftSchedule{Events: []bubble.DriftEvent{
+		{At: tNo / 3, Kind: bubble.DriftFreeze, Stage: 2, Magnitude: 1},
+	}}
+
+	// Profile-once arm: the drift reshapes the reported bubbles but nobody
+	// is watching — the one-shot profile stays authoritative forever.
+	once, err := runArm(cfg, tNo)
+	if err != nil {
+		log.Fatalf("profile-once arm: %v", err)
+	}
+	// Online arm: same drift, detector armed.
+	det := bubble.FastDetector()
+	cfg.Replan = &det
+	online, err := runArm(cfg, tNo)
+	if err != nil {
+		log.Fatalf("online arm: %v", err)
+	}
+
+	st := online.ManagerStats
+	fmt.Printf("drift: freeze stage 2 at %.1fs (bubbles ×2 there, ÷2 elsewhere)\n\n", (tNo / 3).Seconds())
+	fmt.Printf("%-28s %12s %12s\n", "", "profile-once", "online")
+	fmt.Printf("%-28s %11.2fs %11.2fs\n", "harvested GPU time", harvested(once).Seconds(), harvested(online).Seconds())
+	fmt.Printf("%-28s %11.2fs %11.2fs\n", "stale-admission wait", staleWait(once).Seconds(), staleWait(online).Seconds())
+	fmt.Printf("%-28s %11.2fs %11.2fs\n", "training time", once.TrainTime.Seconds(), online.TrainTime.Seconds())
+	fmt.Printf("\nonline re-planning activity:\n")
+	fmt.Printf("  drift detections:  %d\n", st.DriftEvents)
+	fmt.Printf("  re-plans:          %d\n", st.Replans)
+	fmt.Printf("  demotions:         %d\n", st.Demotions)
+	fmt.Printf("  revivals:          %d\n", st.Revivals)
+	fmt.Printf("  stale admissions:  %d\n", st.StaleAdmissions)
+	for _, tw := range online.Tasks {
+		mark := ""
+		if tw.Restarts > 0 {
+			mark = fmt.Sprintf("  <- re-planned (%d demotion)", tw.Restarts)
+		}
+		fmt.Printf("  %-12s steps=%-4d%s\n", tw.Name, tw.Steps, mark)
+	}
+	fmt.Printf("\nonline gain: %.2fs of GPU time the stale plan left on the table\n",
+		(harvested(online) - harvested(once)).Seconds())
+}
+
+// runArm runs one Graph-SGD side task (memory-heavy: excluded from stage 0,
+// homed on stage 1 — the stage the freeze starves) under cfg.
+func runArm(cfg freeride.Config, tNo time.Duration) (*freeride.Result, error) {
+	sess, err := freeride.NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Submit(model.GraphSGD, 0); err != nil {
+		return nil, err
+	}
+	res, err := sess.Run()
+	if err != nil {
+		return nil, err
+	}
+	res.CostReport(tNo)
+	return res, nil
+}
+
+func harvested(res *freeride.Result) time.Duration {
+	var sum time.Duration
+	for _, tw := range res.Tasks {
+		sum += tw.KernelTime
+	}
+	return sum
+}
+
+func staleWait(res *freeride.Result) time.Duration {
+	var sum time.Duration
+	for _, tw := range res.Tasks {
+		sum += tw.InsuffWait
+	}
+	return sum
+}

@@ -23,6 +23,7 @@ package freeride
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -140,6 +141,19 @@ type Config struct {
 	// MaxRestarts / RetryBackoff tune task recovery (0 = core defaults).
 	MaxRestarts  int
 	RetryBackoff time.Duration
+	// Drift is the seeded bubble-drift schedule: the trainer's reported
+	// bubble trace is reshaped on the virtual clock (parameter-freeze stage
+	// shrink, elastic micro-batch resize, stage rebalance, straggler
+	// windows). Nil leaves the reporter untouched; an empty schedule wires
+	// the drift plane with identity scaling and must reproduce the no-drift
+	// metrics bit-identically (the zero-drift oracle).
+	Drift *bubble.DriftSchedule
+	// Replan arms the manager's online re-profiling: per-worker EWMA+CUSUM
+	// drift detectors over the bubble-report stream, and an Algorithm-1
+	// re-plan (demote/park/revive) on every detection. Nil trusts the
+	// one-shot profile forever, the paper's behaviour. The zero value of
+	// the config selects the detector defaults.
+	Replan *bubble.DetectorConfig
 }
 
 // DefaultConfig mirrors the paper's principal setup: nanoGPT-3.6B on a
@@ -197,8 +211,30 @@ func (c *Config) normalize() error {
 	if c.Faults != nil && c.Lease == 0 {
 		c.Lease = core.DefaultLease
 	}
+	// CI's oracle matrix forces the detector on over a zero-drift schedule
+	// for the whole tier-1 suite. Only configurations with no drift plane of
+	// their own are touched, so tests exercising real drift (or deliberately
+	// unarmed profile-once arms) keep their configuration.
+	if c.Replan == nil && c.Drift == nil && oracleDriftArmed() {
+		c.Replan = &bubble.DetectorConfig{}
+		c.Drift = &bubble.DriftSchedule{}
+	}
 	return nil
 }
+
+// oracleDriftArmed reports the FREERIDE_ORACLE_DRIFT override: "on"/"1"
+// arms the drift detector (with an empty schedule) for every session that
+// doesn't configure its own drift plane.
+var oracleDriftArmed = sync.OnceValue(func() bool {
+	switch s := os.Getenv("FREERIDE_ORACLE_DRIFT"); s {
+	case "", "off", "0":
+		return false
+	case "on", "1":
+		return true
+	default:
+		panic(fmt.Sprintf("freeride: bad FREERIDE_ORACLE_DRIFT %q (want on/off)", s))
+	}
+})
 
 // TaskPlacement records where one task instance landed.
 type TaskPlacement struct {
@@ -315,6 +351,10 @@ func NewSession(cfg Config) (*Session, error) {
 // in-memory RPC links.
 func (s *Session) assembleControlPlane() error {
 	cfg := s.cfg
+	var replan *core.ReplanOptions
+	if cfg.Replan != nil {
+		replan = &core.ReplanOptions{Detector: *cfg.Replan}
+	}
 	s.Manager = core.NewManager(s.Eng, core.ManagerOptions{
 		Tick:         cfg.Tick,
 		Mode:         cfg.ManagerMode,
@@ -323,6 +363,7 @@ func (s *Session) assembleControlPlane() error {
 		MaxRestarts:  cfg.MaxRestarts,
 		RetryBackoff: cfg.RetryBackoff,
 		Seed:         cfg.Seed,
+		Replan:       replan,
 	})
 	if cfg.Faults != nil {
 		s.injector = simfault.NewInjector(s.Eng, cfg.Faults)
@@ -370,6 +411,17 @@ func (s *Session) assembleControlPlane() error {
 	// RPC link (paper step ➎). The typed DTO crosses the MemPipe as-is —
 	// the manager's handler receives it without any JSON round-trip.
 	s.reporter = bubble.NewReporter(s.Profile, cfg.SafetyMargin)
+	if cfg.Drift != nil {
+		s.reporter.SetDrift(bubble.NewDrifter(cfg.Drift, cfg.Stages))
+	}
+	if cfg.Replan != nil {
+		// Baseline each worker's drift estimator from the reporter's own
+		// emission arithmetic, so a zero-drift epoch matches it to the bit.
+		for i, w := range s.Workers {
+			total, reports := s.reporter.StageBaseline(i)
+			s.Manager.SetBubbleBaseline(w.Name(), total, reports)
+		}
+	}
 	pipeEnd, mgrEnd := freerpc.MemPipe(s.Eng, cfg.RPCLatency)
 	pipePeer := freerpc.NewPeer(s.Eng, pipeEnd, nil)
 	freerpc.NewPeer(s.Eng, mgrEnd, s.Manager.Mux())

@@ -1,0 +1,145 @@
+package bubble
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestGenerateDriftDeterministic(t *testing.T) {
+	a := GenerateDrift(7, time.Minute, 16, nil, 4)
+	b := GenerateDrift(7, time.Minute, 16, nil, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same-seed schedules diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	c := GenerateDrift(8, time.Minute, 16, nil, 4)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Errorf("different seeds produced identical schedules: %+v", a.Events)
+	}
+	for i, ev := range a.Events {
+		if i > 0 && ev.At < a.Events[i-1].At {
+			t.Errorf("events not sorted by At: %v after %v", ev.At, a.Events[i-1].At)
+		}
+		if ev.Kind < DriftFreeze || ev.Kind > driftKindMax {
+			t.Errorf("event %d: kind %v out of range", i, ev.Kind)
+		}
+		if ev.Stage < 0 || ev.Stage >= 4 {
+			t.Errorf("event %d: stage %d out of range", i, ev.Stage)
+		}
+		if ev.Magnitude < 0.5 || ev.Magnitude > 3.0 {
+			t.Errorf("event %d: magnitude %v outside {0.5..3.0}", i, ev.Magnitude)
+		}
+		if ev.Kind == DriftStraggler {
+			if ev.Window < time.Minute/8 || ev.Window > time.Minute/4 {
+				t.Errorf("event %d: straggler window %v outside [horizon/8, horizon/4]",
+					i, ev.Window)
+			}
+		} else if ev.Window != 0 {
+			t.Errorf("event %d: non-straggler kind %v has a window", i, ev.Kind)
+		}
+	}
+}
+
+func TestParseDriftKindRoundTrip(t *testing.T) {
+	for _, k := range AllDriftKinds() {
+		got, err := ParseDriftKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseDriftKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParseDriftKind("nope"); err == nil {
+		t.Error("ParseDriftKind accepted an unknown kind")
+	}
+}
+
+// TestDrifterIdentityExact pins the zero-drift oracle's foundation: a nil
+// drifter, an empty schedule, and a not-yet-active event must all return
+// exactly (1, 1) — no floating-point work at all.
+func TestDrifterIdentityExact(t *testing.T) {
+	var nilD *Drifter
+	if dur, mem := nilD.ScaleAt(0, time.Hour); dur != 1 || mem != 1 {
+		t.Errorf("nil drifter: (%v, %v), want exactly (1, 1)", dur, mem)
+	}
+	empty := NewDrifter(&DriftSchedule{Seed: 3}, 4)
+	if dur, mem := empty.ScaleAt(2, time.Hour); dur != 1 || mem != 1 {
+		t.Errorf("empty schedule: (%v, %v), want exactly (1, 1)", dur, mem)
+	}
+	future := NewDrifter(&DriftSchedule{Events: []DriftEvent{
+		{At: 10 * time.Second, Kind: DriftResize, Magnitude: 1},
+	}}, 4)
+	if dur, mem := future.ScaleAt(0, 9*time.Second); dur != 1 || mem != 1 {
+		t.Errorf("pre-event: (%v, %v), want exactly (1, 1)", dur, mem)
+	}
+}
+
+func TestDrifterKindSemantics(t *testing.T) {
+	at := 10 * time.Second
+	cases := []struct {
+		name  string
+		ev    DriftEvent
+		stage int
+		dur   float64
+		mem   float64
+	}{
+		{"freeze-self", DriftEvent{At: at, Kind: DriftFreeze, Stage: 1, Magnitude: 1}, 1, 2, 1.25},
+		{"freeze-other", DriftEvent{At: at, Kind: DriftFreeze, Stage: 1, Magnitude: 1}, 0, 0.5, 1},
+		{"resize", DriftEvent{At: at, Kind: DriftResize, Magnitude: 1}, 2, 0.5, 1 / 1.25},
+		{"rebalance-self", DriftEvent{At: at, Kind: DriftRebalance, Stage: 1, Magnitude: 1}, 1, 0.5, 1},
+		{"rebalance-successor", DriftEvent{At: at, Kind: DriftRebalance, Stage: 1, Magnitude: 1}, 2, 2, 1},
+		{"rebalance-bystander", DriftEvent{At: at, Kind: DriftRebalance, Stage: 1, Magnitude: 1}, 3, 1, 1},
+		{"rebalance-wraps", DriftEvent{At: at, Kind: DriftRebalance, Stage: 3, Magnitude: 1}, 0, 2, 1},
+		{"straggler-self", DriftEvent{At: at, Kind: DriftStraggler, Stage: 1, Magnitude: 1, Window: 5 * time.Second}, 1, 0.5, 1},
+		{"straggler-waiter", DriftEvent{At: at, Kind: DriftStraggler, Stage: 1, Magnitude: 1, Window: 5 * time.Second}, 3, 2, 1},
+	}
+	for _, tc := range cases {
+		d := NewDrifter(&DriftSchedule{Events: []DriftEvent{tc.ev}}, 4)
+		if dur, mem := d.ScaleAt(tc.stage, at); dur != tc.dur || mem != tc.mem {
+			t.Errorf("%s: (%v, %v), want (%v, %v)", tc.name, dur, mem, tc.dur, tc.mem)
+		}
+	}
+}
+
+func TestDrifterWindowExpiry(t *testing.T) {
+	d := NewDrifter(&DriftSchedule{Events: []DriftEvent{
+		{At: 10 * time.Second, Kind: DriftStraggler, Stage: 0, Magnitude: 1, Window: 5 * time.Second},
+	}}, 4)
+	if dur, _ := d.ScaleAt(0, 14*time.Second); dur != 0.5 {
+		t.Errorf("inside window: dur %v, want 0.5", dur)
+	}
+	// Window end is exclusive: at At+Window the pipeline has recovered and
+	// the identity must be exact again.
+	if dur, mem := d.ScaleAt(0, 15*time.Second); dur != 1 || mem != 1 {
+		t.Errorf("after window: (%v, %v), want exactly (1, 1)", dur, mem)
+	}
+}
+
+func TestDrifterComposesAndClamps(t *testing.T) {
+	// Two stacked resizes compose multiplicatively.
+	two := NewDrifter(&DriftSchedule{Events: []DriftEvent{
+		{At: 0, Kind: DriftResize, Magnitude: 1},
+		{At: time.Second, Kind: DriftResize, Magnitude: 1},
+	}}, 4)
+	if dur, _ := two.ScaleAt(0, time.Second); dur != 0.25 {
+		t.Errorf("composed dur %v, want 0.25", dur)
+	}
+	// Eight stacked max-magnitude freezes would scale duration 4^8 and
+	// memory 1.75^8; the clamps cap them.
+	var evs []DriftEvent
+	for i := 0; i < 8; i++ {
+		evs = append(evs, DriftEvent{Kind: DriftFreeze, Stage: 0, Magnitude: 3})
+	}
+	big := NewDrifter(&DriftSchedule{Events: evs}, 4)
+	if dur, mem := big.ScaleAt(0, time.Second); dur != maxDurScale || mem != maxMemScale {
+		t.Errorf("clamped high: (%v, %v), want (%v, %v)", dur, mem, maxDurScale, maxMemScale)
+	}
+	if dur, mem := big.ScaleAt(1, time.Second); dur != minDurScale || mem != 1 {
+		t.Errorf("clamped low: (%v, %v), want (%v, 1)", dur, mem, minDurScale)
+	}
+	// A magnitude below -0.875 is clamped so 1+f stays >= 1/8.
+	neg := NewDrifter(&DriftSchedule{Events: []DriftEvent{
+		{Kind: DriftResize, Magnitude: -0.99},
+	}}, 4)
+	if dur, _ := neg.ScaleAt(0, time.Second); dur != 8 {
+		t.Errorf("negative-magnitude clamp: dur %v, want 8", dur)
+	}
+}

@@ -18,8 +18,9 @@ type Reporter struct {
 	// tasks slightly before the training op really needs the GPU.
 	safety time.Duration
 
-	mu   sync.Mutex
-	sink func(Bubble)
+	mu    sync.Mutex
+	sink  func(Bubble)
+	drift *Drifter
 }
 
 // NewReporter builds a reporter from an offline profile. The safety margin
@@ -35,6 +36,37 @@ func (r *Reporter) SetSink(sink func(Bubble)) {
 	r.sink = sink
 }
 
+// SetDrift installs a drift evaluator: from now on reported durations and
+// memory are scaled per (stage, time) before the safety margin applies.
+// Nil (the default) and identity scales leave the emitted bubbles
+// untouched by the exact arithmetic the undrifted path uses.
+func (r *Reporter) SetDrift(d *Drifter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.drift = d
+}
+
+// StageBaseline reports the undrifted per-epoch bubble supply the reporter
+// emits for a stage — total duration after the safety margin, and how many
+// reports carry it. This seeds the manager's online estimator with the
+// exact arithmetic EmitEpoch uses, so a zero-drift window sum matches it
+// to the bit.
+func (r *Reporter) StageBaseline(stage int) (total time.Duration, reports int) {
+	for _, sp := range r.profile.Stages {
+		if sp.Stage != stage {
+			continue
+		}
+		for _, tpl := range sp.Templates {
+			if d := tpl.Duration - r.safety; d > 0 {
+				total += d
+				reports++
+			}
+		}
+		return total, reports
+	}
+	return 0, 0
+}
+
 // Attach hooks the reporter to a trainer's epoch-start instrumentation
 // point.
 func (r *Reporter) Attach(tr *pipeline.Trainer) {
@@ -48,13 +80,28 @@ func (r *Reporter) Attach(tr *pipeline.Trainer) {
 func (r *Reporter) EmitEpoch(ts time.Duration) {
 	r.mu.Lock()
 	sink := r.sink
+	drift := r.drift
 	r.mu.Unlock()
 	if sink == nil {
 		return
 	}
 	for _, sp := range r.profile.Stages {
+		// Identity scales take the exact integer path below — a wired but
+		// inactive drift plane emits bit-identical bubbles.
+		dscale, mscale := 1.0, 1.0
+		if drift != nil {
+			dscale, mscale = drift.ScaleAt(sp.Stage, ts)
+		}
+		mem := sp.MemAvailable
+		if mscale != 1 {
+			mem = int64(float64(mem) * mscale)
+		}
 		for _, tpl := range sp.Templates {
-			d := tpl.Duration - r.safety
+			dur := tpl.Duration
+			if dscale != 1 {
+				dur = time.Duration(float64(dur) * dscale)
+			}
+			d := dur - r.safety
 			if d <= 0 {
 				continue
 			}
@@ -63,7 +110,7 @@ func (r *Reporter) EmitEpoch(ts time.Duration) {
 				Type:         tpl.Type,
 				Start:        ts + tpl.Offset,
 				Duration:     d,
-				MemAvailable: sp.MemAvailable,
+				MemAvailable: mem,
 			})
 		}
 	}

@@ -389,6 +389,61 @@ func TestReplacementRerunsAdmission(t *testing.T) {
 	}
 }
 
+// TestCrashDuringReplanWindowSingleRecoveryPath composes drift with faults:
+// the worker crashes inside the re-plan window — after a drift demotion
+// detached the task but before its backoff re-placement fired. Both the
+// lease machinery and the re-plan machinery are armed; the task must
+// resolve through exactly ONE recovery path (the demotion's), with the
+// crash charging the worker loss but not double-charging the task, and the
+// stale incarnation's late exit report discarded by incarnation number.
+func TestCrashDuringReplanWindowSingleRecoveryPath(t *testing.T) {
+	opts := leaseOpts()
+	opts.Replan = &ReplanOptions{Detector: bubble.FastDetector()}
+	r := newRigOpts(t, 2, []int64{22 * model.GiB, 22 * model.GiB}, WorkerConfig{}, opts)
+	if err := r.mgr.Submit(spec("t0", model.GraphSGD, sidetask.ModeIterative)); err != nil {
+		t.Fatal(err)
+	}
+	r.mgr.SetBubbleBaseline("worker0", time.Second, 1)
+	r.mgr.Start()
+	r.eng.RunFor(6 * time.Second)
+
+	// Collapsed report: the fast detector fires on arrival and demotes the
+	// task into its backoff window (50–75ms).
+	r.mgr.AddBubble(bubble.Bubble{Stage: 0, Start: r.eng.Now(), Duration: 100 * time.Millisecond})
+	// Crash the old worker inside that window: the demoted task is already
+	// detached, so the worker loss must not retire or re-plan it again.
+	r.eng.Schedule(10*time.Millisecond, "crash", func() {
+		r.workers[0].Crash()
+		r.mgr.workerPeer(t, 0).Close()
+	})
+	r.eng.RunFor(7 * time.Second) // backoff + re-create + re-init on worker1
+
+	if w, ok := r.mgr.TaskWorker("t0"); !ok || w != "worker1" {
+		t.Fatalf("TaskWorker = %q/%v, want worker1", w, ok)
+	}
+	tv := taskView(t, r.mgr, "t0")
+	if tv.Exited || tv.Parked || tv.Restarts != 1 {
+		t.Fatalf("task view = %+v, want live with exactly 1 restart (one recovery path)", tv)
+	}
+	st := r.mgr.Stats()
+	if st.Demotions != 1 || st.WorkersLost != 1 {
+		t.Fatalf("stats = %+v, want 1 demotion and 1 worker lost", st)
+	}
+	if st.RestartedTasks != 1 || st.Replacements != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 restart / 1 replacement (no double recovery)", st)
+	}
+
+	// The stopped incarnation's exit report surfaces late (the crash raced
+	// the Worker.Stop): the incarnation number wins and the live
+	// replacement is untouched.
+	r.mgr.onTaskExited(taskStatus{Name: "t0", Exited: true,
+		ExitErr: "simproc: killed", Incarnation: 0})
+	if tv := taskView(t, r.mgr, "t0"); tv.Exited {
+		t.Fatalf("stale-incarnation exit retired the live replacement: %+v", tv)
+	}
+	r.eng.RunFor(time.Second)
+}
+
 // TestWedgeHealsViaPingAntiEntropy wedges a worker's reporting across its
 // init completion: the PAUSED push is swallowed, and the manager's record
 // heals from the next ping snapshot instead of wedging the whole queue.

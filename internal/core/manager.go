@@ -11,6 +11,7 @@ import (
 
 	"freeride/internal/bubble"
 	"freeride/internal/freerpc"
+	"freeride/internal/profiler"
 	"freeride/internal/sidetask"
 	"freeride/internal/simgpu"
 	"freeride/internal/simtime"
@@ -155,6 +156,21 @@ type ManagerOptions struct {
 	// the engine clock plus this seed — never from wall time — so
 	// same-seed fault runs are bit-identical. 0 = 1.
 	Seed int64
+	// Replan arms online re-profiling and re-planning: a per-worker drift
+	// detector over the bubble-report stream, and an Algorithm-1 re-plan on
+	// detection (demote tasks whose bubbles shrank below their pause-time
+	// fit, admit newly-fitting ones). Nil trusts the one-shot profile
+	// forever, the paper's behaviour. Arming Replan also arms the recovery
+	// machinery (backoff, incarnations, parking) demotions ride on, even
+	// without a Lease.
+	Replan *ReplanOptions
+}
+
+// ReplanOptions tune the online re-profiling plane.
+type ReplanOptions struct {
+	// Detector tunes the per-worker EWMA+CUSUM estimator; the zero value
+	// selects the bubble-package defaults.
+	Detector bubble.DetectorConfig
 }
 
 func (o *ManagerOptions) normalize() {
@@ -167,7 +183,7 @@ func (o *ManagerOptions) normalize() {
 	if o.Mode == ManagerDefault {
 		o.Mode = defaultManagerMode()
 	}
-	if o.Lease > 0 {
+	if o.Lease > 0 || o.Replan != nil {
 		if o.MaxRestarts <= 0 {
 			o.MaxRestarts = DefaultMaxRestarts
 		}
@@ -236,8 +252,24 @@ type ManagerStats struct {
 	// ParkedTasks counts tasks whose retry budget exhausted.
 	ParkedTasks uint64
 	// LostWork sums served bubble time lost between the last checkpoint and
-	// each worker death — the work a restart could not recover.
+	// each worker death or drift demotion — the work a restart could not
+	// recover.
 	LostWork time.Duration
+
+	// Drift counters (replan-armed managers only; all zero otherwise, and
+	// all zero under a zero-drift schedule — the drift oracle pins that).
+	// DriftEvents counts detector firings across workers; Replans counts
+	// re-plan passes (every detection plus every pushed profile update);
+	// Demotions counts tasks pulled off a worker because the online profile
+	// no longer fits them; Revivals counts parked tasks re-admitted after
+	// the profile grew back; StaleAdmissions counts placement attempts the
+	// stale one-shot profile would have accepted but the online profile
+	// rejected — the bad admissions re-planning avoided.
+	DriftEvents     uint64
+	Replans         uint64
+	Demotions       uint64
+	Revivals        uint64
+	StaleAdmissions uint64
 }
 
 // taskRecord is the manager-side task state (cache of the worker's truth).
@@ -335,6 +367,16 @@ type workerMeta struct {
 	leaseTimer *simtime.Timer
 	leaseFn    func()
 	leaseName  string
+
+	// Online re-profiling state (replan-armed managers only). est is this
+	// worker's drift estimator, cached from the manager's profiler
+	// registry; gpuMem0 keeps the one-shot profile's memory figure for the
+	// stale-admission comparison after gpuMem is re-profiled; lastMem is
+	// the most recent bubble report's MemAvailable, folded into gpuMem
+	// only at re-plan time (so zero-drift admission arithmetic never moves).
+	est     *bubble.Estimator
+	gpuMem0 int64
+	lastMem int64
 }
 
 func (w *workerMeta) numTasks() int {
@@ -388,9 +430,15 @@ type Manager struct {
 	// not allocate a fresh closure each pass.
 	tickFn  func()
 	running bool
-	// rng drives recovery backoff jitter (lease-enabled managers only);
+	// rng drives recovery backoff jitter (recovery-armed managers only);
 	// seeded from ManagerOptions.Seed so fault runs are reproducible.
 	rng *rand.Rand
+	// prof is the online bubble-profile registry (replan-armed managers
+	// only): one drift estimator per baselined worker, fed from AddBubble.
+	prof *profiler.Online
+	// taskOrder keeps submission order for re-plan passes: map iteration
+	// order is nondeterministic, and revival must be.
+	taskOrder []*taskRecord
 }
 
 // NewManager builds a manager. Its RPC methods (bubble reports, task
@@ -403,8 +451,11 @@ func NewManager(eng simtime.Engine, opts ManagerOptions) *Manager {
 		mux:   freerpc.NewMux(),
 		tasks: make(map[string]*taskRecord),
 	}
-	if opts.Lease > 0 {
+	if opts.Lease > 0 || opts.Replan != nil {
 		m.rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	if opts.Replan != nil {
+		m.prof = profiler.NewOnline(opts.Replan.Detector)
 	}
 	m.mu.Bind(eng)
 	freerpc.HandleFunc(m.mux, "Manager.AddBubble", func(d BubbleDTO) (any, error) {
@@ -419,6 +470,10 @@ func NewManager(eng simtime.Engine, opts ManagerOptions) *Manager {
 	})
 	freerpc.HandleFunc(m.mux, "Manager.TaskExited", func(st taskStatus) (any, error) {
 		m.onTaskExited(st)
+		return nil, nil
+	})
+	freerpc.HandleFunc(m.mux, "Manager.ProfileUpdate", func(d ProfileUpdateDTO) (any, error) {
+		m.ProfileUpdate(d)
 		return nil, nil
 	})
 	freerpc.HandleFunc(m.mux, "Manager.TaskState", func(st taskStatus) (any, error) {
@@ -449,6 +504,7 @@ func (m *Manager) Mux() *freerpc.Mux { return m.mux }
 func (m *Manager) AddWorker(name string, stage int, gpuMem int64, peer *freerpc.Peer) {
 	w := &workerMeta{
 		name: name, peer: peer, gpuMem: gpuMem, stage: stage, alive: true,
+		gpuMem0: gpuMem, lastMem: gpuMem,
 		endName:   "manager-bubble-end:" + name,
 		startName: "manager-bubble-start:" + name,
 		kickName:  "manager-kick:" + name,
@@ -630,6 +686,10 @@ func (m *Manager) planRecoveryLocked(rec *taskRecord, cause string) {
 func (m *Manager) replaceTask(rec *taskRecord) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.replaceTaskLocked(rec)
+}
+
+func (m *Manager) replaceTaskLocked(rec *taskRecord) {
 	if !m.running || rec.exited || rec.parked || m.placedLocked(rec) {
 		return
 	}
@@ -769,6 +829,7 @@ func (m *Manager) Submit(spec TaskSpec) error {
 		refArgs:     taskRef{Name: spec.Name},
 	}
 	m.tasks[spec.Name] = rec
+	m.taskOrder = append(m.taskOrder, rec)
 	w := m.workers[selected]
 	w.queue = append(w.queue, rec)
 	m.wakeLocked(w)
@@ -785,7 +846,22 @@ func (m *Manager) placeLocked(spec TaskSpec) int {
 	minTasks := int(^uint(0) >> 1)
 	selected := -1
 	for i, w := range m.workers {
-		if !w.alive || !AdmitsMem(w.gpuMem, spec.Profile.MemBytes, m.opts.MemSlack) {
+		if !w.alive {
+			continue
+		}
+		if w.est != nil && w.est.Drifted() {
+			// The worker's one-shot profile is stale: admit against the
+			// online estimate instead (memory from the report stream, bubble
+			// fit from the estimator). Count the placements the stale
+			// profile would have made — those are the bad admissions
+			// re-planning avoids.
+			if !m.fitsOnlineLocked(w, spec) {
+				if AdmitsMem(w.gpuMem0, spec.Profile.MemBytes, m.opts.MemSlack) {
+					m.stats.StaleAdmissions++
+				}
+				continue
+			}
+		} else if !AdmitsMem(w.gpuMem, spec.Profile.MemBytes, m.opts.MemSlack) {
 			continue
 		}
 		if m.opts.MaxQueuePerWorker > 0 && w.numTasks() >= m.opts.MaxQueuePerWorker {
@@ -822,7 +898,7 @@ func (m *Manager) sendCreateLocked(w *workerMeta, rec *taskRecord) {
 			return
 		}
 		if err != nil {
-			if m.opts.Lease > 0 && m.running {
+			if m.recoveryArmed() && m.running {
 				m.detachLocked(rec)
 				m.planRecoveryLocked(rec, "create failed: "+err.Error())
 				return
@@ -862,6 +938,19 @@ func (m *Manager) AddBubble(b bubble.Bubble) {
 	for _, w := range m.workers {
 		if w.stage != b.Stage {
 			continue
+		}
+		if m.prof != nil {
+			// Feed the online profiler. Detection re-plans inline: the
+			// report, the detection and the demote/admit decisions all land
+			// on the same engine instant, before the drifted bubbles they
+			// describe begin (reports precede their bubbles).
+			w.lastMem = b.MemAvailable
+			if w.est != nil {
+				if dir := w.est.Observe(b.Duration); dir != bubble.DriftNone {
+					m.stats.DriftEvents++
+					m.replanLocked(w)
+				}
+			}
 		}
 		pb := pendingBubble{b: b, visibleAt: m.eventInstantLocked(m.eng.Now())}
 		i := len(w.pending)
@@ -1288,12 +1377,23 @@ func (m *Manager) onTaskExited(st taskStatus) {
 
 // taskExitedLocked applies a task exit: injected infrastructure faults
 // enter the recovery cycle (the task's own work is intact — the platform
-// failed it); every other exit is the task's outcome and stays terminal.
+// failed it), and so does a pause-overrun grace kill on a worker whose
+// bubble supply is contracting (a stale admission, not a task bug — the
+// drift-aware classification); every other exit is the task's outcome and
+// stays terminal.
 func (m *Manager) taskExitedLocked(rec *taskRecord, st taskStatus) {
+	w := m.workers[rec.workerIdx]
 	m.detachLocked(rec)
-	if m.opts.Lease > 0 && m.running && isInfraFault(st.ExitErr) {
-		m.planRecoveryLocked(rec, st.ExitErr)
-		return
+	if m.running {
+		if m.opts.Lease > 0 && isInfraFault(st.ExitErr) {
+			m.planRecoveryLocked(rec, st.ExitErr)
+			return
+		}
+		if m.opts.Replan != nil && isGraceKill(st.ExitErr) &&
+			w.est != nil && w.est.ShrinkSuspected() {
+			m.planRecoveryLocked(rec, st.ExitErr+" (bubble shrank: replan demotion)")
+			return
+		}
 	}
 	rec.exited = true
 	rec.exitErr = st.ExitErr

@@ -162,6 +162,21 @@ func TaskByName(name string) (TaskProfile, error) {
 	return TaskProfile{}, fmt.Errorf("model: unknown side task %q", name)
 }
 
+// FitTime is the worst-case pause-time fit: the bubble duration a task
+// needs to reliably complete one step — a step at the profiled jitter
+// ceiling plus the per-step host overhead. The iterative harness's
+// program-directed limit skips bubbles shorter than its mean step; the
+// manager's online re-planner demotes a task whose *estimated mean* bubble
+// falls below this worst-case figure, so admission keeps a jitter margin
+// the runtime check doesn't need.
+func (t TaskProfile) FitTime() time.Duration {
+	if t.StepTime <= 0 {
+		return 0
+	}
+	step := t.StepTime + time.Duration(float64(t.StepTime)*t.StepJitter)
+	return step + t.HostOverhead
+}
+
 // WithBatch returns the profile rescaled for a training batch size. It is a
 // no-op for non-batch-scalable tasks.
 func (t TaskProfile) WithBatch(batch int) TaskProfile {

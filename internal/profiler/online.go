@@ -1,0 +1,56 @@
+// Online (incremental) profiling: where profiler.Run measures a side task
+// once up front (§4.3), Online keeps the *bubble* profile fresh after
+// admission — one bubble.Estimator per worker, fed by the manager from the
+// observed Manager.AddBubble report stream, so Algorithm-1 re-planning has
+// per-worker supply estimates instead of a stale one-shot profile.
+package profiler
+
+import (
+	"time"
+
+	"freeride/internal/bubble"
+)
+
+// Online is the per-worker estimator registry. It is owned by the manager
+// and accessed only under the manager's lock — no locking of its own — and
+// does nothing clock- or randomness-dependent, so it inherits the
+// engine's determinism.
+type Online struct {
+	cfg DetectorConfig
+	est map[string]*bubble.Estimator
+}
+
+// DetectorConfig aliases the bubble detector tuning, re-exported so callers
+// configuring the profiler don't need the bubble package.
+type DetectorConfig = bubble.DetectorConfig
+
+// NewOnline builds an empty registry with a shared detector tuning.
+func NewOnline(cfg DetectorConfig) *Online {
+	return &Online{cfg: cfg, est: make(map[string]*bubble.Estimator)}
+}
+
+// Track seeds (or replaces) the named worker's estimator from a one-shot
+// profile: perEpoch bubble supply delivered in `reports` reports per
+// epoch. It returns the estimator so the caller can cache it.
+func (o *Online) Track(name string, perEpoch time.Duration, reports int) *bubble.Estimator {
+	e := bubble.NewEstimator(o.cfg, perEpoch, reports)
+	o.est[name] = e
+	return e
+}
+
+// Estimator returns the named worker's estimator, or nil if the worker was
+// never baselined (its detector is disabled and the one-shot profile
+// stays authoritative).
+func (o *Online) Estimator(name string) *bubble.Estimator {
+	return o.est[name]
+}
+
+// Observe feeds one bubble report for the named worker and relays the
+// detector's verdict. Unknown workers observe nothing.
+func (o *Online) Observe(name string, d time.Duration) bubble.Drift {
+	e := o.est[name]
+	if e == nil {
+		return bubble.DriftNone
+	}
+	return e.Observe(d)
+}
