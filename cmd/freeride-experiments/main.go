@@ -110,6 +110,16 @@ var runners = []runner{
 		}
 		return r.Render(), nil
 	}},
+	{"schedules", "schedule-zoo sweep: harvest vs bubble ratio per schedule", func(o experiments.Options) (string, error) {
+		r, err := experiments.RunScheduleSweep(o)
+		if err != nil {
+			return "", err
+		}
+		if err := writeCSV("schedules", r.WriteCSV); err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
 	{"ablations", "grace period / RPC latency / safety margin sweeps", func(o experiments.Options) (string, error) {
 		var b strings.Builder
 		for _, f := range []func(experiments.Options) (*experiments.AblationResult, error){
@@ -158,12 +168,14 @@ func writeCSV(name string, emit func(io.Writer) error) error {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("freeride-experiments", flag.ContinueOnError)
-	which := fs.String("run", "all", "comma-separated experiment ids, or 'all' (ids: table1,table2,fig1,fig2,fig7ab,fig7cd,fig7ef,fig8,fig9,faults,drift,ablations)")
+	which := fs.String("run", "all", "comma-separated experiment ids, or 'all' (ids: table1,table2,fig1,fig2,fig7ab,fig7cd,fig7ef,fig8,fig9,faults,drift,schedules,ablations)")
 	epochs := fs.Int("epochs", 16, "training epochs per run (paper: 128)")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	realWork := fs.Bool("realwork", false, "run real side-task computation during sweeps (slower)")
 	list := fs.Bool("list", false, "list experiment ids and exit")
-	fs.StringVar(&csvDir, "csv", "", "directory to write per-sweep CSV files into (faults, drift)")
+	cross := fs.Bool("cross", false, "widen grid sweeps to their full cross product (schedules)")
+	shard := fs.String("shard", "", "run only shard k of n of a grid sweep, as k/n (schedules)")
+	fs.StringVar(&csvDir, "csv", "", "directory to write per-sweep CSV files into (every sweep with a CSV emitter: faults, drift, schedules)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -173,9 +185,17 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	opts := experiments.Options{Epochs: *epochs, Seed: *seed, WorkScale: sidetask.WorkNone}
+	opts := experiments.Options{Epochs: *epochs, Seed: *seed, WorkScale: sidetask.WorkNone, Cross: *cross}
 	if *realWork {
 		opts.WorkScale = sidetask.WorkSmall
+	}
+	if *shard != "" {
+		if _, err := fmt.Sscanf(*shard, "%d/%d", &opts.Shard, &opts.ShardCount); err != nil {
+			return fmt.Errorf("bad -shard %q (want k/n): %w", *shard, err)
+		}
+		if opts.ShardCount < 1 || opts.Shard < 0 || opts.Shard >= opts.ShardCount {
+			return fmt.Errorf("bad -shard %q: k must be in [0,n)", *shard)
+		}
 	}
 
 	want := map[string]bool{}

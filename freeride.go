@@ -24,6 +24,7 @@ package freeride
 import (
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -128,6 +129,11 @@ type Config struct {
 	// the incremental pass recomputes allocations every rebalance, like the
 	// oracle (see simgpu.DeviceConfig.NoShareCache).
 	NoShareCache bool
+	// LegacySchedule routes 1F1B/GPipe op-list generation through the
+	// retained pre-generator emitters — the schedule-zoo differential
+	// oracle (see pipeline.Config.LegacySchedule). Results must be
+	// bit-identical either way; CI forces it via FREERIDE_ORACLE_SCHEDULE.
+	LegacySchedule bool
 	// Faults is the seeded fault schedule injected into the run (crash /
 	// sever / drop / delay / fail-kernel / wedge, all on the virtual clock).
 	// Non-nil — even empty — wires the fault hooks and enables the manager's
@@ -190,6 +196,15 @@ func (c *Config) normalize() error {
 	if c.Schedule == 0 {
 		c.Schedule = pipeline.Schedule1F1B
 	}
+	if c.Schedule == pipeline.ScheduleInterleaved && c.VirtualStages < 2 {
+		c.VirtualStages = 2
+	}
+	if c.Schedule == pipeline.ScheduleZeroBubble && c.VirtualStages > 1 {
+		return fmt.Errorf("freeride: zero-bubble schedule does not compose with virtual stages")
+	}
+	if oracleLegacySchedule() {
+		c.LegacySchedule = true
+	}
 	if c.Method == 0 {
 		c.Method = MethodIterative
 	}
@@ -235,6 +250,74 @@ var oracleDriftArmed = sync.OnceValue(func() bool {
 		panic(fmt.Sprintf("freeride: bad FREERIDE_ORACLE_DRIFT %q (want on/off)", s))
 	}
 })
+
+// oracleLegacySchedule reports the FREERIDE_ORACLE_SCHEDULE override:
+// "legacy" forces every session's 1F1B/GPipe op lists through the retained
+// pre-generator emitters, so CI pins the schedule-generator refactor
+// bit-identical across the whole tier-1 suite.
+var oracleLegacySchedule = sync.OnceValue(func() bool {
+	switch s := os.Getenv("FREERIDE_ORACLE_SCHEDULE"); s {
+	case "", "new", "generator":
+		return false
+	case "legacy":
+		return true
+	default:
+		panic(fmt.Sprintf("freeride: bad FREERIDE_ORACLE_SCHEDULE %q (want legacy/new)", s))
+	}
+})
+
+// mbScheduleFromDrift derives the trainer's per-epoch micro-batch hook from
+// resize drift events that carry an actual count (DriftEvent.MicroBatches).
+// It returns a nil hook when no event does — the byte-identical default —
+// plus the largest count the trainer must provision for.
+func mbScheduleFromDrift(cfg Config) (func(epoch int, start time.Duration) int, int) {
+	if cfg.Drift == nil {
+		return nil, 0
+	}
+	var evs []bubble.DriftEvent
+	for _, ev := range cfg.Drift.Events {
+		if ev.Kind == bubble.DriftResize && ev.MicroBatches > 0 {
+			evs = append(evs, ev)
+		}
+	}
+	if len(evs) == 0 {
+		return nil, 0
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	maxMB := cfg.MicroBatches
+	for _, ev := range evs {
+		if ev.MicroBatches > maxMB {
+			maxMB = ev.MicroBatches
+		}
+	}
+	base := cfg.MicroBatches
+	fn := func(epoch int, start time.Duration) int {
+		mb := base
+		for _, ev := range evs {
+			if ev.At <= start {
+				mb = ev.MicroBatches
+			}
+		}
+		return mb
+	}
+	return fn, maxMB
+}
+
+// mbPlanKey fingerprints the resize plan for the memoization keys (empty
+// without the hook, so pre-hook cache keys are unchanged).
+func mbPlanKey(cfg Config) string {
+	fn, _ := mbScheduleFromDrift(cfg)
+	if fn == nil {
+		return ""
+	}
+	var b []byte
+	for _, ev := range cfg.Drift.Events {
+		if ev.Kind == bubble.DriftResize && ev.MicroBatches > 0 {
+			b = fmt.Appendf(b, "%d@%d;", ev.MicroBatches, ev.At)
+		}
+	}
+	return string(b)
+}
 
 // TaskPlacement records where one task instance landed.
 type TaskPlacement struct {
@@ -313,6 +396,7 @@ func NewSession(cfg Config) (*Session, error) {
 			NoShareCache:  cfg.NoShareCache,
 		})
 	}
+	mbSched, mbCap := mbScheduleFromDrift(cfg)
 	tr, err := pipeline.New(eng, procs, devices, pipeline.Config{
 		Model:           cfg.LLM,
 		Stages:          cfg.Stages,
@@ -321,6 +405,9 @@ func NewSession(cfg Config) (*Session, error) {
 		Schedule:        cfg.Schedule,
 		VirtualPerStage: cfg.VirtualStages,
 		RecordOps:       cfg.RecordOps,
+		LegacySchedule:  cfg.LegacySchedule,
+		MBSchedule:      mbSched,
+		MBCap:           mbCap,
 	})
 	if err != nil {
 		return nil, err
@@ -477,7 +564,8 @@ func (s *Session) RegisterCustom(profile model.TaskProfile, build CustomTask) er
 func (s *Session) EligibleStages(p model.TaskProfile) []int {
 	var out []int
 	for stage := 0; stage < s.cfg.Stages; stage++ {
-		avail := s.cfg.LLM.StageMemAvailable(model.ServerI.GPUMemBytes, stage, s.cfg.Stages, s.cfg.MicroBatches)
+		avail := s.cfg.LLM.StageMemAvailableSched(model.ServerI.GPUMemBytes, s.cfg.Schedule,
+			stage, s.cfg.Stages, s.cfg.MicroBatches, s.cfg.VirtualStages)
 		if core.AdmitsMem(avail, p.MemBytes, s.memSlack) {
 			out = append(out, stage)
 		}
@@ -829,6 +917,7 @@ type profileKey struct {
 	mbs      int
 	schedule pipeline.ScheduleKind
 	virtual  int
+	legacy   bool
 }
 
 var profCache = newFlightCache[profileKey, *bubble.Profile]()
@@ -837,7 +926,7 @@ var profCache = newFlightCache[profileKey, *bubble.Profile]()
 // and extracts the per-stage bubble templates — the paper's one-time
 // offline profiling pass (§4.3), memoized per configuration.
 func offlineBubbleProfile(cfg Config) (*bubble.Profile, error) {
-	key := profileKey{cfg.LLM.Name, cfg.Stages, cfg.MicroBatches, cfg.Schedule, cfg.VirtualStages}
+	key := profileKey{cfg.LLM.Name, cfg.Stages, cfg.MicroBatches, cfg.Schedule, cfg.VirtualStages, cfg.LegacySchedule}
 	return profCache.get(key, func() (*bubble.Profile, error) {
 		return runBubbleProfile(cfg)
 	})
@@ -862,6 +951,7 @@ func runBubbleProfile(cfg Config) (*bubble.Profile, error) {
 		Schedule:        cfg.Schedule,
 		VirtualPerStage: cfg.VirtualStages,
 		RecordOps:       true,
+		LegacySchedule:  cfg.LegacySchedule,
 	})
 	if err != nil {
 		return nil, err
@@ -887,7 +977,7 @@ func runBubbleProfile(cfg Config) (*bubble.Profile, error) {
 func BaselineTrainTime(cfg Config) (time.Duration, error) {
 	cfg.Method = MethodNone
 	cfg.RecordOps = false
-	key := baselineKey{cfg.LLM.Name, cfg.Stages, cfg.MicroBatches, cfg.Epochs, cfg.Schedule, cfg.VirtualStages}
+	key := baselineKey{cfg.LLM.Name, cfg.Stages, cfg.MicroBatches, cfg.Epochs, cfg.Schedule, cfg.VirtualStages, cfg.LegacySchedule, mbPlanKey(cfg)}
 	return baseCache.get(key, func() (time.Duration, error) {
 		sess, err := NewSession(cfg)
 		if err != nil {
@@ -908,6 +998,8 @@ type baselineKey struct {
 	epochs   int
 	schedule pipeline.ScheduleKind
 	virtual  int
+	legacy   bool
+	mbplan   string
 }
 
 var baseCache = newFlightCache[baselineKey, time.Duration]()

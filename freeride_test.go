@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"freeride"
+	"freeride/internal/bubble"
 	"freeride/internal/model"
 	"freeride/internal/sidetask"
 )
@@ -351,5 +352,48 @@ func TestRegisterCustomValidation(t *testing.T) {
 	}
 	if err := sess.RegisterCustom(model.TaskProfile{Name: "x"}, nil); err == nil {
 		t.Fatal("nil constructor accepted")
+	}
+}
+
+// TestDriftResizeRegeneratesSchedule pins the drift→schedule plumbing: a
+// resize event that carries an actual micro-batch count regenerates the
+// pipeline's op lists from the event's epoch on (real schedule change, not
+// just report scaling), so training time grows by the extra per-epoch work.
+func TestDriftResizeRegeneratesSchedule(t *testing.T) {
+	run := func(cfg freeride.Config) time.Duration {
+		sess, err := freeride.NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TrainTime
+	}
+	base := fastCfg(freeride.MethodNone)
+	plain := run(base)
+
+	resized := base
+	resized.Drift = &bubble.DriftSchedule{Seed: 1, Events: []bubble.DriftEvent{{
+		At: 10 * time.Second, Kind: bubble.DriftResize, Magnitude: 1, MicroBatches: 8,
+	}}}
+	grown := run(resized)
+
+	// Epochs starting after t=10s (3 of the 6 at ~4.07s each) run 8
+	// micro-batches instead of 4: each pays 4×(FP+BP) ≈ 2.64s extra.
+	extra := 3 * (model.NanoGPT3B.EpochSpan(4, 8) - model.NanoGPT3B.EpochSpan(4, 4))
+	if grown < plain+extra || grown > plain+extra+300*time.Millisecond {
+		t.Fatalf("resized train time %v, want ≈ %v + %v", grown, plain, extra)
+	}
+
+	// A resize event without a count only scales bubble reports — the
+	// training timeline must be bit-identical to the unarmed run.
+	scaled := base
+	scaled.Drift = &bubble.DriftSchedule{Seed: 1, Events: []bubble.DriftEvent{{
+		At: 10 * time.Second, Kind: bubble.DriftResize, Magnitude: 1,
+	}}}
+	if got := run(scaled); got != plain {
+		t.Fatalf("count-less resize changed training time: %v vs %v", got, plain)
 	}
 }

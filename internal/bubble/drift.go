@@ -95,6 +95,12 @@ type DriftEvent struct {
 	Magnitude float64
 	// Window bounds windowed kinds (straggler); 0 means permanent.
 	Window time.Duration
+	// MicroBatches, for DriftResize only, carries the actual new per-epoch
+	// micro-batch count: with it set (> 0) the schedule layer regenerates
+	// the real op lists from the event's At time onward (the drift→schedule
+	// regeneration hook), instead of only scaling the reported trace via
+	// Magnitude. 0 keeps the report-scaling-only behaviour.
+	MicroBatches int
 }
 
 // DriftSchedule is a seeded list of drift events. The zero value (empty

@@ -35,9 +35,8 @@ func ProfileTrainer(tr *pipeline.Trainer, epoch int, minBubble time.Duration) (*
 		}
 		sp := StageProfile{Stage: s}
 		sp.MemAvailable = tr.Device(s).MemBytes() -
-			cfg.Model.StageMemUsed(s, cfg.Stages, cfg.MicroBatches)
-
-		warmup := pipeline.WarmupForwards(cfg.Schedule, s, cfg.Stages, cfg.MicroBatches)
+			cfg.Model.StageMemUsedSched(cfg.Schedule, s, cfg.Stages,
+				cfg.MicroBatches, cfg.VirtualPerStage)
 
 		add := func(from, to time.Duration, typ Type) {
 			d := to - from
@@ -55,20 +54,25 @@ func ProfileTrainer(tr *pipeline.Trainer, epoch int, minBubble time.Duration) (*
 
 		// Lead-in gap: Type-A (cascading forward dependency).
 		add(epochStart, log[0].Start, TypeA)
-		// Gaps between consecutive ops.
-		fpSeen := 0
-		for i := 0; i < len(log); i++ {
-			if log[i].Op.Kind == pipeline.OpForward {
-				fpSeen++
-			}
-			if i+1 >= len(log) {
-				break
-			}
+		// Gaps between consecutive ops. The schedule-agnostic Type-B rule:
+		// the first mid-epoch gap sitting between a forward and the stage's
+		// first activation-gradient backward is the warmup-to-steady-state
+		// wait. For 1F1B and GPipe this picks exactly the gap the historic
+		// fpSeen==warmup rule did (no F→F gap clears minBubble before the
+		// first backward — upstream feeds warmup forwards every FPPerMB,
+		// leaving only sub-minBubble comm gaps); chunk-multiplexed and B/W
+		// logs need no per-kind warmup table.
+		bpSeen := false
+		for i := 0; i+1 < len(log); i++ {
+			next := log[i+1].Op.Kind
+			nextBP := next == pipeline.OpBackward || next == pipeline.OpBackwardInput
 			typ := TypeC
-			if log[i].Op.Kind == pipeline.OpForward && fpSeen == warmup &&
-				log[i+1].Op.Kind == pipeline.OpBackward {
+			if !bpSeen && nextBP && log[i].Op.Kind == pipeline.OpForward {
 				// The warmup-to-first-backward wait: Type-B.
 				typ = TypeB
+			}
+			if nextBP {
+				bpSeen = true
 			}
 			add(log[i].End, log[i+1].Start, typ)
 		}

@@ -33,7 +33,8 @@ func ProfileFromTraces(tr *pipeline.Trainer, epoch int, minBubble time.Duration)
 		gaps := occ.Below(0.05, epochStart, epochEnd)
 		sp := StageProfile{Stage: s}
 		sp.MemAvailable = tr.Device(s).MemBytes() -
-			cfg.Model.StageMemUsed(s, cfg.Stages, cfg.MicroBatches)
+			cfg.Model.StageMemUsedSched(cfg.Schedule, s, cfg.Stages,
+				cfg.MicroBatches, cfg.VirtualPerStage)
 
 		seenMid := false
 		for _, gap := range gaps {

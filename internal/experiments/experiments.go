@@ -42,6 +42,14 @@ type Options struct {
 	// recomputing allocations on every rebalance. Results are bit-identical
 	// either way; only wall-clock changes.
 	NoShareCache bool
+	// Cross widens grid sweeps that support it (currently the schedule
+	// sweep) from their fast default slice to the full cross product.
+	Cross bool
+	// Shard/ShardCount split a grid sweep across CI jobs: shard k of n runs
+	// only cells whose index mod n equals k. The cell skeleton (and thus the
+	// index → cell mapping) is deterministic, so shards partition exactly.
+	Shard      int
+	ShardCount int
 }
 
 // DefaultOptions returns the fast-suite defaults.
@@ -55,6 +63,12 @@ func (o *Options) normalize() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.ShardCount <= 0 {
+		o.ShardCount = 1
+	}
+	if o.Shard < 0 || o.Shard >= o.ShardCount {
+		o.Shard = 0
 	}
 }
 

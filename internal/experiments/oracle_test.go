@@ -114,6 +114,20 @@ func TestShareCacheGridBitIdentical(t *testing.T) {
 	compareOracleGrids(t, cached, recomputed, "share cache vs recompute")
 }
 
+// TestScheduleGeneratorGridBitIdentical is the schedule-zoo refactor's
+// end-to-end differential: the whole FreeRide grid — training times, bubble
+// profiles, task work, manager/worker counters, cost metrics — must be
+// bit-identical whether op lists come from the new schedule generators or
+// the retained legacy 1F1B/GPipe emitters (Config.LegacySchedule, the
+// in-process half of the FREERIDE_ORACLE_SCHEDULE CI arm).
+func TestScheduleGeneratorGridBitIdentical(t *testing.T) {
+	gen := runOracleGrid(t, core.ManagerEventDriven, nil)
+	leg := runOracleGrid(t, core.ManagerEventDriven, func(cfg *freeride.Config) {
+		cfg.LegacySchedule = true
+	})
+	compareOracleGrids(t, gen, leg, "generator vs legacy schedule")
+}
+
 // TestTable2GridRunsEventDriven pins the grid harness itself to the new
 // default mode and sanity-checks the headline metrics' signs.
 func TestTable2GridRunsEventDriven(t *testing.T) {

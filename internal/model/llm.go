@@ -119,7 +119,52 @@ func LLMByName(name string) (LLM, error) {
 // in-flight activations (min(M, S-s)), which is why available memory grows
 // with the stage index (paper Fig. 1b).
 func (m LLM) StageMemUsed(stage, stages, microBatches int) int64 {
+	return m.StageMemUsedSched(Schedule1F1B, stage, stages, microBatches, 1)
+}
+
+// StageMemUsedSched is the schedule-aware memory model. Per schedule the
+// in-flight activation count differs:
+//
+//   - 1F1B holds min(M, S-s) activations (the classic warmup depth).
+//   - GPipe holds all M (every forward completes before any backward).
+//   - Zero-bubble also holds all M: deferring every W detaches activation
+//     release from the backward cascade, so forwards pile up uncapped —
+//     GPipe's footprint is the price of the near-zero bubble (the ZB-H2
+//     memory-for-time trade; see pipeline.opsZeroBubble).
+//   - Interleaved (any schedule executed with virtual > 1) keeps per-device
+//     weights unchanged (V chunks of WeightMemPerStage/V each) while each
+//     chunk v = stage + c·S holds min(M, S·V-v) activations of 1/V size.
+//
+// For Schedule1F1B with virtual == 1 the arithmetic is exactly the historic
+// StageMemUsed — bit-identity of the Table 2 reproduction depends on it.
+func (m LLM) StageMemUsedSched(sched Schedule, stage, stages, microBatches, virtual int) int64 {
+	if virtual < 1 {
+		virtual = 1
+	}
+	if virtual > 1 {
+		nv := stages * virtual
+		var act int64
+		for c := 0; c < virtual; c++ {
+			v := stage + c*stages
+			inflight := nv - v
+			if sched == ScheduleGPipe {
+				inflight = microBatches
+			}
+			if microBatches < inflight {
+				inflight = microBatches
+			}
+			if inflight < 1 {
+				inflight = 1
+			}
+			act += int64(inflight) * (m.ActMemPerMB / int64(virtual))
+		}
+		return m.BaseMem + m.WeightMemPerStage + act
+	}
 	inflight := stages - stage
+	switch sched {
+	case ScheduleGPipe, ScheduleZeroBubble:
+		inflight = microBatches
+	}
 	if microBatches < inflight {
 		inflight = microBatches
 	}
@@ -130,9 +175,14 @@ func (m LLM) StageMemUsed(stage, stages, microBatches int) int64 {
 }
 
 // StageMemAvailable reports device memory left for side tasks on the given
-// stage's GPU.
+// stage's GPU (1F1B).
 func (m LLM) StageMemAvailable(deviceMem int64, stage, stages, microBatches int) int64 {
-	avail := deviceMem - m.StageMemUsed(stage, stages, microBatches)
+	return m.StageMemAvailableSched(deviceMem, Schedule1F1B, stage, stages, microBatches, 1)
+}
+
+// StageMemAvailableSched is the schedule-aware variant of StageMemAvailable.
+func (m LLM) StageMemAvailableSched(deviceMem int64, sched Schedule, stage, stages, microBatches, virtual int) int64 {
+	avail := deviceMem - m.StageMemUsedSched(sched, stage, stages, microBatches, virtual)
 	if avail < 0 {
 		return 0
 	}
@@ -143,14 +193,56 @@ func (m LLM) StageMemAvailable(deviceMem int64, stage, stages, microBatches int)
 // the pipeline, M micro-batches stream through, cooldown backwards cascade
 // back, then the optimizer step runs everywhere.
 func (m LLM) EpochSpan(stages, microBatches int) time.Duration {
-	s := time.Duration(stages - 1)
-	return s*m.FPPerMB + time.Duration(microBatches)*(m.FPPerMB+m.BPPerMB) +
-		s*m.BPPerMB + m.OptStep
+	return m.EpochSpanSched(Schedule1F1B, stages, microBatches, 1)
 }
 
-// BubbleRateEstimate predicts the per-stage bubble fraction of an epoch.
-func (m LLM) BubbleRateEstimate(stages, microBatches int) float64 {
-	span := m.EpochSpan(stages, microBatches)
+// EpochSpanSched estimates the epoch makespan per schedule (communication
+// latency excluded, like EpochSpan):
+//
+//   - 1F1B and GPipe share the (S-1)(FP+BP) pipeline-fill overhead — they
+//     differ in bubble microstructure and memory, not mean idle time.
+//   - Interleaved divides the fill by the virtual-chunk count: (S-1)(FP+BP)/V,
+//     the Megatron ideal (SNIPPETS.md snippet 3). The simulated pipeline pays
+//     extra for chunk contention on the shared device, so this is a lower
+//     bound there rather than an exact match.
+//   - Zero-bubble's cooldown is filled with W work; only the (S-1)·FP
+//     warmup cascade remains un-fillable under the epoch barrier — plus a
+//     GPipe-like (S-M)·FP drain penalty when M < S (too few micro-batches
+//     to keep a stage busy over the first backward's round trip).
+func (m LLM) EpochSpanSched(sched Schedule, stages, microBatches, virtual int) time.Duration {
+	if virtual < 1 {
+		virtual = 1
+	}
+	busy := time.Duration(microBatches)*(m.FPPerMB+m.BPPerMB) + m.OptStep
+	switch sched {
+	case ScheduleZeroBubble:
+		fill := stages - 1
+		if microBatches < stages {
+			fill += stages - microBatches
+		}
+		return time.Duration(fill)*m.FPPerMB + busy
+	case ScheduleInterleaved:
+		return time.Duration(stages-1)*(m.FPPerMB+m.BPPerMB)/time.Duration(virtual) + busy
+	default:
+		if virtual > 1 {
+			// 1F1B/GPipe executed with virtual chunks is the interleaved
+			// pipeline.
+			return time.Duration(stages-1)*(m.FPPerMB+m.BPPerMB)/time.Duration(virtual) + busy
+		}
+		return time.Duration(stages-1)*(m.FPPerMB+m.BPPerMB) + busy
+	}
+}
+
+// BubbleRateEstimate predicts the per-stage bubble fraction of an epoch via
+// the schedule's closed form (SNIPPETS.md snippets 1–3): GPipe and 1F1B both
+// idle (S-1)(FP+BP) per stage — the (S-1)/(M+S-1) shape when FP+BP dominate;
+// interleaving divides the fill overhead by V; zero-bubble approaches zero as
+// M grows, bounded below by the (S-1)·FP warmup cascade.
+func (m LLM) BubbleRateEstimate(sched Schedule, stages, microBatches, virtual int) float64 {
+	if stages <= 1 {
+		return 0
+	}
+	span := m.EpochSpanSched(sched, stages, microBatches, virtual)
 	busy := time.Duration(microBatches)*(m.FPPerMB+m.BPPerMB) + m.OptStep
 	return float64(span-busy) / float64(span)
 }

@@ -9,9 +9,9 @@ import (
 func TestBubbleRateMatchesPaperShape(t *testing.T) {
 	// Paper Fig. 2b: bubble rate falls slightly from 42.4% (1.2B) to 40.4%
 	// (6B) at 4 stages / 4 micro-batches.
-	r12 := NanoGPT1B.BubbleRateEstimate(4, 4)
-	r36 := NanoGPT3B.BubbleRateEstimate(4, 4)
-	r60 := NanoGPT6B.BubbleRateEstimate(4, 4)
+	r12 := NanoGPT1B.BubbleRateEstimate(Schedule1F1B, 4, 4, 1)
+	r36 := NanoGPT3B.BubbleRateEstimate(Schedule1F1B, 4, 4, 1)
+	r60 := NanoGPT6B.BubbleRateEstimate(Schedule1F1B, 4, 4, 1)
 	if !(r12 > r36 && r36 > r60) {
 		t.Fatalf("bubble rates not decreasing with model size: %v %v %v", r12, r36, r60)
 	}
@@ -25,9 +25,119 @@ func TestBubbleRateMatchesPaperShape(t *testing.T) {
 
 func TestBubbleRateDropsWithMicroBatches(t *testing.T) {
 	// Paper §2.2.2: micro-batch count 8 gives ~26.2%.
-	r8 := NanoGPT3B.BubbleRateEstimate(4, 8)
+	r8 := NanoGPT3B.BubbleRateEstimate(Schedule1F1B, 4, 8, 1)
 	if math.Abs(r8-0.262) > 0.02 {
 		t.Fatalf("micro-batch-8 bubble rate = %v, want ~0.262", r8)
+	}
+}
+
+func TestBubbleRateEstimateDispatchesOnSchedule(t *testing.T) {
+	m := NanoGPT3B
+	f, b, opt := m.FPPerMB, m.BPPerMB, m.OptStep
+	for _, S := range []int{2, 4, 8} {
+		for _, M := range []int{4, 8, 16} {
+			busy := time.Duration(M)*(f+b) + opt
+			fill1 := time.Duration(S-1) * (f + b)
+			r1 := m.BubbleRateEstimate(Schedule1F1B, S, M, 1)
+			if want := float64(fill1) / float64(fill1+busy); math.Abs(r1-want) > 1e-12 {
+				t.Errorf("1f1b S=%d M=%d: %v, want %v", S, M, r1, want)
+			}
+			// GPipe and 1F1B share the closed-form mean idle; they differ in
+			// memory and bubble microstructure, not fill overhead.
+			if rg := m.BubbleRateEstimate(ScheduleGPipe, S, M, 1); rg != r1 {
+				t.Errorf("gpipe S=%d M=%d: %v != 1f1b %v", S, M, rg, r1)
+			}
+			// Interleaving with V chunks divides the fill overhead by V
+			// (the Megatron ideal, SNIPPETS.md snippet 3).
+			for _, V := range []int{2, 4} {
+				fillV := time.Duration(S-1) * (f + b) / time.Duration(V)
+				rv := m.BubbleRateEstimate(ScheduleInterleaved, S, M, V)
+				if want := float64(fillV) / float64(fillV+busy); math.Abs(rv-want) > 1e-12 {
+					t.Errorf("interleaved S=%d M=%d V=%d: %v, want %v", S, M, V, rv, want)
+				}
+				if rv >= r1 {
+					t.Errorf("interleaved S=%d M=%d V=%d rate %v not < 1f1b %v", S, M, V, rv, r1)
+				}
+			}
+			// Zero-bubble keeps the (S-1)·FP warmup cascade plus a
+			// GPipe-like drain penalty when M < S.
+			fillZ := time.Duration(S-1) * f
+			if M < S {
+				fillZ += time.Duration(S-M) * f
+			}
+			rz := m.BubbleRateEstimate(ScheduleZeroBubble, S, M, 1)
+			if want := float64(fillZ) / float64(fillZ+busy); math.Abs(rz-want) > 1e-12 {
+				t.Errorf("zero-bubble S=%d M=%d: %v, want %v", S, M, rz, want)
+			}
+			if rz >= r1 {
+				t.Errorf("zero-bubble S=%d M=%d rate %v not < 1f1b %v", S, M, rz, r1)
+			}
+			if M >= S && rz >= r1/2 {
+				t.Errorf("zero-bubble S=%d M=%d rate %v not well below 1f1b %v", S, M, rz, r1)
+			}
+		}
+	}
+	// Rate → 0 as M grows.
+	if r := m.BubbleRateEstimate(ScheduleZeroBubble, 4, 256, 1); r > 0.01 {
+		t.Errorf("zero-bubble M=256 rate = %v, want ≈0", r)
+	}
+	if m.BubbleRateEstimate(Schedule1F1B, 1, 4, 1) != 0 {
+		t.Error("single stage must have zero estimated bubbles")
+	}
+}
+
+func TestStageMemUsedSchedShapes(t *testing.T) {
+	m := NanoGPT3B
+	S, M := 4, 8
+	// GPipe stage memory is stage-independent (all M in flight) and larger
+	// than 1F1B everywhere but the last... and OOMs Server-I at M=8.
+	for s := 0; s < S; s++ {
+		g := m.StageMemUsedSched(ScheduleGPipe, s, S, M, 1)
+		o := m.StageMemUsedSched(Schedule1F1B, s, S, M, 1)
+		if g < o {
+			t.Errorf("gpipe stage %d mem %d < 1f1b %d", s, g, o)
+		}
+		if g != m.StageMemUsedSched(ScheduleGPipe, 0, S, M, 1) {
+			t.Errorf("gpipe stage %d mem not uniform", s)
+		}
+	}
+	if g := m.StageMemUsedSched(ScheduleGPipe, 0, S, M, 1); g <= ServerI.GPUMemBytes {
+		t.Errorf("gpipe M=8 stage mem %d should exceed Server-I %d", g, ServerI.GPUMemBytes)
+	}
+	// Zero-bubble defers every W, so activations pile up to GPipe's
+	// footprint — the memory price of the near-zero bubble.
+	for s := 0; s < S; s++ {
+		z := m.StageMemUsedSched(ScheduleZeroBubble, s, S, M, 1)
+		g := m.StageMemUsedSched(ScheduleGPipe, s, S, M, 1)
+		if z != g {
+			t.Errorf("zero-bubble stage %d mem %d != gpipe %d", s, z, g)
+		}
+	}
+	// Interleaved V=2: weights unchanged, chunk activations at 1/V size.
+	v2 := m.StageMemUsedSched(ScheduleInterleaved, 0, S, M, 2)
+	v1 := m.StageMemUsedSched(Schedule1F1B, 0, S, M, 1)
+	// Stage 0, V=2: chunks 0 and 4 hold min(M,8)=8 and min(M,4)=4
+	// half-size activations — 12 halves vs 1F1B's 4 full ones.
+	if want := v1 - 4*m.ActMemPerMB + 12*(m.ActMemPerMB/2); v2 != want {
+		t.Errorf("interleaved stage-0 mem = %d, want %d", v2, want)
+	}
+	// 1F1B with virtual == 1 must be the historic arithmetic, bit-exact.
+	for s := 0; s < S; s++ {
+		if m.StageMemUsedSched(Schedule1F1B, s, S, M, 1) != m.StageMemUsed(s, S, M) {
+			t.Errorf("stage %d: StageMemUsedSched(1f1b,V=1) diverged from StageMemUsed", s)
+		}
+	}
+}
+
+func TestScheduleParseRoundTrip(t *testing.T) {
+	for _, s := range AllSchedules() {
+		got, err := ParseSchedule(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSchedule(%q) = %v/%v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseSchedule("pipedream"); err == nil {
+		t.Error("unknown schedule name accepted")
 	}
 }
 

@@ -1,0 +1,71 @@
+package model
+
+import "fmt"
+
+// Schedule identifies a pipeline schedule. It lives in the model package —
+// not internal/pipeline — because the cost model dispatches on it (per-stage
+// memory and closed-form bubble ratios are schedule properties); the
+// pipeline package aliases it so engine call sites read naturally.
+type Schedule int
+
+// Supported schedules.
+const (
+	// Schedule1F1B is the DeepSpeed/Megatron-style one-forward-one-backward
+	// schedule the paper trains with: min(M, S-s) warmup forwards, a steady
+	// state alternating BP/FP, then cooldown backwards.
+	Schedule1F1B Schedule = iota + 1
+	// ScheduleGPipe runs all forwards then all backwards, maximizing the
+	// mid-epoch bubble; included to show bubble-shape dependence on
+	// scheduling (paper §2.2 discussion).
+	ScheduleGPipe
+	// ScheduleInterleaved is the Megatron interleaved schedule: the model is
+	// split into Stages×V chunks, chunk v running on device v mod Stages
+	// under 1F1B over the deeper virtual pipeline. Bubbles shrink roughly
+	// ÷V; per-device weight memory is unchanged (V chunks of 1/V each) but
+	// in-flight activations grow with the deeper warmup.
+	ScheduleInterleaved
+	// ScheduleZeroBubble splits each backward into an activation-gradient
+	// B op (on the critical path) and a weight-gradient W op (dependency-free
+	// filler), so cooldown bubbles are filled with deferred W work — the
+	// ZB-H1 idea of Zero Bubble Pipeline Parallelism. In this testbed's
+	// barrier-synchronized epochs the per-stage idle floor is (S-1)·FP, so
+	// the rate approaches zero as M grows rather than reaching it exactly.
+	ScheduleZeroBubble
+
+	scheduleMax = ScheduleZeroBubble
+)
+
+// String names the schedule the way the experiment tables do.
+func (k Schedule) String() string {
+	switch k {
+	case Schedule1F1B:
+		return "1f1b"
+	case ScheduleGPipe:
+		return "gpipe"
+	case ScheduleInterleaved:
+		return "interleaved"
+	case ScheduleZeroBubble:
+		return "zero-bubble"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(k))
+	}
+}
+
+// ParseSchedule is String's inverse.
+func ParseSchedule(s string) (Schedule, error) {
+	for k := Schedule(1); k <= scheduleMax; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("model: unknown schedule %q", s)
+}
+
+// AllSchedules lists every schedule in declaration order.
+func AllSchedules() []Schedule {
+	out := make([]Schedule, 0, int(scheduleMax))
+	for k := Schedule(1); k <= scheduleMax; k++ {
+		out = append(out, k)
+	}
+	return out
+}

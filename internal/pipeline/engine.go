@@ -24,10 +24,25 @@ type Config struct {
 	// Stages×VirtualPerStage chunks, chunk v running on device v mod
 	// Stages. Chunks sharing a device contend for its (serial) kernel
 	// stream, producing a greedy interleaved schedule whose Type-A bubbles
-	// shrink by roughly 1/V. Default 1 (plain 1F1B/GPipe).
+	// shrink by roughly 1/V. Default 1 (plain 1F1B/GPipe); defaults to 2
+	// when Schedule is ScheduleInterleaved.
 	VirtualPerStage int
 	// RecordOps enables the per-stage op timeline (Figure 1a).
 	RecordOps bool
+	// LegacySchedule routes 1F1B/GPipe op-list generation through the
+	// retained pre-generator emitters — the FREERIDE_ORACLE_SCHEDULE
+	// differential arm. Kinds the legacy switch never knew (interleaved as
+	// a first-class kind, zero-bubble) always use the generator.
+	LegacySchedule bool
+	// MBSchedule, when set, re-evaluates the epoch's micro-batch count at
+	// each epoch start (the drift→schedule regeneration hook: elastic
+	// micro-batch resizing recomputes the actual op lists, not just the
+	// reported trace). Values are clamped to [1, max(MicroBatches, MBCap)].
+	// Nil keeps the static MicroBatches — the byte-identical default path.
+	MBSchedule func(epoch int, start time.Duration) int
+	// MBCap bounds MBSchedule's values; dependency latches and activation
+	// memory are provisioned for max(MicroBatches, MBCap) up front.
+	MBCap int
 }
 
 func (c *Config) normalize() error {
@@ -46,8 +61,21 @@ func (c *Config) normalize() error {
 	if c.VirtualPerStage <= 0 {
 		c.VirtualPerStage = 1
 	}
+	if c.Schedule == ScheduleInterleaved && c.VirtualPerStage < 2 {
+		c.VirtualPerStage = 2
+	}
+	if c.Schedule == ScheduleZeroBubble && c.VirtualPerStage > 1 {
+		return fmt.Errorf("pipeline: zero-bubble schedule does not compose with virtual stages (V=%d)", c.VirtualPerStage)
+	}
+	if c.MBCap < c.MicroBatches {
+		c.MBCap = c.MicroBatches
+	}
 	return nil
 }
+
+// mbAlloc is the micro-batch count latches and activation memory are
+// provisioned for.
+func (c Config) mbAlloc() int { return c.MBCap }
 
 // numVirtual is the total virtual stage count.
 func (c Config) numVirtual() int { return c.Stages * c.VirtualPerStage }
@@ -70,9 +98,16 @@ type Trainer struct {
 
 	// Immutable after Start:
 	clients  []*simgpu.Client
+	plan     *Plan                // the generated schedule (base micro-batch count)
 	goEpochs []*simproc.Latch     // goEpochs[e] releases epoch e
 	fpDone   [][][]*simproc.Latch // [epoch][stage][mb]
 	bpDone   [][][]*simproc.Latch
+	// epochMB[e] is epoch e's micro-batch count, written by beginEpoch
+	// before the epoch latch opens (MBSchedule only; nil otherwise).
+	epochMB []int
+	// planCache memoizes re-generated plans per micro-batch count (guarded
+	// by mu; MBSchedule only).
+	planCache map[int]*Plan
 
 	mu           sync.Mutex
 	epochStart   []time.Duration
@@ -190,7 +225,11 @@ func (t *Trainer) Start() error {
 		if err != nil {
 			return fmt.Errorf("pipeline: stage %d client: %w", s, err)
 		}
-		need := t.cfg.Model.StageMemUsed(s, t.cfg.Stages, t.cfg.MicroBatches)
+		// Activation memory is provisioned for the largest micro-batch
+		// count the run can reach (mbAlloc == MicroBatches without the
+		// resize hook).
+		need := t.cfg.Model.StageMemUsedSched(t.cfg.Schedule, s, t.cfg.Stages,
+			t.cfg.mbAlloc(), t.cfg.VirtualPerStage)
 		if err := c.AllocMem(need); err != nil {
 			return fmt.Errorf("pipeline: stage %d memory: %w", s, err)
 		}
@@ -198,14 +237,23 @@ func (t *Trainer) Start() error {
 	}
 	t.clients = clients
 
+	plan, err := t.planFor(t.cfg.MicroBatches)
+	if err != nil {
+		return err
+	}
+	t.plan = plan
+
 	nv := t.cfg.numVirtual()
 	t.goEpochs = make([]*simproc.Latch, t.cfg.Epochs)
 	t.fpDone = make([][][]*simproc.Latch, t.cfg.Epochs)
 	t.bpDone = make([][][]*simproc.Latch, t.cfg.Epochs)
 	for e := 0; e < t.cfg.Epochs; e++ {
 		t.goEpochs[e] = simproc.NewLatch(t.eng)
-		t.fpDone[e] = newLatchGrid(t.eng, nv, t.cfg.MicroBatches)
-		t.bpDone[e] = newLatchGrid(t.eng, nv, t.cfg.MicroBatches)
+		t.fpDone[e] = newLatchGrid(t.eng, nv, t.cfg.mbAlloc())
+		t.bpDone[e] = newLatchGrid(t.eng, nv, t.cfg.mbAlloc())
+	}
+	if t.cfg.MBSchedule != nil {
+		t.epochMB = make([]int, t.cfg.Epochs)
 	}
 
 	for v := 0; v < nv; v++ {
@@ -218,10 +266,70 @@ func (t *Trainer) Start() error {
 	return nil
 }
 
+// planFor builds (and, under MBSchedule, memoizes) the schedule plan for a
+// micro-batch count. The legacy oracle arm routes the kinds the historic
+// StageSchedule switch knew through its retained emitters; dependency edges
+// are derived identically either way.
+func (t *Trainer) planFor(mbs int) (*Plan, error) {
+	t.mu.Lock()
+	if p, ok := t.planCache[mbs]; ok {
+		t.mu.Unlock()
+		return p, nil
+	}
+	t.mu.Unlock()
+	var p *Plan
+	var err error
+	if t.cfg.LegacySchedule && (t.cfg.Schedule == Schedule1F1B || t.cfg.Schedule == ScheduleGPipe) {
+		p, err = t.legacyPlan(mbs)
+	} else {
+		p, err = BuildPlan(t.cfg.Schedule, t.cfg.Stages, mbs, t.cfg.VirtualPerStage)
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if t.planCache == nil {
+		t.planCache = make(map[int]*Plan)
+	}
+	t.planCache[mbs] = p
+	t.mu.Unlock()
+	return p, nil
+}
+
+// legacyPlan assembles a plan from the pre-generator emitters.
+func (t *Trainer) legacyPlan(mbs int) (*Plan, error) {
+	nv := t.cfg.numVirtual()
+	p := &Plan{
+		Kind:            t.cfg.Schedule,
+		Stages:          t.cfg.Stages,
+		MicroBatches:    mbs,
+		VirtualPerStage: t.cfg.VirtualPerStage,
+	}
+	for v := 0; v < nv; v++ {
+		ops, err := legacyStageSchedule(t.cfg.Schedule, v, nv, mbs)
+		if err != nil {
+			return nil, err
+		}
+		p.Chunks = append(p.Chunks, ops)
+		p.Deps = append(p.Deps, depsFor(ops, v, nv))
+	}
+	return p, nil
+}
+
 // beginEpoch records the epoch start, fires the instrumentation hooks and
 // releases the stages. Runs in engine-callback or caller context.
 func (t *Trainer) beginEpoch(epoch int) {
 	now := t.eng.Now()
+	if t.cfg.MBSchedule != nil {
+		mb := t.cfg.MBSchedule(epoch, now)
+		if mb < 1 {
+			mb = t.cfg.MicroBatches
+		}
+		if mb > t.cfg.mbAlloc() {
+			mb = t.cfg.mbAlloc()
+		}
+		t.epochMB[epoch] = mb
+	}
 	t.mu.Lock()
 	t.arrived = 0
 	t.epochStart = append(t.epochStart, now)
@@ -274,11 +382,16 @@ type stageRun struct {
 	nv     int
 	client *simgpu.Client
 	ops    []Op
+	// deps are the plan's cross-chunk edges, parallel to ops.
+	deps []Dep
 	// names are the per-op kernel labels, precomputed so the op loop never
 	// formats strings.
 	names  []string
+	curMB  int
 	fpDur  time.Duration
 	bpDur  time.Duration
+	bDur   time.Duration // zero-bubble activation-gradient half
+	wDur   time.Duration // zero-bubble weight-gradient half
 	optDur time.Duration
 	comm   time.Duration
 
@@ -295,37 +408,42 @@ type stageRun struct {
 
 // startStage builds and launches the stage machine (inline process body).
 func (t *Trainer) startStage(p *simproc.Process, v int) {
-	nv := t.cfg.numVirtual()
-	ops, err := StageSchedule(t.cfg.Schedule, v, nv, t.cfg.MicroBatches)
-	if err != nil {
-		p.Exit(err)
-		return
-	}
 	m := t.cfg.Model
 	chunks := time.Duration(t.cfg.VirtualPerStage)
 	phys := v % t.cfg.Stages
+	bpDur := m.BPPerMB / chunks
 	r := &stageRun{
 		t:      t,
 		p:      p,
 		v:      v,
 		phys:   phys,
-		nv:     nv,
+		nv:     t.cfg.numVirtual(),
 		client: t.clients[phys],
-		ops:    ops,
-		names:  make([]string, len(ops)),
 		fpDur:  m.FPPerMB / chunks,
-		bpDur:  m.BPPerMB / chunks,
+		bpDur:  bpDur,
+		bDur:   bpDur / 2,
+		wDur:   bpDur - bpDur/2,
 		optDur: m.OptStep / chunks,
 		comm:   m.CommLatency,
 	}
-	for i, op := range ops {
-		r.names[i] = fmt.Sprintf("s%d-%v-%d", phys, op.Kind, op.MB)
-	}
+	r.bindChunk(t.plan)
 	r.afterGoFn = r.afterGo
 	r.afterDepFn = r.afterDep
 	r.afterCommFn = r.afterComm
 	r.afterExecFn = r.afterExec
 	r.waitEpoch()
+}
+
+// bindChunk points the run at its chunk of a plan, precomputing kernel
+// labels.
+func (r *stageRun) bindChunk(plan *Plan) {
+	r.ops = plan.Chunks[r.v]
+	r.deps = plan.Deps[r.v]
+	r.curMB = plan.MicroBatches
+	r.names = make([]string, len(r.ops))
+	for i, op := range r.ops {
+		r.names[i] = fmt.Sprintf("s%d-%v-%d", r.phys, op.Kind, op.MB)
+	}
 }
 
 // waitEpoch blocks on the epoch-release latch.
@@ -334,6 +452,16 @@ func (r *stageRun) waitEpoch() {
 }
 
 func (r *stageRun) afterGo(any) {
+	if r.t.cfg.MBSchedule != nil {
+		if mb := r.t.epochMB[r.epoch]; mb != r.curMB {
+			plan, err := r.t.planFor(mb)
+			if err != nil {
+				r.p.Exit(err)
+				return
+			}
+			r.bindChunk(plan)
+		}
+	}
 	r.i = 0
 	r.nextOp()
 }
@@ -351,18 +479,13 @@ func (r *stageRun) nextOp() {
 		r.waitEpoch()
 		return
 	}
-	op := r.ops[r.i]
-	switch op.Kind {
-	case OpForward:
-		if r.v > 0 {
-			r.t.fpDone[r.epoch][r.v-1][op.MB].WaitThen(r.p, r.afterDepFn)
-			return
+	if dep := r.deps[r.i]; dep.Chunk >= 0 {
+		if dep.On == OpForward {
+			r.t.fpDone[r.epoch][dep.Chunk][dep.MB].WaitThen(r.p, r.afterDepFn)
+		} else {
+			r.t.bpDone[r.epoch][dep.Chunk][dep.MB].WaitThen(r.p, r.afterDepFn)
 		}
-	case OpBackward:
-		if r.v < r.nv-1 {
-			r.t.bpDone[r.epoch][r.v+1][op.MB].WaitThen(r.p, r.afterDepFn)
-			return
-		}
+		return
 	}
 	r.execOp()
 }
@@ -386,6 +509,10 @@ func (r *stageRun) execOp() {
 		d = r.fpDur
 	case OpBackward:
 		d = r.bpDur
+	case OpBackwardInput:
+		d = r.bDur
+	case OpBackwardWeight:
+		d = r.wDur
 	default:
 		d = r.optDur
 	}
@@ -423,7 +550,9 @@ func (r *stageRun) afterExec(res any) {
 	switch op.Kind {
 	case OpForward:
 		t.fpDone[r.epoch][r.v][op.MB].Set()
-	case OpBackward:
+	case OpBackward, OpBackwardInput:
+		// The activation gradient is what the upstream stage waits on; the
+		// weight-gradient W half signals nothing.
 		t.bpDone[r.epoch][r.v][op.MB].Set()
 	}
 	r.i++
