@@ -64,6 +64,13 @@ type Report struct {
 	// ("on", the default) or the grid ran the recompute-every-time oracle
 	// ("off").
 	ShareCache string `json:"share_cache,omitempty"`
+	// StepFuse records whether the side-task step loop fused the host
+	// overhead into the kernel launch ("on", the default) or dispatched the
+	// two-event form ("off", the oracle).
+	StepFuse string `json:"step_fuse,omitempty"`
+	// SidetaskEventsPerStep is StepEvents/Steps aggregated over the grid's
+	// iterative rows: 1.0 fused (one engine event per step), 2.0 unfused.
+	SidetaskEventsPerStep float64 `json:"sidetask_events_per_step,omitempty"`
 
 	// Micro-benchmarks.
 	EngineNsPerOp     float64 `json:"engine_ns_per_op"`
@@ -131,6 +138,7 @@ func main() {
 	managerMode := flag.String("manager", "event", "Algorithm-2 driver: event, polling or immediate")
 	rebalance := flag.String("rebalance", "incremental", "GPU scheduler pass: incremental or full (the oracle)")
 	shareCache := flag.String("sharecache", "on", "water-fill share cache: on or off (the oracle)")
+	stepFuse := flag.String("stepfuse", "on", "side-task step-event fusion: on or off (the oracle)")
 	baselineNs := flag.String("baseline-ns", "", "comma-separated baseline ns/op observations to record")
 	baselineDesc := flag.String("baseline-desc", "", "description of the baseline revision")
 	compareNew := flag.String("compare", "", "compare mode: path of the newer report (no benchmarks run)")
@@ -168,6 +176,14 @@ func main() {
 	default:
 		fatalf("unknown -sharecache %q (want on or off)", *shareCache)
 	}
+	var noStepFuse bool
+	switch *stepFuse {
+	case "on":
+	case "off":
+		noStepFuse = true
+	default:
+		fatalf("unknown -stepfuse %q (want on or off)", *stepFuse)
+	}
 
 	rep := Report{
 		Benchmark:          "BenchmarkTable2",
@@ -177,11 +193,13 @@ func main() {
 		ManagerMode:        mode.String(),
 		Rebalance:          *rebalance,
 		ShareCache:         *shareCache,
+		StepFuse:           *stepFuse,
 	}
 
 	opts := experiments.Options{
 		Epochs: *epochs, WorkScale: sidetask.WorkNone, Seed: 1, Parallelism: *parallel,
 		ManagerMode: mode, FullRebalance: fullRebalance, NoShareCache: noShareCache,
+		NoStepFuse: noStepFuse,
 	}
 	for i := 0; i < *iters; i++ {
 		start := time.Now()
@@ -199,8 +217,23 @@ func main() {
 		rep.IterativeIPct = 100 * meanI
 		rep.IterativeSPct = 100 * meanS
 		rep.MixedSPct = 100 * mixed.S
-		fmt.Fprintf(os.Stderr, "table2 run %d/%d: %.2fs (I=%.4f%% S=%.3f%%)\n",
-			i+1, *iters, float64(ns)/1e9, rep.IterativeIPct, rep.IterativeSPct)
+		var steps, events uint64
+		for _, row := range res.Rows {
+			if row.Method != freeride.MethodIterative {
+				continue
+			}
+			steps += row.Steps
+			events += row.StepEvents
+		}
+		if steps > 0 {
+			rep.SidetaskEventsPerStep = float64(events) / float64(steps)
+		}
+		fmt.Fprintf(os.Stderr, "table2 run %d/%d: %.2fs (I=%.4f%% S=%.3f%% ev/step=%.2f)\n",
+			i+1, *iters, float64(ns)/1e9, rep.IterativeIPct, rep.IterativeSPct, rep.SidetaskEventsPerStep)
+	}
+	if !noStepFuse && rep.SidetaskEventsPerStep > 1.0 {
+		fatalf("sidetask_events_per_step %.2f > 1.0 with fusion on — a step dispatched more than one engine event",
+			rep.SidetaskEventsPerStep)
 	}
 
 	eng := testing.Benchmark(func(b *testing.B) {
@@ -299,7 +332,7 @@ func main() {
 		if err != nil {
 			b.Fatal(err)
 		}
-		spec := simgpu.KernelSpec{Name: "k", Duration: time.Microsecond, Demand: 0.5, Weight: 0.5}
+		spec := &simgpu.KernelSpec{Name: "k", Duration: time.Microsecond, Demand: 0.5, Weight: 0.5}
 		procs.Spawn("execer", func(p *simproc.Process) error {
 			for {
 				if err := c.Exec(p, spec); err != nil {

@@ -129,6 +129,12 @@ type Config struct {
 	// the incremental pass recomputes allocations every rebalance, like the
 	// oracle (see simgpu.DeviceConfig.NoShareCache).
 	NoShareCache bool
+	// NoStepFuse forces the side-task step loop's unfused two-event form
+	// (separate host-overhead sleep + kernel completion per step) instead of
+	// the fused host-lead launch — the step-fusion differential oracle.
+	// Results must be bit-identical either way; CI forces it suite-wide via
+	// FREERIDE_ORACLE_STEPFUSE=off.
+	NoStepFuse bool
 	// LegacySchedule routes 1F1B/GPipe op-list generation through the
 	// retained pre-generator emitters — the schedule-zoo differential
 	// oracle (see pipeline.Config.LegacySchedule). Results must be
@@ -528,9 +534,17 @@ func (s *Session) taskFactory(spec core.TaskSpec) (*sidetask.Harness, error) {
 	s.mu.Unlock()
 	if ok {
 		impl := build(spec.Seed)
-		return sidetask.NewIterativeHarness(spec.Name, spec.Profile, impl, spec.Seed), nil
+		h := sidetask.NewIterativeHarness(spec.Name, spec.Profile, impl, spec.Seed)
+		if s.cfg.NoStepFuse {
+			h.SetStepFuse(false)
+		}
+		return h, nil
 	}
-	return core.BuiltinHarnessFactory(spec)
+	h, err := core.BuiltinHarnessFactory(spec)
+	if err == nil && s.cfg.NoStepFuse {
+		h.SetStepFuse(false)
+	}
+	return h, err
 }
 
 // RegisterCustom registers a user-defined iterative side task under
@@ -686,6 +700,10 @@ type TaskWork struct {
 	KernelTime time.Duration
 	HostTime   time.Duration
 	InsuffWait time.Duration
+	// StepEvents counts the engine events the step loop dispatched for the
+	// completed steps (see sidetask.Counters.StepEvents); the fused inline
+	// loop halves it relative to the unfused two-event form.
+	StepEvents uint64
 	Exited     bool
 	ExitErr    string
 	// Parked means the task exhausted its recovery retry budget; Restarts
@@ -713,6 +731,16 @@ func (r *Result) TotalSteps() uint64 {
 	var sum uint64
 	for _, t := range r.Tasks {
 		sum += t.Steps
+	}
+	return sum
+}
+
+// TotalStepEvents sums step-loop engine events across task instances (the
+// numerator of the bench report's sidetask_events_per_step metric).
+func (r *Result) TotalStepEvents() uint64 {
+	var sum uint64
+	for _, t := range r.Tasks {
+		sum += t.StepEvents
 	}
 	return sum
 }
@@ -801,6 +829,7 @@ func (s *Session) Run() (*Result, error) {
 			tw.KernelTime = c.KernelTime
 			tw.HostTime = c.HostTime
 			tw.InsuffWait = c.InsuffWait
+			tw.StepEvents = c.StepEvents
 		}
 		if tv, ok := views[pl.Name]; ok {
 			tw.Exited = tv.Exited

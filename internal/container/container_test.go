@@ -64,7 +64,7 @@ func TestKillDestroysGPUContext(t *testing.T) {
 			if err := gpu.AllocMem(4 << 30); err != nil {
 				return err
 			}
-			return gpu.Exec(p, simgpu.KernelSpec{Name: "hog", Duration: time.Hour})
+			return gpu.Exec(p, &simgpu.KernelSpec{Name: "hog", Duration: time.Hour})
 		})
 	f.eng.RunUntil(time.Second)
 	if f.dev.MemUsed() != 4<<30 {
@@ -116,7 +116,7 @@ func TestStopContKeepKernelRunning(t *testing.T) {
 	var kernelDone, resumedAt time.Duration
 	c, _ := f.rt.Run(Spec{Name: "t", Device: f.dev},
 		func(p *simproc.Process, gpu *simgpu.Client) error {
-			execErr = gpu.Exec(p, simgpu.KernelSpec{Name: "k", Duration: 2 * time.Second})
+			execErr = gpu.Exec(p, &simgpu.KernelSpec{Name: "k", Duration: 2 * time.Second})
 			resumedAt = p.Now()
 			return nil
 		})

@@ -196,7 +196,7 @@ func (refuseToPauseTask) CreateSideTask(ctx *sidetask.Ctx) error { return nil }
 func (refuseToPauseTask) InitSideTask(ctx *sidetask.Ctx) error   { return ctx.GPU.AllocMem(model.GiB) }
 func (refuseToPauseTask) StopSideTask(ctx *sidetask.Ctx) error   { return nil }
 func (refuseToPauseTask) RunNextStep(ctx *sidetask.Ctx) error {
-	return ctx.GPU.Exec(ctx.Proc, simgpu.KernelSpec{Name: "hog", Duration: 2 * time.Second, Demand: 0.9, Weight: 0.9})
+	return ctx.GPU.Exec(ctx.Proc, &simgpu.KernelSpec{Name: "hog", Duration: 2 * time.Second, Demand: 0.9, Weight: 0.9})
 }
 
 func TestFrameworkEnforcedKill(t *testing.T) {
@@ -284,7 +284,7 @@ func (leakyTask) RunNextStep(ctx *sidetask.Ctx) error {
 	if err := ctx.GPU.AllocMem(model.GiB / 2); err != nil {
 		return err
 	}
-	return ctx.GPU.Exec(ctx.Proc, simgpu.KernelSpec{Name: "leak-step", Duration: 20 * time.Millisecond, Demand: 0.5})
+	return ctx.GPU.Exec(ctx.Proc, &simgpu.KernelSpec{Name: "leak-step", Duration: 20 * time.Millisecond, Demand: 0.5})
 }
 
 func TestQueuedTaskServedAfterCurrentExits(t *testing.T) {

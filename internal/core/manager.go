@@ -360,10 +360,10 @@ type workerMeta struct {
 	// the last instant the worker proved it was alive (ping reply or push);
 	// pingTimer fires every Lease/2, leaseTimer at lastSeen+Lease. Both are
 	// reusable Reschedule handles with pre-built callbacks.
-	lastSeen  time.Duration
-	pingTimer *simtime.Timer
-	pingFn    func()
-	pingName  string
+	lastSeen   time.Duration
+	pingTimer  *simtime.Timer
+	pingFn     func()
+	pingName   string
 	leaseTimer *simtime.Timer
 	leaseFn    func()
 	leaseName  string

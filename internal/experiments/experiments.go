@@ -42,6 +42,10 @@ type Options struct {
 	// recomputing allocations on every rebalance. Results are bit-identical
 	// either way; only wall-clock changes.
 	NoShareCache bool
+	// NoStepFuse forces the side-task step loop's unfused two-event form
+	// instead of the fused host-lead launch. Results are bit-identical
+	// either way; only event counts and wall-clock change.
+	NoStepFuse bool
 	// Cross widens grid sweeps that support it (currently the schedule
 	// sweep) from their fast default slice to the full cross product.
 	Cross bool
@@ -80,6 +84,7 @@ func (o Options) baseConfig() freeride.Config {
 	cfg.ManagerMode = o.ManagerMode
 	cfg.FullRebalance = o.FullRebalance
 	cfg.NoShareCache = o.NoShareCache
+	cfg.NoStepFuse = o.NoStepFuse
 	return cfg
 }
 

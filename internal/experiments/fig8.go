@@ -57,7 +57,7 @@ func (h hogTask) InitSideTask(ctx *sidetask.Ctx) error {
 }
 func (h hogTask) StopSideTask(*sidetask.Ctx) error { return nil }
 func (h hogTask) RunNextStep(ctx *sidetask.Ctx) error {
-	return ctx.GPU.Exec(ctx.Proc, simgpu.KernelSpec{
+	return ctx.GPU.Exec(ctx.Proc, &simgpu.KernelSpec{
 		Name: "hog", Duration: h.kernel, Demand: 0.9, Weight: 0.9,
 	})
 }
@@ -74,7 +74,7 @@ func (leakTask) RunNextStep(ctx *sidetask.Ctx) error {
 	if err := ctx.GPU.AllocMem(model.GiB / 2); err != nil {
 		return err
 	}
-	return ctx.GPU.Exec(ctx.Proc, simgpu.KernelSpec{
+	return ctx.GPU.Exec(ctx.Proc, &simgpu.KernelSpec{
 		Name: "leak-step", Duration: 100 * time.Millisecond, Demand: 0.5,
 	})
 }

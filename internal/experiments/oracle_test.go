@@ -66,6 +66,15 @@ func compareOracleGrids(t *testing.T, a, b map[string]*freeride.Result, what str
 		}
 		// The configs intentionally differ; everything observable must not.
 		ar.Config, br.Config = freeride.Config{}, freeride.Config{}
+		// StepEvents counts the dispatch substrate's engine events (a fused
+		// step loop legitimately dispatches half as many as the two-event
+		// form); it is bookkeeping, not a reproduction metric.
+		for i := range ar.Tasks {
+			ar.Tasks[i].StepEvents = 0
+		}
+		for i := range br.Tasks {
+			br.Tasks[i].StepEvents = 0
+		}
 		if !reflect.DeepEqual(ar, br) {
 			t.Errorf("%s: cell %s diverged:\n%+v\nvs\n%+v", what, key, ar, br)
 		}
@@ -112,6 +121,20 @@ func TestShareCacheGridBitIdentical(t *testing.T) {
 		cfg.NoShareCache = true
 	})
 	compareOracleGrids(t, cached, recomputed, "share cache vs recompute")
+}
+
+// TestStepFuseGridBitIdentical is the end-to-end step-fusion differential:
+// the whole FreeRide grid — training times, task steps, kernel/host times,
+// cost metrics, manager and worker stats — must be bit-identical whether
+// the side-task step loop fuses the host overhead into the kernel launch
+// (one engine event per step) or dispatches the retained two-event form.
+// Only the StepEvents accounting may differ (normalized by the comparator).
+func TestStepFuseGridBitIdentical(t *testing.T) {
+	fused := runOracleGrid(t, core.ManagerEventDriven, nil)
+	unfused := runOracleGrid(t, core.ManagerEventDriven, func(cfg *freeride.Config) {
+		cfg.NoStepFuse = true
+	})
+	compareOracleGrids(t, fused, unfused, "fused vs two-event step loop")
 }
 
 // TestScheduleGeneratorGridBitIdentical is the schedule-zoo refactor's

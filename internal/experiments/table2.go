@@ -15,8 +15,11 @@ type Table2Row struct {
 	I      float64 // time increase
 	S      float64 // cost savings
 	Steps  uint64
-	TNo    time.Duration
-	TWith  time.Duration
+	// StepEvents counts the engine events the side tasks' step loops
+	// dispatched (StepEvents/Steps is the bench's sidetask_events_per_step).
+	StepEvents uint64
+	TNo        time.Duration
+	TWith      time.Duration
 }
 
 // Table2Result reproduces paper Table 2: time increase I and cost savings S
@@ -73,13 +76,14 @@ func RunTable2(opts Options) (*Table2Result, error) {
 			return fmt.Errorf("table2 %v/%s: %w", j.method, name, err)
 		}
 		rows[i] = Table2Row{
-			Task:   name,
-			Method: j.method,
-			I:      res.Cost.I,
-			S:      res.Cost.S,
-			Steps:  res.TotalSteps(),
-			TNo:    res.Cost.TNo,
-			TWith:  res.Cost.TWith,
+			Task:       name,
+			Method:     j.method,
+			I:          res.Cost.I,
+			S:          res.Cost.S,
+			Steps:      res.TotalSteps(),
+			StepEvents: res.TotalStepEvents(),
+			TNo:        res.Cost.TNo,
+			TWith:      res.Cost.TWith,
 		}
 		return nil
 	})

@@ -399,6 +399,11 @@ type stageRun struct {
 	i       int // index into ops
 	opStart time.Duration
 
+	// spec is the reusable kernel spec of the op loop; Name/Duration are
+	// rewritten per op, Demand/Weight are fixed at startStage (the launch
+	// reads the spec synchronously, so reuse is safe).
+	spec simgpu.KernelSpec
+
 	// Pre-bound continuations: one closure each for the whole run.
 	afterGoFn   func(any)
 	afterDepFn  func(any)
@@ -426,6 +431,7 @@ func (t *Trainer) startStage(p *simproc.Process, v int) {
 		optDur: m.OptStep / chunks,
 		comm:   m.CommLatency,
 	}
+	r.spec = simgpu.KernelSpec{Demand: 1.0, Weight: 1.0}
 	r.bindChunk(t.plan)
 	r.afterGoFn = r.afterGo
 	r.afterDepFn = r.afterDep
@@ -517,12 +523,9 @@ func (r *stageRun) execOp() {
 		d = r.optDur
 	}
 	r.opStart = r.p.Now()
-	r.client.ExecThen(r.p, simgpu.KernelSpec{
-		Name:     r.names[r.i],
-		Duration: d,
-		Demand:   1.0,
-		Weight:   1.0,
-	}, r.afterExecFn)
+	r.spec.Name = r.names[r.i]
+	r.spec.Duration = d
+	r.client.ExecThen(r.p, &r.spec, r.afterExecFn)
 }
 
 // afterExec retires the op: record its span, release dependents, advance.

@@ -234,9 +234,18 @@ func (a *imperativeAdapter) RunGpuWorkload(ctx *Ctx) error {
 			return err
 		}
 		ctx.h.mu.Lock()
+		// Charge the jittered duration ExecStepKernel actually issued (the
+		// nominal StepTime would drift from the simulated work under
+		// StepJitter); fall back to the nominal cost for custom inner
+		// implementations that bypass ExecStepKernel.
+		kt := ctx.h.lastStepDur
+		if kt == 0 {
+			kt = ctx.Profile.StepTime
+		}
 		ctx.h.counters.Steps++
-		ctx.h.counters.KernelTime += ctx.Profile.StepTime
+		ctx.h.counters.KernelTime += kt
 		ctx.h.counters.HostTime += ctx.Profile.HostOverhead
+		ctx.h.counters.StepEvents += uint64(ctx.h.kernelParts) + 1
 		ctx.h.mu.Unlock()
 	}
 	return nil

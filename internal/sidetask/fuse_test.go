@@ -1,0 +1,380 @@
+package sidetask
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"freeride/internal/container"
+	"freeride/internal/model"
+	"freeride/internal/simgpu"
+	"freeride/internal/simproc"
+	"freeride/internal/simtime"
+)
+
+// fuseStepper is a minimal Stepper-capable task for the fusion boundary
+// tests: no CPU work, one GiB of device memory, profile-shaped steps.
+type fuseStepper struct{}
+
+func (fuseStepper) CreateSideTask(*Ctx) error   { return nil }
+func (fuseStepper) InitSideTask(ctx *Ctx) error { return ctx.GPU.AllocMem(model.GiB) }
+func (fuseStepper) StopSideTask(ctx *Ctx) error { ctx.GPU.FreeMem(model.GiB); return nil }
+func (fuseStepper) StepWork(*Ctx) error         { return nil }
+func (fuseStepper) RunNextStep(ctx *Ctx) error {
+	ctx.HostWork(ctx.Profile.HostOverhead)
+	return ctx.ExecStepKernel()
+}
+
+// fuseProfile has a long host phase and a short kernel so scripted signals
+// land deterministically inside one phase or the other. Demand 1 on a
+// single client makes kernel wall time equal kernel duration exactly.
+var fuseProfile = model.TaskProfile{
+	Name:         "fuse-test",
+	StepTime:     20 * time.Millisecond,
+	HostOverhead: 50 * time.Millisecond,
+	CreateTime:   100 * time.Millisecond,
+	InitTime:     50 * time.Millisecond,
+	MemBytes:     model.GiB,
+	Demand:       1.0,
+	Weight:       1.0,
+}
+
+// midStepSubstrate selects the execution arm of runMidStepRig.
+type midStepSubstrate int
+
+const (
+	subGoroutine     midStepSubstrate = iota // goroutine shell (ground truth)
+	subInlineUnfused                         // event loop, two-event step form
+	subInlineFused                           // event loop, fused host-lead step
+)
+
+// midStepResult is one arm's full observable surface.
+type midStepResult struct {
+	events  []stateEvent
+	c       Counters
+	mem     int64
+	exitAt  time.Duration
+	exitErr error
+	dev     *simgpu.Device
+}
+
+// runMidStepRig drives a fuseStepper harness through a script whose pause
+// commands land strictly INSIDE a step — at 330ms inside the host phase
+// [300, 350) and at 675ms inside the kernel phase [670, 690) — the two
+// windows the step-event fusion collapses into one engine event. fault arms
+// a kernel fault before the first step's launch.
+func runMidStepRig(t *testing.T, mode Mode, sub midStepSubstrate, fault bool) midStepResult {
+	t.Helper()
+	eng := simtime.NewVirtual()
+	procs := simproc.NewRuntime(eng)
+	dev := simgpu.NewDevice(eng, simgpu.DeviceConfig{Name: "gpu0"})
+	ctr := container.NewRuntime(procs)
+	var h *Harness
+	if mode == ModeImperative {
+		h = NewImperativeHarness("fuse-test", fuseProfile, &imperativeAdapter{inner: fuseStepper{}}, 1)
+	} else {
+		h = NewIterativeHarness("fuse-test", fuseProfile, fuseStepper{}, 1)
+	}
+	if sub == subInlineUnfused {
+		h.SetStepFuse(false)
+	}
+	res := midStepResult{dev: dev, exitAt: -1}
+	h.SetStateListener(func(s State) {
+		res.events = append(res.events, stateEvent{State: s, At: eng.Now()})
+	})
+	spec := container.Spec{
+		Name:        fuseProfile.Name,
+		Device:      dev,
+		GPUMemLimit: fuseProfile.MemBytes + model.GiB,
+		GPUWeight:   fuseProfile.Weight,
+	}
+	var cont *container.Container
+	var err error
+	if sub == subGoroutine {
+		cont, err = ctr.Run(spec, h.Run)
+	} else {
+		if !h.CanInline() {
+			t.Fatalf("fuseStepper (mode %v) should be inline-capable", mode)
+		}
+		cont, err = ctr.RunInline(spec, h.Start)
+	}
+	if err != nil {
+		t.Fatalf("container: %v", err)
+	}
+	cont.Process().OnExit(func(err error) {
+		res.exitAt = eng.Now()
+		res.exitErr = err
+	})
+
+	if fault {
+		// Armed before the first step launches at 300ms: the fused launch
+		// consumes it at the step start, the unfused arms at the host-sleep
+		// boundary — all must deliver it at 350ms.
+		eng.Schedule(290*time.Millisecond, "arm-fault", func() {
+			dev.InjectKernelFault("")
+		})
+	}
+	eng.Schedule(200*time.Millisecond, "init", func() {
+		h.Deliver(Command{Transition: TransitionInit})
+	})
+	eng.Schedule(300*time.Millisecond, "start", func() {
+		h.Deliver(Command{Transition: TransitionStart, BubbleEnd: eng.Now() + 500*time.Millisecond})
+	})
+	// Pause inside the host phase of the step that started at 300ms.
+	eng.Schedule(330*time.Millisecond, "pause-in-host", func() {
+		if mode == ModeImperative {
+			if cont.Alive() {
+				cont.Stop()
+			}
+		} else {
+			h.Deliver(Command{Transition: TransitionPause})
+		}
+	})
+	eng.Schedule(600*time.Millisecond, "resume", func() {
+		if mode == ModeImperative {
+			if cont.Alive() {
+				cont.Cont()
+			}
+		} else {
+			h.Deliver(Command{Transition: TransitionStart, BubbleEnd: eng.Now() + 300*time.Millisecond})
+		}
+	})
+	// For the imperative arm the deferred host wake lands at 600ms, so the
+	// resumed step runs host 600–620 (the held remainder collapses to the
+	// release boundary), kernel 620–640, host 640–690... the 675ms signal
+	// lands inside a kernel phase: the in-flight kernel must run through the
+	// pause in every arm (asynchronous-kernel semantics, paper §5).
+	eng.Schedule(675*time.Millisecond, "pause-in-kernel", func() {
+		if mode == ModeImperative {
+			if cont.Alive() {
+				cont.Stop()
+			}
+		} else {
+			h.Deliver(Command{Transition: TransitionPause})
+		}
+	})
+	eng.Schedule(700*time.Millisecond, "resume2", func() {
+		if mode == ModeImperative {
+			if cont.Alive() {
+				cont.Cont()
+			}
+		} else {
+			h.Deliver(Command{Transition: TransitionStart, BubbleEnd: eng.Now() + 200*time.Millisecond})
+		}
+	})
+	eng.Schedule(900*time.Millisecond, "stop", func() {
+		if mode == ModeImperative && cont.Process().Stopped() {
+			cont.Cont()
+		}
+		h.Deliver(Command{Transition: TransitionStop})
+		if mode == ModeImperative {
+			simtime.Detached(eng, 500*time.Millisecond, "stop-kill", func() {
+				if cont.Alive() {
+					cont.Kill()
+				}
+			})
+		}
+	})
+	eng.RunUntil(2 * time.Second)
+	res.c = h.Counters()
+	res.mem = dev.MemUsed()
+	return res
+}
+
+// compareMidStepArms asserts two arms are bit-identical on every observable:
+// state transitions with timestamps, counters (modulo the StepEvents
+// substrate accounting), device memory, and the exit instant and error.
+func compareMidStepArms(t *testing.T, what string, a, b midStepResult) {
+	t.Helper()
+	if !reflect.DeepEqual(a.events, b.events) {
+		t.Errorf("%s: state transitions diverge:\n%+v\nvs\n%+v", what, a.events, b.events)
+	}
+	ac, bc := a.c, b.c
+	ac.StepEvents, bc.StepEvents = 0, 0
+	if ac != bc {
+		t.Errorf("%s: counters diverge:\n%+v\nvs\n%+v", what, ac, bc)
+	}
+	if a.mem != b.mem {
+		t.Errorf("%s: device memory diverges: %d vs %d", what, a.mem, b.mem)
+	}
+	if a.exitAt != b.exitAt {
+		t.Errorf("%s: exit instants diverge: %v vs %v", what, a.exitAt, b.exitAt)
+	}
+	aerr, berr := "", ""
+	if a.exitErr != nil {
+		aerr = a.exitErr.Error()
+	}
+	if b.exitErr != nil {
+		berr = b.exitErr.Error()
+	}
+	if aerr != berr {
+		t.Errorf("%s: exit errors diverge: %q vs %q", what, aerr, berr)
+	}
+}
+
+// TestMidStepPauseEquivalence pins the fused Pause/Stop boundary: signals
+// landing inside the (now fused) host phase and inside the kernel phase must
+// produce bit-identical lifecycles across the goroutine shell, the unfused
+// inline loop and the fused inline loop — both interfaces.
+func TestMidStepPauseEquivalence(t *testing.T) {
+	for _, mode := range []Mode{ModeIterative, ModeImperative} {
+		ground := runMidStepRig(t, mode, subGoroutine, false)
+		unfused := runMidStepRig(t, mode, subInlineUnfused, false)
+		fused := runMidStepRig(t, mode, subInlineFused, false)
+		if ground.c.Steps == 0 {
+			t.Fatalf("mode %v: scripted lifecycle ran no steps", mode)
+		}
+		compareMidStepArms(t, mode.String()+": goroutine vs inline-unfused", ground, unfused)
+		compareMidStepArms(t, mode.String()+": goroutine vs inline-fused", ground, fused)
+	}
+}
+
+// TestFusedStepFaultEquivalence injects a kernel fault into the first fused
+// launch: the fused arm consumes it at the step start but must deliver it at
+// the host-phase boundary — the same instant, same error, same exit as both
+// unfused arms, in both interfaces.
+func TestFusedStepFaultEquivalence(t *testing.T) {
+	for _, mode := range []Mode{ModeIterative, ModeImperative} {
+		ground := runMidStepRig(t, mode, subGoroutine, true)
+		unfused := runMidStepRig(t, mode, subInlineUnfused, true)
+		fused := runMidStepRig(t, mode, subInlineFused, true)
+		if ground.exitErr == nil || fused.exitErr == nil {
+			t.Fatalf("mode %v: injected fault produced no error exit (%v / %v)",
+				mode, ground.exitErr, fused.exitErr)
+		}
+		compareMidStepArms(t, mode.String()+" fault: goroutine vs inline-unfused", ground, unfused)
+		compareMidStepArms(t, mode.String()+" fault: goroutine vs inline-fused", ground, fused)
+	}
+}
+
+// TestFusedEventsPerStep pins the tentpole's accounting: the fused inline
+// loop dispatches kernelParts engine events per step (ONE for the paper's
+// single-kernel iterative steps), the unfused forms kernelParts+1.
+func TestFusedEventsPerStep(t *testing.T) {
+	for _, tc := range []struct {
+		mode  Mode
+		parts uint64
+	}{
+		{ModeIterative, 1},
+		{ModeImperative, imperativeKernelParts},
+	} {
+		fused := runMidStepRig(t, tc.mode, subInlineFused, false)
+		unfused := runMidStepRig(t, tc.mode, subInlineUnfused, false)
+		ground := runMidStepRig(t, tc.mode, subGoroutine, false)
+		perStep := tc.parts
+		if !fused.dev.LeadCapable() || oracleStepFuseOff() {
+			perStep = tc.parts + 1 // forced-oracle arms run unfused
+		}
+		if got, want := fused.c.StepEvents, perStep*fused.c.Steps; got != want {
+			t.Errorf("mode %v: fused StepEvents = %d over %d steps, want %d",
+				tc.mode, got, fused.c.Steps, want)
+		}
+		if got, want := unfused.c.StepEvents, (tc.parts+1)*unfused.c.Steps; got != want {
+			t.Errorf("mode %v: unfused StepEvents = %d over %d steps, want %d",
+				tc.mode, got, unfused.c.Steps, want)
+		}
+		if got, want := ground.c.StepEvents, (tc.parts+1)*ground.c.Steps; got != want {
+			t.Errorf("mode %v: goroutine StepEvents = %d over %d steps, want %d",
+				tc.mode, got, ground.c.Steps, want)
+		}
+	}
+}
+
+// TestStepKernelPartsSumToJitteredDuration is the remainder-loss regression
+// pin at the unit level: with parts=3 and a jittered (usually non-divisible)
+// duration, the last part must absorb the integer-division remainder so the
+// parts sum exactly to the step duration.
+func TestStepKernelPartsSumToJitteredDuration(t *testing.T) {
+	prof := fuseProfile
+	prof.StepJitter = 0.3
+	h := NewIterativeHarness("rem", prof, fuseStepper{}, 7)
+	h.kernelParts = 3
+	r := &inlineRun{h: h, ctx: &Ctx{Profile: prof, Rng: rand.New(rand.NewSource(7)), h: h}}
+	sawRemainder := false
+	for i := 0; i < 200; i++ {
+		r.computeStep()
+		if got := 2*r.perKernel + r.lastKernel; got != r.stepDur {
+			t.Fatalf("parts sum to %v, want %v (per=%v last=%v)", got, r.stepDur, r.perKernel, r.lastKernel)
+		}
+		if r.stepDur%3 != 0 {
+			sawRemainder = true
+			if r.lastKernel == r.perKernel {
+				t.Fatalf("non-divisible %v: last part %v equals per-part %v; remainder dropped",
+					r.stepDur, r.lastKernel, r.perKernel)
+			}
+		}
+	}
+	if !sawRemainder {
+		t.Fatal("jittered durations never produced a remainder; pin is inert")
+	}
+}
+
+// TestKernelPartsRemainderEndToEnd pins the remainder fix through the real
+// device clock: with a step duration of 10000001ns split into 3 kernels, the
+// measured per-step kernel wall time must equal the duration exactly (the
+// old division-truncated parts lost 2ns per step). Demand 1 on an otherwise
+// idle device makes wall time equal duration.
+func TestKernelPartsRemainderEndToEnd(t *testing.T) {
+	prof := fuseProfile
+	prof.StepTime = 10000001 * time.Nanosecond // % 3 == 2
+	for _, sub := range []midStepSubstrate{subGoroutine, subInlineUnfused, subInlineFused} {
+		eng := simtime.NewVirtual()
+		procs := simproc.NewRuntime(eng)
+		dev := simgpu.NewDevice(eng, simgpu.DeviceConfig{Name: "gpu0"})
+		ctr := container.NewRuntime(procs)
+		h := NewIterativeHarness("rem-e2e", prof, fuseStepper{}, 1)
+		h.kernelParts = 3
+		if sub == subInlineUnfused {
+			h.SetStepFuse(false)
+		}
+		spec := container.Spec{
+			Name:        prof.Name,
+			Device:      dev,
+			GPUMemLimit: prof.MemBytes + model.GiB,
+			GPUWeight:   prof.Weight,
+		}
+		var err error
+		if sub == subGoroutine {
+			_, err = ctr.Run(spec, h.Run)
+		} else {
+			_, err = ctr.RunInline(spec, h.Start)
+		}
+		if err != nil {
+			t.Fatalf("container: %v", err)
+		}
+		eng.Schedule(200*time.Millisecond, "init", func() {
+			h.Deliver(Command{Transition: TransitionInit})
+		})
+		eng.Schedule(300*time.Millisecond, "start", func() {
+			h.Deliver(Command{Transition: TransitionStart, BubbleEnd: eng.Now() + 500*time.Millisecond})
+		})
+		eng.Schedule(900*time.Millisecond, "stop", func() {
+			h.Deliver(Command{Transition: TransitionStop})
+		})
+		eng.RunUntil(2 * time.Second)
+		c := h.Counters()
+		if c.Steps == 0 {
+			t.Fatalf("substrate %d: ran no steps", sub)
+		}
+		if want := time.Duration(c.Steps) * prof.StepTime; c.KernelTime != want {
+			t.Errorf("substrate %d: KernelTime = %v over %d steps, want exactly %v (remainder lost)",
+				sub, c.KernelTime, c.Steps, want)
+		}
+	}
+}
+
+// TestImperativeKernelTimeJittered pins the second satellite bugfix: the
+// imperative step accounting must charge the jittered duration the step
+// actually issued, not the nominal profile StepTime (ResNet18 runs with 10%
+// step jitter, so over the scripted run the two must differ).
+func TestImperativeKernelTimeJittered(t *testing.T) {
+	_, c, _ := runScriptedLifecycle(t, ModeImperative, true)
+	if c.Steps == 0 {
+		t.Fatal("scripted lifecycle ran no steps")
+	}
+	if c.KernelTime == time.Duration(c.Steps)*model.ResNet18.StepTime {
+		t.Fatalf("KernelTime = %v over %d steps equals the nominal charge; StepJitter ignored",
+			c.KernelTime, c.Steps)
+	}
+}

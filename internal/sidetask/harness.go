@@ -60,18 +60,28 @@ func (c *Ctx) ExecStepKernel() error {
 		f := 1 + c.Profile.StepJitter*(2*c.Rng.Float64()-1)
 		d = time.Duration(float64(d) * f)
 	}
+	c.h.mu.Lock()
+	c.h.lastStepDur = d
+	c.h.mu.Unlock()
 	parts := c.h.kernelParts
 	if parts < 1 {
 		parts = 1
 	}
+	// Integer division drops up to parts-1 ns of the jittered duration; the
+	// last part absorbs the remainder so the parts sum exactly to d.
 	per := d / time.Duration(parts)
+	last := d - time.Duration(parts-1)*per
+	spec := simgpu.KernelSpec{
+		Name:   c.h.stepKernelName,
+		Demand: c.Profile.Demand,
+		Weight: c.Profile.Weight,
+	}
 	for i := 0; i < parts; i++ {
-		if err := c.GPU.Exec(c.Proc, simgpu.KernelSpec{
-			Name:     c.h.stepKernelName,
-			Duration: per,
-			Demand:   c.Profile.Demand,
-			Weight:   c.Profile.Weight,
-		}); err != nil {
+		spec.Duration = per
+		if i == parts-1 {
+			spec.Duration = last
+		}
+		if err := c.GPU.Exec(c.Proc, &spec); err != nil {
 			return err
 		}
 	}
@@ -142,6 +152,11 @@ type Counters struct {
 	InsuffWait  time.Duration // RUNNING time skipped by the time limit
 	LastPaused  time.Duration // timestamp of the last acknowledged pause
 	StartedRuns uint64        // number of StartSideTask transitions
+	// StepEvents counts the engine events the step loop dispatched for the
+	// completed steps: kernelParts per fused inline step, kernelParts+1
+	// (the separate host-overhead sleep) otherwise. The bench report's
+	// sidetask_events_per_step metric is StepEvents/Steps.
+	StepEvents uint64
 }
 
 // Harness runs one side task inside its container process: it owns the
@@ -175,6 +190,13 @@ type Harness struct {
 	// stepKernelName is the precomputed step-kernel label (millions of
 	// launches per run; the concat must not happen per step).
 	stepKernelName string
+	// noStepFuse forces the unfused two-event inline step loop
+	// (Config.NoStepFuse / FREERIDE_ORACLE_STEPFUSE=off).
+	noStepFuse bool
+	// lastStepDur is the most recent jittered step duration ExecStepKernel
+	// issued; the imperative adapter charges it to KernelTime so jittered
+	// profiles don't drift from the simulated work.
+	lastStepDur time.Duration
 }
 
 // NewIterativeHarness wraps an Iterative implementation.
@@ -253,6 +275,17 @@ func (h *Harness) Restore(c Counters) {
 	h.counters.KernelTime = c.KernelTime
 	h.counters.HostTime = c.HostTime
 	h.counters.InsuffWait = c.InsuffWait
+	h.counters.StepEvents = c.StepEvents
+}
+
+// SetStepFuse enables or disables the fused one-event-per-step inline loop
+// (enabled by default on lead-capable devices; Config.NoStepFuse and the
+// FREERIDE_ORACLE_STEPFUSE=off oracle arm force it off). Call before the
+// harness starts.
+func (h *Harness) SetStepFuse(enabled bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.noStepFuse = !enabled
 }
 
 // BindEngine ties the harness's lock and inbox to eng's ownership regime
@@ -451,6 +484,7 @@ func (h *Harness) runIterative(ctx *Ctx) error {
 		h.counters.Steps++
 		h.counters.KernelTime += p.Now() - stepStart - h.profile.HostOverhead
 		h.counters.HostTime += h.profile.HostOverhead
+		h.counters.StepEvents += uint64(h.kernelParts) + 1
 		h.mu.Unlock()
 	}
 }

@@ -3,11 +3,21 @@ package sidetask
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"sync"
 	"time"
 
 	"freeride/internal/simgpu"
 	"freeride/internal/simproc"
 )
+
+// oracleStepFuseOff reports whether FREERIDE_ORACLE_STEPFUSE=off forces the
+// unfused two-event step loop suite-wide (the differential-oracle arm; the
+// CI oracle matrix runs the full test grid under it and asserts the Table 2
+// reproduction metrics bit-identical to the fused default).
+var oracleStepFuseOff = sync.OnceValue(func() bool {
+	return os.Getenv("FREERIDE_ORACLE_STEPFUSE") == "off"
+})
 
 // CanInline reports whether this harness can run as an event-loop process
 // (simproc.SpawnInline / container.RunInline): the task implementation must
@@ -67,6 +77,33 @@ func (h *Harness) Start(p *simproc.Process, gpu *simgpu.Client) {
 	r.afterHostFn = r.afterHost
 	r.afterKernelFn = r.afterKernel
 	r.onWaitCmdFn = r.onWaitCmd
+	r.failFn = r.stepFail
+
+	// The step-kernel spec is threaded by pointer through every launch; only
+	// Duration mutates per part (the launch reads the spec synchronously, so
+	// reuse is safe — see simgpu.KernelSpec).
+	r.spec = simgpu.KernelSpec{
+		Name:   h.stepKernelName,
+		Demand: h.profile.Demand,
+		Weight: h.profile.Weight,
+	}
+	r.fused = !h.noStepFuse && !oracleStepFuseOff() &&
+		gpu != nil && gpu.Device().LeadCapable()
+	if r.fused {
+		// A fused step must observe SIGTSTP exactly where the unfused
+		// host-sleep boundary did: hold a still-pending host lead on stop
+		// (a kernel already past its lead keeps running through the pause,
+		// like an asynchronous CUDA kernel), and release it on continue so
+		// the remaining host phase resumes from the stop instant.
+		p.SetSignalHook(func(sig simproc.Signal) {
+			switch sig {
+			case simproc.SigStop:
+				gpu.HoldLead()
+			case simproc.SigCont:
+				gpu.ReleaseLead()
+			}
+		})
+	}
 
 	// SUBMITTED -> CREATED: load context into host memory.
 	p.SleepThen(h.profile.CreateTime, r.afterCreateFn)
@@ -88,9 +125,20 @@ type inlineRun struct {
 	maxSteps   int
 	stepsDone  int
 
-	stepStart time.Duration
-	partsLeft int
-	perKernel time.Duration
+	// fused selects the one-event-per-step loop: the step's host overhead is
+	// folded into the kernel launch as a host lead (simgpu.ExecLeadThen), so
+	// the engine sees a single completion event per step instead of a host
+	// sleep plus a completion. Timing, counters and RNG draws are
+	// bit-identical to the unfused arm; FREERIDE_ORACLE_STEPFUSE=off or
+	// Config.NoStepFuse force the two-event loop.
+	fused bool
+
+	stepStart  time.Duration
+	stepDur    time.Duration // jittered total kernel duration of the step
+	partsLeft  int
+	perKernel  time.Duration
+	lastKernel time.Duration // final part: perKernel + division remainder
+	stepErr    error         // deferred StepWork failure (fused path)
 
 	afterCreateFn func(any)
 	onCommandFn   func(any)
@@ -98,6 +146,11 @@ type inlineRun struct {
 	afterHostFn   func(any)
 	afterKernelFn func(any)
 	onWaitCmdFn   func(any)
+	failFn        func(any)
+
+	// spec is the reusable step-kernel spec; Duration is rewritten before
+	// every launch, all other fields are fixed at Start.
+	spec simgpu.KernelSpec
 }
 
 func (r *inlineRun) afterCreate(any) {
@@ -235,6 +288,10 @@ func (r *inlineRun) iterLoop() {
 	}
 
 	r.stepStart = p.Now()
+	if r.fused {
+		r.stepLaunch()
+		return
+	}
 	// RunNextStep, decomposed: host-side time, CPU work, step kernel(s).
 	p.SleepThen(h.profile.HostOverhead, r.afterHostFn)
 }
@@ -268,14 +325,37 @@ func (r *inlineRun) onWaitCmd(msg any) {
 	}
 }
 
-// afterHost runs the step's CPU work and issues its kernel(s) — the inline
-// ExecStepKernel.
-func (r *inlineRun) afterHost(any) {
+// stepLaunch is the fused step body, run at the step's start instant: the
+// CPU work executes now (the unfused arm runs it after the host sleep, but
+// StepWork draws no virtual time and the RNG draw order is preserved), and
+// the kernel launches with the host overhead as its lead — ONE engine event
+// per step (the completion at stepStart+HostOverhead+<share-scaled
+// duration>) instead of the unfused host sleep + completion pair.
+func (r *inlineRun) stepLaunch() {
 	h := r.h
 	if err := r.stepper.StepWork(r.ctx); err != nil {
-		r.stepFailed(err)
+		// The unfused arm surfaces a StepWork failure after the host
+		// sleep; keep the exit instant identical.
+		r.stepErr = err
+		r.p.SleepThen(h.profile.HostOverhead, r.failFn)
 		return
 	}
+	r.computeStep()
+	r.spec.Duration = r.kernelDur()
+	r.ctx.GPU.ExecLeadThen(r.p, &r.spec, h.profile.HostOverhead, r.afterKernelFn)
+}
+
+// stepFail is the deferred-failure continuation of the fused path.
+func (r *inlineRun) stepFail(any) {
+	r.stepFailed(r.stepErr)
+}
+
+// computeStep draws the step's jittered duration and splits it into
+// kernelParts; the last part absorbs the integer-division remainder so the
+// parts sum exactly to the drawn duration (a plain d/parts split loses up
+// to parts-1 ns per step).
+func (r *inlineRun) computeStep() {
+	h := r.h
 	d := h.profile.StepTime
 	if h.profile.StepJitter > 0 {
 		f := 1 + h.profile.StepJitter*(2*r.ctx.Rng.Float64()-1)
@@ -285,19 +365,33 @@ func (r *inlineRun) afterHost(any) {
 	if parts < 1 {
 		parts = 1
 	}
+	r.stepDur = d
 	r.partsLeft = parts
 	r.perKernel = d / time.Duration(parts)
+	r.lastKernel = d - time.Duration(parts-1)*r.perKernel
+}
+
+func (r *inlineRun) kernelDur() time.Duration {
+	if r.partsLeft == 1 {
+		return r.lastKernel
+	}
+	return r.perKernel
+}
+
+// afterHost runs the step's CPU work and issues its kernel(s) — the inline
+// ExecStepKernel (unfused arm only).
+func (r *inlineRun) afterHost(any) {
+	if err := r.stepper.StepWork(r.ctx); err != nil {
+		r.stepFailed(err)
+		return
+	}
+	r.computeStep()
 	r.launchKernel()
 }
 
 func (r *inlineRun) launchKernel() {
-	h := r.h
-	r.ctx.GPU.ExecThen(r.p, simgpu.KernelSpec{
-		Name:     h.stepKernelName,
-		Duration: r.perKernel,
-		Demand:   h.profile.Demand,
-		Weight:   h.profile.Weight,
-	}, r.afterKernelFn)
+	r.spec.Duration = r.kernelDur()
+	r.ctx.GPU.ExecThen(r.p, &r.spec, r.afterKernelFn)
 }
 
 func (r *inlineRun) afterKernel(res any) {
@@ -311,16 +405,28 @@ func (r *inlineRun) afterKernel(res any) {
 	}
 	r.partsLeft--
 	if r.partsLeft > 0 {
+		// Parts 2..n launch back to back with no host lead (both arms).
 		r.launchKernel()
 		return
 	}
 	h, p := r.h, r.p
+	parts := h.kernelParts
+	if parts < 1 {
+		parts = 1
+	}
+	events := uint64(parts)
+	if !r.fused {
+		events++ // the separate host-overhead sleep
+	}
 	if r.imperative {
-		// imperativeAdapter accounting: the profile's nominal step cost.
+		// imperativeAdapter accounting: host overhead plus the jittered
+		// kernel duration the step actually issued (the nominal StepTime
+		// would drift from the simulated work under StepJitter).
 		h.mu.Lock()
 		h.counters.Steps++
-		h.counters.KernelTime += h.profile.StepTime
+		h.counters.KernelTime += r.stepDur
 		h.counters.HostTime += h.profile.HostOverhead
+		h.counters.StepEvents += events
 		h.mu.Unlock()
 		r.stepsDone++
 		r.impStep()
@@ -330,6 +436,7 @@ func (r *inlineRun) afterKernel(res any) {
 	h.counters.Steps++
 	h.counters.KernelTime += p.Now() - r.stepStart - h.profile.HostOverhead
 	h.counters.HostTime += h.profile.HostOverhead
+	h.counters.StepEvents += events
 	h.mu.Unlock()
 	r.iterLoop()
 }
@@ -353,6 +460,11 @@ func (r *inlineRun) impStep() {
 	if r.maxSteps > 0 && r.stepsDone >= r.maxSteps {
 		r.h.setState(StateStopped, r.p.Now())
 		r.p.Exit(nil)
+		return
+	}
+	r.stepStart = r.p.Now()
+	if r.fused {
+		r.stepLaunch()
 		return
 	}
 	r.p.SleepThen(r.h.profile.HostOverhead, r.afterHostFn)

@@ -110,6 +110,10 @@ func TestInlineMatchesGoroutineIterative(t *testing.T) {
 	if !reflect.DeepEqual(gEvents, iEvents) {
 		t.Errorf("state transitions diverge:\ngoroutine %+v\ninline    %+v", gEvents, iEvents)
 	}
+	// StepEvents is substrate accounting by design: the goroutine body
+	// always dispatches the unfused sleep+kernel pair, the inline loop
+	// fuses them. Everything else must match to the bit.
+	gCounters.StepEvents, iCounters.StepEvents = 0, 0
 	if gCounters != iCounters {
 		t.Errorf("counters diverge:\ngoroutine %+v\ninline    %+v", gCounters, iCounters)
 	}
@@ -130,6 +134,9 @@ func TestInlineMatchesGoroutineImperative(t *testing.T) {
 	if !reflect.DeepEqual(gEvents, iEvents) {
 		t.Errorf("state transitions diverge:\ngoroutine %+v\ninline    %+v", gEvents, iEvents)
 	}
+	// StepEvents is substrate accounting by design (see the iterative
+	// variant above).
+	gCounters.StepEvents, iCounters.StepEvents = 0, 0
 	if gCounters != iCounters {
 		t.Errorf("counters diverge:\ngoroutine %+v\ninline    %+v", gCounters, iCounters)
 	}

@@ -20,7 +20,7 @@ func TestExecAllocFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec := KernelSpec{Name: "k", Duration: time.Microsecond, Demand: 0.5, Weight: 0.5}
+	spec := &KernelSpec{Name: "k", Duration: time.Microsecond, Demand: 0.5, Weight: 0.5}
 	rt.Spawn("execer", func(p *simproc.Process) error {
 		for {
 			if err := c.Exec(p, spec); err != nil {
@@ -49,7 +49,7 @@ func TestExecThenAllocFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec := KernelSpec{Name: "k", Duration: time.Microsecond, Demand: 0.5, Weight: 0.5}
+	spec := &KernelSpec{Name: "k", Duration: time.Microsecond, Demand: 0.5, Weight: 0.5}
 	rt.SpawnInline("execer", func(p *simproc.Process) {
 		var k func(any)
 		k = func(res any) {

@@ -204,10 +204,19 @@ type Device struct {
 	// the full-recompute oracle never fuses.
 	fusable bool
 
+	// leads are pending host-lead kernels (ExecLeadThen), ordered by
+	// leadUntil: created but not yet runnable, they join the running set
+	// lazily at the first device transition at-or-after their lead elapses
+	// (matureLeadsLocked). Held leads (HoldLead) are parked off-list.
+	leads []*kernel
+
 	// scratch buffers reused across rebalances to keep the hot path
 	// allocation-free.
 	scratchRun   []*kernel
 	scratchSlots []allocSlot
+	// scratchAllocs saves the running set's true allocations across a lead
+	// hypothesis dry run (armLeadLocked).
+	scratchAllocs []float64
 	// kernelPool recycles kernel structs (and their completion timers and
 	// closures) across launches; a device retires millions of kernels per
 	// simulated run.
@@ -363,7 +372,10 @@ func (d *Device) NewClient(cfg ClientConfig) (*Client, error) {
 // memory or kernel state and folds the delta into the device count. Caller
 // holds d.mu.
 func (d *Device) residencyChangedLocked(c *Client) {
-	r := !c.closed && (c.memUsed > 0 || c.current != nil)
+	// A host lead is not resident kernel state: the equivalent unfused
+	// client would still be in its host phase with nothing submitted, so
+	// the MPS tax predicate must not see it until maturation.
+	r := !c.closed && (c.memUsed > 0 || (c.current != nil && !c.current.leading))
 	if r != c.resident {
 		c.resident = r
 		if r {
@@ -551,6 +563,7 @@ func (c *Client) AllocMem(n int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.flushFusionLocked()
+	d.matureLeadsLocked(nil)
 	if c.closed {
 		return ErrClientClosed
 	}
@@ -565,6 +578,8 @@ func (c *Client) AllocMem(n int64) error {
 	c.memUsed += n
 	d.memUsed += n
 	d.residencyChangedLocked(c)
+	// Residency feeds the pending leads' tax hypotheses.
+	d.refreshLeadsLocked()
 	if !d.cfg.NoTraces {
 		now := d.eng.Now()
 		c.memTr.Add(now, float64(c.memUsed))
@@ -579,12 +594,14 @@ func (c *Client) FreeMem(n int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.flushFusionLocked()
+	d.matureLeadsLocked(nil)
 	if n > c.memUsed {
 		n = c.memUsed
 	}
 	c.memUsed -= n
 	d.memUsed -= n
 	d.residencyChangedLocked(c)
+	d.refreshLeadsLocked()
 	if !d.cfg.NoTraces {
 		now := d.eng.Now()
 		c.memTr.Add(now, float64(c.memUsed))
@@ -603,12 +620,20 @@ func (c *Client) Destroy() {
 		return
 	}
 	d.flushFusionLocked()
+	d.matureLeadsLocked(nil)
 	c.closed = true
 	aborted := make([]*kernel, 0, len(c.queue)+1)
-	if c.current != nil {
-		c.current.cancelTimer()
-		d.runningRemoveLocked(c.current)
-		aborted = append(aborted, c.current)
+	if cur := c.current; cur != nil {
+		cur.cancelTimer()
+		if cur.leading {
+			// A pending (or held) lead was never in the running set.
+			if !cur.held {
+				d.leadsRemoveLocked(cur)
+			}
+		} else {
+			d.runningRemoveLocked(cur)
+		}
+		aborted = append(aborted, cur)
 		c.current = nil
 	}
 	aborted = append(aborted, c.queue...)

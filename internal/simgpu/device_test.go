@@ -29,7 +29,7 @@ func TestSoloKernelRunsAtSpecDuration(t *testing.T) {
 	eng, d := newDev(t, DeviceConfig{})
 	c := mustClient(t, d, ClientConfig{Name: "train"})
 	var doneAt time.Duration
-	if err := c.Launch(KernelSpec{Name: "fp", Duration: time.Second}, func(err error) {
+	if err := c.Launch(&KernelSpec{Name: "fp", Duration: time.Second}, func(err error) {
 		if err != nil {
 			t.Errorf("completion err = %v", err)
 		}
@@ -52,7 +52,7 @@ func TestPartialDemandKernelSameDuration(t *testing.T) {
 	eng, d := newDev(t, DeviceConfig{})
 	c := mustClient(t, d, ClientConfig{Name: "side"})
 	var doneAt time.Duration
-	c.Launch(KernelSpec{Name: "step", Duration: time.Second, Demand: 0.5}, func(error) {
+	c.Launch(&KernelSpec{Name: "step", Duration: time.Second, Demand: 0.5}, func(error) {
 		doneAt = eng.Now()
 	})
 	eng.RunUntil(500 * time.Millisecond)
@@ -69,7 +69,7 @@ func TestSlowerDeviceStretchesKernels(t *testing.T) {
 	eng, d := newDev(t, DeviceConfig{Capacity: 0.5})
 	c := mustClient(t, d, ClientConfig{Name: "x"})
 	var doneAt time.Duration
-	c.Launch(KernelSpec{Name: "k", Duration: time.Second}, func(error) { doneAt = eng.Now() })
+	c.Launch(&KernelSpec{Name: "k", Duration: time.Second}, func(error) { doneAt = eng.Now() })
 	eng.MustDrain(100)
 	if doneAt != 2*time.Second {
 		t.Fatalf("finished at %v, want 2s on half-capacity device", doneAt)
@@ -82,7 +82,7 @@ func TestClientKernelsSerializeFIFO(t *testing.T) {
 	var order []string
 	for _, name := range []string{"k1", "k2", "k3"} {
 		name := name
-		c.Launch(KernelSpec{Name: name, Duration: time.Second}, func(error) {
+		c.Launch(&KernelSpec{Name: name, Duration: time.Second}, func(error) {
 			order = append(order, name)
 		})
 	}
@@ -106,10 +106,10 @@ func TestMPSWeightedSharing(t *testing.T) {
 	side := mustClient(t, d, ClientConfig{Name: "sgd"})
 
 	var trainDone, sideDone time.Duration
-	side.Launch(KernelSpec{Name: "sgd", Duration: time.Second, Demand: 0.85, Weight: 4}, func(error) {
+	side.Launch(&KernelSpec{Name: "sgd", Duration: time.Second, Demand: 0.85, Weight: 4}, func(error) {
 		sideDone = eng.Now()
 	})
-	train.Launch(KernelSpec{Name: "fp", Duration: time.Second, Demand: 1, Weight: 1}, func(error) {
+	train.Launch(&KernelSpec{Name: "fp", Duration: time.Second, Demand: 1, Weight: 1}, func(error) {
 		trainDone = eng.Now()
 	})
 	eng.RunUntil(100 * time.Millisecond)
@@ -138,8 +138,8 @@ func TestMPSLightSideTaskBarelyInterferes(t *testing.T) {
 	eng, d := newDev(t, DeviceConfig{Policy: PolicyMPS})
 	train := mustClient(t, d, ClientConfig{Name: "train"})
 	side := mustClient(t, d, ClientConfig{Name: "img"})
-	side.Launch(KernelSpec{Name: "img", Duration: 10 * time.Second, Demand: 0.3, Weight: 0.15}, nil)
-	train.Launch(KernelSpec{Name: "fp", Duration: time.Second}, nil)
+	side.Launch(&KernelSpec{Name: "img", Duration: 10 * time.Second, Demand: 0.3, Weight: 0.15}, nil)
+	train.Launch(&KernelSpec{Name: "fp", Duration: time.Second}, nil)
 	eng.RunUntil(100 * time.Millisecond)
 	got := train.OccTrace().At(50 * time.Millisecond)
 	want := 1.0 / 1.15
@@ -155,8 +155,8 @@ func TestMPSDemandCappedKernelLeavesCapacity(t *testing.T) {
 	a := mustClient(t, d, ClientConfig{Name: "a"})
 	b := mustClient(t, d, ClientConfig{Name: "b"})
 	var aDone, bDone time.Duration
-	a.Launch(KernelSpec{Name: "ka", Duration: time.Second, Demand: 0.4}, func(error) { aDone = eng.Now() })
-	b.Launch(KernelSpec{Name: "kb", Duration: time.Second, Demand: 0.5}, func(error) { bDone = eng.Now() })
+	a.Launch(&KernelSpec{Name: "ka", Duration: time.Second, Demand: 0.4}, func(error) { aDone = eng.Now() })
+	b.Launch(&KernelSpec{Name: "kb", Duration: time.Second, Demand: 0.5}, func(error) { bDone = eng.Now() })
 	eng.MustDrain(100)
 	if aDone != time.Second || bDone != time.Second {
 		t.Fatalf("done at %v/%v, want 1s/1s (no contention)", aDone, bDone)
@@ -168,8 +168,8 @@ func TestTimeSliceHalvesRates(t *testing.T) {
 	a := mustClient(t, d, ClientConfig{Name: "a"})
 	b := mustClient(t, d, ClientConfig{Name: "b"})
 	var aDone time.Duration
-	a.Launch(KernelSpec{Name: "ka", Duration: time.Second, Demand: 1}, func(error) { aDone = eng.Now() })
-	b.Launch(KernelSpec{Name: "kb", Duration: 10 * time.Second, Demand: 1}, nil)
+	a.Launch(&KernelSpec{Name: "ka", Duration: time.Second, Demand: 1}, func(error) { aDone = eng.Now() })
+	b.Launch(&KernelSpec{Name: "kb", Duration: 10 * time.Second, Demand: 1}, nil)
 	eng.RunUntil(1900 * time.Millisecond)
 	if aDone != 0 {
 		t.Fatalf("a done at %v, want not yet (time-sliced)", aDone)
@@ -230,7 +230,7 @@ func TestDestroyAbortsKernelsAndFreesMemory(t *testing.T) {
 	c.AllocMem(1 << 20)
 	var errs []error
 	for i := 0; i < 2; i++ {
-		c.Launch(KernelSpec{Name: "k", Duration: time.Hour}, func(err error) {
+		c.Launch(&KernelSpec{Name: "k", Duration: time.Hour}, func(err error) {
 			errs = append(errs, err)
 		})
 	}
@@ -250,7 +250,7 @@ func TestDestroyAbortsKernelsAndFreesMemory(t *testing.T) {
 	if err := c.AllocMem(1); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("AllocMem after destroy = %v, want ErrClientClosed", err)
 	}
-	if err := c.Launch(KernelSpec{Name: "k", Duration: time.Second}, nil); !errors.Is(err, ErrClientClosed) {
+	if err := c.Launch(&KernelSpec{Name: "k", Duration: time.Second}, nil); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("Launch after destroy = %v, want ErrClientClosed", err)
 	}
 	eng.MustDrain(100) // stale completion timers drain harmlessly
@@ -260,9 +260,9 @@ func TestDestroyReleasesCapacityToSurvivors(t *testing.T) {
 	eng, d := newDev(t, DeviceConfig{Policy: PolicyMPS})
 	train := mustClient(t, d, ClientConfig{Name: "train"})
 	side := mustClient(t, d, ClientConfig{Name: "hog"})
-	side.Launch(KernelSpec{Name: "hog", Duration: time.Hour, Demand: 1, Weight: 4}, nil)
+	side.Launch(&KernelSpec{Name: "hog", Duration: time.Hour, Demand: 1, Weight: 4}, nil)
 	var trainDone time.Duration
-	train.Launch(KernelSpec{Name: "fp", Duration: time.Second}, func(error) { trainDone = eng.Now() })
+	train.Launch(&KernelSpec{Name: "fp", Duration: time.Second}, func(error) { trainDone = eng.Now() })
 	eng.RunUntil(time.Second) // train at rate 0.2: 0.2 work done
 	side.Destroy()
 	eng.MustDrain(100)
@@ -279,7 +279,7 @@ func TestExecBlocksProcess(t *testing.T) {
 	c := mustClient(t, d, ClientConfig{Name: "task"})
 	var doneAt time.Duration
 	rt.Spawn("task", func(p *simproc.Process) error {
-		if err := c.Exec(p, KernelSpec{Name: "step", Duration: 2 * time.Second}); err != nil {
+		if err := c.Exec(p, &KernelSpec{Name: "step", Duration: 2 * time.Second}); err != nil {
 			return err
 		}
 		doneAt = p.Now()
@@ -298,7 +298,7 @@ func TestExecAbortReturnsError(t *testing.T) {
 	c := mustClient(t, d, ClientConfig{Name: "task"})
 	var got error
 	rt.Spawn("task", func(p *simproc.Process) error {
-		got = c.Exec(p, KernelSpec{Name: "step", Duration: time.Hour})
+		got = c.Exec(p, &KernelSpec{Name: "step", Duration: time.Hour})
 		return nil
 	})
 	eng.Schedule(time.Second, "destroy", func() { c.Destroy() })
@@ -322,7 +322,7 @@ func TestOccupancyNeverExceedsCapacity(t *testing.T) {
 		c := mustClient(t, d, ClientConfig{Name: string(rune('a' + i))})
 		for j := 0; j < 3; j++ {
 			dur := time.Duration(100+i*37+j*61) * time.Millisecond
-			c.Launch(KernelSpec{Name: "k", Duration: dur, Demand: 0.2 + 0.19*float64(i), Weight: 0.1 + 0.8*float64(j)}, nil)
+			c.Launch(&KernelSpec{Name: "k", Duration: dur, Demand: 0.2 + 0.19*float64(i), Weight: 0.1 + 0.8*float64(j)}, nil)
 		}
 	}
 	eng.MustDrain(10000)
@@ -347,7 +347,7 @@ func TestWorkConservation(t *testing.T) {
 			dur := time.Duration(50+i*13+j*29) * time.Millisecond
 			demand := 0.25 + 0.2*float64(i)
 			expected += demand * dur.Seconds()
-			c.Launch(KernelSpec{Name: "k", Duration: dur, Demand: demand}, nil)
+			c.Launch(&KernelSpec{Name: "k", Duration: dur, Demand: demand}, nil)
 		}
 	}
 	eng.MustDrain(10000)
@@ -368,8 +368,8 @@ func BenchmarkKernelChurn(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a.Launch(KernelSpec{Name: "k", Duration: time.Millisecond, Demand: 0.5}, nil)
-		c.Launch(KernelSpec{Name: "k", Duration: time.Millisecond, Demand: 0.7}, nil)
+		a.Launch(&KernelSpec{Name: "k", Duration: time.Millisecond, Demand: 0.5}, nil)
+		c.Launch(&KernelSpec{Name: "k", Duration: time.Millisecond, Demand: 0.7}, nil)
 		if i%256 == 255 {
 			eng.Drain(0)
 		}
@@ -386,7 +386,7 @@ func TestResidencyTaxSlowsKernelsWhenCoResident(t *testing.T) {
 		t.Fatal(err)
 	}
 	var doneAt time.Duration
-	train.Launch(KernelSpec{Name: "fp", Duration: time.Second}, func(error) { doneAt = eng.Now() })
+	train.Launch(&KernelSpec{Name: "fp", Duration: time.Second}, func(error) { doneAt = eng.Now() })
 	eng.MustDrain(100)
 	want := 1.01 // 1s work at rate 1/1.01
 	if math.Abs(doneAt.Seconds()-want) > 1e-6 {
@@ -398,7 +398,7 @@ func TestResidencyTaxNotAppliedSolo(t *testing.T) {
 	eng, d := newDev(t, DeviceConfig{ResidencyTax: 0.01})
 	train := mustClient(t, d, ClientConfig{Name: "train"})
 	var doneAt time.Duration
-	train.Launch(KernelSpec{Name: "fp", Duration: time.Second}, func(error) { doneAt = eng.Now() })
+	train.Launch(&KernelSpec{Name: "fp", Duration: time.Second}, func(error) { doneAt = eng.Now() })
 	eng.MustDrain(100)
 	if doneAt != time.Second {
 		t.Fatalf("solo kernel finished at %v, want 1s (no tax)", doneAt)

@@ -16,7 +16,7 @@ func TestInjectKernelFaultFailsNextPrefixedLaunch(t *testing.T) {
 	// The training client launches while the fault is armed: untouched.
 	var trainErr error
 	trainDone := false
-	if err := train.Launch(KernelSpec{Name: "fp", Duration: 10 * time.Millisecond}, func(err error) {
+	if err := train.Launch(&KernelSpec{Name: "fp", Duration: 10 * time.Millisecond}, func(err error) {
 		trainErr, trainDone = err, true
 	}); err != nil {
 		t.Fatalf("train launch: %v", err)
@@ -24,7 +24,7 @@ func TestInjectKernelFaultFailsNextPrefixedLaunch(t *testing.T) {
 
 	// The side-task client absorbs the fault, immediately.
 	var sideErr error
-	if err := side.Launch(KernelSpec{Name: "step", Duration: 10 * time.Millisecond}, func(err error) {
+	if err := side.Launch(&KernelSpec{Name: "step", Duration: 10 * time.Millisecond}, func(err error) {
 		sideErr = err
 	}); !errors.Is(err, ErrInjectedFault) {
 		t.Fatalf("side launch returned %v, want ErrInjectedFault", err)
@@ -35,7 +35,7 @@ func TestInjectKernelFaultFailsNextPrefixedLaunch(t *testing.T) {
 
 	// One-shot: the next side-task launch runs clean.
 	var secondErr error = errors.New("unset")
-	if err := side.Launch(KernelSpec{Name: "step", Duration: 10 * time.Millisecond}, func(err error) {
+	if err := side.Launch(&KernelSpec{Name: "step", Duration: 10 * time.Millisecond}, func(err error) {
 		secondErr = err
 	}); err != nil {
 		t.Fatalf("second side launch: %v", err)

@@ -45,8 +45,8 @@ func skipIfOracleForced(t *testing.T, d *Device, needCache bool) {
 func TestShareCacheSteadyStateHits(t *testing.T) {
 	eng, dev, a, b := newTwoClientRig(t)
 	skipIfOracleForced(t, dev, true)
-	specA := KernelSpec{Name: "ka", Duration: 3 * time.Microsecond, Demand: 0.6, Weight: 0.6}
-	specB := KernelSpec{Name: "kb", Duration: 5 * time.Microsecond, Demand: 0.7, Weight: 0.9}
+	specA := &KernelSpec{Name: "ka", Duration: 3 * time.Microsecond, Demand: 0.6, Weight: 0.6}
+	specB := &KernelSpec{Name: "kb", Duration: 5 * time.Microsecond, Demand: 0.7, Weight: 0.9}
 	var relaunchA, relaunchB func(error)
 	relaunchA = func(error) { _ = a.Launch(specA, relaunchA) }
 	relaunchB = func(error) { _ = b.Launch(specB, relaunchB) }
@@ -75,7 +75,7 @@ func TestShareCacheSteadyStateHits(t *testing.T) {
 func TestFusedFoldEngages(t *testing.T) {
 	eng, dev, a, _ := newTwoClientRig(t)
 	skipIfOracleForced(t, dev, false)
-	spec := KernelSpec{Name: "k", Duration: 3 * time.Microsecond, Demand: 0.6, Weight: 0.6}
+	spec := &KernelSpec{Name: "k", Duration: 3 * time.Microsecond, Demand: 0.6, Weight: 0.6}
 	var relaunch func(error)
 	relaunch = func(error) { _ = a.Launch(spec, relaunch) }
 	relaunch(nil)
@@ -93,8 +93,8 @@ func TestFusedFoldEngages(t *testing.T) {
 func TestShareCacheHitAllocFree(t *testing.T) {
 	eng, dev, a, b := newTwoClientRig(t)
 	skipIfOracleForced(t, dev, true)
-	specA := KernelSpec{Name: "ka", Duration: 3 * time.Microsecond, Demand: 0.6, Weight: 0.6}
-	specB := KernelSpec{Name: "kb", Duration: 5 * time.Microsecond, Demand: 0.7, Weight: 0.9}
+	specA := &KernelSpec{Name: "ka", Duration: 3 * time.Microsecond, Demand: 0.6, Weight: 0.6}
+	specB := &KernelSpec{Name: "kb", Duration: 5 * time.Microsecond, Demand: 0.7, Weight: 0.9}
 	var relaunchA, relaunchB func(error)
 	relaunchA = func(error) { _ = a.Launch(specA, relaunchA) }
 	relaunchB = func(error) { _ = b.Launch(specB, relaunchB) }
@@ -124,9 +124,9 @@ func TestFusedExecThenAllocFree(t *testing.T) {
 	eng, dev, a, b := newTwoClientRig(t)
 	skipIfOracleForced(t, dev, false)
 	procs := simproc.NewRuntime(eng)
-	specA := KernelSpec{Name: "ka", Duration: 3 * time.Microsecond, Demand: 0.6, Weight: 0.6}
-	specB := KernelSpec{Name: "kb", Duration: 5 * time.Microsecond, Demand: 0.7, Weight: 0.9}
-	start := func(c *Client, spec KernelSpec) func(p *simproc.Process) {
+	specA := &KernelSpec{Name: "ka", Duration: 3 * time.Microsecond, Demand: 0.6, Weight: 0.6}
+	specB := &KernelSpec{Name: "kb", Duration: 5 * time.Microsecond, Demand: 0.7, Weight: 0.9}
+	start := func(c *Client, spec *KernelSpec) func(p *simproc.Process) {
 		return func(p *simproc.Process) {
 			var k func(any)
 			k = func(res any) {
@@ -163,10 +163,10 @@ func TestFusedExecThenAllocFree(t *testing.T) {
 func TestFusionFlushOnEntry(t *testing.T) {
 	eng, dev, a, b := newTwoClientRig(t)
 	skipIfOracleForced(t, dev, false)
-	specB := KernelSpec{Name: "kb", Duration: 5 * time.Microsecond, Demand: 0.7, Weight: 0.9}
+	specB := &KernelSpec{Name: "kb", Duration: 5 * time.Microsecond, Demand: 0.7, Weight: 0.9}
 	done := 0
 	_ = b.Launch(specB, func(error) {})
-	_ = a.Launch(KernelSpec{Name: "ka", Duration: 3 * time.Microsecond, Demand: 0.6, Weight: 0.6},
+	_ = a.Launch(&KernelSpec{Name: "ka", Duration: 3 * time.Microsecond, Demand: 0.6, Weight: 0.6},
 		func(err error) {
 			if err != nil {
 				t.Errorf("kernel failed: %v", err)

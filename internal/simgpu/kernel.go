@@ -12,6 +12,14 @@ import (
 
 // KernelSpec describes one GPU kernel (or fused group of kernels forming one
 // logical step/op).
+//
+// Specs travel by pointer through the whole launch path (Launch, Exec,
+// ExecThen, ExecLeadThen) so hot loops can keep one spec alive and mutate
+// Name/Duration between launches instead of copying the struct per call.
+// The device reads the spec at launch (work sizing) and at retirement
+// (throughput accounting), both of which happen before the completion is
+// delivered — so mutating a spec from a completion continuation is safe,
+// but a spec must not change while its kernel is still in flight.
 type KernelSpec struct {
 	Name string
 	// Duration is the kernel's solo run time on an unshared reference GPU.
@@ -40,7 +48,7 @@ func (s *KernelSpec) normalize() {
 // kernel is an in-flight kernel.
 type kernel struct {
 	client *Client
-	spec   KernelSpec
+	spec   *KernelSpec
 
 	// work remaining in reference SM-seconds; total = Demand * Duration.
 	work float64
@@ -64,8 +72,20 @@ type kernel struct {
 	started  time.Duration
 	startSet bool
 	// runIdx is the kernel's slot in the device's running-set cache, -1
-	// while queued or retired.
+	// while queued, leading or retired.
 	runIdx int32
+
+	// Host-lead state (ExecLeadThen). A leading kernel is not yet runnable:
+	// it joins the running set at leadUntil (maturation), standing in for
+	// the caller's host-side step phase without a separate sleep event.
+	// held marks a lead frozen by HoldLead (SIGTSTP landing inside the host
+	// phase); the remaining lead resumes on ReleaseLead. leadDeadline
+	// caches the armed no-further-events completion hypothesis so lead
+	// refreshes skip no-op timer re-arms.
+	leading      bool
+	held         bool
+	leadUntil    time.Duration
+	leadDeadline time.Duration
 }
 
 func (k *kernel) cancelTimer() {
@@ -74,18 +94,61 @@ func (k *kernel) cancelTimer() {
 	}
 }
 
+// popKernelLocked recycles a kernel struct from the pool (or allocates one),
+// resetting only the fields a launch mutates: the completion timer and its
+// closure survive recycling, and retirement already cleared the delivery
+// fields. This per-field reset replaces a full struct re-zero that copied
+// ~130 bytes per launch. Caller holds d.mu.
+func (d *Device) popKernelLocked(c *Client, spec *KernelSpec, onComplete func(error), waiter *simproc.Process) *kernel {
+	var k *kernel
+	if n := len(d.kernelPool); n > 0 {
+		k = d.kernelPool[n-1]
+		d.kernelPool[n-1] = nil
+		d.kernelPool = d.kernelPool[:n-1]
+		k.client = c
+		k.spec = spec
+		k.work = spec.Demand * spec.Duration.Seconds()
+		k.alloc = 0
+		k.lastUpdate = 0
+		k.onComplete = onComplete
+		k.waiter = waiter
+		k.runIdx = -1
+		k.started = 0
+		k.startSet = false
+		k.leading = false
+		k.held = false
+		k.leadUntil = 0
+		k.leadDeadline = -1
+	} else {
+		k = &kernel{
+			client:       c,
+			spec:         spec,
+			work:         spec.Demand * spec.Duration.Seconds(),
+			onComplete:   onComplete,
+			waiter:       waiter,
+			runIdx:       -1,
+			leadDeadline: -1,
+		}
+		k.completeFn = func() { d.completeKernel(k) }
+	}
+	// The timer label is a debug string only; reusing spec.Name avoids a
+	// per-launch concat.
+	k.doneName = spec.Name
+	return k
+}
+
 // Launch enqueues a kernel on the client's (serial) stream. onComplete fires
 // from engine-callback context when the kernel finishes or is aborted; it
 // may be nil. The returned handle is opaque; launching is asynchronous,
 // matching CUDA semantics — this is exactly why the paper's imperative
 // interface cannot stop in-flight work (§5).
-func (c *Client) Launch(spec KernelSpec, onComplete func(error)) error {
+func (c *Client) Launch(spec *KernelSpec, onComplete func(error)) error {
 	return c.launch(spec, onComplete, nil)
 }
 
 // launch enqueues a kernel delivering either to onComplete or to waiter's
 // wait slot (exactly one of the two is non-nil; both nil is fire-and-forget).
-func (c *Client) launch(spec KernelSpec, onComplete func(error), waiter *simproc.Process) error {
+func (c *Client) launch(spec *KernelSpec, onComplete func(error), waiter *simproc.Process) error {
 	spec.normalize()
 	d := c.dev
 	d.mu.Lock()
@@ -112,36 +175,10 @@ func (c *Client) launch(spec KernelSpec, onComplete func(error), waiter *simproc
 		}
 		return err
 	}
-	var k *kernel
-	if n := len(d.kernelPool); n > 0 {
-		k = d.kernelPool[n-1]
-		d.kernelPool[n-1] = nil
-		d.kernelPool = d.kernelPool[:n-1]
-		*k = kernel{
-			client:     c,
-			spec:       spec,
-			work:       spec.Demand * spec.Duration.Seconds(),
-			onComplete: onComplete,
-			waiter:     waiter,
-			runIdx:     -1,
-			// The completion timer and closure survive recycling.
-			timer:      k.timer,
-			completeFn: k.completeFn,
-		}
-	} else {
-		k = &kernel{
-			client:     c,
-			spec:       spec,
-			work:       spec.Demand * spec.Duration.Seconds(),
-			onComplete: onComplete,
-			waiter:     waiter,
-			runIdx:     -1,
-		}
-		k.completeFn = func() { d.completeKernel(k) }
-	}
-	// The timer label is a debug string only; reusing spec.Name avoids a
-	// per-launch concat.
-	k.doneName = spec.Name
+	// Leads due at-or-before this instant join the running set first, so
+	// this launch's rebalance sees exactly the set an unfused arm would.
+	d.matureLeadsLocked(nil)
+	k := d.popKernelLocked(c, spec, onComplete, waiter)
 	if c.current == nil {
 		c.current = k
 		k.started = d.eng.Now()
@@ -167,7 +204,7 @@ func (c *Client) launch(spec KernelSpec, onComplete func(error), waiter *simproc
 // returning the kernel's completion error. This is the blocking API side
 // tasks use; the completion delivers straight into the process's wait slot,
 // so the whole launch→park→complete→wake cycle allocates nothing.
-func (c *Client) Exec(p *simproc.Process, spec KernelSpec) error {
+func (c *Client) Exec(p *simproc.Process, spec *KernelSpec) error {
 	// spec.Name is used verbatim as the park label: Exec runs once per
 	// simulated kernel and a "kernel:" prefix concat here shows up in
 	// profiles.
@@ -184,7 +221,7 @@ func (c *Client) Exec(p *simproc.Process, spec KernelSpec) error {
 // the fused path: the still-armed wait slot is re-armed in place
 // (ChainWait), and the launch folds the deferred completion rebalance into
 // its own — completion and relaunch become one dispatch.
-func (c *Client) ExecThen(p *simproc.Process, spec KernelSpec, k func(any)) {
+func (c *Client) ExecThen(p *simproc.Process, spec *KernelSpec, k func(any)) {
 	if p.ChainWait(spec.Name, k) {
 		_ = c.launch(spec, nil, p)
 		return
@@ -217,19 +254,49 @@ func (c *Client) QueueDepth() int {
 	return n
 }
 
-// Busy reports whether the client has a kernel in flight.
+// Busy reports whether the client has a kernel in flight on the device. A
+// host-lead kernel counts only once its lead has elapsed: before leadUntil
+// (or while held) the equivalent unfused client would still be in its
+// host-side phase with nothing submitted, and the worker's grace-kill check
+// relies on exactly that distinction.
 func (c *Client) Busy() bool {
 	c.dev.mu.Lock()
 	defer c.dev.mu.Unlock()
-	return c.current != nil
+	k := c.current
+	if k == nil {
+		return false
+	}
+	if k.leading {
+		return !k.held && k.leadUntil <= c.dev.eng.Now()
+	}
+	return true
 }
 
 // rebalanceLocked recomputes every running kernel's SM allocation after any
 // change in the running set, accrues progress, updates traces, and
-// reschedules completion events. Caller holds d.mu.
+// reschedules completion events; pending host-lead hypotheses are refreshed
+// against the new allocation state. Caller holds d.mu.
+func (d *Device) rebalanceLocked() {
+	if d.cfg.FullRebalance {
+		d.rebalanceFullLocked()
+		return
+	}
+	d.rebalanceAtLocked(d.eng.Now(), nil)
+	d.refreshLeadsLocked()
+}
+
+// rebalanceAtLocked is the incremental scheduler pass, parameterized by the
+// instant the triggering transition happened at. For ordinary transitions at
+// is the current engine time; for a host-lead maturation it is the lead's
+// leadUntil — possibly in the past of the engine clock, because maturation
+// runs lazily at the first device event at-or-after the lead elapses. All
+// arithmetic (accrual, water-fill, tax, trace points, completion deadlines)
+// is computed as of at, so a lazy maturation reproduces bit-exactly the
+// rebalance an eager launch at leadUntil would have performed; completion
+// delays are expressed relative to the real clock.
 //
-// The incremental pass trusts the device's transition-maintained caches:
-// d.running already reflects the launch/completion/abort that triggered the
+// The pass trusts the device's transition-maintained caches: d.running
+// already reflects the launch/completion/abort/maturation that triggered the
 // rebalance (same kernels, same client order the full recompute would
 // derive), and d.resident already counts the ResidencyTax predicate. When
 // the running set's fingerprint is unchanged the converged allocation vector
@@ -239,23 +306,24 @@ func (c *Client) Busy() bool {
 // scaling, completion deadlines and their (when, seq) ordering — is computed
 // exactly as the full pass computes it, which is what the float-exact
 // differential oracle asserts.
-func (d *Device) rebalanceLocked() {
-	if d.cfg.FullRebalance {
-		d.rebalanceFullLocked()
-		return
-	}
-	now := d.eng.Now()
+//
+// firing, when non-nil, is the kernel whose completion dispatch this pass
+// runs under (a due lead maturing inside completeKernel). The return value
+// reports whether firing's completion moved later than the dispatch instant
+// — the fire was premature and has been re-armed, so the caller must abandon
+// the in-flight completion. Caller holds d.mu.
+func (d *Device) rebalanceAtLocked(at time.Duration, firing *kernel) (stale bool) {
 	running := d.running
 
 	// Accrue progress under the old allocations.
 	for _, k := range running {
 		if k.alloc > 0 {
-			k.work -= k.alloc * (now - k.lastUpdate).Seconds()
+			k.work -= k.alloc * (at - k.lastUpdate).Seconds()
 			if k.work < 0 {
 				k.work = 0
 			}
 		}
-		k.lastUpdate = now
+		k.lastUpdate = at
 	}
 
 	// taxed is the MPS context-multiplexing predicate: with two or more
@@ -278,25 +346,29 @@ func (d *Device) rebalanceLocked() {
 	var total float64
 	for _, k := range running {
 		total += k.alloc
-		d.scheduleCompletionLocked(k)
+		if d.scheduleCompletionAtLocked(k, at, firing) {
+			stale = true
+		}
 	}
 	if !d.cfg.NoTraces {
 		for _, k := range running {
-			k.client.occTr.Add(now, k.alloc)
+			k.client.occTr.Add(at, k.alloc)
 		}
 		for _, c := range d.order {
-			if c.current == nil {
-				c.occTr.Add(now, 0)
+			if c.current == nil || c.current.leading {
+				c.occTr.Add(at, 0)
 			}
 		}
-		d.occ.Add(now, total)
+		d.occ.Add(at, total)
 	}
+	return stale
 }
 
 // rebalanceFullLocked is the original full recompute: it rederives the
 // running set by walking the client list, recounts residency, cancels and
 // re-pushes every completion timer. Kept verbatim as the differential oracle
-// for the incremental pass (DeviceConfig.FullRebalance). Caller holds d.mu.
+// for the incremental pass (DeviceConfig.FullRebalance); host leads never
+// exist on a full-rebalance device (LeadCapable is false). Caller holds d.mu.
 func (d *Device) rebalanceFullLocked() {
 	now := d.eng.Now()
 
@@ -458,6 +530,28 @@ func (d *Device) scheduleCompletionLocked(k *kernel) {
 	k.timer = simtime.Reschedule(d.eng, k.timer, delay, k.doneName, k.completeFn)
 }
 
+// scheduleCompletionAtLocked is scheduleCompletionLocked as of instant at:
+// the completion lands at at + ceil(work/alloc), expressed as a delay on the
+// real engine clock — the same absolute (when) an eager rebalance at at
+// would have armed. When k is the kernel whose completion dispatch this pass
+// runs under (firing), a deadline at-or-before the dispatch instant lets the
+// in-flight completion proceed (re-arming it would push a duplicate event),
+// and a later deadline re-arms the timer and reports the fire stale. Caller
+// holds d.mu.
+func (d *Device) scheduleCompletionAtLocked(k *kernel, at time.Duration, firing *kernel) bool {
+	if k.alloc <= 0 {
+		k.cancelTimer() // no rate: park the completion
+		return false
+	}
+	secs := k.work / k.alloc
+	delay := time.Duration(math.Ceil(secs*1e9)) + (at - d.eng.Now())
+	if k == firing && delay <= 0 {
+		return false
+	}
+	k.timer = simtime.Reschedule(d.eng, k.timer, delay, k.doneName, k.completeFn)
+	return k == firing
+}
+
 // completeKernel retires a finished kernel, promotes the client's next
 // queued kernel, and rebalances — or, on a fusable device, defers the
 // rebalance into a fusion window: the completion delivery below runs at the
@@ -473,8 +567,23 @@ func (d *Device) scheduleCompletionLocked(k *kernel) {
 func (d *Device) completeKernel(k *kernel) {
 	d.mu.Lock()
 	c := k.client
-	if c.current != k {
+	if c == nil || c.current != k {
 		// Stale completion (aborted); ignore.
+		d.mu.Unlock()
+		return
+	}
+	// Leads due at-or-before this instant mature first — including k
+	// itself, if this fire is its armed lead hypothesis. A maturation that
+	// pushed k's true completion later has re-armed its timer: the fire was
+	// premature, abandon it.
+	if d.matureLeadsLocked(k) {
+		d.mu.Unlock()
+		return
+	}
+	if k.leading {
+		// Still inside its host lead (held, or the lead has not elapsed):
+		// nothing can complete yet. Armed hypothesis deadlines always lie
+		// beyond leadUntil, so this is a defensive guard.
 		d.mu.Unlock()
 		return
 	}

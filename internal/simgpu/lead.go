@@ -1,0 +1,286 @@
+package simgpu
+
+import (
+	"math"
+	"strings"
+	"time"
+
+	"freeride/internal/simproc"
+	"freeride/internal/simtime"
+)
+
+// Host-lead launches: ExecLeadThen fuses a caller-side host phase (the side
+// task's per-step CPU overhead) into the kernel's completion event. The
+// kernel is created at launch time but stays a *lead* — outside the running
+// set, consuming no SM share — until now+lead, when it *matures*: joins the
+// running set and rebalances exactly as a plain launch at that instant
+// would. One engine event (the armed completion hypothesis) replaces the
+// caller's sleep(lead) + launch pair.
+//
+// Maturation is lazy: it runs at the first device transition at-or-after
+// leadUntil, rebalancing *as of leadUntil* (rebalanceAtLocked), which
+// reproduces bit-exactly the accrual/water-fill/trace/deadline arithmetic of
+// an eager launch. The armed completion timer is a hypothesis — the exact
+// completion if no further device events intervene. Device transitions
+// after arming can only push the true completion later (they are themselves
+// rebalance points that refresh the hypothesis), so the timer fires
+// early-never-late; a premature fire matures the lead, detects the
+// staleness and re-arms (rebalanceAtLocked's firing contract).
+//
+// The Stop/Pause boundary: HoldLead freezes a lead whose host phase a
+// SIGTSTP interrupted (the unfused arm's sleep would have frozen the same
+// way), ReleaseLead resumes it with leadUntil pushed to at least the resume
+// instant — matching the deferred sleep-wake delivery of a stopped process.
+// A lead whose host phase already elapsed matures on hold, so in-flight
+// kernels keep running through a pause, exactly as the paper's asynchronous
+// kernels do (§5).
+
+// LeadCapable reports whether the device supports host-lead launches:
+// virtual engine, incremental rebalance (the full-recompute oracle never
+// sees leads; callers fall back to their unfused two-event path, which is
+// bit-identical by construction).
+func (d *Device) LeadCapable() bool { return d.fusable }
+
+// ExecLeadThen is ExecThen with a host-lead offset: the kernel becomes
+// runnable at now+lead and k receives the completion payload (nil or error)
+// when it finishes. lead <= 0 degenerates to a plain ExecThen.
+func (c *Client) ExecLeadThen(p *simproc.Process, spec *KernelSpec, lead time.Duration, k func(any)) {
+	if lead <= 0 {
+		c.ExecThen(p, spec, k)
+		return
+	}
+	if p.ChainWait(spec.Name, k) {
+		_ = c.launchLead(spec, lead, p)
+		return
+	}
+	p.BeginWait(k)
+	_ = c.launchLead(spec, lead, p)
+	p.EndWait(spec.Name)
+}
+
+// launchLead creates a lead kernel maturing at now+lead. The client's
+// stream must be idle: a host phase cannot overlap the same stream's
+// in-flight kernel (the side-task step loop is strictly serial).
+func (c *Client) launchLead(spec *KernelSpec, lead time.Duration, waiter *simproc.Process) error {
+	spec.normalize()
+	d := c.dev
+	if !d.fusable {
+		// No lead machinery on this device (full-recompute oracle or wall
+		// engine): fall back to the unfused shape — host phase as a plain
+		// delay, then an ordinary launch waking the registered waiter.
+		w := waiter
+		simtime.Detached(d.eng, lead, spec.Name, func() { _ = c.launch(spec, nil, w) })
+		return nil
+	}
+	d.mu.Lock()
+	if c.closed {
+		d.mu.Unlock()
+		waiter.Wake(ErrClientClosed)
+		return ErrClientClosed
+	}
+	if d.faultErr != nil && strings.HasPrefix(c.cfg.Name, d.faultPrefix) {
+		// Armed kernel fault: consume it now, deliver it when the host
+		// phase ends — the instant the unfused arm's launch would have
+		// consumed and delivered it.
+		err := d.faultErr
+		d.faultErr = nil
+		d.faultsFired++
+		d.mu.Unlock()
+		w := waiter
+		simtime.Detached(d.eng, lead, spec.Name, func() { w.Wake(err) })
+		return err
+	}
+	if c.current != nil {
+		d.mu.Unlock()
+		panic("simgpu: ExecLeadThen on a busy client")
+	}
+	// The unfused arm's continuation would sleep here without touching the
+	// device, so an open fusion window settles now (flush, not fold — there
+	// is no launch rebalance at this instant to fold into), and leads due
+	// at this instant mature.
+	d.flushFusionLocked()
+	d.matureLeadsLocked(nil)
+	k := d.popKernelLocked(c, spec, nil, waiter)
+	k.leading = true
+	k.leadUntil = d.eng.Now() + lead
+	c.current = k
+	d.leadsInsertLocked(k)
+	d.armLeadLocked(k)
+	d.mu.Unlock()
+	return nil
+}
+
+// leadsInsertLocked adds k to the pending-leads list, keeping leadUntil
+// order. Caller holds d.mu.
+func (d *Device) leadsInsertLocked(k *kernel) {
+	i := len(d.leads)
+	for i > 0 && d.leads[i-1].leadUntil > k.leadUntil {
+		i--
+	}
+	d.leads = append(d.leads, nil)
+	copy(d.leads[i+1:], d.leads[i:])
+	d.leads[i] = k
+}
+
+// leadsRemoveLocked drops k from the pending-leads list. Caller holds d.mu.
+func (d *Device) leadsRemoveLocked(k *kernel) {
+	for i, lk := range d.leads {
+		if lk == k {
+			copy(d.leads[i:], d.leads[i+1:])
+			last := len(d.leads) - 1
+			d.leads[last] = nil
+			d.leads = d.leads[:last]
+			return
+		}
+	}
+}
+
+// matureLeadsLocked promotes every lead whose host phase has elapsed into
+// the running set, in leadUntil order, each with a rebalance as of its own
+// leadUntil — replicating the event sequence the unfused arm's launches
+// would have produced. firing follows the rebalanceAtLocked contract; the
+// return value reports whether firing's completion was re-armed (the
+// in-flight fire is stale). Caller holds d.mu.
+func (d *Device) matureLeadsLocked(firing *kernel) (stale bool) {
+	if len(d.leads) == 0 {
+		return false
+	}
+	now := d.eng.Now()
+	matured := false
+	for len(d.leads) > 0 && d.leads[0].leadUntil <= now {
+		k := d.leads[0]
+		copy(d.leads, d.leads[1:])
+		last := len(d.leads) - 1
+		d.leads[last] = nil
+		d.leads = d.leads[:last]
+		k.leading = false
+		k.started = k.leadUntil
+		k.startSet = true
+		d.runningInsertLocked(k)
+		d.residencyChangedLocked(k.client)
+		if d.rebalanceAtLocked(k.leadUntil, firing) {
+			stale = true
+		}
+		matured = true
+	}
+	if matured {
+		d.refreshLeadsLocked()
+	}
+	return stale
+}
+
+// refreshLeadsLocked re-derives every pending lead's completion hypothesis
+// after a change to the allocation state (running set, residency). Caller
+// holds d.mu.
+func (d *Device) refreshLeadsLocked() {
+	for _, k := range d.leads {
+		d.armLeadLocked(k)
+	}
+}
+
+// armLeadLocked computes k's completion hypothesis — the exact completion
+// instant if no further device events intervene before leadUntil — and arms
+// its timer at it. The hypothesis inserts k into a copy of the running set
+// at its client-order position and runs the same water-fill + residency-tax
+// arithmetic the maturation rebalance will run, so in the no-event case the
+// armed (when) IS the completion, bit-exactly. The share cache is bypassed
+// in both directions: hypothesis lookups would perturb the hit/miss stream
+// and MRU order away from the unfused arm's. Caller holds d.mu.
+func (d *Device) armLeadLocked(k *kernel) {
+	// Hypothetical running set with k at its insertion position: the
+	// water-fill iterates in slice order, so position affects float
+	// summation order and must match runningInsertLocked's.
+	idx := len(d.running)
+	for i, rk := range d.running {
+		if rk.client.orderIdx > k.client.orderIdx {
+			idx = i
+			break
+		}
+	}
+	run := d.scratchRun[:0]
+	run = append(run, d.running[:idx]...)
+	run = append(run, k)
+	run = append(run, d.running[idx:]...)
+	d.scratchRun = run
+
+	// Save the real allocations: assignAllocations writes k.alloc for the
+	// whole hypothetical set, and the running kernels' true allocations
+	// must survive the dry run.
+	allocs := d.scratchAllocs[:0]
+	for _, rk := range run {
+		allocs = append(allocs, rk.alloc)
+	}
+	d.scratchAllocs = allocs
+
+	d.assignAllocations(run)
+	resident := d.resident
+	if !k.client.resident {
+		resident++
+	}
+	if d.cfg.ResidencyTax > 0 && d.cfg.Policy == PolicyMPS && resident >= 2 {
+		scale := 1 / (1 + d.cfg.ResidencyTax)
+		for _, rk := range run {
+			rk.alloc *= scale
+		}
+	}
+	hyp := k.alloc
+	for i, rk := range run {
+		rk.alloc = allocs[i]
+	}
+	if hyp <= 0 {
+		hyp = minAlloc
+	}
+
+	deadline := k.leadUntil + time.Duration(math.Ceil(k.work/hyp*1e9))
+	if deadline == k.leadDeadline {
+		// Unchanged hypothesis (the steady-state fused completion→relaunch
+		// fold restores the same fingerprint): the armed timer stands.
+		return
+	}
+	k.leadDeadline = deadline
+	k.timer = simtime.Reschedule(d.eng, k.timer, deadline-d.eng.Now(), k.doneName, k.completeFn)
+}
+
+// HoldLead freezes the client's pending host lead (SIGTSTP landed inside
+// the host phase). A lead whose host phase already elapsed matures instead:
+// its kernel is in flight and keeps running through the pause, exactly as
+// the unfused arm's asynchronously launched kernel would. No-op without a
+// pending lead.
+func (c *Client) HoldLead() {
+	d := c.dev
+	d.mu.Lock()
+	d.flushFusionLocked()
+	d.matureLeadsLocked(nil)
+	k := c.current
+	if k != nil && k.leading && !k.held {
+		k.held = true
+		k.cancelTimer()
+		k.leadDeadline = -1
+		d.leadsRemoveLocked(k)
+	}
+	d.mu.Unlock()
+}
+
+// ReleaseLead resumes a held lead (SIGCONT): the remaining host phase
+// re-arms with leadUntil pushed to at least the resume instant — the
+// deferred sleep-wake of a stopped unfused process delivers at exactly the
+// same boundary. No-op without a held lead.
+func (c *Client) ReleaseLead() {
+	d := c.dev
+	d.mu.Lock()
+	d.flushFusionLocked()
+	k := c.current
+	if k != nil && k.leading && k.held {
+		k.held = false
+		if now := d.eng.Now(); k.leadUntil < now {
+			k.leadUntil = now
+		}
+		d.leadsInsertLocked(k)
+		if k.leadUntil <= d.eng.Now() {
+			d.matureLeadsLocked(nil)
+		} else {
+			d.armLeadLocked(k)
+		}
+	}
+	d.mu.Unlock()
+}

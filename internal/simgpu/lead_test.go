@@ -1,0 +1,240 @@
+package simgpu
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"freeride/internal/simproc"
+	"freeride/internal/simtime"
+)
+
+// runLeadArm replays one fixed workload — a serial host-lead step loop plus
+// a background client launching kernels and moving memory at scheduled
+// instants — and returns the loop's completion timestamps. fused selects
+// ExecLeadThen (one event per step); the control arm dispatches the same
+// steps as the classic sleep(lead) + ExecThen pair. The stimulus depends
+// only on the arm's call shape, never on its timing feedback.
+func runLeadArm(t *testing.T, fused bool, n int) ([]time.Duration, *Device) {
+	t.Helper()
+	eng := simtime.NewVirtual()
+	procs := simproc.NewRuntime(eng)
+	dev := NewDevice(eng, DeviceConfig{
+		Name:         "gpu",
+		ResidencyTax: DefaultResidencyTax,
+		MemBytes:     1 << 30,
+	})
+	main, err := dev.NewClient(ClientConfig{Name: "main"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := dev.NewClient(ClientConfig{Name: "bg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &KernelSpec{Name: "step", Duration: 4 * time.Millisecond, Demand: 0.7, Weight: 0.5}
+	const lead = 3 * time.Millisecond
+	var times []time.Duration
+	procs.SpawnInline("loop", func(p *simproc.Process) {
+		var launch func()
+		var k func(any)
+		count := 0
+		launch = func() {
+			if fused {
+				main.ExecLeadThen(p, spec, lead, k)
+			} else {
+				p.SleepThen(lead, func(any) { main.ExecThen(p, spec, k) })
+			}
+		}
+		k = func(res any) {
+			if res != nil {
+				t.Errorf("step %d failed: %v", count, res)
+				p.Exit(res.(error))
+				return
+			}
+			times = append(times, eng.Now())
+			count++
+			if count >= n {
+				p.Exit(nil)
+				return
+			}
+			launch()
+		}
+		launch()
+	})
+	// Background perturbation: overlapping kernels force mid-lead
+	// rebalances (hypothesis refreshes), memory traffic toggles the
+	// ≥2-resident tax predicate while leads are pending.
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Schedule(time.Duration(2+5*i)*time.Millisecond, "bg-kernel", func() {
+			_ = bg.Launch(&KernelSpec{
+				Name:     "bg",
+				Duration: time.Duration(1+i%3) * time.Millisecond,
+				Demand:   0.5,
+				Weight:   1,
+			}, func(error) {})
+		})
+	}
+	eng.Schedule(5*time.Millisecond, "bg-mem", func() { _ = bg.AllocMem(1 << 20) })
+	eng.Schedule(29*time.Millisecond, "bg-mem-free", func() { bg.FreeMem(1 << 20) })
+	eng.RunUntil(2 * time.Second)
+	return times, dev
+}
+
+// TestExecLeadThenMatchesSleepExec is the simgpu-level fusion differential:
+// under identical background stimulus the fused host-lead launch must
+// complete every step at exactly the instant of the unfused sleep+launch
+// pair. Holds on every device flavour — a non-lead-capable device (the
+// forced full-recompute oracle) answers ExecLeadThen with the unfused shape
+// itself, so both arms trivially coincide there too.
+func TestExecLeadThenMatchesSleepExec(t *testing.T) {
+	const steps = 12
+	fusedTimes, fdev := runLeadArm(t, true, steps)
+	plainTimes, pdev := runLeadArm(t, false, steps)
+	if len(fusedTimes) != steps {
+		t.Fatalf("fused arm completed %d steps, want %d", len(fusedTimes), steps)
+	}
+	if !reflect.DeepEqual(fusedTimes, plainTimes) {
+		t.Errorf("completion instants diverge:\nfused   %v\nunfused %v", fusedTimes, plainTimes)
+	}
+	if a, b := fdev.WorkDone(), pdev.WorkDone(); a != b {
+		t.Errorf("work done diverges: fused %v, unfused %v", a, b)
+	}
+	if a, b := fdev.KernelsCompleted(), pdev.KernelsCompleted(); a != b {
+		t.Errorf("kernels completed diverge: fused %d, unfused %d", a, b)
+	}
+}
+
+// newLeadRig is a single-client device for the hold/release boundary tests.
+func newLeadRig(t *testing.T) (*simtime.Virtual, *simproc.Runtime, *Device, *Client) {
+	t.Helper()
+	eng := simtime.NewVirtual()
+	procs := simproc.NewRuntime(eng)
+	dev := NewDevice(eng, DeviceConfig{Name: "gpu", NoTraces: true})
+	c, err := dev.NewClient(ClientConfig{Name: "task"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, procs, dev, c
+}
+
+// TestHoldLeadFreezesHostPhase pins the Stop/Pause boundary for a lead still
+// in its host phase: HoldLead freezes the remaining lead, the kernel never
+// runs while held, and ReleaseLead restarts the kernel clock at the release
+// instant — exactly the deferred sleep-wake a stopped unfused process would
+// observe.
+func TestHoldLeadFreezesHostPhase(t *testing.T) {
+	eng, procs, dev, c := newLeadRig(t)
+	skipIfOracleForced(t, dev, false)
+	spec := &KernelSpec{Name: "k", Duration: 5 * time.Millisecond, Demand: 1, Weight: 1}
+	doneAt := time.Duration(-1)
+	procs.SpawnInline("t", func(p *simproc.Process) {
+		c.ExecLeadThen(p, spec, 10*time.Millisecond, func(res any) {
+			if res != nil {
+				t.Errorf("kernel failed: %v", res)
+			}
+			doneAt = eng.Now()
+			p.Exit(nil)
+		})
+	})
+	eng.RunUntil(4 * time.Millisecond) // inside the host phase [0, 10ms)
+	c.HoldLead()
+	eng.RunUntil(20 * time.Millisecond)
+	if doneAt != -1 {
+		t.Fatalf("kernel completed at %v while the lead was held", doneAt)
+	}
+	c.ReleaseLead() // at 20ms: leadUntil pushes to the release instant
+	eng.RunUntil(40 * time.Millisecond)
+	if want := 25 * time.Millisecond; doneAt != want {
+		t.Fatalf("kernel completed at %v, want %v (release + duration)", doneAt, want)
+	}
+}
+
+// TestHoldLeadMaturesInFlightKernel pins the other side of the boundary: a
+// lead whose host phase already elapsed is an in-flight asynchronous kernel;
+// HoldLead matures it instead of freezing it and it completes on time, as
+// the paper's asynchronous kernels run through a SIGTSTP (§5).
+func TestHoldLeadMaturesInFlightKernel(t *testing.T) {
+	eng, procs, dev, c := newLeadRig(t)
+	skipIfOracleForced(t, dev, false)
+	spec := &KernelSpec{Name: "k", Duration: 5 * time.Millisecond, Demand: 1, Weight: 1}
+	doneAt := time.Duration(-1)
+	procs.SpawnInline("t", func(p *simproc.Process) {
+		c.ExecLeadThen(p, spec, 3*time.Millisecond, func(res any) {
+			doneAt = eng.Now()
+			p.Exit(nil)
+		})
+	})
+	eng.RunUntil(4 * time.Millisecond) // past leadUntil = 3ms
+	c.HoldLead()                       // matures the due lead; no freeze
+	eng.RunUntil(20 * time.Millisecond)
+	if want := 8 * time.Millisecond; doneAt != want {
+		t.Fatalf("kernel completed at %v, want %v (hold must not stall an in-flight kernel)", doneAt, want)
+	}
+}
+
+// TestExecLeadThenFaultDelivery pins the fault boundary: an armed kernel
+// fault is consumed at launch but delivered when the host phase ends — the
+// instant the unfused arm's launch would consume and deliver it. Runs on
+// every device flavour (the non-lead fallback consumes at the same instant).
+func TestExecLeadThenFaultDelivery(t *testing.T) {
+	eng, procs, dev, c := newLeadRig(t)
+	spec := &KernelSpec{Name: "k", Duration: 5 * time.Millisecond, Demand: 1, Weight: 1}
+	dev.InjectKernelFault("")
+	errAt := time.Duration(-1)
+	var gotErr error
+	procs.SpawnInline("t", func(p *simproc.Process) {
+		c.ExecLeadThen(p, spec, 7*time.Millisecond, func(res any) {
+			errAt = eng.Now()
+			gotErr, _ = res.(error)
+			p.Exit(nil)
+		})
+	})
+	eng.RunUntil(50 * time.Millisecond)
+	if want := 7 * time.Millisecond; errAt != want {
+		t.Fatalf("fault delivered at %v, want %v (the host-phase boundary)", errAt, want)
+	}
+	if gotErr == nil {
+		t.Fatal("injected fault not delivered as an error")
+	}
+	if got := dev.InjectedKernelFaults(); got != 1 {
+		t.Fatalf("InjectedKernelFaults = %d, want 1", got)
+	}
+}
+
+// TestExecLeadThenAllocFree pins the tentpole guarantee for the fused step
+// dispatch: a steady host-lead self-loop — completion via the chained wake,
+// lead insert/arm/mature, the completion-hypothesis water-fill in scratch
+// space — runs at 0 allocs/op.
+func TestExecLeadThenAllocFree(t *testing.T) {
+	eng, dev, a, b := newTwoClientRig(t)
+	skipIfOracleForced(t, dev, false)
+	procs := simproc.NewRuntime(eng)
+	specA := &KernelSpec{Name: "ka", Duration: 3 * time.Microsecond, Demand: 0.6, Weight: 0.6}
+	specB := &KernelSpec{Name: "kb", Duration: 5 * time.Microsecond, Demand: 0.7, Weight: 0.9}
+	start := func(c *Client, spec *KernelSpec, lead time.Duration) func(p *simproc.Process) {
+		return func(p *simproc.Process) {
+			var k func(any)
+			k = func(res any) {
+				if res != nil {
+					p.Exit(res.(error))
+					return
+				}
+				c.ExecLeadThen(p, spec, lead, k)
+			}
+			c.ExecLeadThen(p, spec, lead, k)
+		}
+	}
+	procs.SpawnInline("loop-a", start(a, specA, 2*time.Microsecond))
+	procs.SpawnInline("loop-b", start(b, specB, 4*time.Microsecond))
+	for i := 0; i < 64; i++ {
+		eng.Step()
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		eng.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("fused ExecLeadThen dispatch allocates %.2f objects/op, want 0", allocs)
+	}
+}

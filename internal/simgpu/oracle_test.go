@@ -104,16 +104,16 @@ func buildOracleWorkload(t *testing.T, seed int64, full bool) *oracleRig {
 				if mutate && n%3 == 0 {
 					spec.Demand = 0.1 + 0.8*float64(n%7)/7
 				}
-				_ = cl.Launch(spec, relaunch)
+				_ = cl.Launch(&spec, relaunch)
 			}
 			r.eng.Schedule(time.Duration(rng.Intn(30))*time.Millisecond, "loop-start", func() {
-				_ = cl.Launch(specs[0], relaunch)
+				_ = cl.Launch(&specs[0], relaunch)
 			})
 			continue
 		}
 		for k := 0; k < nKernels; k++ {
 			k := k
-			spec := KernelSpec{
+			spec := &KernelSpec{
 				Name:     "k",
 				Duration: time.Duration(1+rng.Intn(300)) * time.Millisecond,
 				Demand:   0.1 + 0.9*rng.Float64(),
@@ -219,8 +219,8 @@ func TestIncrementalVsFullRebalanceFloatExact(t *testing.T) {
 func TestLaunchCompleteAllocFree(t *testing.T) {
 	eng := simtime.NewVirtual()
 	dev := NewDevice(eng, DeviceConfig{Name: "gpu", NoTraces: true})
-	specA := KernelSpec{Name: "ka", Duration: 3 * time.Microsecond, Demand: 0.6, Weight: 0.6}
-	specB := KernelSpec{Name: "kb", Duration: 5 * time.Microsecond, Demand: 0.7, Weight: 0.9}
+	specA := &KernelSpec{Name: "ka", Duration: 3 * time.Microsecond, Demand: 0.6, Weight: 0.6}
+	specB := &KernelSpec{Name: "kb", Duration: 5 * time.Microsecond, Demand: 0.7, Weight: 0.9}
 	a, err := dev.NewClient(ClientConfig{Name: "a"})
 	if err != nil {
 		t.Fatal(err)

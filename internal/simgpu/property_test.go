@@ -48,7 +48,7 @@ func TestSchedulerRandomWorkloadInvariants(t *testing.T) {
 				c, k := c, k
 				dur := time.Duration(1+rng.Intn(400)) * time.Millisecond
 				demand := 0.1 + 0.9*rng.Float64()
-				spec := KernelSpec{
+				spec := &KernelSpec{
 					Name:     "k",
 					Duration: dur,
 					Demand:   demand,
@@ -152,8 +152,8 @@ func TestTimeSliceClientWeighting(t *testing.T) {
 	d := NewDevice(eng, DeviceConfig{Policy: PolicyTimeSlice})
 	train, _ := d.NewClient(ClientConfig{Name: "train", Weight: 2})
 	side, _ := d.NewClient(ClientConfig{Name: "side"})
-	train.Launch(KernelSpec{Name: "fp", Duration: time.Second, Demand: 1}, nil)
-	side.Launch(KernelSpec{Name: "s", Duration: time.Second, Demand: 1}, nil)
+	train.Launch(&KernelSpec{Name: "fp", Duration: time.Second, Demand: 1}, nil)
+	side.Launch(&KernelSpec{Name: "s", Duration: time.Second, Demand: 1}, nil)
 	eng.RunUntil(100 * time.Millisecond)
 	got := train.OccTrace().At(50 * time.Millisecond)
 	if math.Abs(got-2.0/3.0) > 1e-9 {

@@ -163,6 +163,11 @@ type Process struct {
 	killed     bool
 	stopped    bool
 	onExit     []func(err error)
+	// sigHook, when set, observes delivered SigStop/SigCont transitions
+	// (after the state change, before any pending delivery drains). The
+	// fused side-task step loop uses it to freeze/resume a host-lead kernel
+	// exactly where the unfused sleep boundary would have frozen.
+	sigHook func(Signal)
 
 	// Reusable wait slot. waitGen counts arms (diagnostics); waitOpen marks
 	// the arming phase, during which a synchronous Wake is recorded and
@@ -352,6 +357,19 @@ func (p *Process) OnExit(h func(err error)) {
 		return
 	}
 	p.onExit = append(p.onExit, h)
+	p.mu.Unlock()
+}
+
+// SetSignalHook registers fn to observe SigStop/SigCont deliveries that
+// change the process's run state (re-deliveries to an already-stopped or
+// already-running process are not reported). The hook runs in the signaling
+// caller's engine context, after the state transition: on SigCont it runs
+// before any deferred wake delivery drains, so it can restore external state
+// (a held host-lead kernel) the resumed continuation depends on. At most one
+// hook; nil clears it.
+func (p *Process) SetSignalHook(fn func(Signal)) {
+	p.mu.Lock()
+	p.sigHook = fn
 	p.mu.Unlock()
 }
 

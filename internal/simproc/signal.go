@@ -42,11 +42,16 @@ func (p *Process) Signal(sig Signal) {
 	switch sig {
 	case SigStop:
 		p.mu.Lock()
+		var hook func(Signal)
 		if p.state == StateRunning {
 			p.state = StateStopped
 			p.stopped = true
+			hook = p.sigHook
 		}
 		p.mu.Unlock()
+		if hook != nil {
+			hook(SigStop)
+		}
 
 	case SigCont:
 		p.mu.Lock()
@@ -56,7 +61,13 @@ func (p *Process) Signal(sig Signal) {
 		}
 		p.state = StateRunning
 		p.stopped = false
+		hook := p.sigHook
 		p.mu.Unlock()
+		if hook != nil {
+			// Before draining the deferred wake: the hook may need to
+			// restore state (a held host lead) the continuation reads.
+			hook(SigCont)
+		}
 		p.deliverPending()
 
 	case SigKill:
