@@ -25,6 +25,7 @@ import (
 	"freeride/internal/core"
 	"freeride/internal/experiments"
 	"freeride/internal/freerpc"
+	"freeride/internal/model"
 	"freeride/internal/sidetask"
 	"freeride/internal/simgpu"
 	"freeride/internal/simproc"
@@ -53,6 +54,13 @@ type Report struct {
 	IterativeIPct float64 `json:"iterative_I_pct"`
 	IterativeSPct float64 `json:"iterative_S_pct"`
 	MixedSPct     float64 `json:"mixed_S_pct"`
+
+	// Serving headline cell (Poisson default trace, FreeRide iterative,
+	// ResNet18 everywhere): the p99 request latency and the side-task
+	// kernel time harvested from the serving bubbles. Informational — the
+	// compare gate does not bind them.
+	ServingP99Ns       int64   `json:"serving_p99_ns,omitempty"`
+	ServingHarvestGPUs float64 `json:"serving_harvest_gpu_s,omitempty"`
 
 	// ManagerMode records which Algorithm-2 driver the grid ran under
 	// (event-driven is the default; polling is the differential oracle).
@@ -234,6 +242,37 @@ func main() {
 	if !noStepFuse && rep.SidetaskEventsPerStep > 1.0 {
 		fatalf("sidetask_events_per_step %.2f > 1.0 with fusion on — a step dispatched more than one engine event",
 			rep.SidetaskEventsPerStep)
+	}
+
+	// Serving headline cell: the default Poisson trace under the same
+	// epochs knob, FreeRide iterative with a ResNet18 per eligible stage.
+	{
+		cfg := freeride.DefaultConfig()
+		cfg.Epochs = *epochs
+		cfg.WorkScale = sidetask.WorkNone
+		cfg.Seed = 1
+		cfg.Method = freeride.MethodIterative
+		cfg.ManagerMode = mode
+		cfg.Serving = &freeride.ServingConfig{Guard: 1}
+		sess, err := freeride.NewSession(cfg)
+		if err != nil {
+			fatalf("serving cell: %v", err)
+		}
+		if _, err := sess.SubmitEverywhere(model.ResNet18); err != nil {
+			fatalf("serving cell submit: %v", err)
+		}
+		res, err := sess.Run()
+		if err != nil {
+			fatalf("serving cell run: %v", err)
+		}
+		rep.ServingP99Ns = res.ServingStats.P99.Nanoseconds()
+		var harvest time.Duration
+		for _, tw := range res.Tasks {
+			harvest += tw.KernelTime
+		}
+		rep.ServingHarvestGPUs = harvest.Seconds()
+		fmt.Fprintf(os.Stderr, "serving cell: p99=%.2fs harvest=%.2fs\n",
+			float64(rep.ServingP99Ns)/1e9, rep.ServingHarvestGPUs)
 	}
 
 	eng := testing.Benchmark(func(b *testing.B) {

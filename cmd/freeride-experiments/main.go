@@ -5,12 +5,12 @@
 //
 //	freeride-experiments -run all -epochs 16
 //	freeride-experiments -run table2,fig9
+//	freeride-experiments -run list
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -20,126 +20,6 @@ import (
 	"freeride/internal/sidetask"
 )
 
-type runner struct {
-	name string
-	desc string
-	fn   func(experiments.Options) (string, error)
-}
-
-var runners = []runner{
-	{"table1", "side-task throughput across platforms", func(o experiments.Options) (string, error) {
-		r, err := experiments.RunTable1(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	}},
-	{"table2", "time increase and cost savings per method", func(o experiments.Options) (string, error) {
-		r, err := experiments.RunTable2(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	}},
-	{"fig1", "epoch timeline, SM occupancy and per-stage memory", func(o experiments.Options) (string, error) {
-		r, err := experiments.RunFigure1(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	}},
-	{"fig2", "bubble shapes and rates across model sizes", func(o experiments.Options) (string, error) {
-		r, err := experiments.RunFigure2(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	}},
-	{"fig7ab", "sensitivity to side-task batch size", func(o experiments.Options) (string, error) {
-		r, err := experiments.RunFigure7BatchSize(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	}},
-	{"fig7cd", "sensitivity to main model size", func(o experiments.Options) (string, error) {
-		r, err := experiments.RunFigure7ModelSize(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	}},
-	{"fig7ef", "sensitivity to micro-batch count", func(o experiments.Options) (string, error) {
-		r, err := experiments.RunFigure7MicroBatch(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	}},
-	{"fig8", "GPU resource limit demonstrations", func(o experiments.Options) (string, error) {
-		r, err := experiments.RunFigure8(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	}},
-	{"fig9", "bubble time breakdown", func(o experiments.Options) (string, error) {
-		r, err := experiments.RunFigure9(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	}},
-	{"faults", "fault-injection sweep: harvest vs recovery overhead", func(o experiments.Options) (string, error) {
-		r, err := experiments.RunFaultSweep(o)
-		if err != nil {
-			return "", err
-		}
-		if err := writeCSV("faults", r.WriteCSV); err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	}},
-	{"drift", "dynamic-bubble drift sweep: online re-profiling vs profile-once", func(o experiments.Options) (string, error) {
-		r, err := experiments.RunDriftSweep(o)
-		if err != nil {
-			return "", err
-		}
-		if err := writeCSV("drift", r.WriteCSV); err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	}},
-	{"schedules", "schedule-zoo sweep: harvest vs bubble ratio per schedule", func(o experiments.Options) (string, error) {
-		r, err := experiments.RunScheduleSweep(o)
-		if err != nil {
-			return "", err
-		}
-		if err := writeCSV("schedules", r.WriteCSV); err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	}},
-	{"ablations", "grace period / RPC latency / safety margin sweeps", func(o experiments.Options) (string, error) {
-		var b strings.Builder
-		for _, f := range []func(experiments.Options) (*experiments.AblationResult, error){
-			experiments.RunAblationGrace,
-			experiments.RunAblationRPCLatency,
-			experiments.RunAblationSafetyMargin,
-			experiments.RunAblationMultiTask,
-			experiments.RunAblationInterleaved,
-		} {
-			r, err := f(o)
-			if err != nil {
-				return "", err
-			}
-			b.WriteString(r.Render())
-			b.WriteByte('\n')
-		}
-		return b.String(), nil
-	}},
-}
-
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "freeride-experiments:", err)
@@ -147,42 +27,60 @@ func main() {
 	}
 }
 
-// csvDir, when set via -csv, receives one <name>.csv per sweep that has a
-// CSV emitter.
+// csvDir, when set via -csv, receives one <name>.csv per experiment whose
+// result implements experiments.CSVWriter.
 var csvDir string
 
-func writeCSV(name string, emit func(io.Writer) error) error {
+func writeCSV(name string, res experiments.Rendered) error {
 	if csvDir == "" {
+		return nil
+	}
+	emitter, ok := res.(experiments.CSVWriter)
+	if !ok {
 		return nil
 	}
 	f, err := os.Create(filepath.Join(csvDir, name+".csv"))
 	if err != nil {
 		return err
 	}
-	if err := emit(f); err != nil {
+	if err := emitter.WriteCSV(f); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
+func listIDs() string {
+	var b strings.Builder
+	for _, e := range experiments.Registered() {
+		fmt.Fprintf(&b, "%-9s %s\n", e.Name, e.Desc)
+	}
+	return b.String()
+}
+
+func validIDs() string {
+	var names []string
+	for _, e := range experiments.Registered() {
+		names = append(names, e.Name)
+	}
+	return strings.Join(names, ",")
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("freeride-experiments", flag.ContinueOnError)
-	which := fs.String("run", "all", "comma-separated experiment ids, or 'all' (ids: table1,table2,fig1,fig2,fig7ab,fig7cd,fig7ef,fig8,fig9,faults,drift,schedules,ablations)")
+	which := fs.String("run", "all", "comma-separated experiment ids, 'all', or 'list' (see -list)")
 	epochs := fs.Int("epochs", 16, "training epochs per run (paper: 128)")
-	seed := fs.Int64("seed", 1, "simulation seed")
+	seed := fs.Int64("seed", 1, "simulation seed (per-cell seeds of every sweep derive from it)")
 	realWork := fs.Bool("realwork", false, "run real side-task computation during sweeps (slower)")
 	list := fs.Bool("list", false, "list experiment ids and exit")
-	cross := fs.Bool("cross", false, "widen grid sweeps to their full cross product (schedules)")
-	shard := fs.String("shard", "", "run only shard k of n of a grid sweep, as k/n (schedules)")
-	fs.StringVar(&csvDir, "csv", "", "directory to write per-sweep CSV files into (every sweep with a CSV emitter: faults, drift, schedules)")
+	cross := fs.Bool("cross", false, "widen grid sweeps to their full cross product (schedules, serving)")
+	shard := fs.String("shard", "", "run only shard k of n of every grid sweep, as k/n (faults, drift, schedules, serving)")
+	fs.StringVar(&csvDir, "csv", "", "directory to write per-sweep CSV files into (every experiment with a CSV emitter)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *list {
-		for _, r := range runners {
-			fmt.Printf("%-9s %s\n", r.name, r.desc)
-		}
+	if *list || *which == "list" {
+		fmt.Print(listIDs())
 		return nil
 	}
 	opts := experiments.Options{Epochs: *epochs, Seed: *seed, WorkScale: sidetask.WorkNone, Cross: *cross}
@@ -198,31 +96,39 @@ func run(args []string) error {
 		}
 	}
 
-	want := map[string]bool{}
+	// Resolve every requested id before running anything: an unknown id —
+	// even alongside valid ones — is a hard error, not a silent skip.
+	var selected []experiments.Entry
 	if *which == "all" {
-		for _, r := range runners {
-			want[r.name] = true
-		}
+		selected = experiments.Registered()
 	} else {
+		seen := map[string]bool{}
 		for _, name := range strings.Split(*which, ",") {
-			want[strings.TrimSpace(name)] = true
+			name = strings.TrimSpace(name)
+			if name == "" || seen[name] {
+				continue
+			}
+			seen[name] = true
+			e, ok := experiments.Lookup(name)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (valid ids: %s)", name, validIDs())
+			}
+			selected = append(selected, e)
 		}
 	}
-	ran := 0
-	for _, r := range runners {
-		if !want[r.name] {
-			continue
-		}
-		start := time.Now()
-		out, err := r.fn(opts)
-		if err != nil {
-			return fmt.Errorf("%s: %w", r.name, err)
-		}
-		fmt.Printf("===== %s — %s (%.1fs) =====\n%s\n", r.name, r.desc, time.Since(start).Seconds(), out)
-		ran++
-	}
-	if ran == 0 {
+	if len(selected) == 0 {
 		return fmt.Errorf("no experiments matched %q (use -list)", *which)
+	}
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		if err := writeCSV(e.Name, res); err != nil {
+			return fmt.Errorf("%s: csv: %w", e.Name, err)
+		}
+		fmt.Printf("===== %s — %s (%.1fs) =====\n%s\n", e.Name, e.Desc, time.Since(start).Seconds(), res.Render())
 	}
 	return nil
 }

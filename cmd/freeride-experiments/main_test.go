@@ -1,10 +1,16 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
 		t.Fatalf("list: %v", err)
+	}
+	if err := run([]string{"-run", "list"}); err != nil {
+		t.Fatalf("-run list: %v", err)
 	}
 }
 
@@ -17,5 +23,26 @@ func TestRunSingleExperiment(t *testing.T) {
 func TestRunUnknownID(t *testing.T) {
 	if err := run([]string{"-run", "fig99"}); err == nil {
 		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+// An unknown id alongside valid ones must fail upfront — before any of the
+// valid experiments run — not silently skip.
+func TestRunUnknownIDAmongValid(t *testing.T) {
+	err := run([]string{"-run", "fig1,fig99", "-epochs", "4"})
+	if err == nil {
+		t.Fatal("unknown experiment id among valid ones accepted")
+	}
+	if !strings.Contains(err.Error(), "fig99") {
+		t.Fatalf("error does not name the bad id: %v", err)
+	}
+	if !strings.Contains(err.Error(), "serving") {
+		t.Fatalf("error does not list valid ids: %v", err)
+	}
+}
+
+func TestRunServingSharded(t *testing.T) {
+	if err := run([]string{"-run", "serving", "-epochs", "4", "-shard", "0/4"}); err != nil {
+		t.Fatalf("serving shard: %v", err)
 	}
 }

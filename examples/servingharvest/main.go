@@ -1,0 +1,77 @@
+// Servingharvest: drive the pipeline with an open-loop inference workload
+// and harvest its bubbles. A serving pipeline idles differently from a
+// training one: each request batch pays a fill cascade (stage s waits
+// s·(FP+comm) for its first micro-batch), a drain tail (the mirror image),
+// and — whenever the arrival process leaves the pipeline empty — whole
+// inter-batch gaps. Side tasks reclaim all three, but serving adds a
+// constraint training doesn't have: a p99 latency SLO. The manager's SLO
+// admission guard refuses to start a side task into a bubble too short to
+// fit a step with margin; tightening the guard trades harvested GPU-seconds
+// against SLO violations on the same arrival trace.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"freeride"
+	"freeride/internal/model"
+)
+
+func main() {
+	fmt.Println("serving harvest: nanogpt-3.6b, 4 stages, bursty arrivals at 2 req/s, 6s SLO")
+	fmt.Printf("\n%-8s %8s %8s %8s %9s %9s %8s\n",
+		"guard", "p99", "base_p99", "viol", "deferred", "harvest", "steps")
+
+	// The no-side-task floor: the same trace served with nothing co-located.
+	base := runCell(freeride.MethodNone, 0)
+	for _, guard := range []float64{0, 1, 4} {
+		res := runCell(freeride.MethodIterative, guard)
+		st := res.ServingStats
+		fmt.Printf("%-8g %7.2fs %7.2fs %8d %9d %8.2fs %8d\n",
+			guard, st.P99.Seconds(), base.ServingStats.P99.Seconds(),
+			st.Violations, res.ManagerStats.SLODeferred,
+			harvested(res).Seconds(), res.TotalSteps())
+	}
+
+	fmt.Println("\nevery guard arm shares the same seeded arrivals, so the columns are")
+	fmt.Println("directly comparable: guard 0 admits into every bubble the causal gap")
+	fmt.Println("predictor announces (mispredicted bursts overrun into batch compute),")
+	fmt.Println("while a tight guard defers short-bubble fits and gives harvest back.")
+}
+
+func runCell(method freeride.Method, guard float64) *freeride.Result {
+	cfg := freeride.DefaultConfig()
+	cfg.Method = method
+	cfg.Epochs = 16 // scales the trace: 6 requests per epoch knob
+	cfg.Serving = &freeride.ServingConfig{
+		Trace:      freeride.TraceBursty,
+		Rate:       2,
+		Burstiness: 3,
+		SLO:        6 * time.Second,
+		Guard:      guard,
+	}
+	sess, err := freeride.NewSession(cfg)
+	if err != nil {
+		log.Fatalf("guard %g: %v", guard, err)
+	}
+	if method != freeride.MethodNone {
+		if _, err := sess.SubmitEverywhere(model.ResNet18); err != nil {
+			log.Fatalf("guard %g: submit: %v", guard, err)
+		}
+	}
+	res, err := sess.Run()
+	if err != nil {
+		log.Fatalf("guard %g: run: %v", guard, err)
+	}
+	return res
+}
+
+func harvested(res *freeride.Result) time.Duration {
+	var sum time.Duration
+	for _, tw := range res.Tasks {
+		sum += tw.KernelTime
+	}
+	return sum
+}

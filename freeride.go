@@ -23,7 +23,6 @@ package freeride
 
 import (
 	"fmt"
-	"os"
 	"sort"
 	"sync"
 	"time"
@@ -34,7 +33,9 @@ import (
 	"freeride/internal/cost"
 	"freeride/internal/freerpc"
 	"freeride/internal/model"
+	"freeride/internal/oracle"
 	"freeride/internal/pipeline"
+	"freeride/internal/serve"
 	"freeride/internal/sidetask"
 	"freeride/internal/simfault"
 	"freeride/internal/simgpu"
@@ -121,25 +122,41 @@ type Config struct {
 	Seed int64
 	// RecordOps retains the op timeline for figure rendering.
 	RecordOps bool
-	// FullRebalance forces the GPU scheduler's full-recompute pass instead
-	// of the incremental one — the float-exact differential oracle (see
-	// simgpu.DeviceConfig.FullRebalance).
+	// Oracle groups the differential-oracle toggles — the retained
+	// alternate arms that must reproduce the default arm bit-identically
+	// (see OracleConfig). This is the canonical spelling; the flat fields
+	// below are deprecated aliases.
+	Oracle OracleConfig
+	// FullRebalance is a deprecated alias for Oracle.FullRebalance; it is
+	// folded into the group (by OR) at session-build time, so old callers
+	// and the grouped spelling produce bit-identical results.
+	//
+	// Deprecated: set Oracle.FullRebalance.
 	FullRebalance bool
-	// NoShareCache disables the GPU scheduler's water-fill share cache —
-	// the incremental pass recomputes allocations every rebalance, like the
-	// oracle (see simgpu.DeviceConfig.NoShareCache).
+	// NoShareCache is a deprecated alias for Oracle.NoShareCache, folded
+	// into the group at session-build time.
+	//
+	// Deprecated: set Oracle.NoShareCache.
 	NoShareCache bool
-	// NoStepFuse forces the side-task step loop's unfused two-event form
-	// (separate host-overhead sleep + kernel completion per step) instead of
-	// the fused host-lead launch — the step-fusion differential oracle.
-	// Results must be bit-identical either way; CI forces it suite-wide via
-	// FREERIDE_ORACLE_STEPFUSE=off.
+	// NoStepFuse is a deprecated alias for Oracle.NoStepFuse, folded into
+	// the group at session-build time.
+	//
+	// Deprecated: set Oracle.NoStepFuse.
 	NoStepFuse bool
-	// LegacySchedule routes 1F1B/GPipe op-list generation through the
-	// retained pre-generator emitters — the schedule-zoo differential
-	// oracle (see pipeline.Config.LegacySchedule). Results must be
-	// bit-identical either way; CI forces it via FREERIDE_ORACLE_SCHEDULE.
+	// LegacySchedule is a deprecated alias for Oracle.LegacySchedule,
+	// folded into the group at session-build time.
+	//
+	// Deprecated: set Oracle.LegacySchedule.
 	LegacySchedule bool
+	// Serving switches the session from the closed training job to the
+	// open-loop inference-serving workload: a seeded request-arrival trace
+	// drives the pipeline in per-batch fill/execute/drain cycles, the
+	// manager harvests the inter-batch and fill/drain bubbles through the
+	// same Algorithm-1 path, and per-request latency is recorded against
+	// the SLO (Result.ServingStats). Nil — the default — leaves every
+	// training code path untouched; the Table 2 grid is bit-identical with
+	// the serving plane compiled in (the zero-serving oracle).
+	Serving *ServingConfig
 	// Faults is the seeded fault schedule injected into the run (crash /
 	// sever / drop / delay / fail-kernel / wedge, all on the virtual clock).
 	// Non-nil — even empty — wires the fault hooks and enables the manager's
@@ -166,6 +183,109 @@ type Config struct {
 	// one-shot profile forever, the paper's behaviour. The zero value of
 	// the config selects the detector defaults.
 	Replan *bubble.DetectorConfig
+}
+
+// OracleConfig groups the differential-oracle toggles that used to live as
+// flat Config fields. Each toggle selects a retained alternate arm whose
+// observable results must stay bit-identical to the default arm — the
+// dedicated differential tests pin that in-process, and the CI oracle
+// matrix forces each arm suite-wide through the FREERIDE_ORACLE_* variables
+// (parsed once by the shared resolver in internal/oracle).
+type OracleConfig struct {
+	// FullRebalance forces the GPU scheduler's full-recompute pass instead
+	// of the incremental one — the float-exact differential oracle (see
+	// simgpu.DeviceConfig.FullRebalance; FREERIDE_ORACLE_REBALANCE=full).
+	FullRebalance bool
+	// NoShareCache disables the GPU scheduler's water-fill share cache —
+	// the incremental pass recomputes allocations every rebalance, like the
+	// oracle (simgpu.DeviceConfig.NoShareCache; FREERIDE_ORACLE_SHARECACHE=off).
+	NoShareCache bool
+	// NoStepFuse forces the side-task step loop's unfused two-event form
+	// (separate host-overhead sleep + kernel completion per step) instead
+	// of the fused host-lead launch — the step-fusion differential oracle
+	// (FREERIDE_ORACLE_STEPFUSE=off).
+	NoStepFuse bool
+	// LegacySchedule routes 1F1B/GPipe op-list generation through the
+	// retained pre-generator emitters — the schedule-zoo differential
+	// oracle (pipeline.Config.LegacySchedule; FREERIDE_ORACLE_SCHEDULE=legacy).
+	LegacySchedule bool
+	// ServingGuard wires the manager's SLO admission guard into a training
+	// session with a zero guard factor — the dormant serving plane. A zero
+	// guard is a structural identity (every bubble the reconcile loop acts
+	// on has strictly positive remaining time), so the Table 2 grid must
+	// stay bit-identical (FREERIDE_ORACLE_SERVING=on; the zero-serving
+	// oracle). Serving sessions carry their real guard in ServingConfig.
+	ServingGuard bool
+}
+
+// ServingConfig describes the open-loop inference-serving workload
+// (Config.Serving). Requests arrive on a seeded trace, are grouped into
+// fixed-size batches, and each batch runs a forward-only fill/execute/drain
+// pipeline cycle; per-request latency (completion minus arrival) is scored
+// against SLO.
+type ServingConfig struct {
+	// Trace selects the arrival process (Poisson / diurnal / bursty);
+	// zero-valued selects Poisson. Arrivals are seeded from Config.Seed.
+	Trace serve.TraceKind
+	// Rate is the mean request arrival rate in requests/second (default 2).
+	Rate float64
+	// Burstiness shapes the non-Poisson traces: the diurnal modulation
+	// depth, or the bursty on/off rate ratio (default 1).
+	Burstiness float64
+	// Requests is the trace length (default 6×Config.Epochs, so the same
+	// epochs knob that scales training runs scales serving runs).
+	Requests int
+	// BatchSize is the number of requests per pipeline batch (default 8).
+	// A batch dispatches once its last request has arrived and the
+	// previous batch has drained; a final partial batch still pays the
+	// full pipeline span (padding).
+	BatchSize int
+	// SLO is the per-request latency objective (default 6s). Violations
+	// count requests whose latency exceeds it.
+	SLO time.Duration
+	// Guard is the manager's SLO admission factor: a paused side task is
+	// started into a bubble only if the bubble's remaining time is at
+	// least Guard × the task's pause fit (profile step + jitter + host
+	// overhead). 0 admits into any open bubble (maximum harvest, maximum
+	// SLO risk); raising it trades harvested GPU-seconds for fewer
+	// violations. See core.SLOOptions.
+	Guard float64
+}
+
+// Arrival-trace kinds for ServingConfig.Trace, re-exported from the serve
+// package so callers configure sessions without importing internals.
+const (
+	TracePoisson = serve.TracePoisson
+	TraceDiurnal = serve.TraceDiurnal
+	TraceBursty  = serve.TraceBursty
+)
+
+func (sc *ServingConfig) normalize(epochs int) error {
+	if sc.Trace == 0 {
+		sc.Trace = serve.TracePoisson
+	}
+	if sc.Rate <= 0 {
+		sc.Rate = 2
+	}
+	if sc.Burstiness < 0 {
+		return fmt.Errorf("freeride: negative serving burstiness")
+	}
+	if sc.Burstiness == 0 {
+		sc.Burstiness = 1
+	}
+	if sc.Requests <= 0 {
+		sc.Requests = 6 * epochs
+	}
+	if sc.BatchSize <= 0 {
+		sc.BatchSize = 8
+	}
+	if sc.SLO <= 0 {
+		sc.SLO = 6 * time.Second
+	}
+	if sc.Guard < 0 {
+		return fmt.Errorf("freeride: negative serving SLO guard")
+	}
+	return nil
 }
 
 // DefaultConfig mirrors the paper's principal setup: nanoGPT-3.6B on a
@@ -208,9 +328,23 @@ func (c *Config) normalize() error {
 	if c.Schedule == pipeline.ScheduleZeroBubble && c.VirtualStages > 1 {
 		return fmt.Errorf("freeride: zero-bubble schedule does not compose with virtual stages")
 	}
-	if oracleLegacySchedule() {
-		c.LegacySchedule = true
-	}
+	// Fold the deprecated flat oracle aliases into the grouped spelling
+	// (by OR, so either spelling arms an oracle), apply the env overrides
+	// that act at this layer, then mirror the group back into the flat
+	// fields so every downstream consumer — device construction, pipeline
+	// config, the task factory, the memoization keys — sees one agreed
+	// view. The REBALANCE/SHARECACHE/STEPFUSE env overrides are enforced
+	// inside simgpu and sidetask (via the same shared resolver), so they
+	// are deliberately not folded into the config here.
+	c.Oracle.FullRebalance = c.Oracle.FullRebalance || c.FullRebalance
+	c.Oracle.NoShareCache = c.Oracle.NoShareCache || c.NoShareCache
+	c.Oracle.NoStepFuse = c.Oracle.NoStepFuse || c.NoStepFuse
+	c.Oracle.LegacySchedule = c.Oracle.LegacySchedule || c.LegacySchedule || oracleLegacySchedule()
+	c.Oracle.ServingGuard = c.Oracle.ServingGuard || oracleServingArmed()
+	c.FullRebalance = c.Oracle.FullRebalance
+	c.NoShareCache = c.Oracle.NoShareCache
+	c.NoStepFuse = c.Oracle.NoStepFuse
+	c.LegacySchedule = c.Oracle.LegacySchedule
 	if c.Method == 0 {
 		c.Method = MethodIterative
 	}
@@ -235,42 +369,45 @@ func (c *Config) normalize() error {
 	// CI's oracle matrix forces the detector on over a zero-drift schedule
 	// for the whole tier-1 suite. Only configurations with no drift plane of
 	// their own are touched, so tests exercising real drift (or deliberately
-	// unarmed profile-once arms) keep their configuration.
-	if c.Replan == nil && c.Drift == nil && oracleDriftArmed() {
+	// unarmed profile-once arms) keep their configuration. Serving sessions
+	// are skipped: the drift/re-plan plane consumes the trainer's epoch
+	// stream, which a serving session does not produce.
+	if c.Serving == nil && c.Replan == nil && c.Drift == nil && oracleDriftArmed() {
 		c.Replan = &bubble.DetectorConfig{}
 		c.Drift = &bubble.DriftSchedule{}
+	}
+	if c.Serving != nil {
+		switch c.Method {
+		case MethodNone, MethodIterative, MethodImperative:
+		default:
+			return fmt.Errorf("freeride: serving supports MethodNone and the FreeRide methods, not %v", c.Method)
+		}
+		if c.Faults != nil || c.Drift != nil || c.Replan != nil {
+			return fmt.Errorf("freeride: serving does not compose with the fault or drift planes yet")
+		}
+		if err := c.Serving.normalize(c.Epochs); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // oracleDriftArmed reports the FREERIDE_ORACLE_DRIFT override: "on"/"1"
 // arms the drift detector (with an empty schedule) for every session that
-// doesn't configure its own drift plane.
-var oracleDriftArmed = sync.OnceValue(func() bool {
-	switch s := os.Getenv("FREERIDE_ORACLE_DRIFT"); s {
-	case "", "off", "0":
-		return false
-	case "on", "1":
-		return true
-	default:
-		panic(fmt.Sprintf("freeride: bad FREERIDE_ORACLE_DRIFT %q (want on/off)", s))
-	}
-})
+// doesn't configure its own drift plane. Parsing lives in the shared
+// resolver (internal/oracle); this layer owns the arming semantics.
+func oracleDriftArmed() bool { return oracle.Env().DriftArmed }
 
 // oracleLegacySchedule reports the FREERIDE_ORACLE_SCHEDULE override:
 // "legacy" forces every session's 1F1B/GPipe op lists through the retained
 // pre-generator emitters, so CI pins the schedule-generator refactor
 // bit-identical across the whole tier-1 suite.
-var oracleLegacySchedule = sync.OnceValue(func() bool {
-	switch s := os.Getenv("FREERIDE_ORACLE_SCHEDULE"); s {
-	case "", "new", "generator":
-		return false
-	case "legacy":
-		return true
-	default:
-		panic(fmt.Sprintf("freeride: bad FREERIDE_ORACLE_SCHEDULE %q (want legacy/new)", s))
-	}
-})
+func oracleLegacySchedule() bool { return oracle.Env().LegacySchedule }
+
+// oracleServingArmed reports the FREERIDE_ORACLE_SERVING override: "on"/"1"
+// wires the dormant serving plane (a zero-factor SLO admission guard) into
+// every training session, which must leave the whole suite bit-identical.
+func oracleServingArmed() bool { return oracle.Env().ServingArmed }
 
 // mbScheduleFromDrift derives the trainer's per-epoch micro-batch hook from
 // resize drift events that carry an actual count (DriftEvent.MicroBatches).
@@ -341,6 +478,8 @@ type Session struct {
 	Procs   *simproc.Runtime
 	Devices []*simgpu.Device
 	Trainer *pipeline.Trainer
+	// Server replaces Trainer for serving sessions (Config.Serving != nil).
+	Server  *serve.Server
 	Manager *core.Manager
 	Workers []*core.Worker
 
@@ -376,6 +515,9 @@ type CustomTask func(seed int64) sidetask.Iterative
 func NewSession(cfg Config) (*Session, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
+	}
+	if cfg.Serving != nil {
+		return newServingSession(cfg)
 	}
 	eng := simtime.NewVirtual()
 	procs := simproc.NewRuntime(eng)
@@ -457,6 +599,7 @@ func (s *Session) assembleControlPlane() error {
 		RetryBackoff: cfg.RetryBackoff,
 		Seed:         cfg.Seed,
 		Replan:       replan,
+		SLO:          sloOptions(cfg),
 	})
 	if cfg.Faults != nil {
 		s.injector = simfault.NewInjector(s.Eng, cfg.Faults)
@@ -477,7 +620,7 @@ func (s *Session) assembleControlPlane() error {
 		w.SetNotify(func(method string, params any) {
 			_ = wPeer.Notify(method, params)
 		})
-		s.Manager.AddWorker(w.Name(), i, s.Profile.Stages[i].MemAvailable, mgrPeer)
+		s.Manager.AddWorker(w.Name(), i, s.stageMemAvailable(i), mgrPeer)
 		s.workerIdx[w.Name()] = i
 		s.Workers = append(s.Workers, w)
 		if s.injector != nil {
@@ -500,6 +643,10 @@ func (s *Session) assembleControlPlane() error {
 		}
 	}
 
+	if s.Server != nil {
+		s.attachServeReporter(s.newBubbleSink())
+		return nil
+	}
 	// The instrumented trainer reports bubbles to the manager over its own
 	// RPC link (paper step ➎). The typed DTO crosses the MemPipe as-is —
 	// the manager's handler receives it without any JSON round-trip.
@@ -515,14 +662,44 @@ func (s *Session) assembleControlPlane() error {
 			s.Manager.SetBubbleBaseline(w.Name(), total, reports)
 		}
 	}
-	pipeEnd, mgrEnd := freerpc.MemPipe(s.Eng, cfg.RPCLatency)
-	pipePeer := freerpc.NewPeer(s.Eng, pipeEnd, nil)
-	freerpc.NewPeer(s.Eng, mgrEnd, s.Manager.Mux())
-	s.reporter.SetSink(func(b bubble.Bubble) {
-		_ = pipePeer.Notify("Manager.AddBubble", core.ToBubbleDTO(b))
-	})
+	s.reporter.SetSink(s.newBubbleSink())
 	s.reporter.Attach(s.Trainer)
 	return nil
+}
+
+// newBubbleSink opens the workload→manager bubble-report link (its own
+// MemPipe, like every control-plane link) and returns the emit function.
+func (s *Session) newBubbleSink() func(bubble.Bubble) {
+	pipeEnd, mgrEnd := freerpc.MemPipe(s.Eng, s.cfg.RPCLatency)
+	pipePeer := freerpc.NewPeer(s.Eng, pipeEnd, nil)
+	freerpc.NewPeer(s.Eng, mgrEnd, s.Manager.Mux())
+	return func(b bubble.Bubble) {
+		_ = pipePeer.Notify("Manager.AddBubble", core.ToBubbleDTO(b))
+	}
+}
+
+// sloOptions derives the manager's SLO admission guard: serving sessions
+// carry their configured guard factor, and the dormant-serving oracle arms
+// the guard plumbing with a zero factor (a structural identity — every
+// bubble the reconcile loop starts tasks into has strictly positive
+// remaining time, which a zero guard always admits).
+func sloOptions(cfg Config) *core.SLOOptions {
+	if cfg.Serving != nil {
+		return &core.SLOOptions{Guard: cfg.Serving.Guard}
+	}
+	if cfg.Oracle.ServingGuard {
+		return &core.SLOOptions{Guard: 0}
+	}
+	return nil
+}
+
+// stageMemAvailable is the per-stage GPU memory the manager may hand to
+// side tasks: the profiled training headroom, or the serving closed form.
+func (s *Session) stageMemAvailable(i int) int64 {
+	if s.cfg.Serving != nil {
+		return s.cfg.LLM.ServeStageMemAvailable(model.ServerI.GPUMemBytes, s.cfg.MicroBatches)
+	}
+	return s.Profile.Stages[i].MemAvailable
 }
 
 // taskFactory resolves harnesses on the worker side: custom registrations
@@ -578,8 +755,13 @@ func (s *Session) RegisterCustom(profile model.TaskProfile, build CustomTask) er
 func (s *Session) EligibleStages(p model.TaskProfile) []int {
 	var out []int
 	for stage := 0; stage < s.cfg.Stages; stage++ {
-		avail := s.cfg.LLM.StageMemAvailableSched(model.ServerI.GPUMemBytes, s.cfg.Schedule,
-			stage, s.cfg.Stages, s.cfg.MicroBatches, s.cfg.VirtualStages)
+		var avail int64
+		if s.cfg.Serving != nil {
+			avail = s.cfg.LLM.ServeStageMemAvailable(model.ServerI.GPUMemBytes, s.cfg.MicroBatches)
+		} else {
+			avail = s.cfg.LLM.StageMemAvailableSched(model.ServerI.GPUMemBytes, s.cfg.Schedule,
+				stage, s.cfg.Stages, s.cfg.MicroBatches, s.cfg.VirtualStages)
+		}
 		if core.AdmitsMem(avail, p.MemBytes, s.memSlack) {
 			out = append(out, stage)
 		}
@@ -724,6 +906,10 @@ type Result struct {
 	WorkerStats  []core.WorkerStats
 	// FaultStats counts injected fault events (fault runs only).
 	FaultStats simfault.Stats
+	// ServingStats carries the per-request latency distribution and SLO
+	// accounting of a serving session (Config.Serving != nil); it is the
+	// zero value for training sessions.
+	ServingStats serve.Stats
 }
 
 // TotalSteps sums completed steps across task instances.
@@ -755,6 +941,10 @@ func (s *Session) Run() (*Result, error) {
 	}
 	s.started = true
 	s.mu.Unlock()
+
+	if s.Server != nil {
+		return s.runServing()
+	}
 
 	// Freeze every task's counters at the instant the final epoch ends:
 	// only work completed during training counts, exactly as in the
@@ -803,7 +993,13 @@ func (s *Session) Run() (*Result, error) {
 		s.Eng.RunFor(2 * s.cfg.Grace)
 	}
 
-	res := &Result{Config: s.cfg, TrainTime: s.Trainer.TotalTime()}
+	return s.collectResult(s.Trainer.TotalTime()), nil
+}
+
+// collectResult assembles the Result after teardown: manager/worker stats,
+// fault stats and per-task work, shared by the training and serving paths.
+func (s *Session) collectResult(trainTime time.Duration) *Result {
+	res := &Result{Config: s.cfg, TrainTime: trainTime}
 	var views map[string]core.TaskView
 	if s.Manager != nil {
 		res.ManagerStats = s.Manager.Stats()
@@ -839,7 +1035,7 @@ func (s *Session) Run() (*Result, error) {
 		}
 		res.Tasks = append(res.Tasks, tw)
 	}
-	return res, nil
+	return res
 }
 
 // snapshotCounters freezes task counters (engine-callback context).
@@ -1004,9 +1200,15 @@ func runBubbleProfile(cfg Config) (*bubble.Profile, error) {
 // BaselineTrainTime runs (and memoizes, with singleflight) the no-side-task
 // training for a config, returning T_noSideTask.
 func BaselineTrainTime(cfg Config) (time.Duration, error) {
+	if cfg.Serving != nil {
+		return 0, fmt.Errorf("freeride: BaselineTrainTime is the training baseline; run a MethodNone serving session instead")
+	}
 	cfg.Method = MethodNone
 	cfg.RecordOps = false
-	key := baselineKey{cfg.LLM.Name, cfg.Stages, cfg.MicroBatches, cfg.Epochs, cfg.Schedule, cfg.VirtualStages, cfg.LegacySchedule, mbPlanKey(cfg)}
+	// The key is built from the un-normalized config, so the deprecated
+	// flat spelling and the grouped one must hash alike.
+	legacy := cfg.LegacySchedule || cfg.Oracle.LegacySchedule
+	key := baselineKey{cfg.LLM.Name, cfg.Stages, cfg.MicroBatches, cfg.Epochs, cfg.Schedule, cfg.VirtualStages, legacy, mbPlanKey(cfg)}
 	return baseCache.get(key, func() (time.Duration, error) {
 		sess, err := NewSession(cfg)
 		if err != nil {

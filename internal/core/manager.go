@@ -4,13 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"os"
 	"strings"
 	"sync"
 	"time"
 
 	"freeride/internal/bubble"
 	"freeride/internal/freerpc"
+	"freeride/internal/oracle"
 	"freeride/internal/profiler"
 	"freeride/internal/sidetask"
 	"freeride/internal/simgpu"
@@ -164,6 +164,25 @@ type ManagerOptions struct {
 	// machinery (backoff, incarnations, parking) demotions ride on, even
 	// without a Lease.
 	Replan *ReplanOptions
+	// SLO arms the serving workload's latency-aware admission guard (nil
+	// leaves Algorithm 2's start rule untouched — the training behaviour).
+	SLO *SLOOptions
+}
+
+// SLOOptions tune the SLO admission guard of the serving workload: a paused
+// side task is started into a bubble only when the bubble's remaining time
+// is at least Guard × the task's pause fit (profile step + jitter + host
+// overhead). The bubble stream under serving includes the predicted
+// inter-batch gaps, so the guard is exactly the paper-style "pause fit vs
+// next predicted batch arrival" admission test: Guard 0 admits into any
+// open bubble (maximum harvest, maximum overrun risk into mispredicted
+// batches), larger factors trade harvested GPU-seconds for fewer SLO
+// violations. Guard 0 is a structural identity — every bubble the
+// reconcile loop starts tasks into has strictly positive remaining time —
+// which the dormant-serving oracle (FREERIDE_ORACLE_SERVING=on) pins
+// against the training grid.
+type SLOOptions struct {
+	Guard float64
 }
 
 // ReplanOptions tune the online re-profiling plane.
@@ -197,9 +216,11 @@ func (o *ManagerOptions) normalize() {
 }
 
 // defaultManagerMode resolves ManagerDefault: event-driven unless the CI
-// oracle matrix forces another mode via FREERIDE_ORACLE_MANAGER.
+// oracle matrix forces another mode via FREERIDE_ORACLE_MANAGER. The raw
+// value comes from the shared resolver (internal/oracle); the mode enum and
+// its validation live here.
 var defaultManagerMode = sync.OnceValue(func() ManagerMode {
-	if s := os.Getenv("FREERIDE_ORACLE_MANAGER"); s != "" {
+	if s := oracle.Env().ManagerMode; s != "" {
 		m, err := ParseManagerMode(s)
 		if err != nil {
 			panic(fmt.Sprintf("core: bad FREERIDE_ORACLE_MANAGER: %v", err))
@@ -270,6 +291,12 @@ type ManagerStats struct {
 	Demotions       uint64
 	Revivals        uint64
 	StaleAdmissions uint64
+
+	// SLODeferred counts task starts the SLO admission guard skipped
+	// because the bubble's remaining time fell short of Guard × the task's
+	// pause fit (SLO-armed managers only; structurally zero with Guard 0,
+	// which the dormant-serving oracle pins).
+	SLODeferred uint64
 }
 
 // taskRecord is the manager-side task state (cache of the worker's truth).
@@ -1194,6 +1221,19 @@ func (m *Manager) reconcileWorkerLocked(w *workerMeta, now time.Duration) {
 	}
 	// Lines 18–19: start a paused task into the current bubble.
 	if w.bubble != nil && cur.state == sidetask.StatePaused && cur.startedForBubble != w.bubble {
+		// SLO admission guard (serving workload): skip the start when the
+		// bubble's remaining time falls short of Guard × the task's pause
+		// fit — the task would overrun the predicted batch arrival. The
+		// bubble stays adopted; a later reconcile round (or the next
+		// bubble) retries. Guard 0 never defers: remaining is strictly
+		// positive here (the bubble-end rule above cleared expired ones).
+		if m.opts.SLO != nil && m.opts.SLO.Guard > 0 {
+			fit := cur.spec.Profile.FitTime()
+			if float64(w.bubble.End()-now) < m.opts.SLO.Guard*float64(fit) {
+				m.stats.SLODeferred++
+				return
+			}
+		}
 		m.startLocked(w, cur, w.bubble)
 	}
 }

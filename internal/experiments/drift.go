@@ -140,8 +140,16 @@ func RunDriftSweep(opts Options) (*DriftSweepResult, error) {
 	baseHarvest := harvestedKernelTime(ref)
 
 	out := &DriftSweepResult{Opts: opts}
+	cellIdx := -1
 	for ki, kind := range bubble.AllDriftKinds() {
 		for mi, mag := range driftSweepMagnitudes {
+			// Shard k of n runs (kind × magnitude) cells where index mod n
+			// == k; the profile-once arm is shared by a cell's detector
+			// rows, so the cell is the shard unit.
+			cellIdx++
+			if cellIdx%opts.ShardCount != opts.Shard {
+				continue
+			}
 			seed := opts.Seed*1000 + int64(ki)*10 + int64(mi)
 			sched := &bubble.DriftSchedule{
 				Seed:   seed,

@@ -77,8 +77,16 @@ func RunFaultSweep(opts Options) (*FaultSweepResult, error) {
 	baseHarvest := harvestedKernelTime(ref)
 
 	out := &FaultSweepResult{Opts: opts}
+	cellIdx := -1
 	for ki, kind := range simfault.AllKinds() {
 		for _, n := range faultSweepCounts {
+			// Shard k of n runs cells where index mod n == k; the skeleton
+			// order (kind × count) is deterministic, so shards partition
+			// exactly.
+			cellIdx++
+			if cellIdx%opts.ShardCount != opts.Shard {
+				continue
+			}
 			cfg := baseCfg
 			seed := opts.Seed*1000 + int64(ki)*10 + int64(n)
 			cfg.Faults = simfault.Generate(seed, ref.TrainTime, n,

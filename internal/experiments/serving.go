@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"freeride"
+	"freeride/internal/model"
+	"freeride/internal/serve"
+)
+
+// ServingSweepRow is one (trace × rate × SLO × guard) cell of the serving
+// sweep: the FreeRide-iterative arm with side tasks harvesting the fill,
+// drain and inter-batch bubbles, against the no-side-task baseline on the
+// same arrival trace.
+type ServingSweepRow struct {
+	Trace serve.TraceKind
+	// Rate is the mean arrival rate (req/s); Burstiness the trace's shape
+	// knob (0 for Poisson).
+	Rate       float64
+	Burstiness float64
+	SLO        time.Duration
+	// Guard is the SLO admission guard: pause-to-running fits are deferred
+	// when the remaining bubble is shorter than Guard × the task's fit
+	// time. 0 disarms the guard (structural identity with the unguarded
+	// reconcile loop).
+	Guard float64
+
+	// Request-latency distribution of the harvesting arm.
+	Requests   int
+	Batches    int
+	P50        time.Duration
+	P99        time.Duration
+	Max        time.Duration
+	Violations int
+	// Baseline (MethodNone, same trace): the serving latency floor.
+	BaseP50        time.Duration
+	BaseP99        time.Duration
+	BaseViolations int
+
+	// Harvested is side-task kernel time extracted from serving bubbles;
+	// Steps the completed side-task steps; SLODeferred how many fits the
+	// guard refused.
+	Harvested   time.Duration
+	Steps       uint64
+	SLODeferred uint64
+	Instances   int
+	// TotalTime is the serving makespan (first dispatch → last drain).
+	TotalTime time.Duration
+}
+
+// HarvestRate is harvested side-task kernel seconds per second of serving
+// makespan — the sweep's y-axis against the violation count.
+func (r ServingSweepRow) HarvestRate() float64 {
+	if r.TotalTime <= 0 {
+		return 0
+	}
+	return float64(r.Harvested) / float64(r.TotalTime)
+}
+
+// ExcessViolations is the harvesting arm's SLO violations beyond the
+// baseline's on the same trace — the contention cost of harvesting.
+func (r ServingSweepRow) ExcessViolations() int { return r.Violations - r.BaseViolations }
+
+// ServingSweepResult is the trace × rate × SLO × guard grid.
+type ServingSweepResult struct {
+	Opts Options
+	Rows []ServingSweepRow
+}
+
+// servingSweepCells builds the deterministic cell skeleton. The default
+// slice pairs each trace with its characteristic burstiness (Poisson 0,
+// bursty 3) over rates {2,4} req/s, SLOs {6s,4s}, guards {0,1,4}; Cross
+// adds the diurnal trace and a tighter 3s SLO.
+func servingSweepCells(opts Options) []ServingSweepRow {
+	traces := []struct {
+		kind  serve.TraceKind
+		burst float64
+	}{
+		{serve.TracePoisson, 0},
+		{serve.TraceBursty, 3},
+	}
+	rates := []float64{2, 4}
+	slos := []time.Duration{6 * time.Second, 4 * time.Second}
+	guards := []float64{0, 1, 4}
+	if opts.Cross {
+		traces = append(traces, struct {
+			kind  serve.TraceKind
+			burst float64
+		}{serve.TraceDiurnal, 2})
+		slos = append(slos, 3*time.Second)
+	}
+	var cells []ServingSweepRow
+	for _, tr := range traces {
+		for _, rate := range rates {
+			for _, slo := range slos {
+				for _, g := range guards {
+					cells = append(cells, ServingSweepRow{
+						Trace: tr.kind, Rate: rate, Burstiness: tr.burst,
+						SLO: slo, Guard: g,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// RunServingSweep runs the inference-serving workload end to end: open-loop
+// arrival traces drive forward-only pipeline batches, side tasks harvest
+// the fill/drain/inter-batch bubbles, and the SLO admission guard trades
+// harvested GPU-seconds against p99 violations. Every guard arm of a
+// (trace, rate) pair shares the same seeded arrivals, so the guard axis is
+// directly comparable. Shard/ShardCount split the grid like the other
+// sweeps: shard k of n runs cells where index mod n == k.
+func RunServingSweep(opts Options) (*ServingSweepResult, error) {
+	opts.normalize()
+	baseCfg := opts.baseConfig()
+	baseCfg.Method = freeride.MethodIterative
+
+	cells := servingSweepCells(opts)
+	var idxs []int
+	for i := range cells {
+		if i%opts.ShardCount == opts.Shard {
+			idxs = append(idxs, i)
+		}
+	}
+	err := forEachIndex(opts.Parallelism, len(idxs), func(j int) error {
+		row := &cells[idxs[j]]
+		if err := runServingCell(baseCfg, row); err != nil {
+			return fmt.Errorf("serving sweep %v rate=%g slo=%v g=%g: %w",
+				row.Trace, row.Rate, row.SLO, row.Guard, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ServingSweepResult{Opts: opts}
+	for _, i := range idxs {
+		out.Rows = append(out.Rows, cells[i])
+	}
+	return out, nil
+}
+
+// runServingCell executes one cell: the harvesting arm (FreeRide iterative,
+// one ResNet18 per eligible stage) and the MethodNone baseline on the same
+// trace, filling the row's measurements.
+func runServingCell(baseCfg freeride.Config, row *ServingSweepRow) error {
+	sc := freeride.ServingConfig{
+		Trace:      row.Trace,
+		Rate:       row.Rate,
+		Burstiness: row.Burstiness,
+		SLO:        row.SLO,
+		Guard:      row.Guard,
+	}
+
+	cfg := baseCfg
+	cfg.Serving = &sc
+	sess, err := freeride.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	n, err := sess.SubmitEverywhere(model.ResNet18)
+	if err != nil {
+		return err
+	}
+	res, err := sess.Run()
+	if err != nil {
+		return err
+	}
+	st := res.ServingStats
+	row.Requests = st.Requests
+	row.Batches = st.Batches
+	row.P50, row.P99, row.Max = st.P50, st.P99, st.Max
+	row.Violations = st.Violations
+	row.Harvested = harvestedKernelTime(res)
+	row.Steps = res.TotalSteps()
+	row.SLODeferred = res.ManagerStats.SLODeferred
+	row.Instances = n
+	row.TotalTime = st.TotalTime
+
+	// Baseline: same trace and SLO, no side tasks, no residency tax.
+	bcfg := baseCfg
+	bcfg.Method = freeride.MethodNone
+	bsc := sc
+	bsc.Guard = 0
+	bcfg.Serving = &bsc
+	bsess, err := freeride.NewSession(bcfg)
+	if err != nil {
+		return err
+	}
+	bres, err := bsess.Run()
+	if err != nil {
+		return err
+	}
+	bst := bres.ServingStats
+	row.BaseP50, row.BaseP99 = bst.P50, bst.P99
+	row.BaseViolations = bst.Violations
+	return nil
+}
+
+// Render prints the sweep as a text table plus the harvest-vs-violations
+// readout the sweep exists for.
+func (r *ServingSweepResult) Render() string {
+	t := &Table{
+		Title: "Serving sweep — harvested GPU-seconds vs p99 SLO violations " +
+			"(ResNet18 everywhere, FreeRide iterative vs no-side-task baseline)",
+		Header: []string{"trace", "rate", "slo_s", "guard", "p99_s", "base_p99_s",
+			"viol", "base_viol", "deferred", "harvest_s", "harvest_rate", "steps",
+			"tasks", "reqs", "span_s"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(
+			row.Trace.String(), fmtF(row.Rate), fmtF(row.SLO.Seconds()), fmtF(row.Guard),
+			secs(row.P99), secs(row.BaseP99),
+			strconv.Itoa(row.Violations), strconv.Itoa(row.BaseViolations),
+			strconv.FormatUint(row.SLODeferred, 10),
+			secs(row.Harvested), fmtF(row.HarvestRate()),
+			strconv.FormatUint(row.Steps, 10), strconv.Itoa(row.Instances),
+			strconv.Itoa(row.Requests), secs(row.TotalTime),
+		)
+	}
+	out := t.Render()
+
+	// The headline tradeoff: aggregated over (trace, rate, SLO) groups,
+	// what does tightening the guard from 0 to its max cost in harvest and
+	// buy in violations?
+	var gMin, gMax float64
+	for i, row := range r.Rows {
+		if i == 0 || row.Guard < gMin {
+			gMin = row.Guard
+		}
+		if i == 0 || row.Guard > gMax {
+			gMax = row.Guard
+		}
+	}
+	if gMax > gMin {
+		var hLoose, hTight time.Duration
+		var vLoose, vTight int
+		for _, row := range r.Rows {
+			switch row.Guard {
+			case gMin:
+				hLoose += row.Harvested
+				vLoose += row.ExcessViolations()
+			case gMax:
+				hTight += row.Harvested
+				vTight += row.ExcessViolations()
+			}
+		}
+		out += fmt.Sprintf(
+			"\nSLO guard tradeoff: tightening the guard %g → %g trades harvest "+
+				"%.2fs → %.2fs against excess violations %d → %d over the same "+
+				"arrival traces.\n",
+			gMin, gMax, hLoose.Seconds(), hTight.Seconds(), vLoose, vTight)
+	}
+	return out
+}
+
+// WriteCSV emits one row per sweep cell.
+func (r *ServingSweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"trace", "rate", "burstiness", "slo_s", "guard",
+		"requests", "batches", "p50_s", "p99_s", "max_s", "violations",
+		"base_p50_s", "base_p99_s", "base_violations", "harvest_s",
+		"harvest_rate", "steps", "slo_deferred", "instances", "span_s"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Trace.String(), fmtF(row.Rate), fmtF(row.Burstiness),
+			fmtF(row.SLO.Seconds()), fmtF(row.Guard),
+			strconv.Itoa(row.Requests), strconv.Itoa(row.Batches),
+			fmtF(row.P50.Seconds()), fmtF(row.P99.Seconds()), fmtF(row.Max.Seconds()),
+			strconv.Itoa(row.Violations),
+			fmtF(row.BaseP50.Seconds()), fmtF(row.BaseP99.Seconds()),
+			strconv.Itoa(row.BaseViolations),
+			fmtF(row.Harvested.Seconds()), fmtF(row.HarvestRate()),
+			strconv.FormatUint(row.Steps, 10),
+			strconv.FormatUint(row.SLODeferred, 10),
+			strconv.Itoa(row.Instances),
+			fmtF(row.TotalTime.Seconds()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"freeride"
+	"freeride/internal/core"
+	"freeride/internal/model"
+)
+
+// TestZeroServingOracleBitIdentical is the dormant-plane gate: arming the
+// SLO admission guard in its zero configuration (Oracle.ServingGuard — the
+// FREERIDE_ORACLE_SERVING row) on the full training grid must be
+// bit-identical to the unarmed grid. Guard 0 is structural identity: the
+// reconcile loop's guard clause requires a positive guard before it can
+// defer a fit, so the armed manager takes every decision the unarmed one
+// does.
+func TestZeroServingOracleBitIdentical(t *testing.T) {
+	base := runOracleGrid(t, core.ManagerEventDriven, nil)
+	armed := runOracleGrid(t, core.ManagerEventDriven, func(cfg *freeride.Config) {
+		cfg.Oracle.ServingGuard = true
+	})
+	compareOracleGrids(t, base, armed, "serving guard armed vs unarmed")
+	for key, res := range armed {
+		if res.ManagerStats.SLODeferred != 0 {
+			t.Errorf("%s: zero guard deferred %d fits", key, res.ManagerStats.SLODeferred)
+		}
+	}
+}
+
+// TestOracleGroupBackCompatBitIdentical pins the deprecated flat oracle
+// fields to their grouped spellings: a config setting Config.X and one
+// setting Config.Oracle.X must produce bit-identical results INCLUDING the
+// normalized Config — the fold (flat → group) and mirror (group → flat)
+// both ran, so either spelling observes the same session.
+func TestOracleGroupBackCompatBitIdentical(t *testing.T) {
+	toggles := []struct {
+		name    string
+		flat    func(*freeride.Config)
+		grouped func(*freeride.Config)
+	}{
+		{"FullRebalance",
+			func(c *freeride.Config) { c.FullRebalance = true },
+			func(c *freeride.Config) { c.Oracle.FullRebalance = true }},
+		{"NoShareCache",
+			func(c *freeride.Config) { c.NoShareCache = true },
+			func(c *freeride.Config) { c.Oracle.NoShareCache = true }},
+		{"NoStepFuse",
+			func(c *freeride.Config) { c.NoStepFuse = true },
+			func(c *freeride.Config) { c.Oracle.NoStepFuse = true }},
+		{"LegacySchedule",
+			func(c *freeride.Config) { c.LegacySchedule = true },
+			func(c *freeride.Config) { c.Oracle.LegacySchedule = true }},
+	}
+	runCell := func(tweak func(*freeride.Config)) *freeride.Result {
+		cfg := oracleOpts(core.ManagerEventDriven).baseConfig()
+		cfg.Method = freeride.MethodIterative
+		tweak(&cfg)
+		res, err := runOne(cfg, []model.TaskProfile{model.ResNet18})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, tog := range toggles {
+		flat := runCell(tog.flat)
+		grouped := runCell(tog.grouped)
+		if !reflect.DeepEqual(flat, grouped) {
+			t.Errorf("%s: flat vs grouped spelling diverged (config folding broken)", tog.name)
+		}
+		if flat.TotalSteps() == 0 {
+			t.Errorf("%s: cell ran no side-task steps (inert comparison)", tog.name)
+		}
+	}
+}
+
+func TestServingSweepDeterministic(t *testing.T) {
+	opts := Options{Epochs: 4, Seed: 1}
+	a, err := RunServingSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunServingSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same-seed serving sweeps diverged")
+	}
+}
+
+// Different seeds must generate different arrival traces, visible end to
+// end as a different latency distribution somewhere in the grid.
+func TestServingSweepSeedDivergence(t *testing.T) {
+	a, err := RunServingSweep(Options{Epochs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunServingSweep(Options{Epochs: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	diverged := false
+	for i := range a.Rows {
+		if a.Rows[i].P99 != b.Rows[i].P99 || a.Rows[i].TotalTime != b.Rows[i].TotalTime {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("seeds 1 and 2 produced identical latency distributions across the whole grid")
+	}
+}
+
+// TestServingGuardTradeoffMonotone pins the sweep's reason to exist: within
+// every (trace, rate, SLO) group — same seeded arrivals across the guard
+// axis — tightening the SLO admission guard must not increase harvest and
+// must not increase violations; across the grid the max guard must cost
+// strictly some harvest and actually defer fits.
+func TestServingGuardTradeoffMonotone(t *testing.T) {
+	r, err := RunServingSweep(Options{Epochs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type axis struct {
+		trace string
+		rate  float64
+		slo   int64
+	}
+	groups := map[axis][]ServingSweepRow{}
+	for _, row := range r.Rows {
+		k := axis{row.Trace.String(), row.Rate, int64(row.SLO)}
+		groups[k] = append(groups[k], row)
+	}
+	var hLoose, hTight int64
+	var deferred uint64
+	for k, rows := range groups {
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Guard < rows[i-1].Guard {
+				t.Fatalf("%+v: guard axis not ascending", k)
+			}
+			if rows[i].Harvested > rows[i-1].Harvested {
+				t.Errorf("%+v: harvest rose %v → %v as guard tightened %g → %g",
+					k, rows[i-1].Harvested, rows[i].Harvested, rows[i-1].Guard, rows[i].Guard)
+			}
+			if rows[i].Violations > rows[i-1].Violations {
+				t.Errorf("%+v: violations rose %d → %d as guard tightened %g → %g",
+					k, rows[i-1].Violations, rows[i].Violations, rows[i-1].Guard, rows[i].Guard)
+			}
+		}
+		hLoose += int64(rows[0].Harvested)
+		hTight += int64(rows[len(rows)-1].Harvested)
+		deferred += rows[len(rows)-1].SLODeferred
+	}
+	if hTight >= hLoose {
+		t.Errorf("max guard harvested %d ≥ unguarded %d — the guard costs nothing", hTight, hLoose)
+	}
+	if deferred == 0 {
+		t.Error("max guard deferred no fits anywhere — the guard is inert")
+	}
+}
+
+// TestServingSweepShardsPartition asserts the shard filter partitions the
+// grid exactly: the union of all shards equals the unsharded sweep.
+func TestServingSweepShardsPartition(t *testing.T) {
+	full, err := RunServingSweep(Options{Epochs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var union []ServingSweepRow
+	for k := 0; k < 3; k++ {
+		part, err := RunServingSweep(Options{Epochs: 4, Seed: 1, Shard: k, ShardCount: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		union = append(union, part.Rows...)
+	}
+	if len(union) != len(full.Rows) {
+		t.Fatalf("shards cover %d rows, full sweep has %d", len(union), len(full.Rows))
+	}
+	matched := 0
+	for _, row := range full.Rows {
+		for _, u := range union {
+			if reflect.DeepEqual(row, u) {
+				matched++
+				break
+			}
+		}
+	}
+	if matched != len(full.Rows) {
+		t.Errorf("only %d/%d full-sweep rows found across the shards", matched, len(full.Rows))
+	}
+}

@@ -1,0 +1,26 @@
+package pipeline
+
+// BuildServingPlan is the batch-cycle plan mode of the schedule zoo: the
+// 1F1B chunks with the backward tail and the optimizer barrier stripped,
+// leaving the forward-only fill/execute/drain wavefront an inference batch
+// runs. Dependency edges are re-derived over the filtered lists with the
+// same generator the training plans use, so a forward at stage v still
+// waits on the upstream forward of its micro-batch.
+func BuildServingPlan(stages, microBatches int) (*Plan, error) {
+	p, err := BuildPlan(Schedule1F1B, stages, microBatches, 1)
+	if err != nil {
+		return nil, err
+	}
+	nv := p.NumVirtual()
+	for v := range p.Chunks {
+		fwd := make([]Op, 0, microBatches)
+		for _, op := range p.Chunks[v] {
+			if op.Kind == OpForward {
+				fwd = append(fwd, op)
+			}
+		}
+		p.Chunks[v] = fwd
+		p.Deps[v] = depsFor(fwd, v, nv)
+	}
+	return p, nil
+}

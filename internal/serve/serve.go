@@ -1,0 +1,473 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"freeride/internal/model"
+	"freeride/internal/pipeline"
+	"freeride/internal/simgpu"
+	"freeride/internal/simproc"
+	"freeride/internal/simtime"
+)
+
+// Config describes one pipeline-parallel serving run.
+type Config struct {
+	Model        model.LLM
+	Stages       int
+	MicroBatches int
+	// BatchSize is the number of requests per pipeline batch. A batch
+	// dispatches once its last request has arrived and the previous batch
+	// has fully drained; the final batch may be partial but still runs the
+	// full micro-batch schedule (padding).
+	BatchSize int
+	// SLO is the per-request latency objective scored by Stats.
+	SLO time.Duration
+	// Arrivals are the request arrival offsets (see GenerateArrivals).
+	Arrivals []time.Duration
+}
+
+func (c *Config) normalize() error {
+	if c.Stages < 1 {
+		return fmt.Errorf("serve: stages %d < 1", c.Stages)
+	}
+	if c.MicroBatches < 1 {
+		return fmt.Errorf("serve: micro-batches %d < 1", c.MicroBatches)
+	}
+	if c.BatchSize < 1 {
+		return fmt.Errorf("serve: batch size %d < 1", c.BatchSize)
+	}
+	if len(c.Arrivals) == 0 {
+		return fmt.Errorf("serve: empty arrival trace")
+	}
+	if c.SLO <= 0 {
+		return fmt.Errorf("serve: non-positive SLO %v", c.SLO)
+	}
+	for i := 1; i < len(c.Arrivals); i++ {
+		if c.Arrivals[i] < c.Arrivals[i-1] {
+			return fmt.Errorf("serve: arrivals not sorted at index %d", i)
+		}
+	}
+	return nil
+}
+
+// numBatches is the trace's batch count (the last batch may be partial).
+func (c Config) numBatches() int {
+	return (len(c.Arrivals) + c.BatchSize - 1) / c.BatchSize
+}
+
+// Stats is the per-request latency distribution and SLO accounting of a
+// completed run. All fields are plain values, so results stay comparable
+// with reflect.DeepEqual (the determinism and oracle tests rely on it).
+type Stats struct {
+	Requests int
+	Batches  int
+	P50      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+	Mean     time.Duration
+	// Violations counts requests whose latency exceeded SLO.
+	Violations int
+	SLO        time.Duration
+	// TotalTime is the serving makespan: first batch dispatch to last
+	// batch completion.
+	TotalTime time.Duration
+}
+
+// Server drives the forward-only batch cycle over one device per stage. It
+// mirrors the trainer's execution machinery — pre-allocated dependency
+// latches, inline stage processes running continuation machines on the
+// engine goroutine — with the epoch loop replaced by an arrival-gated batch
+// loop.
+type Server struct {
+	cfg     Config
+	eng     simtime.Engine
+	procs   *simproc.Runtime
+	devices []*simgpu.Device
+
+	// Immutable after Start:
+	clients []*simgpu.Client
+	plan    *pipeline.Plan
+	goBatch []*simproc.Latch
+	fpDone  [][][]*simproc.Latch // [batch][stage][mb]
+	// readyAt[b] is when batch b's last request has arrived — the earliest
+	// the batch may dispatch.
+	readyAt []time.Duration
+
+	mu           sync.Mutex
+	arrived      int
+	batchStart   []time.Duration
+	batchEnd     []time.Duration
+	latencies    []time.Duration
+	onBatchStart []func(batch int, ts time.Duration)
+	onBatchEnd   []func(batch int, ts time.Duration)
+	started      bool
+	failed       error
+
+	done *simproc.Latch
+}
+
+// New builds a server over one device per stage.
+func New(eng simtime.Engine, procs *simproc.Runtime, devices []*simgpu.Device, cfg Config) (*Server, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if len(devices) != cfg.Stages {
+		return nil, fmt.Errorf("serve: %d devices for %d stages", len(devices), cfg.Stages)
+	}
+	return &Server{
+		cfg:     cfg,
+		eng:     eng,
+		procs:   procs,
+		devices: devices,
+		done:    simproc.NewLatch(eng),
+	}, nil
+}
+
+// OnBatchStart registers a hook invoked (in engine context) when each batch
+// dispatches — the serving analogue of the trainer's epoch-start
+// instrumentation point; the request-driven bubble reporter hangs off it.
+func (s *Server) OnBatchStart(fn func(batch int, ts time.Duration)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onBatchStart = append(s.onBatchStart, fn)
+}
+
+// OnBatchEnd registers a hook invoked when each batch fully drains.
+func (s *Server) OnBatchEnd(fn func(batch int, ts time.Duration)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onBatchEnd = append(s.onBatchEnd, fn)
+}
+
+// Done returns a latch set when the last batch has drained.
+func (s *Server) Done() *simproc.Latch { return s.done }
+
+// Config returns the serving configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Client returns the serving GPU client of a stage (valid after Start).
+func (s *Server) Client(stage int) *simgpu.Client { return s.clients[stage] }
+
+// Device returns the GPU device of a stage.
+func (s *Server) Device(stage int) *simgpu.Device { return s.devices[stage] }
+
+// Err reports a serving failure (e.g. OOM during setup).
+func (s *Server) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// BatchTimes returns per-batch (dispatch, drain) pairs recorded so far.
+func (s *Server) BatchTimes() (starts, ends []time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	starts = append([]time.Duration(nil), s.batchStart...)
+	ends = append([]time.Duration(nil), s.batchEnd...)
+	return starts, ends
+}
+
+// TotalTime reports the makespan from first dispatch to last drain.
+func (s *Server) TotalTime() time.Duration {
+	starts, ends := s.BatchTimes()
+	if len(starts) == 0 || len(ends) == 0 {
+		return 0
+	}
+	return ends[len(ends)-1] - starts[0]
+}
+
+// Stats computes the latency distribution of the completed run.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	lat := append([]time.Duration(nil), s.latencies...)
+	batches := len(s.batchEnd)
+	s.mu.Unlock()
+	st := Stats{
+		Requests: len(lat),
+		Batches:  batches,
+		SLO:      s.cfg.SLO,
+	}
+	if len(lat) == 0 {
+		return st
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, l := range lat {
+		sum += l
+		if l > s.cfg.SLO {
+			st.Violations++
+		}
+	}
+	st.P50 = quantile(lat, 0.50)
+	st.P99 = quantile(lat, 0.99)
+	st.Max = lat[len(lat)-1]
+	st.Mean = sum / time.Duration(len(lat))
+	st.TotalTime = s.TotalTime()
+	return st
+}
+
+// quantile picks the nearest-rank order statistic from a sorted slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Start allocates serving memory on every stage, spawns the stage
+// processes and schedules the first batch at its arrival-readiness
+// instant. It returns immediately; completion is observable via Done.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: already started")
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	clients := make([]*simgpu.Client, s.cfg.Stages)
+	for st := 0; st < s.cfg.Stages; st++ {
+		// Weight 2, like the trainer: the serving process drives multiple
+		// CUDA streams and exerts twice a single-stream side task's
+		// thread-block pressure when sharing the device.
+		c, err := s.devices[st].NewClient(simgpu.ClientConfig{
+			Name:   fmt.Sprintf("serve-s%d", st),
+			Weight: 2,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: stage %d client: %w", st, err)
+		}
+		if err := c.AllocMem(s.cfg.Model.ServeStageMemUsed(s.cfg.MicroBatches)); err != nil {
+			return fmt.Errorf("serve: stage %d memory: %w", st, err)
+		}
+		clients[st] = c
+	}
+	s.clients = clients
+
+	plan, err := pipeline.BuildServingPlan(s.cfg.Stages, s.cfg.MicroBatches)
+	if err != nil {
+		return err
+	}
+	s.plan = plan
+
+	nb := s.cfg.numBatches()
+	s.readyAt = make([]time.Duration, nb)
+	for b := 0; b < nb; b++ {
+		last := (b+1)*s.cfg.BatchSize - 1
+		if last >= len(s.cfg.Arrivals) {
+			last = len(s.cfg.Arrivals) - 1
+		}
+		s.readyAt[b] = s.cfg.Arrivals[last]
+	}
+	s.goBatch = make([]*simproc.Latch, nb)
+	s.fpDone = make([][][]*simproc.Latch, nb)
+	for b := 0; b < nb; b++ {
+		s.goBatch[b] = simproc.NewLatch(s.eng)
+		s.fpDone[b] = newLatchGrid(s.eng, s.cfg.Stages, s.cfg.MicroBatches)
+	}
+
+	for st := 0; st < s.cfg.Stages; st++ {
+		st := st
+		s.procs.SpawnInline(fmt.Sprintf("serve-s%d", st), func(p *simproc.Process) {
+			s.startStage(p, st)
+		})
+	}
+	s.scheduleBatch(0)
+	return nil
+}
+
+// scheduleBatch dispatches batch b now if its last request has arrived, or
+// arms an engine timer for the arrival instant (the open-loop gate: the
+// pipeline idles — harvestably — until the batch fills).
+func (s *Server) scheduleBatch(b int) {
+	now := s.eng.Now()
+	if s.readyAt[b] <= now {
+		s.beginBatch(b)
+		return
+	}
+	s.eng.Schedule(s.readyAt[b]-now, fmt.Sprintf("serve-batch%d", b), func() {
+		s.beginBatch(b)
+	})
+}
+
+// beginBatch records the dispatch, fires the instrumentation hooks and
+// releases the stages. Runs in engine-callback or caller context.
+func (s *Server) beginBatch(b int) {
+	now := s.eng.Now()
+	s.mu.Lock()
+	s.arrived = 0
+	s.batchStart = append(s.batchStart, now)
+	hooks := append([]func(batch int, ts time.Duration){}, s.onBatchStart...)
+	s.mu.Unlock()
+	for _, h := range hooks {
+		h(b, now)
+	}
+	s.goBatch[b].Set()
+}
+
+// stageArrived is called by each stage at its batch barrier; the last
+// arrival drains the batch, scores its requests' latencies and gates the
+// next batch (or finishes serving).
+func (s *Server) stageArrived(b int) {
+	s.mu.Lock()
+	s.arrived++
+	if s.arrived < s.cfg.Stages {
+		s.mu.Unlock()
+		return
+	}
+	now := s.eng.Now()
+	s.batchEnd = append(s.batchEnd, now)
+	first := b * s.cfg.BatchSize
+	last := first + s.cfg.BatchSize
+	if last > len(s.cfg.Arrivals) {
+		last = len(s.cfg.Arrivals)
+	}
+	for _, at := range s.cfg.Arrivals[first:last] {
+		s.latencies = append(s.latencies, now-at)
+	}
+	hooks := append([]func(batch int, ts time.Duration){}, s.onBatchEnd...)
+	final := b+1 >= s.cfg.numBatches()
+	s.mu.Unlock()
+
+	for _, h := range hooks {
+		h(b, now)
+	}
+	if final {
+		s.done.Set()
+		return
+	}
+	s.scheduleBatch(b + 1)
+}
+
+// serveStage is the continuation-passing body of one stage: numBatches
+// times through the forward-only chunk, blocking on the upstream forward of
+// each micro-batch — entirely on the engine goroutine, mirroring the
+// trainer's stageRun.
+type serveStage struct {
+	s      *Server
+	p      *simproc.Process
+	stage  int
+	client *simgpu.Client
+	ops    []pipeline.Op
+	deps   []pipeline.Dep
+	names  []string
+	fpDur  time.Duration
+	comm   time.Duration
+
+	batch int
+	i     int
+
+	// spec is the reusable kernel spec of the op loop; Name/Duration are
+	// rewritten per op (the launch reads the spec synchronously).
+	spec simgpu.KernelSpec
+
+	afterGoFn   func(any)
+	afterDepFn  func(any)
+	afterCommFn func(any)
+	afterExecFn func(any)
+}
+
+// startStage builds and launches the stage machine (inline process body).
+func (s *Server) startStage(p *simproc.Process, stage int) {
+	r := &serveStage{
+		s:      s,
+		p:      p,
+		stage:  stage,
+		client: s.clients[stage],
+		ops:    s.plan.Chunks[stage],
+		deps:   s.plan.Deps[stage],
+		fpDur:  s.cfg.Model.FPPerMB,
+		comm:   s.cfg.Model.CommLatency,
+	}
+	r.spec = simgpu.KernelSpec{Demand: 1.0, Weight: 1.0}
+	r.names = make([]string, len(r.ops))
+	for i, op := range r.ops {
+		r.names[i] = fmt.Sprintf("s%d-infer-%d", stage, op.MB)
+	}
+	r.afterGoFn = r.afterGo
+	r.afterDepFn = r.afterDep
+	r.afterCommFn = r.afterComm
+	r.afterExecFn = r.afterExec
+	r.waitBatch()
+}
+
+func (r *serveStage) waitBatch() {
+	r.s.goBatch[r.batch].WaitThen(r.p, r.afterGoFn)
+}
+
+func (r *serveStage) afterGo(any) {
+	r.i = 0
+	r.nextOp()
+}
+
+func (r *serveStage) nextOp() {
+	if r.i >= len(r.ops) {
+		b := r.batch
+		r.batch++
+		r.s.stageArrived(b)
+		if r.batch >= r.s.cfg.numBatches() {
+			r.p.Exit(nil)
+			return
+		}
+		r.waitBatch()
+		return
+	}
+	if dep := r.deps[r.i]; dep.Chunk >= 0 {
+		r.s.fpDone[r.batch][dep.Chunk][dep.MB].WaitThen(r.p, r.afterDepFn)
+		return
+	}
+	r.execOp()
+}
+
+func (r *serveStage) afterDep(any) {
+	r.p.SleepThen(r.comm, r.afterCommFn)
+}
+
+func (r *serveStage) afterComm(any) {
+	r.execOp()
+}
+
+func (r *serveStage) execOp() {
+	r.spec.Name = r.names[r.i]
+	r.spec.Duration = r.fpDur
+	r.client.ExecThen(r.p, &r.spec, r.afterExecFn)
+}
+
+func (r *serveStage) afterExec(res any) {
+	if res != nil {
+		err, ok := res.(error)
+		if !ok {
+			err = fmt.Errorf("serve: unexpected completion payload %T", res)
+		}
+		s := r.s
+		s.mu.Lock()
+		if s.failed == nil {
+			s.failed = fmt.Errorf("serve: stage %d mb %d: %w", r.stage, r.ops[r.i].MB, err)
+		}
+		s.mu.Unlock()
+		r.p.Exit(err)
+		return
+	}
+	r.s.fpDone[r.batch][r.stage][r.ops[r.i].MB].Set()
+	r.i++
+	r.nextOp()
+}
+
+func newLatchGrid(eng simtime.Engine, stages, mbs int) [][]*simproc.Latch {
+	grid := make([][]*simproc.Latch, stages)
+	for s := range grid {
+		grid[s] = make([]*simproc.Latch, mbs)
+		for m := range grid[s] {
+			grid[s][m] = simproc.NewLatch(eng)
+		}
+	}
+	return grid
+}

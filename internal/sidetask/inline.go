@@ -3,10 +3,9 @@ package sidetask
 import (
 	"fmt"
 	"math/rand"
-	"os"
-	"sync"
 	"time"
 
+	"freeride/internal/oracle"
 	"freeride/internal/simgpu"
 	"freeride/internal/simproc"
 )
@@ -14,10 +13,10 @@ import (
 // oracleStepFuseOff reports whether FREERIDE_ORACLE_STEPFUSE=off forces the
 // unfused two-event step loop suite-wide (the differential-oracle arm; the
 // CI oracle matrix runs the full test grid under it and asserts the Table 2
-// reproduction metrics bit-identical to the fused default).
-var oracleStepFuseOff = sync.OnceValue(func() bool {
-	return os.Getenv("FREERIDE_ORACLE_STEPFUSE") == "off"
-})
+// reproduction metrics bit-identical to the fused default). Parsing lives
+// in the shared resolver (internal/oracle); enforcement stays here so every
+// harness sees the forced arm regardless of how it was configured.
+func oracleStepFuseOff() bool { return oracle.Env().NoStepFuse }
 
 // CanInline reports whether this harness can run as an event-loop process
 // (simproc.SpawnInline / container.RunInline): the task implementation must

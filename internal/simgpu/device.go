@@ -25,9 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"os"
-	"sync"
 
+	"freeride/internal/oracle"
 	"freeride/internal/simtime"
 	"freeride/internal/trace"
 )
@@ -122,18 +121,15 @@ type DeviceConfig struct {
 
 // Oracle-matrix environment overrides: the CI matrix re-runs the whole test
 // suite with the differential oracles forced on, so every oracle pair is
-// exercised end-to-end per commit, not only in the dedicated suites.
+// exercised end-to-end per commit, not only in the dedicated suites. The
+// parsing lives in the shared resolver (internal/oracle); enforcement stays
+// here so every device — including the ones profiling runs build for
+// themselves — sees the forced arm.
 //
 //	FREERIDE_ORACLE_REBALANCE=full  → every device runs rebalanceFullLocked
 //	FREERIDE_ORACLE_SHARECACHE=off  → every device skips the share cache
-var (
-	oracleForceFullRebalance = sync.OnceValue(func() bool {
-		return os.Getenv("FREERIDE_ORACLE_REBALANCE") == "full"
-	})
-	oracleDisableShareCache = sync.OnceValue(func() bool {
-		return os.Getenv("FREERIDE_ORACLE_SHARECACHE") == "off"
-	})
-)
+func oracleForceFullRebalance() bool { return oracle.Env().FullRebalance }
+func oracleDisableShareCache() bool  { return oracle.Env().NoShareCache }
 
 // DefaultResidencyTax is the calibrated MPS context-multiplexing overhead
 // used by the experiment harness.
